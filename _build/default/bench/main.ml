@@ -1,0 +1,159 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper through
+   Icoe.Experiments (real workloads + hardware-model pricing), printing
+   paper reference values alongside.
+
+   Part 2 runs Bechamel microbenchmarks — real wall-clock time of the core
+   computational kernels of each activity on this machine — one Test.make
+   per reproduced table/figure's dominant kernel. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: microbenchmarks of the real kernels                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_spmv =
+  (* hypre/Table 4 inner kernel *)
+  let a = Linalg.Csr.laplacian_2d 64 64 in
+  let x = Array.init 4096 (fun i -> float_of_int (i mod 7)) in
+  let y = Array.make 4096 0.0 in
+  Test.make ~name:"table4/spmv-64x64" (Staged.stage (fun () -> Linalg.Csr.spmv_into a x y))
+
+let bench_amg_vcycle =
+  let a = Linalg.Csr.laplacian_2d 32 32 in
+  let amg = Hypre.Boomeramg.setup a in
+  let b = Array.make 1024 1.0 in
+  let x = Array.make 1024 0.0 in
+  Test.make ~name:"fig8/amg-vcycle-32x32"
+    (Staged.stage (fun () ->
+         Array.fill x 0 1024 0.0;
+         Hypre.Boomeramg.v_cycle amg b x))
+
+let bench_pa_apply =
+  let mesh = Mfem.Mesh.create ~nx:8 ~ny:8 ~p:4 () in
+  let basis = Mfem.Basis.create 4 in
+  let pa = Mfem.Diffusion.Pa.setup mesh basis in
+  let n = Mfem.Mesh.num_dofs mesh in
+  let u = Array.init n (fun i -> sin (float_of_int i)) in
+  let y = Array.make n 0.0 in
+  Test.make ~name:"table4/pa-apply-p4" (Staged.stage (fun () -> Mfem.Diffusion.Pa.apply pa u y))
+
+let bench_sw4_step =
+  let g = Sw4.Grid.create ~nx:64 ~ny:64 ~h:100.0 in
+  Sw4.Grid.homogeneous g ~rho:2500.0 ~vp:5000.0 ~vs:2500.0;
+  let solver = Sw4.Solver.create g in
+  Test.make ~name:"sw4/leapfrog-64x64" (Staged.stage (fun () -> Sw4.Solver.step solver))
+
+let bench_md_forces =
+  let rng = Icoe_util.Rng.create 3 in
+  let p = Ddcmd.Particles.create ~n:125 ~box:6.5 in
+  Ddcmd.Particles.lattice_init p;
+  Ddcmd.Particles.thermalize p ~rng ~temp:0.7;
+  let e = Ddcmd.Engine.create ~dt:0.004 ~potential:(Ddcmd.Potential.lennard_jones ()) p in
+  Test.make ~name:"md/forces-125" (Staged.stage (fun () -> Ddcmd.Engine.compute_forces e))
+
+let bench_reaction_kernel =
+  let deriv = Cardioid.Ionic.compile_variant Cardioid.Ionic.Rational_folded in
+  let env = Cardioid.Ionic.initial_state () in
+  Test.make ~name:"cardioid/reaction-cell" (Staged.stage (fun () -> ignore (deriv env)))
+
+let bench_fft =
+  let rng = Icoe_util.Rng.create 4 in
+  let a = Array.init 2048 (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+  Test.make ~name:"fig9/fft-1024" (Staged.stage (fun () -> ignore (Fftlib.Fft.dft a)))
+
+let bench_bfs =
+  let rng = Icoe_util.Rng.create 5 in
+  let g = Havoq.Graph.rmat ~rng ~scale:10 () in
+  Test.make ~name:"table2/bfs-hybrid-1k" (Staged.stage (fun () -> ignore (Havoq.Bfs.hybrid g ~src:0)))
+
+let bench_lda_estep =
+  let rng = Icoe_util.Rng.create 6 in
+  let corpus = Lda.Corpus.generate ~ndocs:10 ~rng () in
+  let m = Lda.Vem.init ~rng ~k:6 ~vocab:corpus.Lda.Corpus.vocab () in
+  let stats = Array.make_matrix 6 corpus.Lda.Corpus.vocab 0.0 in
+  Test.make ~name:"fig2/lda-estep-doc"
+    (Staged.stage (fun () ->
+         let elogb = Lda.Vem.elog_beta m in
+         ignore (Lda.Vem.e_step_doc m elogb corpus.Lda.Corpus.docs.(0) stats)))
+
+let bench_rate_matrix =
+  let model = Cretin.Atomic.ladder 20 in
+  let cond = { Cretin.Ratematrix.te = 10.0; ne = 1e21; radiation = 0.0 } in
+  Test.make ~name:"cretin/zone-solve-20"
+    (Staged.stage (fun () -> ignore (Cretin.Ratematrix.solve_direct model cond)))
+
+let bench_cleverleaf =
+  let sim = Samrai.Cleverleaf.create ~nx:32 ~ny:32 ~lx:1.0 ~ly:1.0 () in
+  Samrai.Cleverleaf.init sim (fun ~x ~y:_ ->
+      if x < 0.5 then (1.0, 0.0, 0.0, 1.0) else (0.125, 0.0, 0.0, 0.1));
+  Test.make ~name:"table5/cleverleaf-step-32x32"
+    (Staged.stage (fun () -> ignore (Samrai.Cleverleaf.step sim)))
+
+let bench_mlp =
+  let rng = Icoe_util.Rng.create 7 in
+  let m = Dlearn.Mlp.create ~rng [| 12; 16; 4 |] in
+  let x = Array.init 12 (fun i -> float_of_int i /. 12.0) in
+  Test.make ~name:"fig3/mlp-backward"
+    (Staged.stage (fun () ->
+         ignore (Dlearn.Mlp.backward m x ~label:1);
+         Dlearn.Mlp.zero_grads m))
+
+let bench_paradyn =
+  let rng = Icoe_util.Rng.create 8 in
+  let inputs =
+    List.map
+      (fun a -> (a, Array.init 512 (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0)))
+      [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
+  in
+  let p = Paradyn.Passes.dse (Paradyn.Passes.slnsp Paradyn.Ir.paradyn_kernel) in
+  Test.make ~name:"fig6/fused-kernel-512" (Staged.stage (fun () -> ignore (Paradyn.Interp.run p ~inputs)))
+
+let bench_topopt_apply =
+  let t = Opt.Topopt.create ~nx:32 ~ny:32 () in
+  let u = Array.init 1024 (fun i -> float_of_int (i mod 13)) in
+  let y = Array.make 1024 0.0 in
+  Test.make ~name:"opt/matrix-free-apply-32x32" (Staged.stage (fun () -> Opt.Topopt.apply t u y))
+
+let microbenchmarks () =
+  let tests =
+    [
+      bench_spmv; bench_amg_vcycle; bench_pa_apply; bench_sw4_step;
+      bench_md_forces; bench_reaction_kernel; bench_fft; bench_bfs;
+      bench_lda_estep; bench_rate_matrix; bench_cleverleaf; bench_mlp;
+      bench_paradyn; bench_topopt_apply;
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let analyze = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  Fmt.pr "@.== Bechamel microbenchmarks (real wall time on this machine) ==@.";
+  Fmt.pr "%-32s %14s@." "kernel" "ns/run";
+  Fmt.pr "%s@." (String.make 48 '-');
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test |> Hashtbl.to_seq |> List.of_seq
+      in
+      List.iter
+        (fun (name, raw) ->
+          match Analyze.one analyze Instance.monotonic_clock raw with
+          | ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Fmt.pr "%-32s %14.1f@." name est
+              | _ -> Fmt.pr "%-32s %14s@." name "n/a")
+          | exception _ -> Fmt.pr "%-32s %14s@." name "error")
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Fmt.pr "==========================================================@.";
+  Fmt.pr " iCoE reproduction: every table and figure of the paper@.";
+  Fmt.pr "==========================================================@.@.";
+  print_string (Icoe.Experiments.run_all ());
+  microbenchmarks ()

@@ -1,0 +1,41 @@
+(* icoe_report: run any of the paper's reproduced experiments by id.
+
+   Usage:
+     dune exec bin/icoe_report.exe -- list
+     dune exec bin/icoe_report.exe -- run fig8 table4
+     dune exec bin/icoe_report.exe -- run all *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the reproducible tables and figures." in
+  let run () =
+    Fmt.pr "%-10s %s@." "id" "description";
+    Fmt.pr "%s@." (String.make 60 '-');
+    List.iter
+      (fun (id, desc, _) -> Fmt.pr "%-10s %s@." id desc)
+      Icoe.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments by id ('all' for everything)." in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    if List.mem "all" ids then print_string (Icoe.Experiments.run_all ())
+    else
+      List.iter
+        (fun id ->
+          match Icoe.Experiments.find id with
+          | Some (_, _, f) -> print_string (f ())
+          | None ->
+              Fmt.epr "unknown experiment %S; try 'list'@." id;
+              exit 1)
+        ids
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+
+let () =
+  let doc = "Reproduced experiments from the SC'19 iCoE paper" in
+  let info = Cmd.info "icoe_report" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

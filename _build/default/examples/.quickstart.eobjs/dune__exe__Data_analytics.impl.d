@@ -1,0 +1,1 @@
+examples/data_analytics.ml: Array Fmt Icoe_util Lda List Sparkle String

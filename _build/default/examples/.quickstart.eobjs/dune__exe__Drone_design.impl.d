@@ -1,0 +1,1 @@
+examples/drone_design.ml: Array Fmt Hwsim Icoe_util List Opt

@@ -1,0 +1,1 @@
+examples/earthquake.ml: Array Fmt Hwsim Icoe_util String Sw4

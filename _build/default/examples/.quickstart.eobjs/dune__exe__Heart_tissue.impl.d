@@ -1,0 +1,1 @@
+examples/heart_tissue.ml: Array Cardioid Fmt List

@@ -1,0 +1,1 @@
+examples/hohlraum_wall.ml: Array Cretin Fmt List String

@@ -1,0 +1,1 @@
+examples/hohlraum_wall.mli:

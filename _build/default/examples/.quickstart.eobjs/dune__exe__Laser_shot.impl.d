@@ -1,0 +1,1 @@
+examples/laser_shot.ml: Array Fmt Hwsim Icoe_util Vbl

@@ -1,0 +1,1 @@
+examples/mummi_workflow.ml: Array Ddcmd Fmt Icoe_util List Opt

@@ -1,0 +1,1 @@
+examples/mummi_workflow.mli:

@@ -1,0 +1,67 @@
+(* Hohlraum wall: the Cretin activity's science context (Fig 1 — the gold
+   hohlraum of ICF experiments). Solves non-LTE level populations through
+   a wall temperature gradient with minikin, derives frequency-dependent
+   opacities, and shows the Sec 4.3 model-size/threading trade-off that
+   the GPU port resolves.
+
+   Run with: dune exec examples/hohlraum_wall.exe *)
+
+let () =
+  Fmt.pr "== Cretin: non-LTE kinetics through a hohlraum wall ==@.@.";
+  let model = Cretin.Atomic.ladder 12 in
+  let nzones = 16 in
+  (* coronal-ish density: radiative decay competes with collisions, so
+     the populations are genuinely non-LTE *)
+  let mk = Cretin.Minikin.create ~nzones ~te0:2.0 ~te1:60.0 ~ne:1.0e16 model in
+  Cretin.Minikin.solve_all mk;
+  Fmt.pr "12-level atomic model, %d zones from 2 eV (cold wall) to 60 eV (hot)@.@." nzones;
+  Fmt.pr "zone  Te(eV)  ground pop  mean excitation@.";
+  Array.iteri
+    (fun z (zone : Cretin.Minikin.zone) ->
+      if z mod 3 = 0 then
+        Fmt.pr "  %2d  %6.1f      %.4f          %.3f@." z
+          zone.Cretin.Minikin.cond.Cretin.Ratematrix.te
+          zone.Cretin.Minikin.populations.(0)
+          (Cretin.Minikin.mean_excitation zone))
+    mk.Cretin.Minikin.zones;
+  (* non-LTE vs LTE in the hottest zone *)
+  let hot = mk.Cretin.Minikin.zones.(nzones - 1) in
+  let lte = Cretin.Atomic.boltzmann model ~te:hot.Cretin.Minikin.cond.Cretin.Ratematrix.te in
+  Fmt.pr "@.hottest zone, level 6: non-LTE %.5f vs LTE %.5f (radiative decay@."
+    hot.Cretin.Minikin.populations.(6) lte.(6);
+  Fmt.pr "depletes excited states — why LTE opacities are wrong here)@.";
+  (* opacity spectrum of a mid-wall zone *)
+  let mid = mk.Cretin.Minikin.zones.(nzones / 2) in
+  let te = mid.Cretin.Minikin.cond.Cretin.Ratematrix.te in
+  let sp =
+    Cretin.Opacity.spectrum ~npts:64 model
+      ~populations:mid.Cretin.Minikin.populations ~te
+  in
+  let kmax =
+    Array.fold_left (fun m (_, k) -> max m k) 1e-12 sp
+  in
+  Fmt.pr "@.opacity spectrum at Te = %.1f eV (log-ish bar chart):@." te;
+  Array.iteri
+    (fun i (e, k) ->
+      if i mod 2 = 0 then begin
+        let bar = int_of_float (20.0 *. sqrt (k /. kmax)) in
+        Fmt.pr "  %6.2f eV |%s@." e (String.make bar '#')
+      end)
+    sp;
+  Fmt.pr "@.Planck-mean opacity: %.3g (arb. units)@."
+    (Cretin.Opacity.planck_mean model ~populations:mid.Cretin.Minikin.populations
+       ~te ~tr:(0.8 *. te));
+  (* the Sec 4.3 performance story *)
+  Fmt.pr "@.model-size scaling on a Sierra node (GPU threads over transitions,@.";
+  Fmt.pr "CPU threads over zones with per-zone workspaces):@.";
+  List.iter
+    (fun n ->
+      let m = Cretin.Atomic.ladder n in
+      let s, idle = Cretin.Minikin.node_speedup m in
+      Fmt.pr "  %6d levels: zone %7.1f MB, %2.0f%% CPU cores idle, GPU %5.2fx@."
+        n
+        (Cretin.Atomic.zone_bytes m /. 1e6)
+        (idle *. 100.0) s)
+    [ 400; 2000; 12000; 18000 ];
+  Fmt.pr "-> the paper's 5.75X for the second-largest model, and 'much@.";
+  Fmt.pr "   higher' for the largest once memory idles 60%% of the cores@."

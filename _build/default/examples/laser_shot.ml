@@ -1,0 +1,53 @@
+(* Laser shot: the VBL activity — split-step beam propagation with an
+   amplifier slab and the Fig 9 phase-defect experiment.
+
+   Run with: dune exec examples/laser_shot.exe *)
+
+let print_fluence_profile b label =
+  let f = Vbl.Beam.fluence b in
+  let n = b.Vbl.Beam.n in
+  let mid = n / 2 in
+  (* horizontal cut through the beam centre, downsampled *)
+  let cut = Array.init (n / 4) (fun i -> f.((mid * n) + (i * 4))) in
+  let _, vmax = Icoe_util.Stats.min_max cut in
+  Fmt.pr "%s (centre cut, normalized):@.  " label;
+  Array.iter
+    (fun v ->
+      let level = int_of_float (v /. max 1e-12 vmax *. 8.0) in
+      Fmt.pr "%c" [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |].(min 8 level))
+    cut;
+  Fmt.pr "@."
+
+let () =
+  Fmt.pr "== VBL laser propagation ==@.@.";
+  let b = Vbl.Beam.create ~n:256 ~width:0.05 () in
+  Vbl.Beam.flat_top b;
+  Fmt.pr "beam: 256^2 grid, 50 mm aperture, flat-top fill 70%%@.";
+  Fmt.pr "initial power %.1f@.@." (Vbl.Beam.total_power b);
+  print_fluence_profile b "at z = 0";
+  (* amplifier slab *)
+  Vbl.Propagate.run ~gain:(0.5, 5.0) b ~distance:2.0 ~steps:2;
+  Fmt.pr "@.after 2 m of saturated-gain amplifier: power %.1f@."
+    (Vbl.Beam.total_power b);
+  (* inject the Fig 9 phase defects and propagate *)
+  Vbl.Propagate.defect_screen ~defect_size:150e-6 ~depth:2.0 b;
+  let c0 = Vbl.Beam.center_contrast b in
+  Vbl.Propagate.run b ~distance:10.0 ~steps:5;
+  let c1 = Vbl.Beam.center_contrast b in
+  Fmt.pr "@.two 150 um phase defects injected; after 10 m of propagation:@.@.";
+  print_fluence_profile b "at z = 10 m";
+  Fmt.pr "@.fluence modulation contrast: %.4f -> %.4f (%.0fx growth)@." c0 c1
+    (c1 /. max 1e-9 c0);
+  Fmt.pr "phase defects are invisible at z=0 but ripple the fluence@.";
+  Fmt.pr "downstream — the Fig 9 effect the GPU port made resolvable.@.";
+  (* the transpose lesson *)
+  let t_raja =
+    Vbl.Propagate.step_time ~n:2048 ~device:Hwsim.Device.v100 ~transpose_variant:`Naive
+  in
+  let t_cuda =
+    Vbl.Propagate.step_time ~n:2048 ~device:Hwsim.Device.v100 ~transpose_variant:`Tiled
+  in
+  Fmt.pr "@.split-step at 2048^2 on V100: %.2f ms with the naive (RAJA-port)@."
+    (t_raja *. 1e3);
+  Fmt.pr "transpose, %.2f ms after the hand-CUDA tiled rewrite (Sec 4.11).@."
+    (t_cuda *. 1e3)

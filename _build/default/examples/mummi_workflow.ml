@@ -1,0 +1,62 @@
+(* MuMMI-style workflow: the MD activity plus the Opt activity's scheduler,
+   composed the way Sec 4.6 / Fig 4 describes — a macro model spawns many
+   short GPU micro-simulations (ddcMD) that a scheduler packs onto a node's
+   GPUs.
+
+   Runs real (small) Martini-like MD patches as the "jobs", schedules a
+   campaign of them with SJF+quota, and reports the ddcMD-vs-GROMACS model.
+
+   Run with: dune exec examples/mummi_workflow.exe *)
+
+let run_micro_sim ~seed ~steps =
+  (* one coarse-grained membrane patch simulation *)
+  let rng = Icoe_util.Rng.create seed in
+  let p = Ddcmd.Particles.create ~n:96 ~box:5.0 in
+  Ddcmd.Particles.lattice_init p;
+  for i = 0 to 95 do
+    p.Ddcmd.Particles.species.(i) <- i mod 2
+  done;
+  Ddcmd.Particles.thermalize p ~rng ~temp:1.0;
+  let eps = [| [| 1.0; 0.6 |]; [| 0.6; 1.2 |] |] in
+  let sg = [| [| 0.6; 0.6 |]; [| 0.6; 0.6 |] |] in
+  let bonds =
+    List.init 48 (fun k ->
+        { Ddcmd.Bonded.bi = 2 * k; bj = (2 * k) + 1; k = 50.0; r0 = 0.5 })
+  in
+  let e =
+    Ddcmd.Engine.create ~dt:0.002 ~bonds
+      ~potential:(Ddcmd.Potential.martini ~epsilon:eps ~sigma:sg ~cutoff:1.2 ())
+      p
+  in
+  Ddcmd.Engine.run ~langevin:(2.0, 1.0, rng) e ~steps;
+  (Ddcmd.Particles.temperature p, e.Ddcmd.Engine.pair_count)
+
+let () =
+  Fmt.pr "== MuMMI-style workflow: macro model -> micro MD on GPUs ==@.@.";
+  (* 1. run a few real micro simulations *)
+  Fmt.pr "running 4 real ddcMD micro-simulations (96 beads, 400 steps)...@.";
+  for seed = 1 to 4 do
+    let temp, pairs = run_micro_sim ~seed ~steps:400 in
+    Fmt.pr "  patch %d: T = %.2f (target 1.0), %d interacting pairs@." seed temp pairs
+  done;
+  (* 2. the campaign: hundreds of such jobs on a 4-GPU node, scheduled *)
+  let rng = Icoe_util.Rng.create 99 in
+  let jobs = Opt.Scheduler.batch_workload ~rng ~n:300 () in
+  Fmt.pr "@.scheduling a 300-job campaign on 4 GPUs:@.";
+  List.iter
+    (fun pol ->
+      let m = Opt.Scheduler.simulate ~gpus:8 pol jobs in
+      Fmt.pr "  %-16s utilization %.3f, mean wait %6.1f s@."
+        (Opt.Scheduler.policy_name pol) m.Opt.Scheduler.utilization
+        m.Opt.Scheduler.mean_wait)
+    [ Opt.Scheduler.Fcfs; Opt.Scheduler.Sjf; Opt.Scheduler.Sjf_quota 0.5 ];
+  (* 3. why ddcMD and not GROMACS inside MuMMI *)
+  Fmt.pr "@.ddcMD vs GROMACS per MD step (the Sec 4.6 comparison):@.";
+  List.iter
+    (fun s ->
+      let d, g = Ddcmd.Perf.step_times s in
+      Fmt.pr "  %-20s ddcMD %.2f ms, GROMACS %.2f ms (%.1fx)@."
+        (Ddcmd.Perf.scenario_name s) (d *. 1e3) (g *. 1e3) (g /. d))
+    [ Ddcmd.Perf.One_gpu; Ddcmd.Perf.Four_gpu; Ddcmd.Perf.Mummi ];
+  Fmt.pr "-> inside MuMMI the CPUs are busy with the macro model and in-situ@.";
+  Fmt.pr "   analysis, so the GPU-resident ddcMD is 2.3x faster (paper value)@."

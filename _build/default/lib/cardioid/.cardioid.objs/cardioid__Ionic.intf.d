@@ -1,0 +1,1 @@
+lib/cardioid/ionic.mli: Melodee

@@ -1,0 +1,1 @@
+lib/cardioid/melodee.mli:

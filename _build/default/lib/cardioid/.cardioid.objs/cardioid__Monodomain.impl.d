@@ -1,0 +1,1 @@
+lib/cardioid/monodomain.ml: Array Hwsim Ionic Prog

@@ -1,0 +1,1 @@
+lib/cardioid/monodomain.mli: Ionic

@@ -1,0 +1,48 @@
+(** A compact exp-heavy ionic membrane model, expressed through Melodee:
+    an instantly-activating, h-inactivated fast inward current, a slowly
+    activating outward (K-like) current, a gated slow leak, and a fixed
+    anchoring leak. State vector: [v; h; n; w], input appended: [istim]. *)
+
+val n_state : int
+val iv : int
+val ih : int
+val in_ : int
+val iw : int
+val istim_idx : int
+val v_rest : float
+
+val v_range : float * float
+(** Physiological voltage range the rate fits must cover. *)
+
+val m_inf : float -> float
+val h_inf : float -> float
+val n_inf : float -> float
+val w_inf : float -> float
+val tau_h : float -> float
+val tau_n : float -> float
+val tau_w : float -> float
+
+(** How the rate functions are realized: exact libm expressions, fitted
+    rational polynomials (coefficients in memory), or rational polynomials
+    with compile-time-constant coefficients (no coefficient loads). *)
+type variant = Libm | Rational | Rational_folded
+
+val variant_name : variant -> string
+
+val variant_exprs : variant -> Melodee.expr list
+(** Melodee trees for [dv; dh; dn; dw]. *)
+
+val compile_variant : variant -> float array -> float array
+(** Compiled derivative function over the state+input vector. *)
+
+val variant_flops : ?expensive_flops:float -> variant -> float
+val variant_loads : variant -> int
+
+val initial_state : unit -> float array
+(** Rest state with gates at steady state. *)
+
+val single_cell_trace :
+  ?dt:float -> ?steps:int -> ?stim:float -> ?stim_steps:int ->
+  (float array -> float array) -> float array
+(** Forward-Euler single-cell integration; returns the voltage trace
+    (stimulated action potential by default). *)

@@ -1,0 +1,211 @@
+(** Melodee: Cardioid's reaction-kernel DSL.
+
+    The paper's pipeline (Sec 4.1): take the ionic-model equations as an
+    expression tree, (1) automatically find and replace expensive math
+    functions with run-time rational polynomials, (2) optionally instantiate
+    run-time coefficients as compile-time constants (constant folding), and
+    (3) "JIT" the result — here, compile the tree to an OCaml closure. The
+    op-count report drives the device pricing of each variant. *)
+
+type expr =
+  | Const of float
+  | Var of int  (** index into the state/input vector *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Neg of expr
+  | Exp of expr
+  | Log of expr
+  | Ratpoly of float array * float array * expr
+      (** p(x)/q(x) with coefficient arrays (lowest degree first) *)
+
+let rec eval env = function
+  | Const c -> c
+  | Var i -> env.(i)
+  | Add (a, b) -> eval env a +. eval env b
+  | Sub (a, b) -> eval env a -. eval env b
+  | Mul (a, b) -> eval env a *. eval env b
+  | Div (a, b) -> eval env a /. eval env b
+  | Neg a -> -.(eval env a)
+  | Exp a -> exp (eval env a)
+  | Log a -> log (eval env a)
+  | Ratpoly (p, q, a) ->
+      let x = eval env a in
+      let horner c =
+        let acc = ref 0.0 in
+        for i = Array.length c - 1 downto 0 do
+          acc := (!acc *. x) +. c.(i)
+        done;
+        !acc
+      in
+      horner p /. horner q
+
+(** (cheap flops, expensive-function calls) in one evaluation. A rational
+    polynomial counts as cheap flops only — that is the whole point. *)
+let rec op_count = function
+  | Const _ | Var _ -> (0, 0)
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      let ca, ea = op_count a and cb, eb = op_count b in
+      (ca + cb + 1, ea + eb)
+  | Neg a ->
+      let c, e = op_count a in
+      (c + 1, e)
+  | Exp a | Log a ->
+      let c, e = op_count a in
+      (c, e + 1)
+  | Ratpoly (p, q, a) ->
+      let c, e = op_count a in
+      (c + (2 * (Array.length p + Array.length q)) + 1, e)
+
+(** Constant folding: evaluate every constant subtree at "compile time".
+    This is the paper's "changing run-time polynomial coefficients into
+    compile-time constants" lesson expressed as a pass. *)
+let rec constant_fold e =
+  let binop mk f a b =
+    match (constant_fold a, constant_fold b) with
+    | Const x, Const y -> Const (f x y)
+    | a', b' -> mk a' b'
+  in
+  match e with
+  | Const _ | Var _ -> e
+  | Add (a, b) -> binop (fun a b -> Add (a, b)) ( +. ) a b
+  | Sub (a, b) -> binop (fun a b -> Sub (a, b)) ( -. ) a b
+  | Mul (a, b) -> (
+      match binop (fun a b -> Mul (a, b)) ( *. ) a b with
+      | Mul (Const 1.0, x) | Mul (x, Const 1.0) -> x
+      | Mul (Const 0.0, _) | Mul (_, Const 0.0) -> Const 0.0
+      | x -> x)
+  | Div (a, b) -> binop (fun a b -> Div (a, b)) ( /. ) a b
+  | Neg a -> ( match constant_fold a with Const x -> Const (-.x) | a' -> Neg a')
+  | Exp a -> ( match constant_fold a with Const x -> Const (exp x) | a' -> Exp a')
+  | Log a -> ( match constant_fold a with Const x -> Const (log x) | a' -> Log a')
+  | Ratpoly (p, q, a) -> (
+      match constant_fold a with
+      | Const x -> Const (eval [||] (Ratpoly (p, q, Const x)))
+      | a' -> Ratpoly (p, q, a'))
+
+(** Least-squares rational fit p(x)/q(x) ~ f(x) on [lo, hi], deg p = np,
+    deg q = nq with q(0) = 1. Linearized: minimize sum (f q - p)^2 over
+    Chebyshev sample points. *)
+let rational_fit ~lo ~hi ~np ~nq f =
+  let ns = 8 * (np + nq + 2) in
+  let xs =
+    Array.init ns (fun k ->
+        let t = cos (Float.pi *. (float_of_int k +. 0.5) /. float_of_int ns) in
+        (0.5 *. (lo +. hi)) +. (0.5 *. (hi -. lo) *. t))
+  in
+  let nunk = np + 1 + nq in
+  (* unknowns: p_0..p_np, q_1..q_nq *)
+  let a = Linalg.Dense.create ns nunk in
+  let b = Array.make ns 0.0 in
+  Array.iteri
+    (fun r x ->
+      let fx = f x in
+      for i = 0 to np do
+        Linalg.Dense.set a r i (x ** float_of_int i)
+      done;
+      for j = 1 to nq do
+        Linalg.Dense.set a r (np + j) (-.fx *. (x ** float_of_int j))
+      done;
+      b.(r) <- fx)
+    xs;
+  (* normal equations A^T A c = A^T b *)
+  let at = Linalg.Dense.transpose a in
+  let ata = Linalg.Dense.matmul at a in
+  (* regularize lightly for stability *)
+  for i = 0 to nunk - 1 do
+    Linalg.Dense.update ata i i (fun v -> v +. 1e-12)
+  done;
+  let atb = Linalg.Dense.matvec at b in
+  let c = Linalg.Dense.solve ata atb in
+  let p = Array.sub c 0 (np + 1) in
+  let q = Array.append [| 1.0 |] (Array.sub c (np + 1) nq) in
+  (p, q)
+
+(** Replace every [Exp] node with a rational approximation fitted on the
+    assumption that its argument stays within [lo, hi] (the physiological
+    range of the rate expressions). *)
+let rec replace_exp ~lo ~hi e =
+  let go = replace_exp ~lo ~hi in
+  match e with
+  | Const _ | Var _ -> e
+  | Add (a, b) -> Add (go a, go b)
+  | Sub (a, b) -> Sub (go a, go b)
+  | Mul (a, b) -> Mul (go a, go b)
+  | Div (a, b) -> Div (go a, go b)
+  | Neg a -> Neg (go a)
+  | Exp a ->
+      let p, q = rational_fit ~lo ~hi ~np:4 ~nq:4 exp in
+      Ratpoly (p, q, go a)
+  | Log a -> Log (go a)
+  | Ratpoly (p, q, a) -> Ratpoly (p, q, go a)
+
+(** "JIT": compile the tree to a closure. OCaml's compiler does the rest;
+    the analog to NVRTC is that the returned closure has the structure of
+    the transformed tree baked in. *)
+let rec compile = function
+  | Const c -> fun _ -> c
+  | Var i -> fun env -> env.(i)
+  | Add (a, b) ->
+      let fa = compile a and fb = compile b in
+      fun env -> fa env +. fb env
+  | Sub (a, b) ->
+      let fa = compile a and fb = compile b in
+      fun env -> fa env -. fb env
+  | Mul (a, b) ->
+      let fa = compile a and fb = compile b in
+      fun env -> fa env *. fb env
+  | Div (a, b) ->
+      let fa = compile a and fb = compile b in
+      fun env -> fa env /. fb env
+  | Neg a ->
+      let fa = compile a in
+      fun env -> -.(fa env)
+  | Exp a ->
+      let fa = compile a in
+      fun env -> exp (fa env)
+  | Log a ->
+      let fa = compile a in
+      fun env -> log (fa env)
+  | Ratpoly (p, q, a) ->
+      let fa = compile a in
+      fun env ->
+        let x = fa env in
+        let horner c =
+          let acc = ref 0.0 in
+          for i = Array.length c - 1 downto 0 do
+            acc := (!acc *. x) +. c.(i)
+          done;
+          !acc
+        in
+        horner p /. horner q
+
+(** Price one evaluation of the expression on a device: cheap flops cost 1
+    flop each; an expensive call costs [expensive_flops] (double-precision
+    exp/log are software routines: ~50 flops on GPUs, ~100 scalar on CPUs). *)
+let eval_cost ?(expensive_flops = 50.0) e =
+  let cheap, expensive = op_count e in
+  float_of_int cheap +. (float_of_int expensive *. expensive_flops)
+
+(** Memory loads per evaluation: every Var is a load; a Ratpoly's
+    coefficients are loads unless [folded] — the paper's "compile-time
+    constants" turn run-time coefficient arrays into immediates. *)
+let rec load_count ?(folded = false) = function
+  | Const _ -> 0
+  | Var _ -> 1
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      load_count ~folded a + load_count ~folded b
+  | Neg a | Exp a | Log a -> load_count ~folded a
+  | Ratpoly (p, q, a) ->
+      (if folded then 0 else Array.length p + Array.length q)
+      + load_count ~folded a
+
+(** Fit an arbitrary bounded function of one variable with a rational
+    polynomial and return the replacement expression applied to [arg].
+    This is the DSL's core move: Cardioid fits whole rate expressions
+    (sigmoids, bell-shaped time constants), which are bounded and smooth —
+    not bare exp over its wild range. *)
+let fit_function ~lo ~hi ?(np = 6) ?(nq = 6) f arg =
+  let p, q = rational_fit ~lo ~hi ~np ~nq f in
+  Ratpoly (p, q, arg)

@@ -1,0 +1,139 @@
+(** The Cardioid monodomain solver: reaction-diffusion on a 2D tissue grid
+    with operator splitting. Diffusion is the memory-bound 5-point stencil;
+    reaction is the compute-bound per-cell ionic update.
+
+    The placement study of Sec 4.1 is first-class: [All_gpu] keeps both
+    kernels device-side; [Split_cpu_gpu] runs diffusion on the CPU and
+    reaction on the GPU, paying a full voltage-field transfer both ways
+    every step — the configuration the team measured and rejected. *)
+
+type placement = All_gpu | All_cpu | Split_cpu_gpu
+
+let placement_name = function
+  | All_gpu -> "all-gpu"
+  | All_cpu -> "all-cpu"
+  | Split_cpu_gpu -> "diffusion-cpu/reaction-gpu"
+
+type t = {
+  nx : int;
+  ny : int;
+  dx : float;
+  sigma : float;  (** tissue conductivity (isotropic) *)
+  dt : float;
+  state : float array array;  (** per-cell ionic state (n_state + 1) *)
+  v : float array;  (** voltage field, the diffusing variable *)
+  scratch : float array;
+  deriv : float array -> float array;
+}
+
+let create ?(nx = 32) ?(ny = 32) ?(dx = 0.02) ?(sigma = 0.001) ?(dt = 0.02)
+    ?(variant = Ionic.Rational) () =
+  let n = nx * ny in
+  let deriv = Ionic.compile_variant variant in
+  let state = Array.init n (fun _ -> Ionic.initial_state ()) in
+  let v = Array.make n Ionic.v_rest in
+  { nx; ny; dx; sigma; dt; state; v; scratch = Array.make n 0.0; deriv }
+
+let idx t i j = i + (t.nx * j)
+
+(** Stimulate a rectangular region (sets a strong inward current for the
+    next [reaction_step] calls while active). *)
+let stimulate t ~ilo ~ihi ~jlo ~jhi ~amplitude =
+  for j = jlo to jhi do
+    for i = ilo to ihi do
+      t.state.(idx t i j).(Ionic.istim_idx) <- amplitude
+    done
+  done
+
+let clear_stimulus t =
+  Array.iter (fun s -> s.(Ionic.istim_idx) <- 0.0) t.state
+
+(** Reaction half-step: per-cell ionic update (embarrassingly parallel). *)
+let reaction_step t =
+  Array.iteri
+    (fun k s ->
+      s.(Ionic.iv) <- t.v.(k);
+      let d = t.deriv s in
+      for c = 0 to Ionic.n_state - 1 do
+        s.(c) <- s.(c) +. (t.dt *. d.(c))
+      done;
+      t.v.(k) <- s.(Ionic.iv))
+    t.state
+
+(** Diffusion half-step: explicit 5-point stencil with no-flux walls. *)
+let diffusion_step t =
+  let alpha = t.sigma *. t.dt /. (t.dx *. t.dx) in
+  for j = 0 to t.ny - 1 do
+    for i = 0 to t.nx - 1 do
+      let k = idx t i j in
+      let c = t.v.(k) in
+      let vx0 = if i > 0 then t.v.(k - 1) else c in
+      let vx1 = if i < t.nx - 1 then t.v.(k + 1) else c in
+      let vy0 = if j > 0 then t.v.(k - t.nx) else c in
+      let vy1 = if j < t.ny - 1 then t.v.(k + t.nx) else c in
+      t.scratch.(k) <- c +. (alpha *. (vx0 +. vx1 +. vy0 +. vy1 -. (4.0 *. c)))
+    done
+  done;
+  Array.blit t.scratch 0 t.v 0 (Array.length t.v)
+
+let step t =
+  reaction_step t;
+  diffusion_step t
+
+let run t ~steps =
+  for _ = 1 to steps do
+    step t
+  done
+
+(** Has the excitation wave reached cell (i, j)? (voltage above -20 mV) *)
+let activated t ~i ~j = t.v.(idx t i j) > -20.0
+
+(* --- placement cost model (Sec 4.1) --- *)
+
+(** Simulated seconds per step for a tissue of [cells] cells under a
+    placement, with the reaction variant's flop density. Reaction is
+    compute-bound; diffusion is bandwidth-bound; the split placement adds a
+    bidirectional voltage-field transfer every step. *)
+let time_per_step ?(variant = Ionic.Rational) ~cells placement =
+  let c = float_of_int cells in
+  (* production ionic models evaluate several times more rate functions
+     per state than the minimal 3-gate model; the density factor scales
+     our kernel to the paper's "100-500 math calls" regime, where the
+     reaction kernel is compute-bound. Coefficient loads hit the constant
+     cache (warp-broadcast), so they cost one instruction slot each, not
+     DRAM traffic. *)
+  let math_density = 6.0 in
+  let reaction_flops gpu =
+    c *. math_density
+    *. (Ionic.variant_flops ~expensive_flops:(if gpu then 50.0 else 100.0) variant
+       +. float_of_int (Ionic.variant_loads variant))
+  in
+  (* DRAM traffic: the per-cell state in and out *)
+  let reaction_bytes = c *. 8.0 *. float_of_int (2 * (Ionic.n_state + 1)) in
+  let diffusion = Hwsim.Kernel.make ~name:"diffusion" ~flops:(c *. 7.0)
+      ~bytes:(c *. 8.0 *. 7.0) () in
+  let gpu = Hwsim.Device.v100 and cpu = Hwsim.Device.power9 in
+  let gpu_eff = Prog.Policy.efficiency Prog.Policy.Cuda gpu in
+  let cpu_eff = Prog.Policy.efficiency (Prog.Policy.Openmp 22) cpu in
+  let t_reaction_gpu =
+    Hwsim.Roofline.time ~eff:gpu_eff gpu
+      (Hwsim.Kernel.make ~name:"reaction" ~flops:(reaction_flops true)
+         ~bytes:reaction_bytes ())
+  in
+  let t_reaction_cpu =
+    Hwsim.Roofline.time ~eff:cpu_eff cpu
+      (Hwsim.Kernel.make ~name:"reaction" ~flops:(reaction_flops false)
+         ~bytes:reaction_bytes ())
+  in
+  let t_diffusion_gpu = Hwsim.Roofline.time ~eff:gpu_eff gpu diffusion in
+  let t_diffusion_cpu = Hwsim.Roofline.time ~eff:cpu_eff cpu diffusion in
+  match placement with
+  | All_gpu -> t_reaction_gpu +. t_diffusion_gpu
+  | All_cpu -> t_reaction_cpu +. t_diffusion_cpu
+  | Split_cpu_gpu ->
+      (* reaction and diffusion could overlap, but the voltage field must
+         cross the link twice per step *)
+      let xfer =
+        2.0 *. Hwsim.Link.transfer_time Hwsim.Link.nvlink2 ~bytes:(c *. 8.0)
+      in
+      max t_reaction_gpu t_diffusion_cpu +. xfer

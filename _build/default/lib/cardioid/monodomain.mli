@@ -1,0 +1,46 @@
+(** The Cardioid monodomain solver: reaction-diffusion on a 2D tissue
+    grid with operator splitting. Diffusion is the memory-bound 5-point
+    stencil; reaction is the compute-bound per-cell ionic update. The
+    Sec 4.1 placement study is first-class. *)
+
+type placement =
+  | All_gpu
+  | All_cpu
+  | Split_cpu_gpu
+      (** diffusion on the CPU, reaction on the GPU: the voltage field
+          crosses the link twice per step — measured and rejected by the
+          paper's team *)
+
+val placement_name : placement -> string
+
+type t = {
+  nx : int;
+  ny : int;
+  dx : float;
+  sigma : float;
+  dt : float;
+  state : float array array;
+  v : float array;
+  scratch : float array;
+  deriv : float array -> float array;
+}
+
+val create :
+  ?nx:int -> ?ny:int -> ?dx:float -> ?sigma:float -> ?dt:float ->
+  ?variant:Ionic.variant -> unit -> t
+
+val idx : t -> int -> int -> int
+
+val stimulate : t -> ilo:int -> ihi:int -> jlo:int -> jhi:int -> amplitude:float -> unit
+val clear_stimulus : t -> unit
+
+val reaction_step : t -> unit
+val diffusion_step : t -> unit
+val step : t -> unit
+val run : t -> steps:int -> unit
+
+val activated : t -> i:int -> j:int -> bool
+(** Voltage above -20 mV (the excitation wavefront marker). *)
+
+val time_per_step : ?variant:Ionic.variant -> cells:int -> placement -> float
+(** Simulated seconds per step under a placement (the Sec 4.1 study). *)

@@ -1,0 +1,1 @@
+lib/cretin/atomic.ml: Array Icoe_util List

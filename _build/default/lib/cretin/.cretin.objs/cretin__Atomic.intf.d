@@ -1,0 +1,1 @@
+lib/cretin/atomic.mli:

@@ -1,0 +1,1 @@
+lib/cretin/minikin.ml: Array Atomic Hwsim List Ratematrix

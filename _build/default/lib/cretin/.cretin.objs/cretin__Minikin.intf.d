@@ -1,0 +1,1 @@
+lib/cretin/minikin.mli: Atomic Hwsim Ratematrix

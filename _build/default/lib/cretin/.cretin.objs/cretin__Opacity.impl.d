@@ -1,0 +1,1 @@
+lib/cretin/opacity.ml: Array Atomic Float List

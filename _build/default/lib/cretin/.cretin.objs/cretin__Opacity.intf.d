@@ -1,0 +1,1 @@
+lib/cretin/opacity.mli: Atomic

@@ -1,0 +1,1 @@
+lib/cretin/ratematrix.ml: Array Atomic Float Linalg List

@@ -1,0 +1,1 @@
+lib/cretin/ratematrix.mli: Atomic Linalg

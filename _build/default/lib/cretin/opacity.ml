@@ -1,0 +1,79 @@
+(** Frequency-dependent opacities from level populations.
+
+    "The populations are used to calculate frequency-dependent opacities
+    required for a radiation transport calculation" (Sec 4.3). Bound-bound
+    absorption with Gaussian (Doppler) line profiles, corrected for
+    stimulated emission; this is what the larger atomic models the GPU
+    port enables feed into hohlraum radiation transport. *)
+
+type line = {
+  lower : int;
+  upper : int;
+  center : float;  (** line-centre photon energy, eV *)
+  strength : float;  (** oscillator-strength-like cross-section scale *)
+}
+
+(** Radiative transitions of a model as absorption lines. *)
+let lines_of_model (m : Atomic.t) =
+  List.filter_map
+    (function
+      | Atomic.Radiative { upper; lower; a } ->
+          let de =
+            m.Atomic.levels.(upper).Atomic.energy
+            -. m.Atomic.levels.(lower).Atomic.energy
+          in
+          if de > 0.0 then
+            (* cross-section scale ~ A / de^2 (f-value relation, constant
+               factors absorbed into the arbitrary units) *)
+            Some { lower; upper; center = de; strength = a /. (de *. de) }
+          else None
+      | Atomic.Collisional _ | Atomic.Photo _ -> None)
+    m.Atomic.transitions
+
+(* Doppler width at electron temperature te for line-centre e0 *)
+let doppler_width ~te e0 = 1e-2 *. e0 *. sqrt (max te 0.1)
+
+(** Opacity at photon energy [e] (arbitrary units per unit density) for a
+    model with level [populations] at temperature [te]. *)
+let opacity (m : Atomic.t) ~populations ~te e =
+  List.fold_left
+    (fun acc l ->
+      let w = doppler_width ~te l.center in
+      let x = (e -. l.center) /. w in
+      if Float.abs x > 8.0 then acc
+      else
+        let profile = exp (-.(x *. x)) /. (w *. sqrt Float.pi) in
+        let n_lo = populations.(l.lower) and n_up = populations.(l.upper) in
+        let g_lo = m.Atomic.levels.(l.lower).Atomic.weight in
+        let g_up = m.Atomic.levels.(l.upper).Atomic.weight in
+        (* stimulated-emission correction: n_lo - (g_lo/g_up) n_up *)
+        let eff = n_lo -. (g_lo /. g_up *. n_up) in
+        acc +. (l.strength *. max 0.0 eff *. profile))
+    0.0 (lines_of_model m)
+
+(** Opacity sampled on [npts] photon energies spanning the model's lines. *)
+let spectrum ?(npts = 200) (m : Atomic.t) ~populations ~te =
+  let ls = lines_of_model m in
+  let emax =
+    List.fold_left (fun a l -> max a l.center) 1.0 ls *. 1.2
+  in
+  Array.init npts (fun k ->
+      let e = (float_of_int k +. 0.5) /. float_of_int npts *. emax in
+      (e, opacity m ~populations ~te e))
+
+(** Planck-mean opacity: spectrum weighted by a normalized Planck-like
+    function at radiation temperature [tr]. *)
+let planck_mean (m : Atomic.t) ~populations ~te ~tr =
+  let sp = spectrum ~npts:400 m ~populations ~te in
+  let weight e =
+    let x = e /. tr in
+    x *. x *. x /. (exp x -. 1.0 +. 1e-12)
+  in
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iter
+    (fun (e, k) ->
+      let w = weight e in
+      num := !num +. (k *. w);
+      den := !den +. w)
+    sp;
+  !num /. max !den 1e-300

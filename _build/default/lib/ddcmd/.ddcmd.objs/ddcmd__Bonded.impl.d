@@ -1,0 +1,1 @@
+lib/ddcmd/bonded.ml: Array List Particles

@@ -1,0 +1,1 @@
+lib/ddcmd/bonded.mli: Particles

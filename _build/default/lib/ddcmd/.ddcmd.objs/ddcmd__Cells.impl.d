@@ -1,0 +1,1 @@
+lib/ddcmd/cells.ml: Array Float List Particles

@@ -1,0 +1,1 @@
+lib/ddcmd/engine.ml: Array Bonded Cells Float Icoe_util Linalg List Particles Potential

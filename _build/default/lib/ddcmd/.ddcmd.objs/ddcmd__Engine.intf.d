@@ -1,0 +1,1 @@
+lib/ddcmd/engine.mli: Bonded Icoe_util Particles Potential

@@ -1,0 +1,1 @@
+lib/ddcmd/particles.ml: Array Float Icoe_util

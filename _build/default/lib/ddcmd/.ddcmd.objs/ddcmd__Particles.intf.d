@@ -1,0 +1,1 @@
+lib/ddcmd/particles.mli: Icoe_util

@@ -1,0 +1,1 @@
+lib/ddcmd/perf.ml: Hwsim

@@ -1,0 +1,1 @@
+lib/ddcmd/perf.mli:

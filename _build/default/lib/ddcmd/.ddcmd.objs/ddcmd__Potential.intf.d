@@ -1,0 +1,1 @@
+lib/ddcmd/potential.mli:

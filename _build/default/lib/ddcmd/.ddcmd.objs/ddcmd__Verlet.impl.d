@@ -1,0 +1,1 @@
+lib/ddcmd/verlet.ml: Array Cells Particles

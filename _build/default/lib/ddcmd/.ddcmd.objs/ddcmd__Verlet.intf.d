@@ -1,0 +1,1 @@
+lib/ddcmd/verlet.mli: Particles

@@ -1,0 +1,66 @@
+(** Bonded interactions: harmonic bonds and harmonic angles, the "nested,
+    pointer-rich" terms the paper had to marshal for the GPU. *)
+
+type bond = { bi : int; bj : int; k : float; r0 : float }
+type angle = { ai : int; aj : int; ak : int; ka : float; theta0 : float }
+
+(** Accumulate bond forces and return the bond potential energy. *)
+let bond_forces (p : Particles.t) bonds =
+  List.fold_left
+    (fun acc { bi; bj; k; r0 } ->
+      let dx = Particles.min_image p (p.Particles.x.(bi) -. p.Particles.x.(bj)) in
+      let dy = Particles.min_image p (p.Particles.y.(bi) -. p.Particles.y.(bj)) in
+      let dz = Particles.min_image p (p.Particles.z.(bi) -. p.Particles.z.(bj)) in
+      let r = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+      let dr = r -. r0 in
+      (* F_i = -k (r - r0) * rhat *)
+      let fmag = -.k *. dr /. max r 1e-12 in
+      p.Particles.fx.(bi) <- p.Particles.fx.(bi) +. (fmag *. dx);
+      p.Particles.fy.(bi) <- p.Particles.fy.(bi) +. (fmag *. dy);
+      p.Particles.fz.(bi) <- p.Particles.fz.(bi) +. (fmag *. dz);
+      p.Particles.fx.(bj) <- p.Particles.fx.(bj) -. (fmag *. dx);
+      p.Particles.fy.(bj) <- p.Particles.fy.(bj) -. (fmag *. dy);
+      p.Particles.fz.(bj) <- p.Particles.fz.(bj) -. (fmag *. dz);
+      acc +. (0.5 *. k *. dr *. dr))
+    0.0 bonds
+
+(** Accumulate angle forces (harmonic in theta) and return the energy. *)
+let angle_forces (p : Particles.t) angles =
+  List.fold_left
+    (fun acc { ai; aj; ak = akk; ka; theta0 } ->
+      (* vectors from the central atom j *)
+      let x1 = Particles.min_image p (p.Particles.x.(ai) -. p.Particles.x.(aj)) in
+      let y1 = Particles.min_image p (p.Particles.y.(ai) -. p.Particles.y.(aj)) in
+      let z1 = Particles.min_image p (p.Particles.z.(ai) -. p.Particles.z.(aj)) in
+      let x2 = Particles.min_image p (p.Particles.x.(akk) -. p.Particles.x.(aj)) in
+      let y2 = Particles.min_image p (p.Particles.y.(akk) -. p.Particles.y.(aj)) in
+      let z2 = Particles.min_image p (p.Particles.z.(akk) -. p.Particles.z.(aj)) in
+      let r1 = sqrt ((x1 ** 2.0) +. (y1 ** 2.0) +. (z1 ** 2.0)) in
+      let r2 = sqrt ((x2 ** 2.0) +. (y2 ** 2.0) +. (z2 ** 2.0)) in
+      let d = ((x1 *. x2) +. (y1 *. y2) +. (z1 *. z2)) /. (r1 *. r2) in
+      let d = max (-0.999999) (min 0.999999 d) in
+      let theta = acos d in
+      let dtheta = theta -. theta0 in
+      (* dE/dtheta = ka * dtheta; chain rule through cos *)
+      let de_dcos = -.ka *. dtheta /. sqrt (1.0 -. (d *. d)) in
+      (* gradients of cos(theta) wrt r1 vec and r2 vec *)
+      let gx1 = (x2 /. (r1 *. r2)) -. (d *. x1 /. (r1 *. r1)) in
+      let gy1 = (y2 /. (r1 *. r2)) -. (d *. y1 /. (r1 *. r1)) in
+      let gz1 = (z2 /. (r1 *. r2)) -. (d *. z1 /. (r1 *. r1)) in
+      let gx2 = (x1 /. (r1 *. r2)) -. (d *. x2 /. (r2 *. r2)) in
+      let gy2 = (y1 /. (r1 *. r2)) -. (d *. y2 /. (r2 *. r2)) in
+      let gz2 = (z1 /. (r1 *. r2)) -. (d *. z2 /. (r2 *. r2)) in
+      let fi = (-.de_dcos *. gx1, -.de_dcos *. gy1, -.de_dcos *. gz1) in
+      let fk = (-.de_dcos *. gx2, -.de_dcos *. gy2, -.de_dcos *. gz2) in
+      let fix, fiy, fiz = fi and fkx, fky, fkz = fk in
+      p.Particles.fx.(ai) <- p.Particles.fx.(ai) +. fix;
+      p.Particles.fy.(ai) <- p.Particles.fy.(ai) +. fiy;
+      p.Particles.fz.(ai) <- p.Particles.fz.(ai) +. fiz;
+      p.Particles.fx.(akk) <- p.Particles.fx.(akk) +. fkx;
+      p.Particles.fy.(akk) <- p.Particles.fy.(akk) +. fky;
+      p.Particles.fz.(akk) <- p.Particles.fz.(akk) +. fkz;
+      p.Particles.fx.(aj) <- p.Particles.fx.(aj) -. fix -. fkx;
+      p.Particles.fy.(aj) <- p.Particles.fy.(aj) -. fiy -. fky;
+      p.Particles.fz.(aj) <- p.Particles.fz.(aj) -. fiz -. fkz;
+      acc +. (0.5 *. ka *. dtheta *. dtheta))
+    0.0 angles

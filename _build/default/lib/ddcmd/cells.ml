@@ -1,0 +1,85 @@
+(** Linked-cell neighbour search: O(N) pair enumeration for short-range
+    potentials under periodic boundaries. *)
+
+type t = {
+  ncell : int;  (** cells per dimension *)
+  cell_size : float;
+  head : int array;  (** first particle in each cell, -1 if empty *)
+  next : int array;  (** next particle in same cell, -1 terminates *)
+}
+
+let build (p : Particles.t) ~cutoff =
+  (* finer than ~cbrt(n) cells per side only adds empty-cell overhead *)
+  let cap =
+    max 3 (int_of_float (Float.ceil (float_of_int p.Particles.n ** (1.0 /. 3.0))))
+  in
+  let ncell = max 1 (min cap (int_of_float (p.Particles.box /. cutoff))) in
+  let cell_size = p.Particles.box /. float_of_int ncell in
+  let head = Array.make (ncell * ncell * ncell) (-1) in
+  let next = Array.make p.Particles.n (-1) in
+  let cell_of i =
+    let c v = min (ncell - 1) (int_of_float (v /. cell_size)) in
+    let cx = c p.Particles.x.(i) and cy = c p.Particles.y.(i) and cz = c p.Particles.z.(i) in
+    cx + (ncell * (cy + (ncell * cz)))
+  in
+  for i = 0 to p.Particles.n - 1 do
+    let c = cell_of i in
+    next.(i) <- head.(c);
+    head.(c) <- i
+  done;
+  { ncell; cell_size; head; next }
+
+(** Iterate [f i j] over each unordered pair within [cutoff] using the
+    half-shell of neighbouring cells. When the box is under 3 cells per
+    side the cell trick degenerates; fall back to all-pairs. *)
+let iter_pairs t (p : Particles.t) ~cutoff f =
+  let c2 = cutoff *. cutoff in
+  if t.ncell < 3 then begin
+    for i = 0 to p.Particles.n - 2 do
+      for j = i + 1 to p.Particles.n - 1 do
+        if Particles.dist2 p i j <= c2 then f i j
+      done
+    done
+  end
+  else begin
+    let nc = t.ncell in
+    let wrap c = ((c mod nc) + nc) mod nc in
+    for cz = 0 to nc - 1 do
+      for cy = 0 to nc - 1 do
+        for cx = 0 to nc - 1 do
+          let c = cx + (nc * (cy + (nc * cz))) in
+          (* pairs within the same cell *)
+          let i = ref t.head.(c) in
+          while !i >= 0 do
+            let j = ref t.next.(!i) in
+            while !j >= 0 do
+              if Particles.dist2 p !i !j <= c2 then f !i !j;
+              j := t.next.(!j)
+            done;
+            i := t.next.(!i)
+          done;
+          (* half shell of 13 neighbour cells *)
+          List.iter
+            (fun (dx, dy, dz) ->
+              let c' =
+                wrap (cx + dx) + (nc * (wrap (cy + dy) + (nc * wrap (cz + dz))))
+              in
+              let i = ref t.head.(c) in
+              while !i >= 0 do
+                let j = ref t.head.(c') in
+                while !j >= 0 do
+                  if Particles.dist2 p !i !j <= c2 then f !i !j;
+                  j := t.next.(!j)
+                done;
+                i := t.next.(!i)
+              done)
+            [
+              (1, 0, 0); (0, 1, 0); (0, 0, 1);
+              (1, 1, 0); (1, -1, 0); (1, 0, 1); (1, 0, -1);
+              (0, 1, 1); (0, 1, -1);
+              (1, 1, 1); (1, 1, -1); (1, -1, 1); (1, -1, -1);
+            ]
+        done
+      done
+    done
+  end

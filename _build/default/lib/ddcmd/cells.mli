@@ -1,0 +1,17 @@
+(** Linked-cell neighbour search: O(N) pair enumeration for short-range
+    potentials under periodic boundaries. *)
+
+type t = {
+  ncell : int;  (** cells per dimension *)
+  cell_size : float;
+  head : int array;
+  next : int array;
+}
+
+val build : Particles.t -> cutoff:float -> t
+(** Cell size >= cutoff; the per-side count is capped near cbrt(n) so
+    sparse systems don't pay for empty cells. *)
+
+val iter_pairs : t -> Particles.t -> cutoff:float -> (int -> int -> unit) -> unit
+(** Each unordered pair within the cutoff exactly once (half-shell
+    enumeration; all-pairs fallback on very small grids). *)

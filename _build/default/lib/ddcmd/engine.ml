@@ -1,0 +1,225 @@
+(** The ddcMD engine: the full MD loop the paper moved onto the GPU —
+    nonbonded (generic pair infrastructure over linked cells), bonded
+    terms, velocity Verlet, Langevin thermostat, Berendsen barostat, and
+    SHAKE-style bond constraints. *)
+
+type t = {
+  p : Particles.t;
+  potential : Potential.t;
+  bonds : Bonded.bond list;
+  angles : Bonded.angle list;
+  constraints : (int * int * float) list;  (** (i, j, fixed distance) *)
+  dt : float;
+  mutable pot_energy : float;
+  mutable virial : float;
+  mutable steps : int;
+  mutable pair_count : int;  (** pairs evaluated last force call *)
+}
+
+let create ?(bonds = []) ?(angles = []) ?(constraints = []) ~dt ~potential p =
+  {
+    p;
+    potential;
+    bonds;
+    angles;
+    constraints;
+    dt;
+    pot_energy = 0.0;
+    virial = 0.0;
+    steps = 0;
+    pair_count = 0;
+  }
+
+(** Recompute all forces; updates [pot_energy] and [virial]. *)
+let compute_forces t =
+  let p = t.p in
+  Particles.zero_forces p;
+  let cutoff = t.potential.Potential.cutoff in
+  let cl = Cells.build p ~cutoff in
+  let epot = ref 0.0 and virial = ref 0.0 and pairs = ref 0 in
+  Cells.iter_pairs cl p ~cutoff (fun i j ->
+      incr pairs;
+      let r2 = Particles.dist2 p i j in
+      let e, f_over_r =
+        t.potential.Potential.eval ~si:p.Particles.species.(i)
+          ~sj:p.Particles.species.(j) ~r2
+      in
+      if f_over_r <> 0.0 || e <> 0.0 then begin
+        epot := !epot +. e;
+        let dx = Particles.min_image p (p.Particles.x.(i) -. p.Particles.x.(j)) in
+        let dy = Particles.min_image p (p.Particles.y.(i) -. p.Particles.y.(j)) in
+        let dz = Particles.min_image p (p.Particles.z.(i) -. p.Particles.z.(j)) in
+        virial := !virial +. (f_over_r *. r2);
+        p.Particles.fx.(i) <- p.Particles.fx.(i) +. (f_over_r *. dx);
+        p.Particles.fy.(i) <- p.Particles.fy.(i) +. (f_over_r *. dy);
+        p.Particles.fz.(i) <- p.Particles.fz.(i) +. (f_over_r *. dz);
+        p.Particles.fx.(j) <- p.Particles.fx.(j) -. (f_over_r *. dx);
+        p.Particles.fy.(j) <- p.Particles.fy.(j) -. (f_over_r *. dy);
+        p.Particles.fz.(j) <- p.Particles.fz.(j) -. (f_over_r *. dz)
+      end);
+  epot := !epot +. Bonded.bond_forces p t.bonds;
+  epot := !epot +. Bonded.angle_forces p t.angles;
+  t.pot_energy <- !epot;
+  t.virial <- !virial;
+  t.pair_count <- !pairs
+
+(* SHAKE: iteratively project positions back onto the constraint manifold *)
+let shake ?(iters = 50) ?(tol = 1e-8) t =
+  let p = t.p in
+  let rec loop k =
+    if k >= iters then ()
+    else begin
+      let worst = ref 0.0 in
+      List.iter
+        (fun (i, j, d0) ->
+          let dx = Particles.min_image p (p.Particles.x.(i) -. p.Particles.x.(j)) in
+          let dy = Particles.min_image p (p.Particles.y.(i) -. p.Particles.y.(j)) in
+          let dz = Particles.min_image p (p.Particles.z.(i) -. p.Particles.z.(j)) in
+          let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+          let diff = r2 -. (d0 *. d0) in
+          worst := max !worst (Float.abs diff /. (d0 *. d0));
+          let mi = p.Particles.mass.(i) and mj = p.Particles.mass.(j) in
+          (* first-order correction along the bond *)
+          let g = diff /. (2.0 *. r2 *. ((1.0 /. mi) +. (1.0 /. mj))) in
+          p.Particles.x.(i) <- p.Particles.x.(i) -. (g *. dx /. mi);
+          p.Particles.y.(i) <- p.Particles.y.(i) -. (g *. dy /. mi);
+          p.Particles.z.(i) <- p.Particles.z.(i) -. (g *. dz /. mi);
+          p.Particles.x.(j) <- p.Particles.x.(j) +. (g *. dx /. mj);
+          p.Particles.y.(j) <- p.Particles.y.(j) +. (g *. dy /. mj);
+          p.Particles.z.(j) <- p.Particles.z.(j) +. (g *. dz /. mj))
+        t.constraints;
+      if !worst > tol then loop (k + 1)
+    end
+  in
+  if t.constraints <> [] then loop 0
+
+(** One velocity-Verlet step (NVE when thermostat/barostat are off).
+    [langevin = Some (gamma, temp, rng)] adds the Langevin thermostat;
+    [berendsen = Some (tau_ratio, target_pressure)] rescales the box. *)
+let step ?langevin ?berendsen t =
+  let p = t.p in
+  let dt = t.dt in
+  let n = p.Particles.n in
+  (* half kick + drift *)
+  for i = 0 to n - 1 do
+    let im = 0.5 *. dt /. p.Particles.mass.(i) in
+    p.Particles.vx.(i) <- p.Particles.vx.(i) +. (im *. p.Particles.fx.(i));
+    p.Particles.vy.(i) <- p.Particles.vy.(i) +. (im *. p.Particles.fy.(i));
+    p.Particles.vz.(i) <- p.Particles.vz.(i) +. (im *. p.Particles.fz.(i));
+    p.Particles.x.(i) <- p.Particles.x.(i) +. (dt *. p.Particles.vx.(i));
+    p.Particles.y.(i) <- p.Particles.y.(i) +. (dt *. p.Particles.vy.(i));
+    p.Particles.z.(i) <- p.Particles.z.(i) +. (dt *. p.Particles.vz.(i))
+  done;
+  shake t;
+  Particles.wrap_all p;
+  compute_forces t;
+  (* second half kick *)
+  for i = 0 to n - 1 do
+    let im = 0.5 *. dt /. p.Particles.mass.(i) in
+    p.Particles.vx.(i) <- p.Particles.vx.(i) +. (im *. p.Particles.fx.(i));
+    p.Particles.vy.(i) <- p.Particles.vy.(i) +. (im *. p.Particles.fy.(i));
+    p.Particles.vz.(i) <- p.Particles.vz.(i) +. (im *. p.Particles.fz.(i))
+  done;
+  (* Langevin thermostat: BBK-style friction + noise on the velocities *)
+  (match langevin with
+  | None -> ()
+  | Some (gamma, temp, rng) ->
+      let c1 = exp (-.gamma *. dt) in
+      for i = 0 to n - 1 do
+        let sigma =
+          sqrt (temp /. p.Particles.mass.(i) *. (1.0 -. (c1 *. c1)))
+        in
+        p.Particles.vx.(i) <-
+          (c1 *. p.Particles.vx.(i)) +. (sigma *. Icoe_util.Rng.gaussian rng);
+        p.Particles.vy.(i) <-
+          (c1 *. p.Particles.vy.(i)) +. (sigma *. Icoe_util.Rng.gaussian rng);
+        p.Particles.vz.(i) <-
+          (c1 *. p.Particles.vz.(i)) +. (sigma *. Icoe_util.Rng.gaussian rng)
+      done);
+  (* Berendsen barostat: weak box rescaling toward target pressure *)
+  (match berendsen with
+  | None -> ()
+  | Some (tau_ratio, p_target) ->
+      let vol = p.Particles.box ** 3.0 in
+      let p_now =
+        ((2.0 *. Particles.kinetic_energy p) +. t.virial) /. (3.0 *. vol)
+      in
+      let mu = (1.0 -. (tau_ratio *. (p_target -. p_now))) ** (1.0 /. 3.0) in
+      let mu = max 0.99 (min 1.01 mu) in
+      p.Particles.box <- p.Particles.box *. mu;
+      for i = 0 to n - 1 do
+        p.Particles.x.(i) <- p.Particles.x.(i) *. mu;
+        p.Particles.y.(i) <- p.Particles.y.(i) *. mu;
+        p.Particles.z.(i) <- p.Particles.z.(i) *. mu
+      done);
+  t.steps <- t.steps + 1
+
+let total_energy t = t.pot_energy +. Particles.kinetic_energy t.p
+
+let pressure t =
+  let vol = t.p.Particles.box ** 3.0 in
+  ((2.0 *. Particles.kinetic_energy t.p) +. t.virial) /. (3.0 *. vol)
+
+let run ?langevin ?berendsen t ~steps =
+  if t.steps = 0 then compute_forces t;
+  for _ = 1 to steps do
+    step ?langevin ?berendsen t
+  done
+
+(** Radial distribution function g(r) up to [rmax] in [bins] bins —
+    the standard structural observable (MuMMI's in-situ analysis computes
+    it on the fly). Normalized against the ideal-gas expectation. *)
+let rdf ?(bins = 50) ?rmax t =
+  let p = t.p in
+  let rmax = match rmax with Some r -> r | None -> p.Particles.box /. 2.0 in
+  let hist = Array.make bins 0.0 in
+  let dr = rmax /. float_of_int bins in
+  for i = 0 to p.Particles.n - 2 do
+    for j = i + 1 to p.Particles.n - 1 do
+      let r = sqrt (Particles.dist2 p i j) in
+      if r < rmax then begin
+        let b = int_of_float (r /. dr) in
+        hist.(min (bins - 1) b) <- hist.(min (bins - 1) b) +. 2.0
+      end
+    done
+  done;
+  let vol = p.Particles.box ** 3.0 in
+  let density = float_of_int p.Particles.n /. vol in
+  Array.mapi
+    (fun b h ->
+      let r_lo = float_of_int b *. dr in
+      let r_hi = r_lo +. dr in
+      let shell = 4.0 /. 3.0 *. Float.pi *. ((r_hi ** 3.0) -. (r_lo ** 3.0)) in
+      h /. (float_of_int p.Particles.n *. density *. shell))
+    hist
+
+(** Velocity autocorrelation function over an NVE trajectory:
+    C(k dt_sample) = <v(0) . v(k)> / <v(0) . v(0)>, averaged over
+    particles. Runs [samples] snapshots [stride] steps apart. *)
+let vacf ?langevin ?(samples = 40) ?(stride = 5) t =
+  let n = t.p.Particles.n in
+  let snaps = Array.make samples [||] in
+  for s = 0 to samples - 1 do
+    if s > 0 then run ?langevin t ~steps:stride;
+    snaps.(s) <-
+      Array.init (3 * n) (fun k ->
+          let i = k / 3 in
+          match k mod 3 with
+          | 0 -> t.p.Particles.vx.(i)
+          | 1 -> t.p.Particles.vy.(i)
+          | _ -> t.p.Particles.vz.(i))
+  done;
+  let dot a b = Linalg.Vec.dot a b /. float_of_int n in
+  let c0 = dot snaps.(0) snaps.(0) in
+  Array.map (fun s -> dot snaps.(0) s /. c0) snaps
+
+(** Diffusion coefficient estimate from the Green-Kubo relation:
+    D = (1/3) * integral of <v(0).v(t)> dt, with the trapezoid rule over
+    the sampled VACF. [dt_sample] is stride * engine dt. *)
+let diffusion_coefficient ~vacf ~c0 ~dt_sample =
+  let n = Array.length vacf in
+  let integral = ref 0.0 in
+  for k = 0 to n - 2 do
+    integral := !integral +. (0.5 *. (vacf.(k) +. vacf.(k + 1)) *. dt_sample)
+  done;
+  c0 *. !integral /. 3.0

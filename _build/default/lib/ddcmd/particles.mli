@@ -1,0 +1,42 @@
+(** Particle store in struct-of-arrays layout with a periodic cubic box
+    (the locality layout the ddcMD port converted to). Positions are
+    wrapped into [0, box). *)
+
+type t = {
+  n : int;
+  mutable box : float;
+  x : float array;
+  y : float array;
+  z : float array;
+  vx : float array;
+  vy : float array;
+  vz : float array;
+  fx : float array;
+  fy : float array;
+  fz : float array;
+  mass : float array;
+  species : int array;
+}
+
+val create : n:int -> box:float -> t
+(** Requires positive counts and box size. *)
+
+val wrap : t -> float -> float
+val wrap_all : t -> unit
+
+val min_image : t -> float -> float
+(** Minimum-image displacement component. *)
+
+val dist2 : t -> int -> int -> float
+(** Squared minimum-image distance. *)
+
+val lattice_init : t -> unit
+(** Cubic-lattice placement (stable non-overlapping start). *)
+
+val thermalize : t -> rng:Icoe_util.Rng.t -> temp:float -> unit
+(** Maxwell-Boltzmann velocities (kB = 1), COM drift removed. *)
+
+val kinetic_energy : t -> float
+val temperature : t -> float
+val total_momentum : t -> float * float * float
+val zero_forces : t -> unit

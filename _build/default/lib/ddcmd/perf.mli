@@ -1,0 +1,22 @@
+(** The Sec 4.6 performance comparison: ddcMD vs GROMACS on a Martini
+    membrane patch.
+
+    ddcMD moved the entire MD loop into 46 double-precision GPU kernels
+    with no per-step host traffic; GROMACS (single precision, 8 kernels)
+    load-balances bonded/integration work onto the CPU and pays per-step
+    transfers. When the CPUs are busy (MuMMI), GROMACS' CPU share stalls
+    and the gap widens to ~2.3x. *)
+
+type scenario = One_gpu | Four_gpu | Mummi
+
+val scenario_name : scenario -> string
+
+val flops_per_particle : float
+(** Calibrated per-particle DP flop volume of one full ddcMD step, pinned
+    to the paper's 2.31 ms/step at the MuMMI membrane-patch size. *)
+
+val step_times : ?particles:int -> scenario -> float * float
+(** (ddcmd_seconds, gromacs_seconds) per MD step. *)
+
+val ddcmd_peak_fraction : unit -> float
+(** Fraction of V100 DP peak the calibrated step achieves (paper: >30%). *)

@@ -1,0 +1,96 @@
+(** The generic pair-processing infrastructure (Sec 4.6): "a templatized
+    generic pair processing infrastructure that can be used to efficiently
+    implement a diverse set of potential forms".
+
+    A potential is a record of closures over (species_i, species_j, r^2):
+    the force loop is written once, any functional form plugs in. Energies
+    are shifted to zero at the cutoff so they are continuous. *)
+
+type t = {
+  name : string;
+  cutoff : float;
+  (* (energy, f_over_r): force vector on i is f_over_r * (ri - rj) *)
+  eval : si:int -> sj:int -> r2:float -> float * float;
+}
+
+(** Lennard-Jones 12-6 with energy shifted to 0 at the cutoff. *)
+let lennard_jones ?(epsilon = 1.0) ?(sigma = 1.0) ?(cutoff = 2.5) () =
+  let c2 = cutoff *. cutoff *. sigma *. sigma in
+  let shift =
+    let sr6 = (sigma /. (cutoff *. sigma)) ** 6.0 in
+    4.0 *. epsilon *. ((sr6 *. sr6) -. sr6)
+  in
+  {
+    name = "lj";
+    cutoff = cutoff *. sigma;
+    eval =
+      (fun ~si:_ ~sj:_ ~r2 ->
+        if r2 >= c2 then (0.0, 0.0)
+        else
+          let inv_r2 = sigma *. sigma /. r2 in
+          let sr6 = inv_r2 ** 3.0 in
+          let sr12 = sr6 *. sr6 in
+          let e = (4.0 *. epsilon *. (sr12 -. sr6)) -. shift in
+          let f_over_r = 24.0 *. epsilon *. ((2.0 *. sr12) -. sr6) /. r2 in
+          (e, f_over_r));
+  }
+
+(** Buckingham exp-6: A exp(-r/rho) - C / r^6. Below [inner] the r^-6 term
+    unphysically diverges (the exp-6 catastrophe), so the force switches to
+    a stiff constant repulsion — the standard inner-cutoff guard. *)
+let exp6 ?(a = 1000.0) ?(rho = 0.3) ?(c = 1.0) ?(cutoff = 2.5) ?(inner = 0.8) () =
+  {
+    name = "exp6";
+    cutoff;
+    eval =
+      (fun ~si:_ ~sj:_ ~r2 ->
+        if r2 >= cutoff *. cutoff then (0.0, 0.0)
+        else if r2 < inner *. inner then
+          (* capped core: strong repulsion pushing outward *)
+          let r = sqrt (max r2 1e-6) in
+          (a, a /. rho /. r)
+        else
+          let r = sqrt r2 in
+          let erep = a *. exp (-.r /. rho) in
+          let edisp = c /. (r2 *. r2 *. r2) in
+          let e = erep -. edisp in
+          let f_over_r = ((erep /. rho) -. (6.0 *. edisp /. r)) /. r in
+          (e, f_over_r));
+  }
+
+(** Martini-style coarse-grained LJ: per-species-pair epsilon/sigma matrix
+    (the community-standard membrane force field the MuMMI micro model
+    uses). *)
+let martini ~(epsilon : float array array) ~(sigma : float array array)
+    ?(cutoff = 1.2) () =
+  {
+    name = "martini";
+    cutoff;
+    eval =
+      (fun ~si ~sj ~r2 ->
+        if r2 >= cutoff *. cutoff then (0.0, 0.0)
+        else
+          let eps = epsilon.(si).(sj) and sg = sigma.(si).(sj) in
+          let inv_r2 = sg *. sg /. r2 in
+          let sr6 = inv_r2 ** 3.0 in
+          let sr12 = sr6 *. sr6 in
+          let e = 4.0 *. eps *. (sr12 -. sr6) in
+          let f_over_r = 24.0 *. eps *. ((2.0 *. sr12) -. sr6) /. r2 in
+          (e, f_over_r));
+  }
+
+(** Purely repulsive soft sphere (for fast smoke tests). *)
+let soft_sphere ?(epsilon = 1.0) ?(sigma = 1.0) () =
+  {
+    name = "soft";
+    cutoff = sigma;
+    eval =
+      (fun ~si:_ ~sj:_ ~r2 ->
+        if r2 >= sigma *. sigma then (0.0, 0.0)
+        else
+          let r = sqrt r2 in
+          let overlap = 1.0 -. (r /. sigma) in
+          let e = epsilon *. overlap *. overlap in
+          let f_over_r = 2.0 *. epsilon *. overlap /. (sigma *. r) in
+          (e, f_over_r));
+  }

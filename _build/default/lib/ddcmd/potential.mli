@@ -1,0 +1,32 @@
+(** The generic pair-processing infrastructure (Sec 4.6): "a templatized
+    generic pair processing infrastructure that can be used to efficiently
+    implement a diverse set of potential forms". A potential is a record
+    of closures over (species_i, species_j, r^2); the force loop is
+    written once, any functional form plugs in. *)
+
+type t = {
+  name : string;
+  cutoff : float;
+  eval : si:int -> sj:int -> r2:float -> float * float;
+      (** (energy, f_over_r): the force on i is f_over_r * (r_i - r_j) *)
+}
+
+val lennard_jones :
+  ?epsilon:float -> ?sigma:float -> ?cutoff:float -> unit -> t
+(** 12-6 LJ, energy shifted to zero at the cutoff (continuous). The
+    cutoff is in units of sigma. *)
+
+val exp6 :
+  ?a:float -> ?rho:float -> ?c:float -> ?cutoff:float -> ?inner:float ->
+  unit -> t
+(** Buckingham exp-6 with the standard inner-cutoff guard against the
+    r^-6 catastrophe. *)
+
+val martini :
+  epsilon:float array array -> sigma:float array array -> ?cutoff:float ->
+  unit -> t
+(** Coarse-grained LJ with per-species-pair parameters (the Martini-style
+    force field the MuMMI micro model uses). *)
+
+val soft_sphere : ?epsilon:float -> ?sigma:float -> unit -> t
+(** Purely repulsive (fast smoke tests). *)

@@ -1,0 +1,61 @@
+(** Verlet neighbour lists with a skin: the classic MD optimization (and
+    the structure ddcMD's GPU port assigns multiple threads per particle
+    list to). Pairs within cutoff + skin are enumerated once via the cell
+    grid and reused until any particle has moved half the skin, when the
+    list must be rebuilt. *)
+
+type t = {
+  cutoff : float;
+  skin : float;
+  pairs : (int * int) array;  (** all pairs within cutoff + skin at build *)
+  x0 : float array;  (** positions at build time *)
+  y0 : float array;
+  z0 : float array;
+  mutable rebuilds : int;
+}
+
+let build ?(skin = 0.4) (p : Particles.t) ~cutoff =
+  let reach = cutoff +. skin in
+  let cl = Cells.build p ~cutoff:reach in
+  let acc = ref [] in
+  Cells.iter_pairs cl p ~cutoff:reach (fun i j -> acc := (i, j) :: !acc);
+  {
+    cutoff;
+    skin;
+    pairs = Array.of_list !acc;
+    x0 = Array.copy p.Particles.x;
+    y0 = Array.copy p.Particles.y;
+    z0 = Array.copy p.Particles.z;
+    rebuilds = 1;
+  }
+
+(** Has any particle moved more than skin/2 since the list was built?
+    (the standard safety criterion: two such particles could have
+    approached by a full skin) *)
+let needs_rebuild t (p : Particles.t) =
+  let limit2 = t.skin *. t.skin /. 4.0 in
+  let n = p.Particles.n in
+  let rec go i =
+    if i >= n then false
+    else
+      let dx = Particles.min_image p (p.Particles.x.(i) -. t.x0.(i)) in
+      let dy = Particles.min_image p (p.Particles.y.(i) -. t.y0.(i)) in
+      let dz = Particles.min_image p (p.Particles.z.(i) -. t.z0.(i)) in
+      if (dx *. dx) +. (dy *. dy) +. (dz *. dz) > limit2 then true
+      else go (i + 1)
+  in
+  go 0
+
+(** Refresh in place if stale; returns the (possibly new) list. *)
+let refresh t (p : Particles.t) =
+  if needs_rebuild t p then begin
+    let fresh = build ~skin:t.skin p ~cutoff:t.cutoff in
+    { fresh with rebuilds = t.rebuilds + 1 }
+  end
+  else t
+
+(** Iterate [f i j] over pairs currently within the true cutoff (the
+    list over-approximates by the skin; distances are re-checked). *)
+let iter_pairs t (p : Particles.t) f =
+  let c2 = t.cutoff *. t.cutoff in
+  Array.iter (fun (i, j) -> if Particles.dist2 p i j <= c2 then f i j) t.pairs

@@ -1,0 +1,24 @@
+(** Verlet neighbour lists with a skin: pairs within cutoff + skin are
+    enumerated once and reused until any particle has moved half the
+    skin. *)
+
+type t = {
+  cutoff : float;
+  skin : float;
+  pairs : (int * int) array;
+  x0 : float array;
+  y0 : float array;
+  z0 : float array;
+  mutable rebuilds : int;
+}
+
+val build : ?skin:float -> Particles.t -> cutoff:float -> t
+
+val needs_rebuild : t -> Particles.t -> bool
+(** True once any particle has moved more than skin/2 since build. *)
+
+val refresh : t -> Particles.t -> t
+(** Rebuild if stale (counting rebuilds); otherwise return unchanged. *)
+
+val iter_pairs : t -> Particles.t -> (int -> int -> unit) -> unit
+(** Pairs currently within the true cutoff (distances re-checked). *)

@@ -1,0 +1,1 @@
+lib/dlearn/distributed.ml: Array Float Hwsim Icoe_util Linalg Mlp Queue

@@ -1,0 +1,1 @@
+lib/dlearn/distributed.mli: Icoe_util

@@ -1,0 +1,1 @@
+lib/dlearn/lbann.mli:

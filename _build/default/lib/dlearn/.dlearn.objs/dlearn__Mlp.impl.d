@@ -1,0 +1,1 @@
+lib/dlearn/mlp.ml: Array Icoe_util

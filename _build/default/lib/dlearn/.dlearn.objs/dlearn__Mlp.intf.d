@@ -1,0 +1,1 @@
+lib/dlearn/mlp.mli: Icoe_util

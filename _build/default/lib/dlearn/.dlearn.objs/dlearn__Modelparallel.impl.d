@@ -1,0 +1,1 @@
+lib/dlearn/modelparallel.ml: Array Hwsim Mlp

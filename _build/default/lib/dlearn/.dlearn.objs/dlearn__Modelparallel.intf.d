@@ -1,0 +1,1 @@
+lib/dlearn/modelparallel.mli: Hwsim Mlp

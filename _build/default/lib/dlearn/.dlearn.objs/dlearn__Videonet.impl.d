@@ -1,0 +1,1 @@
+lib/dlearn/videonet.ml: Array Icoe_util List Mlp

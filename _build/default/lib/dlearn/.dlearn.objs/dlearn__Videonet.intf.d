@@ -1,0 +1,1 @@
+lib/dlearn/videonet.mli: Icoe_util

@@ -1,0 +1,213 @@
+(** Distributed-training algorithms (Sec 4.5): synchronous SGD, ASGD with
+    a parameter server and gradient staleness, and the team's K-step
+    averaging (KAVG [34]). All three run the real optimization on real
+    data; the simulated communication model prices their wall-clock so
+    loss-versus-time comparisons are possible. *)
+
+type dataset = { xs : float array array; labels : int array }
+
+(** Synthetic classification task: Gaussian class clusters. *)
+let make_task ~(rng : Icoe_util.Rng.t) ?(classes = 4) ?(dim = 12) ?(n = 600)
+    ?(spread = 1.2) () =
+  let centers =
+    Array.init classes (fun _ ->
+        Array.init dim (fun _ -> Icoe_util.Rng.uniform rng (-2.0) 2.0))
+  in
+  let xs = Array.make n [||] and labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let c = Icoe_util.Rng.int rng classes in
+    labels.(i) <- c;
+    xs.(i) <-
+      Array.init dim (fun d ->
+          centers.(c).(d) +. (spread *. Icoe_util.Rng.gaussian rng))
+  done;
+  { xs; labels }
+
+let shard ~learners (d : dataset) =
+  Array.init learners (fun l ->
+      let n = Array.length d.xs in
+      let lo = n * l / learners and hi = n * (l + 1) / learners in
+      {
+        xs = Array.sub d.xs lo (hi - lo);
+        labels = Array.sub d.labels lo (hi - lo);
+      })
+
+let minibatch ~(rng : Icoe_util.Rng.t) ~batch (d : dataset) =
+  let n = Array.length d.xs in
+  let idx = Array.init batch (fun _ -> Icoe_util.Rng.int rng n) in
+  (Array.map (fun i -> d.xs.(i)) idx, Array.map (fun i -> d.labels.(i)) idx)
+
+(* communication model: allreduce of p parameters across l learners over
+   NVLink/IB, and a parameter-server round trip *)
+let allreduce_time ~params ~learners =
+  let bytes = 8.0 *. float_of_int params in
+  let rounds = Float.ceil (Float.log2 (float_of_int (max 2 learners))) in
+  rounds *. Hwsim.Link.transfer_time Hwsim.Link.ib_dual_edr ~bytes
+
+let ps_roundtrip_time ~params =
+  2.0 *. Hwsim.Link.transfer_time Hwsim.Link.ib_dual_edr ~bytes:(8.0 *. float_of_int params)
+
+let compute_time_per_batch ~params ~batch =
+  (* forward+backward ~ 6 flops per parameter per example on a V100 *)
+  6.0 *. float_of_int (params * batch)
+  /. (Hwsim.Device.v100.Hwsim.Device.peak_gflops *. 1e9 *. 0.3)
+
+type run = {
+  final_loss : float;
+  final_accuracy : float;
+  simulated_seconds : float;
+  steps : int;
+}
+
+(** Synchronous data-parallel SGD: every step all learners' gradients are
+    averaged (modelled by training on the concatenated batch) and an
+    allreduce is paid. *)
+let sync_sgd ~(rng : Icoe_util.Rng.t) ~learners ~steps ~batch ~lr sizes data =
+  let m = Mlp.create ~rng sizes in
+  let params = Mlp.num_params m in
+  let t = ref 0.0 in
+  for _ = 1 to steps do
+    (* each learner contributes a batch; gradients averaged = one big batch *)
+    let xs, ls = minibatch ~rng ~batch:(batch * learners) data in
+    ignore (Mlp.train_batch m ~lr xs ls);
+    t := !t +. compute_time_per_batch ~params ~batch
+         +. allreduce_time ~params ~learners
+  done;
+  {
+    final_loss = Mlp.eval_loss m data.xs data.labels;
+    final_accuracy = Mlp.accuracy m data.xs data.labels;
+    simulated_seconds = !t;
+    steps;
+  }
+
+(** ASGD: learners pull weights from a parameter server, compute a
+    gradient, and push it back. By the time a gradient is applied it is
+    [staleness] updates old (round-robin model). Stale gradients force a
+    small stable learning rate — the paper's core criticism. *)
+let asgd ~(rng : Icoe_util.Rng.t) ~learners ~steps ~batch ~lr ~staleness sizes data =
+  let server = Mlp.create ~rng sizes in
+  let params = Mlp.num_params server in
+  (* history of recent parameter snapshots for staleness *)
+  let history = Queue.create () in
+  Queue.push (Mlp.get_params server) history;
+  let worker = Mlp.clone server in
+  let t = ref 0.0 in
+  for _ = 1 to steps do
+    (* gradient computed at stale parameters *)
+    let snapshot =
+      let arr = Array.of_seq (Queue.to_seq history) in
+      let age = min (Array.length arr - 1) staleness in
+      arr.(Array.length arr - 1 - age)
+    in
+    Mlp.set_params worker snapshot;
+    let xs, ls = minibatch ~rng ~batch data in
+    Array.iteri (fun k x -> ignore (Mlp.backward worker x ~label:ls.(k))) xs;
+    (* apply the stale gradient at the server *)
+    let sp = Mlp.get_params server in
+    Mlp.set_params server sp;
+    (* copy worker grads into server by replaying the sgd step on server
+       weights: transplant gradient buffers *)
+    Array.iteri
+      (fun li lay ->
+        let slay = server.Mlp.layers.(li) in
+        Array.iteri (fun o row -> Array.blit row 0 slay.Mlp.gw.(o) 0 (Array.length row)) lay.Mlp.gw;
+        Array.blit lay.Mlp.gb 0 slay.Mlp.gb 0 (Array.length lay.Mlp.gb))
+      worker.Mlp.layers;
+    Mlp.zero_grads worker;
+    Mlp.sgd_step server ~lr ~batch;
+    Queue.push (Mlp.get_params server) history;
+    if Queue.length history > staleness + 2 then ignore (Queue.pop history);
+    (* learners overlap compute; server applies sequentially *)
+    t := !t +. (compute_time_per_batch ~params ~batch /. float_of_int learners)
+         +. ps_roundtrip_time ~params
+  done;
+  {
+    final_loss = Mlp.eval_loss server data.xs data.labels;
+    final_accuracy = Mlp.accuracy server data.xs data.labels;
+    simulated_seconds = !t;
+    steps;
+  }
+
+(** EASGD [33]: learners run local SGD but are elastically pulled toward
+    a centre variable, which in turn moves toward the learners' average:
+
+        x_i <- x_i - lr grad_i - alpha (x_i - c)
+        c   <- c + alpha sum_i (x_i - c) / learners
+
+    Communication per round is the same as KAVG's allreduce; the elastic
+    coupling is what distinguishes the dynamics. *)
+let easgd ~(rng : Icoe_util.Rng.t) ~learners ~rounds ~k ~batch ~lr
+    ?(alpha = 0.3) sizes data =
+  let center = Mlp.create ~rng sizes in
+  let params = Mlp.num_params center in
+  let shards = shard ~learners data in
+  let workers = Array.map (fun _ -> Mlp.clone center) shards in
+  let t = ref 0.0 in
+  for _ = 1 to rounds do
+    let c = Mlp.get_params center in
+    let drift = Array.make params 0.0 in
+    Array.iteri
+      (fun wi sh ->
+        let w = workers.(wi) in
+        for _ = 1 to k do
+          let xs, ls = minibatch ~rng ~batch sh in
+          ignore (Mlp.train_batch w ~lr xs ls)
+        done;
+        (* elastic pull toward the centre *)
+        let p = Mlp.get_params w in
+        for j = 0 to params - 1 do
+          let d = p.(j) -. c.(j) in
+          p.(j) <- p.(j) -. (alpha *. d);
+          drift.(j) <- drift.(j) +. d
+        done;
+        Mlp.set_params w p)
+      shards;
+    for j = 0 to params - 1 do
+      c.(j) <- c.(j) +. (alpha *. drift.(j) /. float_of_int learners)
+    done;
+    Mlp.set_params center c;
+    t := !t
+         +. (float_of_int k *. compute_time_per_batch ~params ~batch)
+         +. allreduce_time ~params ~learners
+  done;
+  {
+    final_loss = Mlp.eval_loss center data.xs data.labels;
+    final_accuracy = Mlp.accuracy center data.xs data.labels;
+    simulated_seconds = !t;
+    steps = rounds * k;
+  }
+
+(** KAVG: learners start from common weights, run [k] local SGD steps on
+    their own shard, then average weights; bulk-synchronous. *)
+let kavg ~(rng : Icoe_util.Rng.t) ~learners ~rounds ~k ~batch ~lr sizes data =
+  let center = Mlp.create ~rng sizes in
+  let params = Mlp.num_params center in
+  let shards = shard ~learners data in
+  let t = ref 0.0 in
+  for _ = 1 to rounds do
+    let start = Mlp.get_params center in
+    let acc = Array.make params 0.0 in
+    Array.iter
+      (fun sh ->
+        let w = Mlp.clone center in
+        Mlp.set_params w start;
+        for _ = 1 to k do
+          let xs, ls = minibatch ~rng ~batch sh in
+          ignore (Mlp.train_batch w ~lr xs ls)
+        done;
+        let p = Mlp.get_params w in
+        Linalg.Vec.axpy 1.0 p acc)
+      shards;
+    Linalg.Vec.scale (1.0 /. float_of_int learners) acc;
+    Mlp.set_params center acc;
+    (* learners run in parallel: k local steps + one allreduce per round *)
+    t := !t
+         +. (float_of_int k *. compute_time_per_batch ~params ~batch)
+         +. allreduce_time ~params ~learners
+  done;
+  {
+    final_loss = Mlp.eval_loss center data.xs data.labels;
+    final_accuracy = Mlp.accuracy center data.xs data.labels;
+    simulated_seconds = !t;
+    steps = rounds * k;
+  }

@@ -1,0 +1,47 @@
+(** Distributed-training algorithms (Sec 4.5): synchronous SGD, ASGD with
+    parameter-server staleness, EASGD, and the team's K-step averaging
+    (KAVG [34]). All run the real optimization on real data; the
+    simulated communication model prices their wall clock. *)
+
+type dataset = { xs : float array array; labels : int array }
+
+val make_task :
+  rng:Icoe_util.Rng.t -> ?classes:int -> ?dim:int -> ?n:int -> ?spread:float ->
+  unit -> dataset
+(** Gaussian class-cluster classification task. *)
+
+val shard : learners:int -> dataset -> dataset array
+val minibatch : rng:Icoe_util.Rng.t -> batch:int -> dataset -> float array array * int array
+
+val allreduce_time : params:int -> learners:int -> float
+val ps_roundtrip_time : params:int -> float
+val compute_time_per_batch : params:int -> batch:int -> float
+
+type run = {
+  final_loss : float;
+  final_accuracy : float;
+  simulated_seconds : float;
+  steps : int;
+}
+
+val sync_sgd :
+  rng:Icoe_util.Rng.t -> learners:int -> steps:int -> batch:int -> lr:float ->
+  int array -> dataset -> run
+(** Bulk-synchronous data parallelism: one allreduce per step. *)
+
+val asgd :
+  rng:Icoe_util.Rng.t -> learners:int -> steps:int -> batch:int -> lr:float ->
+  staleness:int -> int array -> dataset -> run
+(** Parameter-server ASGD; gradients are applied [staleness] updates late
+    (round-robin model) — the practical pathology the paper describes. *)
+
+val easgd :
+  rng:Icoe_util.Rng.t -> learners:int -> rounds:int -> k:int -> batch:int ->
+  lr:float -> ?alpha:float -> int array -> dataset -> run
+(** Elastic averaging SGD [33]. *)
+
+val kavg :
+  rng:Icoe_util.Rng.t -> learners:int -> rounds:int -> k:int -> batch:int ->
+  lr:float -> int array -> dataset -> run
+(** K-step averaging: k local steps then a weight average;
+    bulk-synchronous with k-fold less communication. *)

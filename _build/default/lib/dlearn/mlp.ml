@@ -1,0 +1,193 @@
+(** Dense multi-layer perceptron with manual backprop — the neural-network
+    substrate for the distributed-training studies and the Table 3
+    ensemble combiners. Deliberately simple: tanh hidden layers, softmax
+    cross-entropy output, plain SGD with optional momentum. *)
+
+type layer = {
+  w : float array array;  (** out x in *)
+  b : float array;
+  (* gradients *)
+  gw : float array array;
+  gb : float array;
+  (* momentum buffers *)
+  mw : float array array;
+  mb : float array;
+}
+
+type t = {
+  sizes : int array;  (** [in; hidden...; out] *)
+  layers : layer array;
+}
+
+let create ~(rng : Icoe_util.Rng.t) sizes =
+  assert (Array.length sizes >= 2);
+  let layers =
+    Array.init (Array.length sizes - 1) (fun l ->
+        let nin = sizes.(l) and nout = sizes.(l + 1) in
+        let scale = sqrt (2.0 /. float_of_int nin) in
+        {
+          w =
+            Array.init nout (fun _ ->
+                Array.init nin (fun _ -> scale *. Icoe_util.Rng.gaussian rng));
+          b = Array.make nout 0.0;
+          gw = Array.make_matrix nout nin 0.0;
+          gb = Array.make nout 0.0;
+          mw = Array.make_matrix nout nin 0.0;
+          mb = Array.make nout 0.0;
+        })
+  in
+  { sizes; layers }
+
+let num_params t =
+  Array.fold_left
+    (fun acc l -> acc + (Array.length l.b * (1 + Array.length l.w.(0))))
+    0 t.layers
+
+(** Flatten / restore parameters (for averaging in KAVG and ASGD). *)
+let get_params t =
+  let buf = Array.make (num_params t) 0.0 in
+  let k = ref 0 in
+  Array.iter
+    (fun l ->
+      Array.iter (Array.iter (fun v -> buf.(!k) <- v; incr k)) l.w;
+      Array.iter (fun v -> buf.(!k) <- v; incr k) l.b)
+    t.layers;
+  buf
+
+let set_params t buf =
+  let k = ref 0 in
+  Array.iter
+    (fun l ->
+      Array.iter
+        (fun row -> Array.iteri (fun j _ -> row.(j) <- buf.(!k); incr k) row)
+        l.w;
+      Array.iteri (fun j _ -> l.b.(j) <- buf.(!k); incr k) l.b)
+    t.layers
+
+let softmax z =
+  let mx = Array.fold_left max neg_infinity z in
+  let e = Array.map (fun v -> exp (v -. mx)) z in
+  let s = Icoe_util.Stats.sum e in
+  Array.map (fun v -> v /. s) e
+
+(* forward pass keeping activations for backprop *)
+let forward_full t x =
+  let nl = Array.length t.layers in
+  let acts = Array.make (nl + 1) [||] in
+  acts.(0) <- x;
+  for l = 0 to nl - 1 do
+    let lay = t.layers.(l) in
+    let z =
+      Array.mapi
+        (fun o row ->
+          let s = ref lay.b.(o) in
+          Array.iteri (fun i v -> s := !s +. (v *. acts.(l).(i))) row;
+          !s)
+        lay.w
+    in
+    acts.(l + 1) <- (if l = nl - 1 then z else Array.map tanh z)
+  done;
+  acts
+
+(** Class probabilities for input [x]. *)
+let predict_proba t x =
+  let acts = forward_full t x in
+  softmax acts.(Array.length t.layers)
+
+let predict t x =
+  let p = predict_proba t x in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > p.(!best) then best := i) p;
+  !best
+
+let zero_grads t =
+  Array.iter
+    (fun l ->
+      Array.iter (fun row -> Array.fill row 0 (Array.length row) 0.0) l.gw;
+      Array.fill l.gb 0 (Array.length l.gb) 0.0)
+    t.layers
+
+(** Accumulate gradients of softmax cross-entropy for one example;
+    returns the loss. *)
+let backward t x ~label =
+  let nl = Array.length t.layers in
+  let acts = forward_full t x in
+  let probs = softmax acts.(nl) in
+  let loss = -.log (max 1e-12 probs.(label)) in
+  (* output delta *)
+  let delta = ref (Array.mapi (fun i p -> p -. (if i = label then 1.0 else 0.0)) probs) in
+  for l = nl - 1 downto 0 do
+    let lay = t.layers.(l) in
+    let a_in = acts.(l) in
+    (* grads *)
+    Array.iteri
+      (fun o d ->
+        lay.gb.(o) <- lay.gb.(o) +. d;
+        Array.iteri
+          (fun i ai -> lay.gw.(o).(i) <- lay.gw.(o).(i) +. (d *. ai))
+          a_in)
+      !delta;
+    (* propagate *)
+    if l > 0 then begin
+      let nin = Array.length a_in in
+      let nd = Array.make nin 0.0 in
+      Array.iteri
+        (fun o d ->
+          Array.iteri (fun i wv -> nd.(i) <- nd.(i) +. (d *. wv)) lay.w.(o))
+        !delta;
+      (* through tanh *)
+      delta := Array.mapi (fun i v -> v *. (1.0 -. (a_in.(i) *. a_in.(i)))) nd
+    end
+  done;
+  loss
+
+(** Apply accumulated gradients (scaled by 1/batch) with learning rate and
+    momentum, then clear them. *)
+let sgd_step ?(momentum = 0.0) ?(weight_decay = 0.0) t ~lr ~batch =
+  let scale = 1.0 /. float_of_int (max 1 batch) in
+  Array.iter
+    (fun l ->
+      Array.iteri
+        (fun o row ->
+          Array.iteri
+            (fun i _ ->
+              let g = (l.gw.(o).(i) *. scale) +. (weight_decay *. row.(i)) in
+              l.mw.(o).(i) <- (momentum *. l.mw.(o).(i)) -. (lr *. g);
+              row.(i) <- row.(i) +. l.mw.(o).(i))
+            row;
+          let g = l.gb.(o) *. scale in
+          l.mb.(o) <- (momentum *. l.mb.(o)) -. (lr *. g);
+          l.b.(o) <- l.b.(o) +. l.mb.(o))
+        l.w)
+    t.layers;
+  zero_grads t
+
+(** One mini-batch step; returns mean loss. *)
+let train_batch ?(momentum = 0.0) t ~lr xs labels =
+  assert (Array.length xs = Array.length labels);
+  let total = ref 0.0 in
+  Array.iteri (fun k x -> total := !total +. backward t x ~label:labels.(k)) xs;
+  sgd_step ~momentum t ~lr ~batch:(Array.length xs);
+  !total /. float_of_int (Array.length xs)
+
+(** Classification accuracy over a dataset. *)
+let accuracy t xs labels =
+  let correct = ref 0 in
+  Array.iteri (fun k x -> if predict t x = labels.(k) then incr correct) xs;
+  float_of_int !correct /. float_of_int (Array.length xs)
+
+(** Mean loss without updating. *)
+let eval_loss t xs labels =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun k x ->
+      let p = predict_proba t x in
+      total := !total -. log (max 1e-12 p.(labels.(k))))
+    xs;
+  total.contents /. float_of_int (Array.length xs)
+
+(** Deep copy. *)
+let clone t =
+  let c = create ~rng:(Icoe_util.Rng.create 0) t.sizes in
+  set_params c (get_params t);
+  c

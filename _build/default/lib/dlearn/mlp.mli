@@ -1,0 +1,51 @@
+(** Dense multi-layer perceptron with manual backprop — the
+    neural-network substrate for the distributed-training studies and the
+    Table 3 ensemble combiners. Tanh hidden layers, softmax cross-entropy
+    output, SGD with optional momentum. *)
+
+type layer = {
+  w : float array array;  (** out x in *)
+  b : float array;
+  gw : float array array;  (** accumulated gradients *)
+  gb : float array;
+  mw : float array array;  (** momentum buffers *)
+  mb : float array;
+}
+
+type t = { sizes : int array; layers : layer array }
+
+val create : rng:Icoe_util.Rng.t -> int array -> t
+(** [create ~rng [|in; hidden...; out|]] with He-scaled init. *)
+
+val num_params : t -> int
+
+val get_params : t -> float array
+(** Flattened parameters (layer-major, weights then biases). *)
+
+val set_params : t -> float array -> unit
+
+val softmax : float array -> float array
+
+val forward_full : t -> float array -> float array array
+(** All layer activations (index 0 is the input, last is pre-softmax). *)
+
+val predict_proba : t -> float array -> float array
+val predict : t -> float array -> int
+
+val zero_grads : t -> unit
+
+val backward : t -> float array -> label:int -> float
+(** Accumulate gradients of the cross-entropy for one example; returns
+    the loss. *)
+
+val sgd_step : ?momentum:float -> ?weight_decay:float -> t -> lr:float -> batch:int -> unit
+(** Apply accumulated gradients (scaled by 1/batch) and clear them. *)
+
+val train_batch :
+  ?momentum:float -> t -> lr:float -> float array array -> int array -> float
+(** One mini-batch step; returns the mean loss. *)
+
+val accuracy : t -> float array array -> int array -> float
+val eval_loss : t -> float array array -> int array -> float
+
+val clone : t -> t

@@ -1,0 +1,1 @@
+lib/fftlib/fft.ml: Array Float Hwsim

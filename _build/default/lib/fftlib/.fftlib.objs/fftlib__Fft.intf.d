@@ -1,0 +1,1 @@
+lib/fftlib/fft.mli: Hwsim

@@ -1,0 +1,1 @@
+lib/havoq/bfs.ml: Array Graph List Queue

@@ -1,0 +1,1 @@
+lib/havoq/bfs.mli: Graph

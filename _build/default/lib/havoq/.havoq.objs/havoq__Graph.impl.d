@@ -1,0 +1,1 @@
+lib/havoq/graph.ml: Array Icoe_util List

@@ -1,0 +1,1 @@
+lib/havoq/graph.mli: Icoe_util

@@ -1,0 +1,1 @@
+lib/havoq/perf.ml: Bfs Float Graph Hwsim Sys

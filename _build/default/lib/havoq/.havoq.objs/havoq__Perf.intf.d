@@ -1,0 +1,1 @@
+lib/havoq/perf.mli: Graph

@@ -1,0 +1,35 @@
+(** The Table 2 machine model: historical best graph scale and GTEPS.
+
+    HavoqGT's large-graph BFS is out-of-core: throughput is bounded by
+    node-local storage bandwidth, clusters additionally pay an all-to-all
+    exchange efficiency, and the largest runnable scale is set by
+    aggregate storage capacity. Two calibrated constants cover all six
+    machines. *)
+
+type machine = {
+  name : string;
+  year : int;
+  nodes : int;
+  storage_bw_gbs : float;
+  storage_tb : float;
+}
+
+val bytes_per_edge_traversal : float
+val bytes_per_edge_storage : float
+val cluster_efficiency : float
+val edge_factor : float
+
+val machines : machine list
+(** Kraken, Leviathan, Hyperion, Bertha, Catalyst, Final System. *)
+
+val max_scale : machine -> int
+(** Largest Graph500 scale whose edge list fits in aggregate storage. *)
+
+val gteps : machine -> float
+(** Modelled GTEPS. *)
+
+val measured_gteps : Graph.t -> src:int -> float
+(** Actually-measured GTEPS of the in-memory hybrid BFS on this machine. *)
+
+val paper_rows : (string * int * int * int * float) list
+(** The published Table 2 rows: (name, year, nodes, scale, GTEPS). *)

@@ -1,0 +1,1 @@
+lib/hwsim/clock.mli: Format

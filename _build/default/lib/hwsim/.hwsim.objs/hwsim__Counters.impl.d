@@ -1,0 +1,1 @@
+lib/hwsim/counters.ml: Device List

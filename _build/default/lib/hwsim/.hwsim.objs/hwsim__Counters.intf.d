@@ -1,0 +1,1 @@
+lib/hwsim/counters.mli: Device

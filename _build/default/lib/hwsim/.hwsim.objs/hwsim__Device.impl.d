@@ -1,0 +1,1 @@
+lib/hwsim/device.ml: Fmt

@@ -1,0 +1,1 @@
+lib/hwsim/device.mli: Format

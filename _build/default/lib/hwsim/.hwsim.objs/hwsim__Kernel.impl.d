@@ -1,0 +1,1 @@
+lib/hwsim/kernel.ml: Fmt

@@ -1,0 +1,1 @@
+lib/hwsim/link.ml: Float Fmt

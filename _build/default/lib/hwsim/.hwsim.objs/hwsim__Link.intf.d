@@ -1,0 +1,1 @@
+lib/hwsim/link.mli: Format

@@ -1,0 +1,1 @@
+lib/hwsim/node.ml: Device Fmt Link

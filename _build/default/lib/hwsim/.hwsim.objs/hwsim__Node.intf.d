@@ -1,0 +1,1 @@
+lib/hwsim/node.mli: Device Format Link

@@ -1,0 +1,1 @@
+lib/hwsim/roofline.ml: Device Kernel

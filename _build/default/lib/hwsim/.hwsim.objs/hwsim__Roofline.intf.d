@@ -1,0 +1,1 @@
+lib/hwsim/roofline.mli: Device Kernel

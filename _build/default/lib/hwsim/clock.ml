@@ -1,0 +1,42 @@
+(** Simulated-time accumulator with named phases.
+
+    Experiments charge kernel and transfer times here; harnesses read back
+    both the total and the per-phase breakdown (Figs. 2 and 8 are breakdown
+    charts). *)
+
+type t = {
+  mutable total : float;
+  phases : (string, float ref) Hashtbl.t;
+  mutable order : string list; (* first-seen order, reversed *)
+}
+
+let create () = { total = 0.0; phases = Hashtbl.create 16; order = [] }
+
+let reset t =
+  t.total <- 0.0;
+  Hashtbl.reset t.phases;
+  t.order <- []
+
+(** Charge [dt] seconds to [phase]. *)
+let tick t ~phase dt =
+  assert (dt >= 0.0);
+  t.total <- t.total +. dt;
+  match Hashtbl.find_opt t.phases phase with
+  | Some r -> r := !r +. dt
+  | None ->
+      Hashtbl.add t.phases phase (ref dt);
+      t.order <- phase :: t.order
+
+let total t = t.total
+
+let phase t name =
+  match Hashtbl.find_opt t.phases name with Some r -> !r | None -> 0.0
+
+(** Phases in first-charged order with their accumulated seconds. *)
+let breakdown t =
+  List.rev_map (fun name -> (name, phase t name)) t.order
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>total %.6gs" t.total;
+  List.iter (fun (n, s) -> Fmt.pf ppf "@,  %-20s %.6gs" n s) (breakdown t);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,23 @@
+(** Simulated-time accumulator with named phases.
+
+    Experiments charge kernel and transfer times here; harnesses read back
+    both the total and the per-phase breakdown (Figs. 2 and 8 of the paper
+    are breakdown charts). *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val tick : t -> phase:string -> float -> unit
+(** Charge nonnegative seconds to a named phase. *)
+
+val total : t -> float
+
+val phase : t -> string -> float
+(** Accumulated seconds of one phase (0 if never charged). *)
+
+val breakdown : t -> (string * float) list
+(** Phases in first-charged order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** Nest/uncore memory-bandwidth counters (Sec 4.10.6).
+
+    The Tools activity made the P9 "nest" counters — off-core memory
+    traffic counters not bound to any core — readable by ordinary users.
+    This is that facility for the simulated machine: sample a cumulative
+    traffic counter over time, read back achieved bandwidth against the
+    device's sustainable peak. *)
+
+type t
+
+val create : Device.t -> t
+
+val sample : t -> time:float -> bytes:float -> unit
+(** Record the cumulative traffic counter at a simulated time. Samples
+    must be monotone in both time and bytes. *)
+
+val achieved_gbs : t -> float
+(** Mean bandwidth over the whole sampled window, GB/s. *)
+
+val utilization : t -> float
+(** Fraction of the device's sustainable bandwidth in use. *)
+
+val bandwidth_bound : t -> bool
+(** True when utilization exceeds the usual 60% tuning-guide threshold. *)
+
+val series : t -> (float * float) list
+(** Per-interval (mid-time, GB/s) series, oldest first. *)

@@ -1,0 +1,164 @@
+(** Device descriptions for the machines the paper measures on.
+
+    A device is priced with a roofline model: double-precision peak flops
+    and a sustainable memory bandwidth. GPUs additionally pay a per-kernel
+    launch overhead; CPUs pay a (much smaller) parallel-region entry cost.
+    Capacities matter for the Cretin memory-constraint study and the
+    HavoqGT NVMe runs. All figures are published per-chip numbers. *)
+
+type kind = Cpu | Gpu
+
+type t = {
+  name : string;
+  kind : kind;
+  peak_gflops : float;  (** double precision, whole chip *)
+  mem_bw_gbs : float;  (** STREAM-like sustainable bandwidth, GB/s *)
+  mem_gb : float;  (** directly attached memory capacity *)
+  lanes : int;  (** hardware parallel lanes: cores or SMs *)
+  launch_overhead_s : float;  (** per-kernel/parallel-region entry cost *)
+  cache_mb : float;  (** last-level (CPU) or L2+texture (GPU) cache *)
+}
+
+let pp ppf d =
+  Fmt.pf ppf "%s(%s, %.0f GF/s, %.0f GB/s, %.0f GB)" d.name
+    (match d.kind with Cpu -> "cpu" | Gpu -> "gpu")
+    d.peak_gflops d.mem_bw_gbs d.mem_gb
+
+(* --- CPUs --- *)
+
+(** POWER8, 10 cores @ ~3.5 GHz on the EA Minsky nodes. *)
+let power8 =
+  {
+    name = "POWER8";
+    kind = Cpu;
+    peak_gflops = 280.0;
+    mem_bw_gbs = 85.0;
+    mem_gb = 128.0;
+    lanes = 10;
+    launch_overhead_s = 2e-6;
+    cache_mb = 80.0;
+  }
+
+(** POWER9, 22 cores, Witherspoon (Sierra) socket. *)
+let power9 =
+  {
+    name = "POWER9";
+    kind = Cpu;
+    peak_gflops = 560.0;
+    mem_bw_gbs = 120.0;
+    mem_gb = 128.0;
+    lanes = 22;
+    launch_overhead_s = 2e-6;
+    cache_mb = 110.0;
+  }
+
+(** Intel Xeon E5 v1 (Sandy Bridge) on the visualization cluster. *)
+let sandybridge =
+  {
+    name = "SandyBridge";
+    kind = Cpu;
+    peak_gflops = 166.0;
+    mem_bw_gbs = 40.0;
+    mem_gb = 64.0;
+    lanes = 8;
+    launch_overhead_s = 2e-6;
+    cache_mb = 20.0;
+  }
+
+(** Intel Xeon E5 v3 (Haswell) on the early development machine. *)
+let haswell =
+  {
+    name = "Haswell";
+    kind = Cpu;
+    peak_gflops = 588.0;
+    mem_bw_gbs = 60.0;
+    mem_gb = 128.0;
+    lanes = 14;
+    launch_overhead_s = 2e-6;
+    cache_mb = 35.0;
+  }
+
+(** Knights Landing socket, Cori-II at NERSC (SW4 comparison machine). *)
+let knl =
+  {
+    name = "KNL";
+    kind = Cpu;
+    peak_gflops = 2662.0;
+    mem_bw_gbs = 400.0;
+    (* MCDRAM *)
+    mem_gb = 96.0;
+    lanes = 68;
+    launch_overhead_s = 4e-6;
+    cache_mb = 34.0;
+  }
+
+(** Blue Gene/Q node chip (historical graph numbers in Table 2). *)
+let bgq =
+  {
+    name = "BG/Q";
+    kind = Cpu;
+    peak_gflops = 204.8;
+    mem_bw_gbs = 28.0;
+    mem_gb = 16.0;
+    lanes = 16;
+    launch_overhead_s = 2e-6;
+    cache_mb = 32.0;
+  }
+
+(* --- GPUs --- *)
+
+(** Kepler K40 on the visualization cluster. *)
+let k40 =
+  {
+    name = "K40";
+    kind = Gpu;
+    peak_gflops = 1430.0;
+    mem_bw_gbs = 288.0;
+    mem_gb = 12.0;
+    lanes = 15;
+    launch_overhead_s = 9e-6;
+    cache_mb = 1.5;
+  }
+
+(** Kepler K80 (one of the two dies) on the development machine. *)
+let k80 =
+  {
+    name = "K80";
+    kind = Gpu;
+    peak_gflops = 1455.0;
+    mem_bw_gbs = 240.0;
+    mem_gb = 12.0;
+    lanes = 13;
+    launch_overhead_s = 9e-6;
+    cache_mb = 1.5;
+  }
+
+(** Pascal P100 (SXM2) on the EA Minsky nodes. *)
+let p100 =
+  {
+    name = "P100";
+    kind = Gpu;
+    peak_gflops = 5300.0;
+    mem_bw_gbs = 720.0;
+    mem_gb = 16.0;
+    lanes = 56;
+    launch_overhead_s = 8e-6;
+    cache_mb = 4.0;
+  }
+
+(** Volta V100 (SXM2) on Sierra Witherspoon nodes. Volta's unified and much
+    larger L1/L2 caching is what made Opt's texture-memory trick moot. *)
+let v100 =
+  {
+    name = "V100";
+    kind = Gpu;
+    peak_gflops = 7800.0;
+    mem_bw_gbs = 900.0;
+    mem_gb = 16.0;
+    lanes = 80;
+    launch_overhead_s = 7e-6;
+    cache_mb = 16.0;
+  }
+
+(** Peak-fraction utility: achieved gflops / peak. *)
+let fraction_of_peak d ~achieved_gflops = achieved_gflops /. d.peak_gflops

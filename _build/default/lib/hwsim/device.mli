@@ -1,0 +1,55 @@
+(** Device descriptions for the machines the paper measures on.
+
+    A device is priced with a roofline model: double-precision peak flops
+    and a sustainable memory bandwidth. GPUs additionally pay a per-kernel
+    launch overhead; CPUs a (much smaller) parallel-region entry cost.
+    All figures are published per-chip numbers. *)
+
+type kind = Cpu | Gpu
+
+type t = {
+  name : string;
+  kind : kind;
+  peak_gflops : float;  (** double precision, whole chip *)
+  mem_bw_gbs : float;  (** STREAM-like sustainable bandwidth, GB/s *)
+  mem_gb : float;  (** directly attached memory capacity *)
+  lanes : int;  (** hardware parallel lanes: cores or SMs *)
+  launch_overhead_s : float;  (** per-kernel / parallel-region entry cost *)
+  cache_mb : float;  (** last-level (CPU) or L2+texture (GPU) cache *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 CPUs} *)
+
+val power8 : t
+(** POWER8, the EA Minsky host CPU. *)
+
+val power9 : t
+(** POWER9, the Sierra Witherspoon socket. *)
+
+val sandybridge : t
+(** Visualization-cluster CPU of the earliest porting work. *)
+
+val haswell : t
+(** Early development machine / Catalyst-era CPU. *)
+
+val knl : t
+(** Knights Landing — Cori-II at NERSC, SW4's comparison machine. *)
+
+val bgq : t
+(** Blue Gene/Q node chip (historical Table 2 machines). *)
+
+(** {1 GPUs} *)
+
+val k40 : t
+val k80 : t
+
+val p100 : t
+(** Pascal, on the EA Minsky nodes. *)
+
+val v100 : t
+(** Volta, on Sierra — including the enlarged caches that made Opt's
+    texture-memory trick moot. *)
+
+val fraction_of_peak : t -> achieved_gflops:float -> float

@@ -1,0 +1,34 @@
+(** Work descriptors: what a computational kernel did, independent of where
+    it runs. Real OCaml kernels accumulate these counts while computing, and
+    the roofline prices them on a simulated device. *)
+
+type t = {
+  name : string;
+  flops : float;  (** floating-point operations *)
+  bytes : float;  (** DRAM traffic: reads + writes *)
+  launches : int;  (** number of device kernel launches / parallel regions *)
+}
+
+let make ?(launches = 1) ~name ~flops ~bytes () =
+  assert (flops >= 0.0 && bytes >= 0.0 && launches >= 0);
+  { name; flops; bytes; launches }
+
+let zero name = { name; flops = 0.0; bytes = 0.0; launches = 0 }
+
+let add a b =
+  {
+    name = a.name;
+    flops = a.flops +. b.flops;
+    bytes = a.bytes +. b.bytes;
+    launches = a.launches + b.launches;
+  }
+
+let scale k a =
+  { a with flops = k *. a.flops; bytes = k *. a.bytes }
+
+(** Arithmetic intensity in flops/byte; infinite for pure-compute kernels. *)
+let intensity k = if k.bytes = 0.0 then infinity else k.flops /. k.bytes
+
+let pp ppf k =
+  Fmt.pf ppf "%s{%.3g F, %.3g B, AI=%.2f, %d launches}" k.name k.flops k.bytes
+    (intensity k) k.launches

@@ -1,0 +1,54 @@
+(** Host-device and network links: latency + bandwidth transfer model.
+
+    The VBL GPUDirect study (Sec 4.11) is a pure crossover property of this
+    model: GPUDirect has lower setup latency but lower sustained bandwidth
+    than a pipelined cudaMemcpy over NVLink, so cudaMemcpy overtakes it at a
+    few KB (host-to-device) and ~hundreds of bytes (device-to-host). *)
+
+type t = {
+  name : string;
+  latency_s : float;
+  bw_gbs : float;  (** sustained unidirectional bandwidth, GB/s *)
+}
+
+let pp ppf l = Fmt.pf ppf "%s(%.1fus, %.0f GB/s)" l.name (l.latency_s *. 1e6) l.bw_gbs
+
+(** Time to move [bytes] across the link. *)
+let transfer_time l ~bytes =
+  assert (bytes >= 0.0);
+  l.latency_s +. (bytes /. (l.bw_gbs *. 1e9))
+
+(** PCIe gen3 x16, the pre-EA clusters' host link. *)
+let pcie3 = { name = "PCIe3"; latency_s = 10e-6; bw_gbs = 12.0 }
+
+(** NVLink 1.0 (Minsky, P8<->P100): 2 bricks. *)
+let nvlink1 = { name = "NVLink1"; latency_s = 8e-6; bw_gbs = 40.0 }
+
+(** NVLink 2.0 (Witherspoon, P9<->V100): 3 bricks. *)
+let nvlink2 = { name = "NVLink2"; latency_s = 7e-6; bw_gbs = 75.0 }
+
+(** Pipelined cudaMemcpy over NVLink2: full bandwidth after ramp-up. *)
+let cuda_memcpy = { name = "cudaMemcpy"; latency_s = 7e-6; bw_gbs = 75.0 }
+
+(** GPUDirect RDMA-style path: very low setup cost, lower streaming rate. *)
+let gpudirect = { name = "GPUDirect"; latency_s = 1.2e-6; bw_gbs = 8.0 }
+
+(** CUDA Unified Memory migrates in 64 KiB blocks: a transfer of n bytes
+    moves ceil(n / 64K) pages, each paying a page-fault service latency. *)
+let unified_memory_transfer ~link ~bytes =
+  let page = 65536.0 in
+  let pages = Float.ceil (bytes /. page) in
+  let fault_cost = 3e-6 in
+  (pages *. fault_cost) +. transfer_time link ~bytes:(pages *. page)
+
+(** EDR InfiniBand node interconnect (per-port). *)
+let ib_edr = { name = "IB-EDR"; latency_s = 1.0e-6; bw_gbs = 12.5 }
+
+(** Sierra dual-rail EDR. *)
+let ib_dual_edr = { name = "IB-2xEDR"; latency_s = 1.0e-6; bw_gbs = 25.0 }
+
+(** Gemini-era (Kraken/Catalyst ancestors) slower fabric. *)
+let ib_qdr = { name = "IB-QDR"; latency_s = 1.6e-6; bw_gbs = 4.0 }
+
+(** NVMe burst tier on Sierra nodes (HavoqGT out-of-core runs). *)
+let nvme = { name = "NVMe"; latency_s = 90e-6; bw_gbs = 5.5 }

@@ -1,0 +1,40 @@
+(** Host-device and network links: latency + bandwidth transfer model.
+
+    The VBL GPUDirect study (Sec 4.11) is a crossover property of this
+    model: GPUDirect has lower setup latency but lower sustained bandwidth
+    than a pipelined cudaMemcpy over NVLink. *)
+
+type t = {
+  name : string;
+  latency_s : float;
+  bw_gbs : float;  (** sustained unidirectional bandwidth, GB/s *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val transfer_time : t -> bytes:float -> float
+(** Time to move [bytes] across the link (latency + bytes/bandwidth). *)
+
+val pcie3 : t
+val nvlink1 : t
+
+val nvlink2 : t
+(** Witherspoon P9 <-> V100 host link. *)
+
+val cuda_memcpy : t
+(** Pipelined cudaMemcpy over NVLink2 — full bandwidth after ramp-up. *)
+
+val gpudirect : t
+(** RDMA-style path: very low setup cost, lower streaming rate. *)
+
+val unified_memory_transfer : link:t -> bytes:float -> float
+(** CUDA Unified Memory migrates 64 KiB pages; a transfer moves whole
+    pages, each paying a fault-service latency. *)
+
+val ib_edr : t
+val ib_dual_edr : t
+(** Sierra's dual-rail EDR fabric. *)
+
+val ib_qdr : t
+val nvme : t
+(** Node-local burst tier (HavoqGT out-of-core runs). *)

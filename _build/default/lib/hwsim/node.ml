@@ -1,0 +1,112 @@
+(** Node and cluster composition: the machines of the paper.
+
+    A node aggregates CPU sockets and GPUs with a host link; a machine is
+    [nodes] identical nodes on a fabric. Aggregate throughput helpers assume
+    the embarrassingly-parallel-across-nodes regime all iCoE apps already
+    had (their MPI scaling predated the project). *)
+
+type t = {
+  name : string;
+  cpu : Device.t;
+  cpu_sockets : int;
+  gpu : Device.t option;
+  gpus : int;
+  host_link : Link.t;
+  nvme_gb : float;  (** node-local burst tier capacity; 0 when absent *)
+}
+
+type machine = { node : t; nodes : int; fabric : Link.t }
+
+let cpu_peak_gflops n = float_of_int n.cpu_sockets *. n.cpu.Device.peak_gflops
+
+let gpu_peak_gflops n =
+  match n.gpu with
+  | None -> 0.0
+  | Some g -> float_of_int n.gpus *. g.Device.peak_gflops
+
+let node_peak_gflops n = cpu_peak_gflops n +. gpu_peak_gflops n
+
+(* --- the paper's machines --- *)
+
+(** Sierra Witherspoon node: 2x P9 + 4x V100, NVLink2, 1.6 TB NVMe. *)
+let witherspoon =
+  {
+    name = "Witherspoon";
+    cpu = Device.power9;
+    cpu_sockets = 2;
+    gpu = Some Device.v100;
+    gpus = 4;
+    host_link = Link.nvlink2;
+    nvme_gb = 1600.0;
+  }
+
+(** Early-access Minsky node: 2x P8 + 4x P100, NVLink1. *)
+let minsky =
+  {
+    name = "Minsky";
+    cpu = Device.power8;
+    cpu_sockets = 2;
+    gpu = Some Device.p100;
+    gpus = 4;
+    host_link = Link.nvlink1;
+    nvme_gb = 0.0;
+  }
+
+(** Cori-II KNL node at NERSC (SW4's comparison machine). *)
+let cori_ii =
+  {
+    name = "Cori-II";
+    cpu = Device.knl;
+    cpu_sockets = 1;
+    gpu = None;
+    gpus = 0;
+    host_link = Link.pcie3;
+    nvme_gb = 0.0;
+  }
+
+(** Visualization cluster node: Sandy Bridge + K40. *)
+let viz_node =
+  {
+    name = "Viz";
+    cpu = Device.sandybridge;
+    cpu_sockets = 2;
+    gpu = Some Device.k40;
+    gpus = 2;
+    host_link = Link.pcie3;
+    nvme_gb = 0.0;
+  }
+
+(** Development machine node: Haswell + K80. *)
+let dev_node =
+  {
+    name = "Dev";
+    cpu = Device.haswell;
+    cpu_sockets = 2;
+    gpu = Some Device.k80;
+    gpus = 2;
+    host_link = Link.pcie3;
+    nvme_gb = 0.0;
+  }
+
+(** CPU-only commodity cluster node (Catalyst-era, Table 2). *)
+let catalyst_node =
+  {
+    name = "Catalyst";
+    cpu = Device.haswell;
+    cpu_sockets = 2;
+    gpu = None;
+    gpus = 0;
+    host_link = Link.pcie3;
+    nvme_gb = 800.0;
+  }
+
+let sierra = { node = witherspoon; nodes = 4320; fabric = Link.ib_dual_edr }
+let ea_system = { node = minsky; nodes = 36; fabric = Link.ib_edr }
+let cori = { node = cori_ii; nodes = 9688; fabric = Link.ib_edr }
+let catalyst = { node = catalyst_node; nodes = 300; fabric = Link.ib_qdr }
+
+let pp ppf n =
+  Fmt.pf ppf "%s: %dx %a%s" n.name n.cpu_sockets Device.pp n.cpu
+    (match n.gpu with
+    | None -> ""
+    | Some g -> Fmt.str " + %dx %a via %a" n.gpus Device.pp g Link.pp n.host_link)

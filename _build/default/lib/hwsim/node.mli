@@ -1,0 +1,40 @@
+(** Node and cluster composition: the machines of the paper.
+
+    A node aggregates CPU sockets and GPUs with a host link; a machine is
+    [nodes] identical nodes on a fabric. *)
+
+type t = {
+  name : string;
+  cpu : Device.t;
+  cpu_sockets : int;
+  gpu : Device.t option;
+  gpus : int;
+  host_link : Link.t;
+  nvme_gb : float;  (** node-local burst-tier capacity; 0 when absent *)
+}
+
+type machine = { node : t; nodes : int; fabric : Link.t }
+
+val cpu_peak_gflops : t -> float
+val gpu_peak_gflops : t -> float
+val node_peak_gflops : t -> float
+
+val witherspoon : t
+(** Sierra node: 2x P9 + 4x V100 on NVLink2, 1.6 TB NVMe. *)
+
+val minsky : t
+(** Early-access node: 2x P8 + 4x P100 on NVLink1. *)
+
+val cori_ii : t
+(** KNL node at NERSC (SW4's comparison machine). *)
+
+val viz_node : t
+val dev_node : t
+val catalyst_node : t
+
+val sierra : machine
+val ea_system : machine
+val cori : machine
+val catalyst : machine
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** Roofline pricing of kernels on devices.
+
+    time = launches * launch_overhead
+         + max (flops / (eff_compute * peak), bytes / (eff_bandwidth * bw))
+
+    Efficiency fractions express how well a given code variant exploits the
+    device (e.g. a shared-memory CUDA stencil reaches a higher compute
+    fraction than the naive one; RAJA pays an abstraction penalty). They are
+    the calibration surface of the reproduction: set per code-variant, never
+    per-experiment. *)
+
+type efficiency = {
+  compute : float;  (** fraction of peak flops achievable *)
+  bandwidth : float;  (** fraction of peak memory bandwidth achievable *)
+}
+
+let eff ?(compute = 1.0) ?(bandwidth = 1.0) () =
+  assert (compute > 0.0 && compute <= 1.0);
+  assert (bandwidth > 0.0 && bandwidth <= 1.0);
+  { compute; bandwidth }
+
+let default_eff = { compute = 0.6; bandwidth = 0.75 }
+
+(** Execution time in seconds of kernel [k] on device [d]. [lanes_used]
+    (default: all) idles part of the chip, scaling both roofs — this is how
+    the Cretin memory-constrained "60% of CPU cores idle" case is modelled. *)
+let time ?(eff = default_eff) ?lanes_used (d : Device.t) (k : Kernel.t) =
+  let lane_frac =
+    match lanes_used with
+    | None -> 1.0
+    | Some l ->
+        assert (l > 0 && l <= d.Device.lanes);
+        float_of_int l /. float_of_int d.Device.lanes
+  in
+  let peak = d.Device.peak_gflops *. 1e9 *. eff.compute *. lane_frac in
+  let bw = d.Device.mem_bw_gbs *. 1e9 *. eff.bandwidth *. lane_frac in
+  let compute_t = k.Kernel.flops /. peak in
+  let mem_t = k.Kernel.bytes /. bw in
+  (float_of_int k.Kernel.launches *. d.Device.launch_overhead_s)
+  +. max compute_t mem_t
+
+(** Which roof binds. *)
+type bound = Compute_bound | Bandwidth_bound
+
+let binding ?(eff = default_eff) (d : Device.t) (k : Kernel.t) =
+  let compute_t = k.Kernel.flops /. (d.Device.peak_gflops *. 1e9 *. eff.compute) in
+  let mem_t = k.Kernel.bytes /. (d.Device.mem_bw_gbs *. 1e9 *. eff.bandwidth) in
+  if compute_t >= mem_t then Compute_bound else Bandwidth_bound
+
+(** Achieved fraction of device peak for a kernel run in time [t]. *)
+let achieved_peak_fraction (d : Device.t) (k : Kernel.t) ~time:t =
+  k.Kernel.flops /. t /. (d.Device.peak_gflops *. 1e9)

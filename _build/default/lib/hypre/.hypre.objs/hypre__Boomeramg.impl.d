@@ -1,0 +1,1 @@
+lib/hypre/boomeramg.ml: Array Coarsen Hwsim Icoe_util Linalg List Option Smoother

@@ -1,0 +1,1 @@
+lib/hypre/boomeramg.mli: Hwsim Linalg Smoother

@@ -1,0 +1,1 @@
+lib/hypre/boxloop.ml: Array Float Prog

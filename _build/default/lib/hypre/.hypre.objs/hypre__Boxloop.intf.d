@@ -1,0 +1,1 @@
+lib/hypre/boxloop.mli: Prog

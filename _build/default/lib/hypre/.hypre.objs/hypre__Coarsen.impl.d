@@ -1,0 +1,1 @@
+lib/hypre/coarsen.ml: Array Icoe_util Linalg List

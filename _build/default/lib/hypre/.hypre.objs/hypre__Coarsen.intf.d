@@ -1,0 +1,1 @@
+lib/hypre/coarsen.mli: Icoe_util Linalg

@@ -1,0 +1,1 @@
+lib/hypre/pfmg.ml: Array Boxloop Float List

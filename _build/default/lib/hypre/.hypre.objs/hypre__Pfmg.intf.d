@@ -1,0 +1,1 @@
+lib/hypre/pfmg.mli: Prog

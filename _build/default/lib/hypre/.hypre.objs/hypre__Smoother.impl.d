@@ -1,0 +1,1 @@
+lib/hypre/smoother.ml: Array Float Fmt Linalg

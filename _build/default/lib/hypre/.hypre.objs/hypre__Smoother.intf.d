@@ -1,0 +1,1 @@
+lib/hypre/smoother.mli: Linalg

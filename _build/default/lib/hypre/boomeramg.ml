@@ -1,0 +1,179 @@
+(** BoomerAMG: unstructured algebraic multigrid.
+
+    Setup (CPU, per the paper): strength → PMIS coarsening → direct
+    interpolation → Galerkin coarse operator A_c = P^T A P, recursively.
+    Solve (GPU-portable, per the paper): V-cycles whose fine-level work is
+    smoother sweeps and spmv restrict/prolong — all matvec-shaped. The
+    [device_profile] hook reports the flop/byte volume of one V-cycle so
+    the hardware model can price the solve phase on any device. *)
+
+type level = {
+  a : Linalg.Csr.t;
+  p : Linalg.Csr.t option;  (** interpolation to this level from coarser *)
+  r : Linalg.Csr.t option;  (** restriction = P^T *)
+}
+
+type t = {
+  levels : level array;  (** levels.(0) is the fine grid *)
+  coarse_lu : Linalg.Dense.lu;
+  smoother : Smoother.kind;
+  nu_pre : int;
+  nu_post : int;
+}
+
+type setup_params = {
+  theta : float;
+  max_levels : int;
+  coarse_size : int;
+  smoother : Smoother.kind;
+  nu_pre : int;
+  nu_post : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    theta = 0.25;
+    max_levels = 20;
+    coarse_size = 40;
+    smoother = Smoother.L1_jacobi;
+    nu_pre = 1;
+    nu_post = 1;
+    seed = 7;
+  }
+
+let setup ?(params = default_params) (a0 : Linalg.Csr.t) =
+  let rng = Icoe_util.Rng.create params.seed in
+  let rec build a acc depth =
+    if a.Linalg.Csr.m <= params.coarse_size || depth >= params.max_levels then
+      (a, List.rev acc)
+    else
+      let s = Coarsen.strength ~theta:params.theta a in
+      let cf = Coarsen.pmis ~rng s in
+      let nc = Array.fold_left (fun c x -> if x = Coarsen.Coarse then c + 1 else c) 0 cf in
+      if nc = 0 || nc >= a.Linalg.Csr.m then (a, List.rev acc)
+      else
+        let p, _ = Coarsen.direct_interpolation a s cf in
+        let r = Linalg.Csr.transpose p in
+        let ac = Linalg.Csr.matmul r (Linalg.Csr.matmul a p) in
+        build ac ({ a; p = Some p; r = Some r } :: acc) (depth + 1)
+  in
+  let coarse_a, levels = build a0 [] 0 in
+  let levels = levels @ [ { a = coarse_a; p = None; r = None } ] in
+  let coarse_dense = Linalg.Csr.to_dense coarse_a in
+  (* regularize in case the coarsest operator is singular (pure Neumann) *)
+  let lu =
+    try Linalg.Dense.lu_factor coarse_dense
+    with Linalg.Dense.Singular _ ->
+      let d = Linalg.Dense.copy coarse_dense in
+      for i = 0 to d.Linalg.Dense.m - 1 do
+        Linalg.Dense.update d i i (fun v -> v +. 1e-8)
+      done;
+      Linalg.Dense.lu_factor d
+  in
+  {
+    levels = Array.of_list levels;
+    coarse_lu = lu;
+    smoother = params.smoother;
+    nu_pre = params.nu_pre;
+    nu_post = params.nu_post;
+  }
+
+let num_levels t = Array.length t.levels
+
+let operator_complexity t =
+  let fine = float_of_int (Linalg.Csr.nnz t.levels.(0).a) in
+  let total =
+    Array.fold_left (fun s l -> s +. float_of_int (Linalg.Csr.nnz l.a)) 0.0 t.levels
+  in
+  total /. fine
+
+(** One V-cycle for A x = b starting from x (modified in place at level 0). *)
+let v_cycle t b x =
+  let nl = Array.length t.levels in
+  let rec descend lvl b x =
+    let a = t.levels.(lvl).a in
+    if lvl = nl - 1 then begin
+      let sol = Linalg.Dense.lu_solve t.coarse_lu b in
+      Array.blit sol 0 x 0 (Array.length sol)
+    end
+    else begin
+      for _ = 1 to t.nu_pre do
+        Smoother.sweep t.smoother a b x
+      done;
+      let r = Linalg.Vec.sub b (Linalg.Csr.spmv a x) in
+      (* restriction lives on the *finer* level's record *)
+      let restrict = Option.get t.levels.(lvl).r in
+      let bc = Linalg.Csr.spmv restrict r in
+      let xc = Array.make (Array.length bc) 0.0 in
+      descend (lvl + 1) bc xc;
+      let p = Option.get t.levels.(lvl).p in
+      let corr = Linalg.Csr.spmv p xc in
+      Linalg.Vec.axpy 1.0 corr x;
+      for _ = 1 to t.nu_post do
+        Smoother.sweep t.smoother a b x
+      done
+    end
+  in
+  descend 0 b x
+
+(** Standalone AMG iteration to tolerance. *)
+let solve ?(tol = 1e-8) ?(max_cycles = 100) t b x0 =
+  let a = t.levels.(0).a in
+  let x = Array.copy x0 in
+  let bnorm = max (Linalg.Vec.nrm2 b) 1e-300 in
+  let res = ref (Linalg.Vec.nrm2 (Linalg.Vec.sub b (Linalg.Csr.spmv a x)) /. bnorm) in
+  let cycles = ref 0 in
+  while !res > tol && !cycles < max_cycles do
+    v_cycle t b x;
+    res := Linalg.Vec.nrm2 (Linalg.Vec.sub b (Linalg.Csr.spmv a x)) /. bnorm;
+    incr cycles
+  done;
+  (x, !cycles, !res)
+
+(** Use as a preconditioner: one V-cycle applied to r from a zero guess. *)
+let precond t r =
+  let z = Array.make (Array.length r) 0.0 in
+  v_cycle t r z;
+  z
+
+(** PCG with this AMG as preconditioner — the hypre Krylov + AMG stack. *)
+let pcg_solve ?(tol = 1e-8) ?(max_iter = 200) t b x0 =
+  Linalg.Krylov.pcg ~tol ~max_iter
+    ~op:(fun v -> Linalg.Csr.spmv t.levels.(0).a v)
+    ~precond:(precond t) b x0
+
+(** Flop/byte volume of one V-cycle: every smoother sweep costs ~2 spmv
+    traversals, restrict/prolong one each. Used to price the solve phase
+    on simulated devices. *)
+let v_cycle_work (t : t) =
+  let spmv_cost (m : Linalg.Csr.t) =
+    let nz = float_of_int (Linalg.Csr.nnz m) in
+    (* 2 flops and 12 bytes (value + column index + vector read) per nnz,
+       plus the output vector write *)
+    (2.0 *. nz, (12.0 *. nz) +. (8.0 *. float_of_int m.Linalg.Csr.m))
+  in
+  let flops = ref 0.0 and bytes = ref 0.0 and launches = ref 0 in
+  Array.iteri
+    (fun lvl l ->
+      let f, b = spmv_cost l.a in
+      let sweeps = float_of_int (t.nu_pre + t.nu_post) in
+      if lvl < Array.length t.levels - 1 then begin
+        (* each sweep: one residual spmv + diagonal update *)
+        flops := !flops +. (sweeps *. (f +. (2.0 *. float_of_int l.a.Linalg.Csr.m)));
+        bytes := !bytes +. (sweeps *. (b +. (16.0 *. float_of_int l.a.Linalg.Csr.m)));
+        launches := !launches + ((t.nu_pre + t.nu_post) * 2);
+        (* residual + restrict + prolong *)
+        flops := !flops +. f;
+        bytes := !bytes +. b;
+        launches := !launches + 3;
+        (match l.r with
+        | Some r ->
+            let f, b = spmv_cost r in
+            flops := !flops +. (2.0 *. f);
+            bytes := !bytes +. (2.0 *. b)
+        | None -> ())
+      end)
+    t.levels;
+  Hwsim.Kernel.make ~name:"amg-vcycle" ~flops:!flops ~bytes:!bytes
+    ~launches:!launches ()

@@ -1,0 +1,155 @@
+(** Strength of connection and PMIS coarse-grid selection.
+
+    This is the (CPU-resident) setup-phase machinery the paper explicitly
+    kept on the host: "The setup phase, which consists of complicated
+    components, has been kept on the CPU." *)
+
+type cf = Coarse | Fine
+
+(** Strength matrix: S_ij = 1 iff -a_ij >= theta * max_{k<>i}(-a_ik).
+    Returned as a CSR 0/1 pattern (diagonal excluded). *)
+let strength ?(theta = 0.25) (a : Linalg.Csr.t) =
+  let open Linalg.Csr in
+  let triplets = ref [] in
+  for i = 0 to a.m - 1 do
+    (* max negative off-diagonal magnitude *)
+    let maxneg = ref 0.0 in
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      if a.col_idx.(k) <> i then maxneg := max !maxneg (-.a.values.(k))
+    done;
+    if !maxneg > 0.0 then
+      for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+        let j = a.col_idx.(k) in
+        if j <> i && -.a.values.(k) >= theta *. !maxneg then
+          triplets := (i, j, 1.0) :: !triplets
+      done
+  done;
+  of_triplets ~m:a.m ~n:a.n !triplets
+
+(** PMIS: parallel maximal independent set on the strength graph, seeded by
+    measure = degree + random in [0,1). Deterministic given [rng]. *)
+let pmis ~(rng : Icoe_util.Rng.t) (s : Linalg.Csr.t) =
+  let open Linalg.Csr in
+  let n = s.m in
+  let st = transpose s in
+  let degree i =
+    (s.row_ptr.(i + 1) - s.row_ptr.(i)) + (st.row_ptr.(i + 1) - st.row_ptr.(i))
+  in
+  let measure = Array.init n (fun i -> float_of_int (degree i) +. Icoe_util.Rng.float rng) in
+  let state = Array.make n `Undecided in
+  (* isolated points (no strong connections either way) become fine
+     immediately; nothing interpolates from them *)
+  for i = 0 to n - 1 do
+    if degree i = 0 then state.(i) <- `Coarse
+    (* isolated: treat as coarse so they're exactly represented *)
+  done;
+  let undecided = ref n in
+  let count_undecided () =
+    let c = ref 0 in
+    Array.iter (fun s -> if s = `Undecided then incr c) state;
+    !c
+  in
+  undecided := count_undecided ();
+  while !undecided > 0 do
+    (* select local maxima among undecided *)
+    let selected = Array.make n false in
+    for i = 0 to n - 1 do
+      if state.(i) = `Undecided then begin
+        let is_max = ref true in
+        let check k_arr_ptr k_arr_idx =
+          for k = k_arr_ptr.(i) to k_arr_ptr.(i + 1) - 1 do
+            let j = k_arr_idx.(k) in
+            if state.(j) = `Undecided && measure.(j) > measure.(i) then
+              is_max := false
+          done
+        in
+        check s.row_ptr s.col_idx;
+        check st.row_ptr st.col_idx;
+        if !is_max then selected.(i) <- true
+      end
+    done;
+    for i = 0 to n - 1 do
+      if selected.(i) then state.(i) <- `Coarse
+    done;
+    (* any undecided point strongly connected to a new coarse point becomes
+       fine *)
+    for i = 0 to n - 1 do
+      if state.(i) = `Undecided then begin
+        let has_coarse = ref false in
+        for k = s.row_ptr.(i) to s.row_ptr.(i + 1) - 1 do
+          if state.(s.col_idx.(k)) = `Coarse then has_coarse := true
+        done;
+        if !has_coarse then state.(i) <- `Fine
+      end
+    done;
+    let u = count_undecided () in
+    (* safety: if no progress (all remaining are mutually weak), make the
+       highest-measure one coarse *)
+    if u = !undecided && u > 0 then begin
+      let best = ref (-1) in
+      for i = 0 to n - 1 do
+        if state.(i) = `Undecided
+           && (!best < 0 || measure.(i) > measure.(!best)) then best := i
+      done;
+      state.(!best) <- `Coarse
+    end;
+    undecided := count_undecided ()
+  done;
+  Array.map (function `Coarse -> Coarse | `Fine -> Fine | `Undecided -> Fine) state
+
+(** Direct interpolation: for fine i,
+    P_ij = -a_ij / a_ii * (sum of all neg offdiag) / (sum over coarse strong
+    neighbours), classical scaling. Coarse points are injected. Returns
+    (P, coarse_index_map). *)
+let direct_interpolation (a : Linalg.Csr.t) (s : Linalg.Csr.t) cf =
+  let open Linalg.Csr in
+  let n = a.m in
+  let cmap = Array.make n (-1) in
+  let nc = ref 0 in
+  for i = 0 to n - 1 do
+    if cf.(i) = Coarse then begin
+      cmap.(i) <- !nc;
+      incr nc
+    end
+  done;
+  let strong_coarse i =
+    let acc = ref [] in
+    for k = s.row_ptr.(i) to s.row_ptr.(i + 1) - 1 do
+      let j = s.col_idx.(k) in
+      if cf.(j) = Coarse then acc := j :: !acc
+    done;
+    !acc
+  in
+  let triplets = ref [] in
+  for i = 0 to n - 1 do
+    match cf.(i) with
+    | Coarse -> triplets := (i, cmap.(i), 1.0) :: !triplets
+    | Fine ->
+        let sc = strong_coarse i in
+        let aii = ref 0.0 in
+        let sum_all = ref 0.0 and sum_c = ref 0.0 in
+        for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+          let j = a.col_idx.(k) and v = a.values.(k) in
+          if j = i then aii := v
+          else begin
+            if v < 0.0 then sum_all := !sum_all +. v;
+            if v < 0.0 && List.mem j sc then sum_c := !sum_c +. v
+          end
+        done;
+        if sc = [] || !sum_c = 0.0 || !aii = 0.0 then
+          (* no coarse support: fall back to zero row (smoother handles it) *)
+          ()
+        else
+          let alpha = !sum_all /. !sum_c in
+          List.iter
+            (fun j ->
+              (* a_ij for this j *)
+              let aij = ref 0.0 in
+              for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+                if a.col_idx.(k) = j then aij := a.values.(k)
+              done;
+              if !aij < 0.0 then
+                triplets := (i, cmap.(j), -.alpha *. !aij /. !aii) :: !triplets)
+            sc
+  done;
+  (of_triplets ~m:n ~n:!nc !triplets, cmap)

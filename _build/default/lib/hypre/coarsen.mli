@@ -1,0 +1,19 @@
+(** Strength of connection and PMIS coarse-grid selection — the
+    (CPU-resident) setup-phase machinery the paper explicitly kept on the
+    host. *)
+
+type cf = Coarse | Fine
+
+val strength : ?theta:float -> Linalg.Csr.t -> Linalg.Csr.t
+(** Strength matrix: S_ij = 1 iff -a_ij >= theta * max_k(-a_ik), diagonal
+    excluded. Default theta 0.25. *)
+
+val pmis : rng:Icoe_util.Rng.t -> Linalg.Csr.t -> cf array
+(** PMIS coarsening on a strength graph; deterministic given [rng]. Every
+    fine point ends with at least one strong coarse neighbour. *)
+
+val direct_interpolation :
+  Linalg.Csr.t -> Linalg.Csr.t -> cf array -> Linalg.Csr.t * int array
+(** Classical direct interpolation: [(p, cmap)] where [p] maps coarse
+    coefficients to the fine grid and [cmap.(i)] is the coarse index of
+    fine point [i] (or -1). Coarse points are injected. *)

@@ -1,0 +1,19 @@
+(** Pointwise smoothers for the AMG hierarchy.
+
+    The GPU-portable smoothers are the ones expressible as matvecs plus
+    diagonal scalings — why the paper's BoomerAMG solve-phase port leaned
+    on cuSPARSE spmv. Gauss-Seidel is the sequential CPU reference. *)
+
+type kind =
+  | Jacobi of float  (** weighted Jacobi with the given damping *)
+  | L1_jacobi  (** rows scaled by their l1 norm: unconditionally stable *)
+  | Gauss_seidel
+
+val name : kind -> string
+
+val sweep : kind -> Linalg.Csr.t -> float array -> float array -> unit
+(** [sweep kind a b x]: one in-place sweep of x <- x + M^-1 (b - A x). *)
+
+val gpu_capable : kind -> bool
+(** Whether the smoother has spmv-level parallelism (and therefore runs
+    on the accelerator in the solve-phase port). *)

@@ -1,0 +1,1 @@
+lib/icoe/experiments.mli:

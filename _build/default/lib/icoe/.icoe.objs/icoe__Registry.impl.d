@@ -1,0 +1,1 @@
+lib/icoe/registry.ml: Icoe_util List String

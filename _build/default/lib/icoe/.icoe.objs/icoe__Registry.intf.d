@@ -1,0 +1,1 @@
+lib/icoe/registry.mli: Icoe_util

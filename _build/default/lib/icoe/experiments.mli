@@ -1,0 +1,13 @@
+(** One harness per table and figure of the paper. Each runs the real
+    workload at laptop scale, prices device-dependent results on the
+    hardware model, and returns rendered text with the paper's reference
+    values alongside. The bench executable and the icoe_report CLI both
+    dispatch through {!all}. *)
+
+val all : (string * string * (unit -> string)) list
+(** (id, description, harness) for every reproduced result, including
+    the [ablations] design-choice studies. *)
+
+val find : string -> (string * string * (unit -> string)) option
+
+val run_all : unit -> string

@@ -1,0 +1,14 @@
+(** The Table 1 activity registry: the nine completed iCoE activities,
+    their science areas and programming-model approaches, linked to the
+    modules of this reproduction that implement them. *)
+
+type activity = {
+  name : string;
+  science_area : string;
+  base_language : string;
+  approaches : string list;
+  modules : string list;  (** OCaml modules implementing the activity *)
+}
+
+val activities : activity list
+val table1 : unit -> Icoe_util.Table.t

@@ -1,0 +1,1 @@
+lib/lda/corpus.ml: Array Hashtbl Icoe_util List Option

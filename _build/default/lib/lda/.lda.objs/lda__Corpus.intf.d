@@ -1,0 +1,1 @@
+lib/lda/corpus.mli: Icoe_util

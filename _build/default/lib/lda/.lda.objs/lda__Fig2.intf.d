@@ -1,0 +1,1 @@
+lib/lda/fig2.mli: Sparkle

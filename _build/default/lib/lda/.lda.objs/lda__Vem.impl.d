@@ -1,0 +1,1 @@
+lib/lda/vem.ml: Array Corpus Icoe_util Sparkle

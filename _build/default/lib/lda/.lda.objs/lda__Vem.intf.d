@@ -1,0 +1,1 @@
+lib/lda/vem.mli: Corpus Icoe_util Sparkle

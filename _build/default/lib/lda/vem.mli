@@ -1,0 +1,39 @@
+(** Variational EM for Latent Dirichlet Allocation, executed on the
+    sparkle substrate the way SparkPlug ran it: documents in RDD
+    partitions; each iteration broadcasts the topic-word parameters, runs
+    the E-step as a mapPartitions, aggregates sufficient statistics
+    all-to-one, and updates lambda on the driver. The simulated-time
+    breakdown of those phases is Fig 2. *)
+
+val digamma : float -> float
+
+type model = {
+  k : int;
+  vocab : int;
+  alpha : float;  (** symmetric document-topic prior *)
+  eta : float;  (** topic-word prior *)
+  mutable lambda : float array array;  (** k x vocab variational params *)
+}
+
+val init : rng:Icoe_util.Rng.t -> k:int -> vocab:int -> unit -> model
+
+val elog_beta : model -> float array array
+(** E[log beta] from lambda (digamma differences). *)
+
+val e_step_doc :
+  model -> float array array -> Corpus.doc -> float array array -> float
+(** Variational E-step for one document, accumulating sufficient
+    statistics; returns the document's likelihood proxy. *)
+
+type iteration_result = { loglik : float }
+
+val em_iteration : model -> Corpus.doc Sparkle.Rdd.t -> iteration_result
+
+val train : ?iters:int -> model -> Corpus.doc Sparkle.Rdd.t -> float array
+(** Run EM; returns the per-iteration log-likelihood trace. *)
+
+val topics : model -> float array array
+(** Normalized topic-word distributions. *)
+
+val recovery_score : model -> float array array -> float
+(** Mean best-cosine match of learned topics against ground truth. *)

@@ -1,0 +1,1 @@
+lib/linalg/krylov.ml: Array Float Vec

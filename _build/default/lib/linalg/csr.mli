@@ -1,0 +1,45 @@
+(** Compressed sparse row matrices: the cuSPARSE analog.
+
+    hypre's BoomerAMG solve phase, Cretin's iterative population solver
+    and every Krylov method run on these. *)
+
+type t = {
+  m : int;
+  n : int;
+  row_ptr : int array;  (** length m+1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+val nnz : t -> int
+val create_empty : int -> int -> t
+
+val of_triplets : m:int -> n:int -> (int * int * float) list -> t
+(** Build from (row, col, value) triplets; duplicates are summed, columns
+    are sorted within each row. Indices must be in range. *)
+
+val of_dense : Dense.t -> t
+val to_dense : t -> Dense.t
+
+val spmv : t -> float array -> float array
+(** y = A x, fresh output. *)
+
+val spmv_into : t -> float array -> float array -> unit
+(** y = A x into a preallocated output. *)
+
+val diag : t -> float array
+
+val transpose : t -> t
+
+val matmul : t -> t -> t
+(** Sparse C = A * B (Gustavson's algorithm) — used for the Galerkin
+    coarse-grid product in BoomerAMG. *)
+
+val scale_rows : t -> float array -> t
+(** diag(d) * A as a fresh matrix. *)
+
+val laplacian_2d : int -> int -> t
+(** Standard 5-point Laplacian on an nx x ny grid, Dirichlet walls. *)
+
+val laplacian_3d : int -> int -> int -> t
+(** 7-point 3D Laplacian. *)

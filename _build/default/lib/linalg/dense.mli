@@ -1,0 +1,36 @@
+(** Dense matrices (row-major) with partial-pivoting LU — the cuSOLVER
+    analog. Cretin's direct rate-matrix inversions and small FEM element
+    solves go through here. *)
+
+type t = { m : int; n : int; a : float array }
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val update : t -> int -> int -> (float -> float) -> unit
+val copy : t -> t
+val identity : int -> t
+val transpose : t -> t
+
+val matvec : t -> float array -> float array
+val matmul : t -> t -> t
+
+exception Singular of int
+(** Raised by factorization when a pivot column is numerically zero. *)
+
+type lu
+(** An LU factorization with its pivot permutation. *)
+
+val lu_factor : t -> lu
+(** Requires a square matrix; raises {!Singular} on breakdown. *)
+
+val lu_solve : lu -> float array -> float array
+
+val solve : t -> float array -> float array
+(** One-shot factor-and-solve. *)
+
+val frobenius : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,199 @@
+(** Krylov solvers: CG, preconditioned CG, restarted GMRES, BiCGStab.
+
+    These are the solve-phase workhorses of hypre (PCG + AMG), Cretin's
+    batched iterative population solver (GMRES + Jacobi) and the
+    matrix-free topology-optimization solver (CG on an operator). All
+    methods take the operator as a function so matrix-free use is direct. *)
+
+type result = {
+  x : float array;
+  iters : int;
+  residual : float;  (** final relative residual ||b - Ax|| / ||b|| *)
+  converged : bool;
+}
+
+let default_tol = 1e-10
+
+(** Conjugate gradients on an SPD operator. *)
+let cg ?(tol = default_tol) ?(max_iter = 1000) ~op b x0 =
+  let x = Array.copy x0 in
+  let r = Vec.sub b (op x) in
+  let p = Array.copy r in
+  let bnorm = max (Vec.nrm2 b) 1e-300 in
+  let rr = ref (Vec.dot r r) in
+  let iters = ref 0 in
+  (try
+     while !iters < max_iter && sqrt !rr /. bnorm > tol do
+       let ap = op p in
+       let alpha = !rr /. Vec.dot p ap in
+       Vec.axpy alpha p x;
+       Vec.axpy (-.alpha) ap r;
+       let rr' = Vec.dot r r in
+       if not (Float.is_finite rr') then raise Exit;
+       let beta = rr' /. !rr in
+       rr := rr';
+       Vec.xpby r beta p;
+       incr iters
+     done
+   with Exit -> ());
+  let res = sqrt !rr /. bnorm in
+  { x; iters = !iters; residual = res; converged = res <= tol }
+
+(** Preconditioned CG; [precond r] returns M^{-1} r. *)
+let pcg ?(tol = default_tol) ?(max_iter = 1000) ~op ~precond b x0 =
+  let x = Array.copy x0 in
+  let r = Vec.sub b (op x) in
+  let z = precond r in
+  let p = Array.copy z in
+  let bnorm = max (Vec.nrm2 b) 1e-300 in
+  let rz = ref (Vec.dot r z) in
+  let iters = ref 0 in
+  let res = ref (Vec.nrm2 r /. bnorm) in
+  (try
+     while !iters < max_iter && !res > tol do
+       let ap = op p in
+       let pap = Vec.dot p ap in
+       if pap <= 0.0 || not (Float.is_finite pap) then raise Exit;
+       let alpha = !rz /. pap in
+       Vec.axpy alpha p x;
+       Vec.axpy (-.alpha) ap r;
+       res := Vec.nrm2 r /. bnorm;
+       let z = precond r in
+       let rz' = Vec.dot r z in
+       let beta = rz' /. !rz in
+       rz := rz';
+       Vec.xpby z beta p;
+       incr iters
+     done
+   with Exit -> ());
+  { x; iters = !iters; residual = !res; converged = !res <= tol }
+
+(** Restarted GMRES(m) with optional right preconditioning. *)
+let gmres ?(tol = default_tol) ?(max_iter = 1000) ?(restart = 30)
+    ?(precond = Array.copy) ~op b x0 =
+  let n = Array.length b in
+  let x = ref (Array.copy x0) in
+  let bnorm = max (Vec.nrm2 b) 1e-300 in
+  let total_iters = ref 0 in
+  let final_res = ref infinity in
+  let converged = ref false in
+  (try
+     while (not !converged) && !total_iters < max_iter do
+       let r = Vec.sub b (op !x) in
+       let beta = Vec.nrm2 r in
+       final_res := beta /. bnorm;
+       if !final_res <= tol then begin
+         converged := true;
+         raise Exit
+       end;
+       let m = min restart (max_iter - !total_iters) in
+       (* Arnoldi basis, Hessenberg, Givens rotations *)
+       let v = Array.make (m + 1) [||] in
+       v.(0) <- Array.map (fun vi -> vi /. beta) r;
+       let h = Array.make_matrix (m + 1) m 0.0 in
+       let cs = Array.make m 0.0 and sn = Array.make m 0.0 in
+       let g = Array.make (m + 1) 0.0 in
+       g.(0) <- beta;
+       let k_done = ref 0 in
+       (try
+          for k = 0 to m - 1 do
+            let zk = precond v.(k) in
+            let w = op zk in
+            for i = 0 to k do
+              h.(i).(k) <- Vec.dot w v.(i);
+              Vec.axpy (-.h.(i).(k)) v.(i) w
+            done;
+            h.(k + 1).(k) <- Vec.nrm2 w;
+            if h.(k + 1).(k) > 1e-300 then
+              v.(k + 1) <- Array.map (fun wi -> wi /. h.(k + 1).(k)) w
+            else v.(k + 1) <- Array.make n 0.0;
+            (* apply existing rotations *)
+            for i = 0 to k - 1 do
+              let t = (cs.(i) *. h.(i).(k)) +. (sn.(i) *. h.(i + 1).(k)) in
+              h.(i + 1).(k) <-
+                (-.sn.(i) *. h.(i).(k)) +. (cs.(i) *. h.(i + 1).(k));
+              h.(i).(k) <- t
+            done;
+            (* new rotation *)
+            let denom = sqrt ((h.(k).(k) ** 2.0) +. (h.(k + 1).(k) ** 2.0)) in
+            if denom < 1e-300 then begin
+              cs.(k) <- 1.0;
+              sn.(k) <- 0.0
+            end
+            else begin
+              cs.(k) <- h.(k).(k) /. denom;
+              sn.(k) <- h.(k + 1).(k) /. denom
+            end;
+            h.(k).(k) <- (cs.(k) *. h.(k).(k)) +. (sn.(k) *. h.(k + 1).(k));
+            h.(k + 1).(k) <- 0.0;
+            g.(k + 1) <- -.sn.(k) *. g.(k);
+            g.(k) <- cs.(k) *. g.(k);
+            incr total_iters;
+            k_done := k + 1;
+            final_res := Float.abs g.(k + 1) /. bnorm;
+            if !final_res <= tol then raise Exit
+          done
+        with Exit -> ());
+       let k = !k_done in
+       if k > 0 then begin
+         (* back substitution for y *)
+         let y = Array.make k 0.0 in
+         for i = k - 1 downto 0 do
+           let s = ref g.(i) in
+           for j = i + 1 to k - 1 do
+             s := !s -. (h.(i).(j) *. y.(j))
+           done;
+           y.(i) <- !s /. h.(i).(i)
+         done;
+         (* x <- x + M^{-1} (V y) *)
+         let upd = Array.make n 0.0 in
+         for i = 0 to k - 1 do
+           Vec.axpy y.(i) v.(i) upd
+         done;
+         let upd = precond upd in
+         Vec.axpy 1.0 upd !x
+       end;
+       if !final_res <= tol then converged := true;
+       if k = 0 then raise Exit
+     done
+   with Exit -> ());
+  { x = !x; iters = !total_iters; residual = !final_res; converged = !converged }
+
+(** BiCGStab for nonsymmetric systems. *)
+let bicgstab ?(tol = default_tol) ?(max_iter = 1000) ~op b x0 =
+  let x = Array.copy x0 in
+  let r = Vec.sub b (op x) in
+  let r0 = Array.copy r in
+  let bnorm = max (Vec.nrm2 b) 1e-300 in
+  let rho = ref 1.0 and alpha = ref 1.0 and omega = ref 1.0 in
+  let n = Array.length b in
+  let v = Array.make n 0.0 and p = Array.make n 0.0 in
+  let iters = ref 0 in
+  let res = ref (Vec.nrm2 r /. bnorm) in
+  (try
+     while !iters < max_iter && !res > tol do
+       let rho' = Vec.dot r0 r in
+       if Float.abs rho' < 1e-300 then raise Exit;
+       let beta = rho' /. !rho *. (!alpha /. !omega) in
+       rho := rho';
+       (* p <- r + beta*(p - omega*v) *)
+       for i = 0 to n - 1 do
+         p.(i) <- r.(i) +. (beta *. (p.(i) -. (!omega *. v.(i))))
+       done;
+       let v' = op p in
+       Array.blit v' 0 v 0 n;
+       alpha := !rho /. Vec.dot r0 v;
+       let s = Array.init n (fun i -> r.(i) -. (!alpha *. v.(i))) in
+       let t = op s in
+       let tt = Vec.dot t t in
+       omega := if tt < 1e-300 then 0.0 else Vec.dot t s /. tt;
+       for i = 0 to n - 1 do
+         x.(i) <- x.(i) +. (!alpha *. p.(i)) +. (!omega *. s.(i));
+         r.(i) <- s.(i) -. (!omega *. t.(i))
+       done;
+       res := Vec.nrm2 r /. bnorm;
+       incr iters;
+       if Float.abs !omega < 1e-300 then raise Exit
+     done
+   with Exit -> ());
+  { x; iters = !iters; residual = !res; converged = !res <= tol }

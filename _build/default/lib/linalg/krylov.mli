@@ -1,0 +1,56 @@
+(** Krylov solvers: CG, preconditioned CG, restarted GMRES, BiCGStab.
+
+    The solve-phase workhorses of hypre (PCG + AMG), Cretin's batched
+    iterative population solver (GMRES + Jacobi) and the matrix-free
+    topology-optimization solver. All methods take the operator as a
+    function, so matrix-free use is direct. *)
+
+type result = {
+  x : float array;
+  iters : int;
+  residual : float;  (** final relative residual ||b - Ax|| / ||b|| *)
+  converged : bool;
+}
+
+val default_tol : float
+(** 1e-10. *)
+
+val cg :
+  ?tol:float ->
+  ?max_iter:int ->
+  op:(float array -> float array) ->
+  float array ->
+  float array ->
+  result
+(** Conjugate gradients on an SPD operator: [cg ~op b x0]. Bails out
+    (converged = false) if the iteration produces non-finite values. *)
+
+val pcg :
+  ?tol:float ->
+  ?max_iter:int ->
+  op:(float array -> float array) ->
+  precond:(float array -> float array) ->
+  float array ->
+  float array ->
+  result
+(** Preconditioned CG; [precond r] must return M^-1 r for an SPD M. *)
+
+val gmres :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?restart:int ->
+  ?precond:(float array -> float array) ->
+  op:(float array -> float array) ->
+  float array ->
+  float array ->
+  result
+(** Restarted GMRES(m) with optional right preconditioning. *)
+
+val bicgstab :
+  ?tol:float ->
+  ?max_iter:int ->
+  op:(float array -> float array) ->
+  float array ->
+  float array ->
+  result
+(** BiCGStab for nonsymmetric systems. *)

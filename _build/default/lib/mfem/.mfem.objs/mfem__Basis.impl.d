@@ -1,0 +1,1 @@
+lib/mfem/basis.ml: Array Quadrature

@@ -1,0 +1,1 @@
+lib/mfem/diffusion.ml: Array Basis Hwsim Linalg List Mesh

@@ -1,0 +1,1 @@
+lib/mfem/diffusion.mli: Basis Hwsim Linalg Mesh

@@ -1,0 +1,1 @@
+lib/mfem/fem3d.ml: Array Basis Hwsim

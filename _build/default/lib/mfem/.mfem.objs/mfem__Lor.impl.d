@@ -1,0 +1,1 @@
+lib/mfem/lor.ml: Array Basis Diffusion Linalg Mesh

@@ -1,0 +1,1 @@
+lib/mfem/lor.mli: Basis Diffusion Linalg Mesh

@@ -1,0 +1,1 @@
+lib/mfem/mesh.ml: Array

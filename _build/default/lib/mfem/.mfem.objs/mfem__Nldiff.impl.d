@@ -1,0 +1,1 @@
+lib/mfem/nldiff.ml: Array Basis Diffusion Float Hwsim Hypre Linalg List Lor Mesh Prog Sundials

@@ -1,0 +1,1 @@
+lib/mfem/nldiff.mli: Hwsim Prog Sundials

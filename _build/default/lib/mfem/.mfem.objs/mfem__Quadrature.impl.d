@@ -1,0 +1,1 @@
+lib/mfem/quadrature.ml: Array Float

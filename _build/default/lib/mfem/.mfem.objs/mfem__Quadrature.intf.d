@@ -1,0 +1,1 @@
+lib/mfem/quadrature.mli:

@@ -1,0 +1,312 @@
+(** 3D tensor-product FEM: the dimensionality of the paper's actual
+    benchmark problems. Hexahedral elements on a Cartesian mesh, order-p
+    continuous dofs on the GLL lattice, and the sum-factorized partial
+    assembly of the diffusion operator — O(p^4) work per element against
+    the O(p^6) nonzeros a 3D assembled matrix would carry, which is where
+    partial assembly's advantage explodes relative to 2D. *)
+
+module Mesh3 = struct
+  type t = {
+    nx : int;
+    ny : int;
+    nz : int;
+    p : int;
+    lx : float;
+    ly : float;
+    lz : float;
+    ndx : int;
+    ndy : int;
+    ndz : int;
+  }
+
+  let create ?(lx = 1.0) ?(ly = 1.0) ?(lz = 1.0) ~nx ~ny ~nz ~p () =
+    assert (nx >= 1 && ny >= 1 && nz >= 1 && p >= 1);
+    {
+      nx; ny; nz; p; lx; ly; lz;
+      ndx = (nx * p) + 1;
+      ndy = (ny * p) + 1;
+      ndz = (nz * p) + 1;
+    }
+
+  let num_elements t = t.nx * t.ny * t.nz
+  let num_dofs t = t.ndx * t.ndy * t.ndz
+  let hx t = t.lx /. float_of_int t.nx
+  let hy t = t.ly /. float_of_int t.ny
+  let hz t = t.lz /. float_of_int t.nz
+
+  let global_dof t ~ex ~ey ~ez ~i ~j ~k =
+    let gx = (ex * t.p) + i and gy = (ey * t.p) + j and gz = (ez * t.p) + k in
+    gx + (t.ndx * (gy + (t.ndy * gz)))
+
+  let dof_coords t nodes g =
+    let gx = g mod t.ndx in
+    let gy = g / t.ndx mod t.ndy in
+    let gz = g / (t.ndx * t.ndy) in
+    let coord n h nelem =
+      let e = min (n / t.p) (nelem - 1) in
+      let i = n - (e * t.p) in
+      (float_of_int e *. h) +. ((nodes.(i) +. 1.0) /. 2.0 *. h)
+    in
+    (coord gx (hx t) t.nx, coord gy (hy t) t.ny, coord gz (hz t) t.nz)
+
+  let is_boundary t g =
+    let gx = g mod t.ndx in
+    let gy = g / t.ndx mod t.ndy in
+    let gz = g / (t.ndx * t.ndy) in
+    gx = 0 || gx = t.ndx - 1 || gy = 0 || gy = t.ndy - 1 || gz = 0
+    || gz = t.ndz - 1
+
+  let gather t u ~ex ~ey ~ez local =
+    let p1 = t.p + 1 in
+    for k = 0 to t.p do
+      for j = 0 to t.p do
+        for i = 0 to t.p do
+          local.(i + (p1 * (j + (p1 * k)))) <-
+            u.(global_dof t ~ex ~ey ~ez ~i ~j ~k)
+        done
+      done
+    done
+
+  let scatter_add t local ~ex ~ey ~ez y =
+    let p1 = t.p + 1 in
+    for k = 0 to t.p do
+      for j = 0 to t.p do
+        for i = 0 to t.p do
+          let g = global_dof t ~ex ~ey ~ez ~i ~j ~k in
+          y.(g) <- y.(g) +. local.(i + (p1 * (j + (p1 * k))))
+        done
+      done
+    done
+end
+
+(** Matrix-free 3D diffusion operator with sum factorization. *)
+module Pa3 = struct
+  type t = {
+    mesh : Mesh3.t;
+    basis : Basis.t;
+    (* diagonal geometric factors per element per quadrature point *)
+    d : float array array;  (** d.(e).(3*q + c) for component c *)
+    u_loc : float array;
+    y_loc : float array;
+    t1 : float array;
+    t2 : float array;
+    gq : float array array;  (** 3 x nq^3 gradient components *)
+  }
+
+  let setup ?(kappa = fun ~x:_ ~y:_ ~z:_ -> 1.0) mesh (basis : Basis.t) =
+    let nq = Basis.nq basis in
+    let p1 = basis.Basis.p + 1 in
+    let ne = Mesh3.num_elements mesh in
+    let hx = Mesh3.hx mesh and hy = Mesh3.hy mesh and hz = Mesh3.hz mesh in
+    let detj = hx *. hy *. hz /. 8.0 in
+    let scale = [| 4.0 /. (hx *. hx); 4.0 /. (hy *. hy); 4.0 /. (hz *. hz) |] in
+    let d = Array.make ne [||] in
+    for ez = 0 to mesh.Mesh3.nz - 1 do
+      for ey = 0 to mesh.Mesh3.ny - 1 do
+        for ex = 0 to mesh.Mesh3.nx - 1 do
+          let e = ex + (mesh.Mesh3.nx * (ey + (mesh.Mesh3.ny * ez))) in
+          let w = Array.make (3 * nq * nq * nq) 0.0 in
+          for q3 = 0 to nq - 1 do
+            for q2 = 0 to nq - 1 do
+              for q1 = 0 to nq - 1 do
+                let x =
+                  (float_of_int ex +. ((basis.Basis.qpts.(q1) +. 1.0) /. 2.0)) *. hx
+                in
+                let y =
+                  (float_of_int ey +. ((basis.Basis.qpts.(q2) +. 1.0) /. 2.0)) *. hy
+                in
+                let z =
+                  (float_of_int ez +. ((basis.Basis.qpts.(q3) +. 1.0) /. 2.0)) *. hz
+                in
+                let wq =
+                  basis.Basis.qwts.(q1) *. basis.Basis.qwts.(q2)
+                  *. basis.Basis.qwts.(q3) *. detj *. kappa ~x ~y ~z
+                in
+                let q = q1 + (nq * (q2 + (nq * q3))) in
+                for c = 0 to 2 do
+                  w.((3 * q) + c) <- wq *. scale.(c)
+                done
+              done
+            done
+          done;
+          d.(e) <- w
+        done
+      done
+    done;
+    let nq3 = nq * nq * nq in
+    {
+      mesh;
+      basis;
+      d;
+      u_loc = Array.make (p1 * p1 * p1) 0.0;
+      y_loc = Array.make (p1 * p1 * p1) 0.0;
+      t1 = Array.make (nq * p1 * p1) 0.0;
+      t2 = Array.make (nq * nq * p1) 0.0;
+      gq = Array.init 3 (fun _ -> Array.make nq3 0.0);
+    }
+
+  (* forward: out[q1,q2,q3] = sum_{i1,i2,i3} A.(q1,i1) B.(q2,i2) C.(q3,i3)
+     src[i1,i2,i3]; src is p1^3 (i fastest), out is nq^3 (q1 fastest) *)
+  let contract_forward t a b c src out =
+    let p1 = t.basis.Basis.p + 1 in
+    let nq = Basis.nq t.basis in
+    (* stage 1: t1[q1,i2,i3] *)
+    for i3 = 0 to p1 - 1 do
+      for i2 = 0 to p1 - 1 do
+        for q1 = 0 to nq - 1 do
+          let s = ref 0.0 in
+          for i1 = 0 to p1 - 1 do
+            s := !s +. (a.(q1).(i1) *. src.(i1 + (p1 * (i2 + (p1 * i3)))))
+          done;
+          t.t1.(q1 + (nq * (i2 + (p1 * i3)))) <- !s
+        done
+      done
+    done;
+    (* stage 2: t2[q1,q2,i3] *)
+    for i3 = 0 to p1 - 1 do
+      for q2 = 0 to nq - 1 do
+        for q1 = 0 to nq - 1 do
+          let s = ref 0.0 in
+          for i2 = 0 to p1 - 1 do
+            s := !s +. (b.(q2).(i2) *. t.t1.(q1 + (nq * (i2 + (p1 * i3)))))
+          done;
+          t.t2.(q1 + (nq * (q2 + (nq * i3)))) <- !s
+        done
+      done
+    done;
+    (* stage 3: out[q1,q2,q3] *)
+    for q3 = 0 to nq - 1 do
+      for q2 = 0 to nq - 1 do
+        for q1 = 0 to nq - 1 do
+          let s = ref 0.0 in
+          for i3 = 0 to p1 - 1 do
+            s := !s +. (c.(q3).(i3) *. t.t2.(q1 + (nq * (q2 + (nq * i3)))))
+          done;
+          out.(q1 + (nq * (q2 + (nq * q3)))) <- !s
+        done
+      done
+    done
+
+  (* backward (transpose) contraction, accumulating into out (p1^3) *)
+  let contract_backward t a b c src out =
+    let p1 = t.basis.Basis.p + 1 in
+    let nq = Basis.nq t.basis in
+    (* stage 1: t2[j1,q2,q3] = sum_q1 a.(q1).(j1) src[q1,q2,q3] *)
+    for q3 = 0 to nq - 1 do
+      for q2 = 0 to nq - 1 do
+        for j1 = 0 to p1 - 1 do
+          let s = ref 0.0 in
+          for q1 = 0 to nq - 1 do
+            s := !s +. (a.(q1).(j1) *. src.(q1 + (nq * (q2 + (nq * q3)))))
+          done;
+          t.t2.(j1 + (p1 * (q2 + (nq * q3)))) <- !s
+        done
+      done
+    done;
+    (* stage 2: t1[j1,j2,q3] *)
+    for q3 = 0 to nq - 1 do
+      for j2 = 0 to p1 - 1 do
+        for j1 = 0 to p1 - 1 do
+          let s = ref 0.0 in
+          for q2 = 0 to nq - 1 do
+            s := !s +. (b.(q2).(j2) *. t.t2.(j1 + (p1 * (q2 + (nq * q3)))))
+          done;
+          t.t1.(j1 + (p1 * (j2 + (p1 * q3)))) <- !s
+        done
+      done
+    done;
+    (* stage 3 accumulate into out[j1,j2,j3] *)
+    for j3 = 0 to p1 - 1 do
+      for j2 = 0 to p1 - 1 do
+        for j1 = 0 to p1 - 1 do
+          let s = ref 0.0 in
+          for q3 = 0 to nq - 1 do
+            s := !s +. (c.(q3).(j3) *. t.t1.(j1 + (p1 * (j2 + (p1 * q3)))))
+          done;
+          let o = j1 + (p1 * (j2 + (p1 * j3))) in
+          out.(o) <- out.(o) +. !s
+        done
+      done
+    done
+
+  (** y <- K u, matrix-free sum factorization in 3D. *)
+  let apply t u y =
+    let mesh = t.mesh and basis = t.basis in
+    let nq = Basis.nq basis in
+    let nq3 = nq * nq * nq in
+    let bb = basis.Basis.b and gg = basis.Basis.g in
+    Array.fill y 0 (Array.length y) 0.0;
+    for ez = 0 to mesh.Mesh3.nz - 1 do
+      for ey = 0 to mesh.Mesh3.ny - 1 do
+        for ex = 0 to mesh.Mesh3.nx - 1 do
+          let e = ex + (mesh.Mesh3.nx * (ey + (mesh.Mesh3.ny * ez))) in
+          Mesh3.gather mesh u ~ex ~ey ~ez t.u_loc;
+          contract_forward t gg bb bb t.u_loc t.gq.(0);
+          contract_forward t bb gg bb t.u_loc t.gq.(1);
+          contract_forward t bb bb gg t.u_loc t.gq.(2);
+          let d = t.d.(e) in
+          for q = 0 to nq3 - 1 do
+            t.gq.(0).(q) <- t.gq.(0).(q) *. d.(3 * q);
+            t.gq.(1).(q) <- t.gq.(1).(q) *. d.((3 * q) + 1);
+            t.gq.(2).(q) <- t.gq.(2).(q) *. d.((3 * q) + 2)
+          done;
+          Array.fill t.y_loc 0 (Array.length t.y_loc) 0.0;
+          contract_backward t gg bb bb t.gq.(0) t.y_loc;
+          contract_backward t bb gg bb t.gq.(1) t.y_loc;
+          contract_backward t bb bb gg t.gq.(2) t.y_loc;
+          Mesh3.scatter_add mesh t.y_loc ~ex ~ey ~ez y
+        done
+      done
+    done
+
+  (** Flop/byte volume of one apply (6 contraction triples of
+      ~2 nq p^3-ish each, diagonal scaling, gather/scatter). *)
+  let work t =
+    let p1 = float_of_int (t.basis.Basis.p + 1) in
+    let nq = float_of_int (Basis.nq t.basis) in
+    let ne = float_of_int (Mesh3.num_elements t.mesh) in
+    let pass = 2.0 *. ((nq *. p1 *. p1 *. p1) +. (nq *. nq *. p1 *. p1) +. (nq *. nq *. nq *. p1)) in
+    Hwsim.Kernel.make ~name:"pa3-apply"
+      ~flops:(ne *. ((6.0 *. pass) +. (6.0 *. nq *. nq *. nq)))
+      ~bytes:(ne *. 8.0 *. ((2.0 *. p1 ** 3.0) +. (3.0 *. nq ** 3.0)))
+      ()
+
+  let storage_bytes t =
+    let nq = Basis.nq t.basis in
+    float_of_int (Mesh3.num_elements t.mesh) *. 3.0
+    *. float_of_int (nq * nq * nq) *. 8.0
+
+  (** What full assembly would store: ~(2p+1)^3 nonzeros per row. *)
+  let fa_storage_bytes t =
+    let p = t.mesh.Mesh3.p in
+    let row = float_of_int ((2 * p) + 1) ** 3.0 in
+    12.0 *. row *. float_of_int (Mesh3.num_dofs t.mesh)
+end
+
+(** Diagonal (GLL-collocated) mass for 3D meshes. *)
+let mass_diagonal3 ?(rho = fun ~x:_ ~y:_ ~z:_ -> 1.0) (mesh : Mesh3.t)
+    (cb : Basis.t) =
+  let m = Array.make (Mesh3.num_dofs mesh) 0.0 in
+  let hx = Mesh3.hx mesh and hy = Mesh3.hy mesh and hz = Mesh3.hz mesh in
+  let detj = hx *. hy *. hz /. 8.0 in
+  for ez = 0 to mesh.Mesh3.nz - 1 do
+    for ey = 0 to mesh.Mesh3.ny - 1 do
+      for ex = 0 to mesh.Mesh3.nx - 1 do
+        for k = 0 to cb.Basis.p do
+          for j = 0 to cb.Basis.p do
+            for i = 0 to cb.Basis.p do
+              let g = Mesh3.global_dof mesh ~ex ~ey ~ez ~i ~j ~k in
+              let x = (float_of_int ex +. ((cb.Basis.nodes.(i) +. 1.0) /. 2.0)) *. hx in
+              let y = (float_of_int ey +. ((cb.Basis.nodes.(j) +. 1.0) /. 2.0)) *. hy in
+              let z = (float_of_int ez +. ((cb.Basis.nodes.(k) +. 1.0) /. 2.0)) *. hz in
+              m.(g) <-
+                m.(g)
+                +. (cb.Basis.qwts.(i) *. cb.Basis.qwts.(j) *. cb.Basis.qwts.(k)
+                   *. detj *. rho ~x ~y ~z)
+            done
+          done
+        done
+      done
+    done
+  done;
+  m

@@ -1,0 +1,78 @@
+(** Low-order-refined (LOR) preconditioning.
+
+    The paper's nonlinear-diffusion benchmark preconditions the high-order
+    operator with BoomerAMG built on "a low-order refined version of the
+    finite element operator": each order-p element is subdivided into p x p
+    bilinear sub-elements whose vertices are the GLL nodes, giving a sparse
+    p=1 matrix that is spectrally equivalent to the high-order operator and
+    shares its dof lattice one-to-one. *)
+
+(** Assemble the LOR (p=1 on the GLL sub-grid) diffusion matrix for
+    [mesh]/[basis], with Dirichlet boundary eliminated. The dof numbering
+    matches the high-order space exactly. *)
+let assemble ?(kappa = Diffusion.unit_coefficient) (mesh : Mesh.t)
+    (basis : Basis.t) =
+  let p = mesh.Mesh.p in
+  let nodes = basis.Basis.nodes in
+  let hx = Mesh.hx mesh and hy = Mesh.hy mesh in
+  let triplets = ref [] in
+  (* 2D bilinear stencil on an (ax x ay) rectangle with coefficient k:
+     exact element matrix for -div(k grad) with k constant per sub-cell *)
+  let q1_element k ax ay =
+    let rx = ax /. ay and ry = ay /. ax in
+    (* standard bilinear stiffness: K = k/6 * [ 2(rx+ry)  rx-2ry  -(rx+ry)  ry-2rx ; ... ] *)
+    let kmat = Array.make_matrix 4 4 0.0 in
+    let a = k /. 6.0 in
+    let d = 2.0 *. (rx +. ry) in
+    let ex = (-2.0 *. ry) +. rx in
+    let ey = (-2.0 *. rx) +. ry in
+    let c = -.(rx +. ry) in
+    (* node order: 0=(0,0) 1=(1,0) 2=(1,1) 3=(0,1) *)
+    let vals =
+      [|
+        [| d; ex; c; ey |];
+        [| ex; d; ey; c |];
+        [| c; ey; d; ex |];
+        [| ey; c; ex; d |];
+      |]
+    in
+    for i = 0 to 3 do
+      for j = 0 to 3 do
+        kmat.(i).(j) <- a *. vals.(i).(j)
+      done
+    done;
+    kmat
+  in
+  for ey = 0 to mesh.Mesh.ny - 1 do
+    for ex = 0 to mesh.Mesh.nx - 1 do
+      let x0 = float_of_int ex *. hx and y0 = float_of_int ey *. hy in
+      for sj = 0 to p - 1 do
+        for si = 0 to p - 1 do
+          (* sub-cell spanning GLL nodes si..si+1, sj..sj+1 *)
+          let ax = (nodes.(si + 1) -. nodes.(si)) /. 2.0 *. hx in
+          let ay = (nodes.(sj + 1) -. nodes.(sj)) /. 2.0 *. hy in
+          let xc = x0 +. ((nodes.(si) +. nodes.(si + 1) +. 2.0) /. 4.0 *. hx) in
+          let yc = y0 +. ((nodes.(sj) +. nodes.(sj + 1) +. 2.0) /. 4.0 *. hy) in
+          let k = kappa ~x:xc ~y:yc in
+          let km = q1_element k ax ay in
+          let corners =
+            [|
+              Mesh.global_dof mesh ~ex ~ey ~i:si ~j:sj;
+              Mesh.global_dof mesh ~ex ~ey ~i:(si + 1) ~j:sj;
+              Mesh.global_dof mesh ~ex ~ey ~i:(si + 1) ~j:(sj + 1);
+              Mesh.global_dof mesh ~ex ~ey ~i:si ~j:(sj + 1);
+            |]
+          in
+          for i = 0 to 3 do
+            for j = 0 to 3 do
+              if km.(i).(j) <> 0.0 then
+                triplets := (corners.(i), corners.(j), km.(i).(j)) :: !triplets
+            done
+          done
+        done
+      done
+    done
+  done;
+  let n = Mesh.num_dofs mesh in
+  let a = Linalg.Csr.of_triplets ~m:n ~n !triplets in
+  Diffusion.eliminate_dirichlet a (Mesh.boundary_dofs mesh)

@@ -1,0 +1,9 @@
+(** Low-order-refined (LOR) preconditioning: each order-p element is
+    subdivided into p x p bilinear sub-elements with vertices at the GLL
+    nodes, giving a sparse p = 1 matrix spectrally equivalent to the
+    high-order operator on the *same* dof lattice. BoomerAMG on this
+    matrix preconditions the matrix-free operator — the paper's
+    nonlinear-diffusion benchmark configuration. *)
+
+val assemble : ?kappa:Diffusion.coefficient -> Mesh.t -> Basis.t -> Linalg.Csr.t
+(** The LOR diffusion matrix with Dirichlet boundary eliminated. *)

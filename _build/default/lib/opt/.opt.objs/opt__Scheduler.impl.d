@@ -1,0 +1,1 @@
+lib/opt/scheduler.ml: Array Fmt Icoe_util List

@@ -1,0 +1,1 @@
+lib/opt/scheduler.mli: Icoe_util

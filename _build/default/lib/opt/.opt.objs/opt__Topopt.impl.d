@@ -1,0 +1,1 @@
+lib/opt/topopt.ml: Array Hwsim Icoe_util Linalg

@@ -1,0 +1,206 @@
+(** The Opt activity's job-scheduler simulator (Sec 4.7): thousands of
+    small, variable-duration GPU jobs from a topology-optimization
+    workflow, scheduled onto a GPU pool under different policies.
+
+    The two paper conclusions this reproduces:
+    - with distribution-driven arrivals, the arrival rate must be
+      throttled below aggregate processing capacity or the queue grows
+      without bound;
+    - with batch arrivals, Shortest-Job-First with a quota (limiting the
+      GPUs long jobs may hold at once) raises utilization over FCFS while
+      bounding long-job starvation. *)
+
+type job = {
+  id : int;
+  arrival : float;
+  duration : float;
+  gpus : int;  (** GPUs required simultaneously *)
+}
+
+type policy = Fcfs | Fcfs_backfill | Sjf | Sjf_quota of float
+(** quota = max fraction of GPUs that "long" jobs may hold at once *)
+
+let policy_name = function
+  | Fcfs -> "FCFS"
+  | Fcfs_backfill -> "FCFS+EASY-backfill"
+  | Sjf -> "SJF"
+  | Sjf_quota q -> Fmt.str "SJF+quota(%.0f%%)" (q *. 100.0)
+
+type metrics = {
+  makespan : float;
+  utilization : float;  (** busy GPU-seconds / (gpus * makespan) *)
+  mean_wait : float;
+  max_wait : float;
+  completed : int;
+}
+
+(** Batch workload: all jobs present at t = 0, durations lognormal-ish,
+    a minority needing several GPUs. *)
+let batch_workload ~(rng : Icoe_util.Rng.t) ?(n = 500) () =
+  List.init n (fun id ->
+      let duration = exp (Icoe_util.Rng.normal rng ~mu:1.0 ~sigma:0.9) in
+      (* a third of the design evaluations are wide (multi-GPU) jobs, up
+         to half the pool: these are what make naive FCFS idle GPUs *)
+      let gpus = if Icoe_util.Rng.float rng < 0.35 then 2 + Icoe_util.Rng.int rng 7 else 1 in
+      { id; arrival = 0.0; duration; gpus })
+
+(** Poisson arrivals at [rate] jobs/s over [horizon] seconds. *)
+let poisson_workload ~(rng : Icoe_util.Rng.t) ~rate ~horizon () =
+  let rec go t id acc =
+    let t = t +. Icoe_util.Rng.exponential rng ~rate in
+    if t > horizon then List.rev acc
+    else
+      let duration = exp (Icoe_util.Rng.normal rng ~mu:1.0 ~sigma:0.6) in
+      go t (id + 1) ({ id; arrival = t; duration; gpus = 1 } :: acc)
+  in
+  go 0.0 0 []
+
+(** Mean processing capacity of the pool, jobs/s, for a workload's mean
+    service demand. *)
+let capacity ~gpus ~mean_duration = float_of_int gpus /. mean_duration
+
+(* event-driven simulation: running jobs as (finish_time, job) *)
+let simulate ?(gpus = 16) policy jobs =
+  let queue = ref [] in
+  let pending = ref (List.sort (fun a b -> compare a.arrival b.arrival) jobs) in
+  let running = ref [] in
+  let free = ref gpus in
+  let t = ref 0.0 in
+  let busy_area = ref 0.0 in
+  let waits = ref [] in
+  let completed = ref 0 in
+  let median_duration =
+    match jobs with
+    | [] -> 1.0
+    | _ ->
+        Icoe_util.Stats.median (Array.of_list (List.map (fun j -> j.duration) jobs))
+  in
+  let is_long j = j.duration > median_duration in
+  let long_in_use () =
+    List.fold_left (fun a (_, j) -> if is_long j then a + j.gpus else a) 0 !running
+  in
+  (* pick the next job to start under the policy, if any fits *)
+  let pick () =
+    let shorts_waiting () = List.exists (fun j -> not (is_long j)) !queue in
+    let fits j =
+      j.gpus <= !free
+      && (match policy with
+         | Sjf_quota q ->
+             (* the quota reserves capacity for short jobs, but only binds
+                while shorts are actually waiting, and never blocks the
+                only long job (guaranteed progress) *)
+             (not (is_long j))
+             || (not (shorts_waiting ()))
+             || long_in_use () = 0
+             || float_of_int (long_in_use () + j.gpus) <= q *. float_of_int gpus
+         | Fcfs | Fcfs_backfill | Sjf -> true)
+    in
+    (* EASY backfill: when the head doesn't fit, find its shadow time
+       (earliest moment enough GPUs will be free) and let later jobs jump
+       ahead only if they finish by then or fit in the spare capacity *)
+    let easy_backfill head rest =
+      let finishes = List.sort compare (List.map fst !running) in
+      (* walk finish events until the head fits *)
+      let rec shadow free = function
+        | _ when free >= head.gpus -> (!t, free)
+        | [] -> (infinity, free)
+        | f :: tl ->
+            let freed =
+              List.fold_left
+                (fun a (f', j) -> if f' = f then a + j.gpus else a)
+                0 !running
+            in
+            if free + freed >= head.gpus then (f, free + freed)
+            else shadow (free + freed) tl
+      in
+      let shadow_t, _ = shadow !free finishes in
+      let spare = !free - head.gpus in
+      List.find_opt
+        (fun j ->
+          j.gpus <= !free
+          && (!t +. j.duration <= shadow_t || (spare >= 0 && j.gpus <= spare)))
+        rest
+    in
+    match policy with
+    | Fcfs -> (
+        (* strict order: only the head may start (head-of-line blocking) *)
+        match !queue with
+        | j :: rest when fits j ->
+            queue := rest;
+            Some j
+        | _ -> None)
+    | Fcfs_backfill -> (
+        match !queue with
+        | j :: rest when fits j ->
+            queue := rest;
+            Some j
+        | head :: rest -> (
+            match easy_backfill head rest with
+            | Some j ->
+                queue := List.filter (fun x -> x.id <> j.id) !queue;
+                Some j
+            | None -> None)
+        | [] -> None)
+    | Sjf | Sjf_quota _ ->
+        let sorted = List.sort (fun a b -> compare a.duration b.duration) !queue in
+        (match List.find_opt fits sorted with
+        | None -> None
+        | Some j ->
+            queue := List.filter (fun x -> x.id <> j.id) !queue;
+            Some j)
+  in
+  let start_jobs () =
+    let continue = ref true in
+    while !continue do
+      match pick () with
+      | None -> continue := false
+      | Some j ->
+          free := !free - j.gpus;
+          waits := (!t -. j.arrival) :: !waits;
+          busy_area := !busy_area +. (float_of_int j.gpus *. j.duration);
+          running := (!t +. j.duration, j) :: !running
+    done
+  in
+  let next_event () =
+    let arrival = match !pending with j :: _ -> Some j.arrival | [] -> None in
+    let finish =
+      match !running with
+      | [] -> None
+      | l -> Some (List.fold_left (fun a (f, _) -> min a f) infinity l)
+    in
+    match (arrival, finish) with
+    | None, None -> None
+    | Some a, None -> Some a
+    | None, Some f -> Some f
+    | Some a, Some f -> Some (min a f)
+  in
+  let rec loop () =
+    match next_event () with
+    | None -> ()
+    | Some te ->
+        t := te;
+        (* finishers *)
+        let done_, still = List.partition (fun (f, _) -> f <= !t +. 1e-12) !running in
+        running := still;
+        List.iter
+          (fun (_, j) ->
+            free := !free + j.gpus;
+            incr completed)
+          done_;
+        (* arrivals *)
+        let arrived, later = List.partition (fun j -> j.arrival <= !t +. 1e-12) !pending in
+        pending := later;
+        queue := !queue @ arrived;
+        start_jobs ();
+        loop ()
+  in
+  start_jobs ();
+  loop ();
+  let waits = Array.of_list !waits in
+  {
+    makespan = !t;
+    utilization = !busy_area /. (float_of_int gpus *. max 1e-9 !t);
+    mean_wait = (if Array.length waits = 0 then 0.0 else Icoe_util.Stats.mean waits);
+    max_wait = (if Array.length waits = 0 then 0.0 else snd (Icoe_util.Stats.min_max waits));
+    completed = !completed;
+  }

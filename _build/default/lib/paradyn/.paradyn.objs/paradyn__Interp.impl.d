@@ -1,0 +1,1 @@
+lib/paradyn/interp.ml: Array Hashtbl Hwsim Ir List

@@ -1,0 +1,1 @@
+lib/paradyn/interp.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/paradyn/ir.ml: List

@@ -1,0 +1,1 @@
+lib/paradyn/passes.ml: Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/paradyn/passes.mli: Ir

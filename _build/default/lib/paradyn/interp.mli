@@ -1,0 +1,24 @@
+(** Executing interpreter with NVProf-style global load/store counters,
+    plus the Fig 6 time model (elementwise GPU kernels are traffic-bound:
+    time ~ loads + weighted stores, plus one launch per loop). *)
+
+type counts = {
+  loads : int;  (** global loads per element *)
+  stores : int;  (** global stores per element *)
+  launches : int;
+}
+
+val run :
+  Ir.program -> inputs:(string * float array) list ->
+  (string, float array) Hashtbl.t * counts
+(** Execute over the inputs' common length; returns the final environment
+    (every array by name) and per-element counters. *)
+
+val gpu_time : n:int -> counts -> float
+(** Fig 6 time model at [n] elements on the V100. *)
+
+val cpu_time : n:int -> fused_source:bool -> counts -> float
+(** CPU time model: small loops keep intermediates cache-resident (good
+    CPU performance), while source-level fusion pays a register-pressure
+    penalty — why hand-merging the loops "significantly decreased CPU
+    performance" and a compiler approach (SLNSP) was needed instead. *)

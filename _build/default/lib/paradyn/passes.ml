@@ -1,0 +1,154 @@
+(** Compiler passes on the loop IR.
+
+    [fuse] merges all the elementwise loops into one (the hand optimization
+    that wrecked CPU performance in the paper). [slnsp] is the Single
+    Level No Synchronization Parallelism pattern added to XL Fortran: with
+    one thread per iteration and no cross-loop synchronization, dataflow
+    optimization works across the fused body — here realized by promoting
+    intermediate arrays that are only consumed at the same index into
+    loop-private scalars. [dse] then removes stores (and scalar defs)
+    whose values are never observed, powered by the privatization info —
+    the paper's "propagate private-clause variables to data flow
+    analysis". *)
+
+open Ir
+
+(** Fuse all loops into a single loop (valid for elementwise bodies). *)
+let fuse (p : program) =
+  { p with loops = [ { body = List.concat_map (fun l -> l.body) p.loops } ] }
+
+(* substitute scalar reads for loads of [name] in an expression *)
+let rec promote_expr name = function
+  | Load a when a = name -> Scalar a
+  | Load a -> Load a
+  | Scalar s -> Scalar s
+  | Const c -> Const c
+  | Binop (op, a, b) -> Binop (op, promote_expr name a, promote_expr name b)
+
+(** SLNSP + privatization: within a fused loop, every intermediate array
+    that is not a program output is demoted to a loop-private scalar; its
+    consumers read the register instead of global memory. A global store
+    is kept so the array still holds correct values (DSE decides later
+    whether anyone needs it). *)
+let slnsp (p : program) =
+  let p = fuse p in
+  match p.loops with
+  | [ { body } ] ->
+      (* privatize every array that is written and then read at the same
+         index later in the fused body — output arrays included, since the
+         mirrored global store preserves their contents *)
+      let rec read_later name = function
+        | [] -> false
+        | st :: rest ->
+            let e = match st with Store (_, e) | Def (_, e) -> e in
+            List.mem name (fst (expr_reads e)) || read_later name rest
+      in
+      let rec collect = function
+        | [] -> []
+        | st :: rest -> (
+            match stmt_writes st with
+            | Some a when read_later a rest -> a :: collect rest
+            | _ -> collect rest)
+      in
+      let intermediates = List.sort_uniq compare (collect body) in
+      let body =
+        List.map
+          (fun st ->
+            let rewrite e = List.fold_left (fun e n -> promote_expr n e) e intermediates in
+            match st with
+            | Store (a, e) when List.mem a intermediates ->
+                (* define the scalar, then mirror to global *)
+                Def (a, rewrite e)
+            | Store (a, e) -> Store (a, rewrite e)
+            | Def (s, e) -> Def (s, rewrite e))
+          body
+      in
+      (* re-emit global stores for intermediates right after their defs so
+         semantics (array contents) are preserved pre-DSE *)
+      let body =
+        List.concat_map
+          (function
+            | Def (s, e) when List.exists (( = ) s) intermediates ->
+                [ Def (s, e); Store (s, Scalar s) ]
+            | st -> [ st ])
+          body
+      in
+      (* input-load CSE: each input array is loaded once into a register
+         scalar and reused — the cross-loop dataflow SLNSP unlocks *)
+      let cached = Hashtbl.create 8 in
+      let reg a = a ^ "$r" in
+      let rec cse_expr e =
+        match e with
+        | Load a when Hashtbl.mem cached a -> Scalar (reg a)
+        | Load a -> Load a
+        | Scalar s -> Scalar s
+        | Const c -> Const c
+        | Binop (op, x, y) -> Binop (op, cse_expr x, cse_expr y)
+      in
+      let body =
+        List.concat_map
+          (fun st ->
+            let e = match st with Store (_, e) | Def (_, e) -> e in
+            (* cache any array this statement loads that isn't cached yet *)
+            let fresh =
+              List.sort_uniq compare
+                (List.filter (fun a -> not (Hashtbl.mem cached a)) (fst (expr_reads e)))
+            in
+            let prefix =
+              List.map
+                (fun a ->
+                  Hashtbl.replace cached a ();
+                  Def (reg a, Load a))
+                fresh
+            in
+            let st' =
+              match st with
+              | Store (a, e) -> Store (a, cse_expr e)
+              | Def (s, e) -> Def (s, cse_expr e)
+            in
+            prefix @ [ st' ])
+          body
+      in
+      { p with loops = [ { body } ] }
+  | _ -> assert false
+
+(** Dead-store elimination: drop global stores to arrays that are neither
+    outputs nor read later in the body, then drop scalar defs nothing
+    consumes. *)
+let dse (p : program) =
+  let clean_loop l =
+    (* arrays and scalars are separate namespaces: a Store target is dead
+       only if no later Load reads it; a Def only if no later Scalar does *)
+    let load_used_later name rest =
+      List.exists
+        (fun st ->
+          let e = match st with Store (_, e) | Def (_, e) -> e in
+          List.mem name (fst (expr_reads e)))
+        rest
+    in
+    let scalar_used_later name rest =
+      List.exists
+        (fun st ->
+          let e = match st with Store (_, e) | Def (_, e) -> e in
+          List.mem name (snd (expr_reads e)))
+        rest
+    in
+    let rec go = function
+      | [] -> []
+      | st :: rest -> (
+          let rest' = go rest in
+          match st with
+          | Store (a, _)
+            when (not (List.mem a p.outputs)) && not (load_used_later a rest') ->
+              rest'
+          | Def (s, _) when not (scalar_used_later s rest') -> rest'
+          | _ -> st :: rest')
+    in
+    (* iterate to a fixed point: removing a store can kill its def *)
+    let rec fixpoint body =
+      let body' = go body in
+      if List.length body' = List.length body then body' else fixpoint body'
+    in
+    { body = fixpoint l.body }
+  in
+  { p with loops = List.map clean_loop p.loops }

@@ -1,0 +1,21 @@
+(** Compiler passes on the loop IR.
+
+    [fuse] merges the elementwise loops into one (the hand optimization
+    that wrecked CPU performance in the paper). [slnsp] is the Single
+    Level No Synchronization Parallelism pattern added to XL Fortran:
+    with one thread per iteration and no cross-loop synchronization,
+    dataflow optimization works across the fused body — realized here by
+    promoting same-index intermediates into loop-private scalars and
+    register-caching input loads. [dse] removes stores and scalar
+    definitions nothing observes, powered by the privatization info. *)
+
+val fuse : Ir.program -> Ir.program
+(** Merge all loops into one (valid for elementwise bodies). *)
+
+val slnsp : Ir.program -> Ir.program
+(** Fuse + privatize intermediates + input-load CSE. Semantics preserved:
+    outputs are still stored globally (DSE decides what is dead). *)
+
+val dse : Ir.program -> Ir.program
+(** Dead-store elimination to a fixed point; program outputs are always
+    kept. *)

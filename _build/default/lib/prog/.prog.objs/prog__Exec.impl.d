@@ -1,0 +1,1 @@
+lib/prog/exec.ml: Float Hwsim Policy

@@ -1,0 +1,1 @@
+lib/prog/exec.mli: Hwsim Policy

@@ -1,0 +1,1 @@
+lib/prog/policy.mli: Hwsim

@@ -1,0 +1,1 @@
+lib/prog/pool.ml: Fmt Hwsim

@@ -1,0 +1,1 @@
+lib/prog/pool.mli: Format Hwsim

@@ -1,0 +1,1 @@
+lib/prog/space.ml: Array Hwsim Policy

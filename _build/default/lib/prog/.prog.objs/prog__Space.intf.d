@@ -1,0 +1,1 @@
+lib/prog/space.mli: Hwsim Policy

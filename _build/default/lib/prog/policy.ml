@@ -1,0 +1,67 @@
+(** Execution policies: the paper's programming-model portfolio.
+
+    Each policy is a (device side, efficiency profile, launch multiplier)
+    triple. The efficiency numbers encode the paper's cross-cutting
+    findings as calibration, applied uniformly:
+
+    - CUDA is the performance ceiling on GPUs;
+    - RAJA lands ~30% below hand CUDA on stencil codes (Sec 4.9) and worse
+      on transpose-like kernels until recoded (Sec 4.11);
+    - OpenACC matches CUDA Fortran on rate kernels (Sec 4.3);
+    - OpenMP-target is competitive for bandwidth-bound kernels (Sec 4.1);
+    - OpenMP on the host scales by threads with a memory-bandwidth roof. *)
+
+type side = Host | Accelerator
+
+type t =
+  | Serial
+  | Openmp of int  (** host threads *)
+  | Omp_target  (** OpenMP 4.5 offload *)
+  | Openacc
+  | Raja_cuda
+  | Cuda
+  | Cuda_shared  (** hand CUDA using on-chip shared memory (sw4lite) *)
+
+let side = function
+  | Serial | Openmp _ -> Host
+  | Omp_target | Openacc | Raja_cuda | Cuda | Cuda_shared -> Accelerator
+
+let name = function
+  | Serial -> "serial"
+  | Openmp n -> Fmt.str "omp(%d)" n
+  | Omp_target -> "omp-target"
+  | Openacc -> "openacc"
+  | Raja_cuda -> "raja-cuda"
+  | Cuda -> "cuda"
+  | Cuda_shared -> "cuda-shared"
+
+(** Roofline efficiency of this policy on device [d]. The serial policy uses
+    one lane of the CPU; OpenMP scales lanes. *)
+let efficiency (p : t) (d : Hwsim.Device.t) : Hwsim.Roofline.efficiency =
+  let open Hwsim.Roofline in
+  match p with
+  | Serial ->
+      (* one core: compute scales 1/lanes (unvectorized FEM-style code
+         reaches ~half of a core's peak), and a single core with hardware
+         prefetch draws ~22% of socket bandwidth *)
+      eff
+        ~compute:(max 0.01 (0.5 /. float_of_int d.Hwsim.Device.lanes))
+        ~bandwidth:0.22 ()
+  | Openmp n ->
+      let frac = min 1.0 (float_of_int n /. float_of_int d.Hwsim.Device.lanes) in
+      eff ~compute:(0.75 *. frac) ~bandwidth:(min 0.85 (0.25 +. (0.75 *. frac))) ()
+  | Omp_target -> eff ~compute:0.5 ~bandwidth:0.72 ()
+  | Openacc -> eff ~compute:0.52 ~bandwidth:0.72 ()
+  | Raja_cuda -> eff ~compute:0.42 ~bandwidth:0.66 ()
+  | Cuda -> eff ~compute:0.6 ~bandwidth:0.78 ()
+  | Cuda_shared -> eff ~compute:0.85 ~bandwidth:0.8 ()
+
+(** Per-launch overhead multiplier relative to the device baseline. RAJA
+    and the directive models add dispatch cost on top of a raw launch. *)
+let launch_multiplier = function
+  | Serial -> 0.0
+  | Openmp _ -> 1.0
+  | Omp_target -> 1.6
+  | Openacc -> 1.5
+  | Raja_cuda -> 1.3
+  | Cuda | Cuda_shared -> 1.0

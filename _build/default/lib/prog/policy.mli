@@ -1,0 +1,28 @@
+(** Execution policies: the paper's programming-model portfolio.
+
+    Each policy carries a device side, a roofline efficiency profile and a
+    launch-overhead multiplier. The calibration encodes the paper's
+    cross-cutting findings: CUDA is the GPU ceiling, hand-tuned
+    shared-memory CUDA beats it, RAJA lands ~30% behind CUDA, the
+    directive models are competitive for bandwidth-bound kernels, and
+    host OpenMP scales by threads against a memory-bandwidth roof. *)
+
+type side = Host | Accelerator
+
+type t =
+  | Serial
+  | Openmp of int  (** host threads *)
+  | Omp_target  (** OpenMP 4.5 offload *)
+  | Openacc
+  | Raja_cuda
+  | Cuda
+  | Cuda_shared  (** hand CUDA using on-chip shared memory (sw4lite) *)
+
+val side : t -> side
+val name : t -> string
+
+val efficiency : t -> Hwsim.Device.t -> Hwsim.Roofline.efficiency
+(** Roofline efficiency of this policy on a device. *)
+
+val launch_multiplier : t -> float
+(** Per-launch overhead relative to the device baseline (0 for serial). *)

@@ -1,0 +1,1 @@
+lib/samrai/box.ml: Fmt List

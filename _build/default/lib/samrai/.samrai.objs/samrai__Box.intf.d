@@ -1,0 +1,1 @@
+lib/samrai/box.mli: Format

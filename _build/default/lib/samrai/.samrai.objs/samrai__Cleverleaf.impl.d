@@ -1,0 +1,1 @@
+lib/samrai/cleverleaf.ml: Array Box Float Hierarchy Hwsim List Patch

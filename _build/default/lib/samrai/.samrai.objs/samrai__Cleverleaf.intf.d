@@ -1,0 +1,1 @@
+lib/samrai/cleverleaf.mli: Hierarchy Hwsim

@@ -1,0 +1,1 @@
+lib/samrai/hierarchy.ml: Array Box Hwsim List Patch Prog

@@ -1,0 +1,1 @@
+lib/samrai/hierarchy.mli: Box Hwsim Patch Prog

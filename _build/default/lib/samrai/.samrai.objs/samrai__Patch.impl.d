@@ -1,0 +1,1 @@
+lib/samrai/patch.ml: Array Box Hashtbl Hwsim Prog

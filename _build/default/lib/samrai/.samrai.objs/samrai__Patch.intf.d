@@ -1,0 +1,1 @@
+lib/samrai/patch.mli: Box Hashtbl Hwsim Prog

@@ -1,0 +1,41 @@
+(** CleverLeaf: the 2D compressible-Euler mini-app used to assess the
+    SAMRAI port (Table 5). Ideal gas, conservative finite volumes with a
+    Rusanov flux on the patch hierarchy's level 0. *)
+
+val gamma_gas : float
+val fields : string list
+
+type t = {
+  hier : Hierarchy.t;
+  dx : float;
+  dy : float;
+  mutable time : float;
+  mutable steps : int;
+}
+
+val create : ?patches:int -> nx:int -> ny:int -> lx:float -> ly:float -> unit -> t
+
+val pressure : rho:float -> mx:float -> my:float -> e:float -> float
+
+val init : t -> (x:float -> y:float -> float * float * float * float) -> unit
+(** Initialize from primitive variables (rho, u, v, p) at cell centres. *)
+
+val max_wave_speed : t -> float
+
+val step : ?cfl:float -> t -> float
+(** One explicit step; returns dt. *)
+
+val run : ?cfl:float -> ?max_steps:int -> t -> float -> unit
+(** Advance to a physical time. *)
+
+val totals : t -> float * float * float * float
+(** (mass, x-momentum, y-momentum, energy) — conserved to rounding. *)
+
+val density_slice : t -> float array
+(** Density along the mid-height line (Sod validation). *)
+
+val step_work : cells:int -> Hwsim.Kernel.t
+
+val table5_times : cells:int -> steps:int -> (float * float) * (float * float)
+(** Table 5 configurations: ((full-node cpu, gpu), (single P9, single
+    V100)) simulated seconds; calibrated per the module comments. *)

@@ -1,0 +1,1 @@
+lib/sparkle/cluster.ml: Float Hwsim

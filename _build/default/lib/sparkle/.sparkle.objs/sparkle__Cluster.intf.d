@@ -1,0 +1,1 @@
+lib/sparkle/cluster.mli: Hwsim

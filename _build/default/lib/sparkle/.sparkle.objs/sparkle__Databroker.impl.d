@@ -1,0 +1,1 @@
+lib/sparkle/databroker.ml: Array Cluster Hashtbl Hwsim

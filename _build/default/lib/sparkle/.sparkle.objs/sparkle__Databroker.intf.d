@@ -1,0 +1,1 @@
+lib/sparkle/databroker.mli: Cluster

@@ -1,0 +1,1 @@
+lib/sparkle/rdd.ml: Array Cluster Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/sparkle/rdd.mli: Cluster

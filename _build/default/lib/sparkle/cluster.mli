@@ -1,0 +1,44 @@
+(** The SparkPlug execution substrate: a Spark-like cluster with an
+    explicit cost model for the three bottlenecks the vendor team profiled
+    (Sec 4.4): JVM overheads (GC, serialization, task launch), the shuffle
+    implementation, and the all-to-one aggregate primitive.
+
+    The optimized configuration bundles the paper's fixes: IBM SDK JVM,
+    the adaptive shuffle of [20, 21], and tree-based all-to-one ops. *)
+
+type config = {
+  nodes : int;
+  cores_per_node : int;
+  jvm_optimized : bool;
+  adaptive_shuffle : bool;
+  tree_aggregate : bool;
+  fabric : Hwsim.Link.t;
+}
+
+val default_config : ?nodes:int -> unit -> config
+val optimized_config : ?nodes:int -> unit -> config
+
+type t = { config : config; clock : Hwsim.Clock.t }
+
+val create : config -> t
+val total_cores : t -> int
+
+val task_overhead : t -> float
+val ser_rate : t -> float
+(** Serialization throughput, bytes/s. *)
+
+val gc_drag : t -> float
+(** Fraction added on top of compute time by garbage collection. *)
+
+val charge_compute : t -> flops:float -> unit
+val charge_shuffle : t -> bytes:float -> unit
+(** All-to-all; the default sort-based path also spills to disk. *)
+
+val charge_aggregate : t -> bytes_per_node:float -> unit
+(** All-to-one: flat (driver ingests serially) or log-depth tree. *)
+
+val charge_broadcast : t -> bytes:float -> unit
+
+val elapsed : t -> float
+val breakdown : t -> (string * float) list
+val reset : t -> unit

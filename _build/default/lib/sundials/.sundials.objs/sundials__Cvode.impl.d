@@ -1,0 +1,1 @@
+lib/sundials/cvode.ml: Array Float Fmt Linalg List

@@ -1,0 +1,1 @@
+lib/sundials/cvode.mli: Linalg

@@ -1,0 +1,1 @@
+lib/sundials/nvector.mli: Prog

@@ -1,0 +1,101 @@
+(** N_Vector: SUNDIALS' vector abstraction with device placement.
+
+    "SUNDIALS already expresses its vector and algebraic solver operations
+    generically by abstracting the specific operations behind methods in
+    backends" (Sec 4.10.2). The integrator only ever touches vectors through
+    these operations; a backend decides where the data lives and charges
+    the simulated clock for the streaming work. High-level control stays on
+    the CPU — exactly the paper's design — and data only returns to the
+    host when the user asks for I/O. *)
+
+type backend = {
+  name : string;
+  ctx : Prog.Exec.ctx option;  (** simulated execution context, if priced *)
+}
+
+let serial_backend = { name = "serial"; ctx = None }
+
+(** Backend executing vector ops on a simulated device under a policy. *)
+let device_backend ?(name = "cuda") ctx = { name; ctx = Some ctx }
+
+type t = { data : float array; backend : backend }
+
+let create ?(backend = serial_backend) n =
+  { data = Array.make n 0.0; backend }
+
+let of_array ?(backend = serial_backend) a = { data = a; backend }
+
+let length v = Array.length v.data
+let data v = v.data
+let get v i = v.data.(i)
+let set v i x = v.data.(i) <- x
+
+(** Charge a streaming op touching [vectors] arrays of length n with
+    [flops_per] flops per element. *)
+let charge v ~vectors ~flops_per =
+  match v.backend.ctx with
+  | None -> ()
+  | Some ctx ->
+      let n = length v in
+      Prog.Exec.charge ctx ~phase:"nvector" ~n ~flops_per
+        ~bytes_per:(8.0 *. float_of_int vectors)
+
+let clone v = { data = Array.copy v.data; backend = v.backend }
+
+let const c v =
+  Array.fill v.data 0 (length v) c;
+  charge v ~vectors:1 ~flops_per:0.0
+
+(** z <- a x + b y *)
+let linear_sum a x b y z =
+  for i = 0 to length x - 1 do
+    z.data.(i) <- (a *. x.data.(i)) +. (b *. y.data.(i))
+  done;
+  charge x ~vectors:3 ~flops_per:3.0
+
+(** z <- x * y pointwise *)
+let prod x y z =
+  for i = 0 to length x - 1 do
+    z.data.(i) <- x.data.(i) *. y.data.(i)
+  done;
+  charge x ~vectors:3 ~flops_per:1.0
+
+let scale c x z =
+  for i = 0 to length x - 1 do
+    z.data.(i) <- c *. x.data.(i)
+  done;
+  charge x ~vectors:2 ~flops_per:1.0
+
+(** z <- 1 / x pointwise *)
+let inv x z =
+  for i = 0 to length x - 1 do
+    z.data.(i) <- 1.0 /. x.data.(i)
+  done;
+  charge x ~vectors:2 ~flops_per:1.0
+
+let add_const x c z =
+  for i = 0 to length x - 1 do
+    z.data.(i) <- x.data.(i) +. c
+  done;
+  charge x ~vectors:2 ~flops_per:1.0
+
+let dot x y =
+  charge x ~vectors:2 ~flops_per:2.0;
+  Linalg.Vec.dot x.data y.data
+
+let max_norm x =
+  charge x ~vectors:1 ~flops_per:1.0;
+  Linalg.Vec.nrm_inf x.data
+
+let wrms_norm x w =
+  charge x ~vectors:2 ~flops_per:3.0;
+  Linalg.Vec.wrms x.data w.data
+
+(** Copy values host-ward for I/O; this is the only place data leaves the
+    device (charged as a transfer when the backend is device-resident). *)
+let to_host_array v =
+  (match v.backend.ctx with
+  | Some ctx when Prog.Policy.side ctx.Prog.Exec.policy = Prog.Policy.Accelerator ->
+      Prog.Exec.transfer ctx ~bytes:(8.0 *. float_of_int (length v)) ()
+  | _ -> ());
+  Array.copy v.data

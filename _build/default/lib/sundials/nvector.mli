@@ -1,0 +1,41 @@
+(** N_Vector: SUNDIALS' vector abstraction with device placement.
+
+    The integrator only touches vectors through these operations; a
+    backend decides where the data lives and charges the simulated clock
+    for the streaming work. High-level control stays on the CPU — the
+    paper's design — and data returns to the host only for I/O. *)
+
+type backend
+
+val serial_backend : backend
+
+val device_backend : ?name:string -> Prog.Exec.ctx -> backend
+(** Vector ops priced on a simulated device under the context's policy. *)
+
+type t = { data : float array; backend : backend }
+
+val create : ?backend:backend -> int -> t
+val of_array : ?backend:backend -> float array -> t
+val length : t -> int
+val data : t -> float array
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+val clone : t -> t
+
+val const : float -> t -> unit
+(** Fill with a constant. *)
+
+val linear_sum : float -> t -> float -> t -> t -> unit
+(** [linear_sum a x b y z]: z <- a x + b y. *)
+
+val prod : t -> t -> t -> unit
+val scale : float -> t -> t -> unit
+val inv : t -> t -> unit
+val add_const : t -> float -> t -> unit
+val dot : t -> t -> float
+val max_norm : t -> float
+val wrms_norm : t -> t -> float
+
+val to_host_array : t -> float array
+(** Copy values host-ward for I/O — the only place data leaves the
+    device (charged as a transfer for device-resident backends). *)

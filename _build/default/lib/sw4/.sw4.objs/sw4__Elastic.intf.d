@@ -1,0 +1,1 @@
+lib/sw4/elastic.mli: Grid Hwsim

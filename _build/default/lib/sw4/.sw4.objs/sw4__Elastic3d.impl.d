@@ -1,0 +1,1 @@
+lib/sw4/elastic3d.ml: Array Hwsim

@@ -1,0 +1,1 @@
+lib/sw4/elastic3d.mli: Hwsim

@@ -1,0 +1,1 @@
+lib/sw4/grid.ml: Array

@@ -1,0 +1,1 @@
+lib/sw4/scenario.ml: Array Elastic Grid Hwsim Icoe_util Prog Solver Source

@@ -1,0 +1,1 @@
+lib/sw4/scenario.mli: Grid Hwsim Prog

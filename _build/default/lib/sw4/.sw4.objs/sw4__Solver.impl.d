@@ -1,0 +1,1 @@
+lib/sw4/solver.ml: Array Elastic Grid List Source

@@ -1,0 +1,1 @@
+lib/sw4/solver.mli: Elastic Grid Source

@@ -1,0 +1,1 @@
+lib/sw4/source.ml: Array Float Grid

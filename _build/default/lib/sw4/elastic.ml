@@ -1,0 +1,73 @@
+(** The elastic-wave spatial operator: 4th-order central differences on the
+    displacement formulation,
+
+        rho u_tt = div sigma,   sigma = lambda tr(eps) I + 2 mu eps.
+
+    Stresses are evaluated at every grid point from 4th-order first
+    derivatives of displacement, then the stress divergence is taken with
+    the same stencil. This is the sw4lite kernel shape: wide stencils,
+    bandwidth-heavy, the paper's shared-memory optimization target. *)
+
+(* 4th-order first derivative along x of field f at (i,j) *)
+let d1x (g : Grid.t) f i j =
+  let k = Grid.idx g i j in
+  (8.0 *. (f.(k + 1) -. f.(k - 1)) -. (f.(k + 2) -. f.(k - 2)))
+  /. (12.0 *. g.Grid.h)
+
+let d1y (g : Grid.t) f i j =
+  let k = Grid.idx g i j in
+  let nx = g.Grid.nx in
+  (8.0 *. (f.(k + nx) -. f.(k - nx)) -. (f.(k + (2 * nx)) -. f.(k - (2 * nx))))
+  /. (12.0 *. g.Grid.h)
+
+type scratch = {
+  sxx : float array;
+  syy : float array;
+  sxy : float array;
+}
+
+let make_scratch (g : Grid.t) =
+  let n = g.Grid.nx * g.Grid.ny in
+  { sxx = Array.make n 0.0; syy = Array.make n 0.0; sxy = Array.make n 0.0 }
+
+(** Margin of cells near the boundary where the wide stencil can't reach;
+    displacements there are held fixed (supergrid damping handles
+    reflections). *)
+let margin = 4
+
+(** Compute accelerations (ax, ay) from displacements (ux, uy).
+    All arrays are full-grid; only the interior beyond [margin] is
+    written. *)
+let acceleration (g : Grid.t) s ~ux ~uy ~ax ~ay =
+  let nx = g.Grid.nx and ny = g.Grid.ny in
+  (* stress pass: needs a 2-wide halo inside the boundary *)
+  for j = 2 to ny - 3 do
+    for i = 2 to nx - 3 do
+      let k = Grid.idx g i j in
+      let dux_dx = d1x g ux i j and dux_dy = d1y g ux i j in
+      let duy_dx = d1x g uy i j and duy_dy = d1y g uy i j in
+      let lam = g.Grid.lambda.(k) and mu = g.Grid.mu.(k) in
+      s.sxx.(k) <- (lam *. (dux_dx +. duy_dy)) +. (2.0 *. mu *. dux_dx);
+      s.syy.(k) <- (lam *. (dux_dx +. duy_dy)) +. (2.0 *. mu *. duy_dy);
+      s.sxy.(k) <- mu *. (dux_dy +. duy_dx)
+    done
+  done;
+  (* divergence pass *)
+  for j = margin to ny - 1 - margin do
+    for i = margin to nx - 1 - margin do
+      let k = Grid.idx g i j in
+      let fx = d1x g s.sxx i j +. d1y g s.sxy i j in
+      let fy = d1x g s.sxy i j +. d1y g s.syy i j in
+      ax.(k) <- fx /. g.Grid.rho.(k);
+      ay.(k) <- fy /. g.Grid.rho.(k)
+    done
+  done
+
+(** Flop/byte volume of one full-grid acceleration evaluation, used by the
+    device pricing. Two 4th-order stencil sweeps over ~n points. *)
+let work (g : Grid.t) =
+  let n = float_of_int (g.Grid.nx * g.Grid.ny) in
+  (* stress pass: 4 derivatives (7 flops) + 10 combine flops; divergence:
+     4 derivatives + 4 flops; per point *)
+  Hwsim.Kernel.make ~name:"sw4-rhs" ~launches:2 ~flops:(n *. 74.0)
+    ~bytes:(n *. 8.0 *. 16.0) ()

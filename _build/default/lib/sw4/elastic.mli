@@ -1,0 +1,25 @@
+(** The 2D plane-strain elastic-wave spatial operator: 4th-order central
+    differences on the displacement formulation — the sw4lite kernel
+    shape: wide stencils, bandwidth-heavy, the paper's shared-memory
+    optimization target. *)
+
+val d1x : Grid.t -> float array -> int -> int -> float
+(** 4th-order first derivative along x at (i, j); needs a 2-point halo. *)
+
+val d1y : Grid.t -> float array -> int -> int -> float
+
+type scratch = { sxx : float array; syy : float array; sxy : float array }
+
+val make_scratch : Grid.t -> scratch
+
+val margin : int
+(** Cells near the boundary held fixed (the wide stencil can't reach). *)
+
+val acceleration :
+  Grid.t -> scratch -> ux:float array -> uy:float array -> ax:float array ->
+  ay:float array -> unit
+(** Stress pass then divergence pass; writes the interior beyond
+    [margin]. *)
+
+val work : Grid.t -> Hwsim.Kernel.t
+(** Flop/byte volume of one full-grid evaluation. *)

@@ -1,0 +1,50 @@
+(** Full 3D elastic-wave propagation — the dimensionality of the real
+    SW4. Displacement formulation with 4th-order central differences,
+    three displacement components and six stress components. The 2D
+    solver remains the cheap scenario engine; this is the
+    production-shaped kernel behind the campaign model in {!Scenario}. *)
+
+type grid = {
+  nx : int;
+  ny : int;
+  nz : int;
+  h : float;
+  rho : float array;
+  lambda : float array;
+  mu : float array;
+}
+
+val idx : grid -> int -> int -> int -> int
+
+val create_grid : nx:int -> ny:int -> nz:int -> h:float -> grid
+(** Requires at least 9 points per side. *)
+
+val homogeneous : grid -> rho:float -> vp:float -> vs:float -> unit
+val max_p_speed : grid -> float
+val stable_dt : ?cfl:float -> grid -> float
+
+type state = {
+  grid : grid;
+  dt : float;
+  u : float array array;  (** 3 displacement components *)
+  u_prev : float array array;
+  a : float array array;
+  s : float array array;  (** 6 stress components: xx yy zz xy xz yz *)
+}
+
+val margin : int
+
+val create : ?cfl:float -> grid -> state
+
+val acceleration : state -> unit
+(** Stress pass then divergence pass over the interior. *)
+
+val step :
+  ?force:int * int * int * float * float * float * (float -> float) ->
+  state -> time:float -> unit
+(** One leapfrog step; [force] is (i, j, k, fx, fy, fz, stf). *)
+
+val energy_proxy : state -> float
+
+val work : grid -> Hwsim.Kernel.t
+(** Flop/byte volume of one 3D acceleration evaluation. *)

@@ -1,0 +1,172 @@
+(** Earthquake scenarios and the sw4lite performance-variant study.
+
+    The science scenario is a scaled-down Hayward-fault analog: a soft
+    sedimentary basin over stiff bedrock, a shallow dislocation-like source,
+    and surface receivers producing a peak-ground-velocity "shake map" —
+    the content of the paper's Fig 7 at laptop scale.
+
+    The performance side reproduces Sec 4.9: sw4lite kernel variants
+    (naive CUDA, shared-memory CUDA at ~2x, RAJA at ~0.7x of CUDA) and the
+    Sierra-vs-Cori throughput accounting behind the abstract's 14x claim. *)
+
+(** Layered basin material: soft low-velocity basin in the upper-left
+    region, stiff bedrock elsewhere. (rho, vp, vs) in SI units. *)
+let hayward_material ~x ~y =
+  let basin_depth = 800.0 in
+  let basin_edge = 4000.0 in
+  if y < basin_depth && x < basin_edge then (1800.0, 1800.0, 700.0)
+  else if y < 2.0 *. basin_depth then (2400.0, 3500.0, 1800.0)
+  else (2800.0, 5500.0, 3200.0)
+
+type shake_result = {
+  pgv_surface : float array;  (** peak |velocity| per surface point *)
+  basin_amplified : bool;  (** PGV higher over the basin than bedrock *)
+  steps : int;
+  grid_points : int;
+}
+
+(** Run the scenario on an (nx x ny) grid with spacing [h] metres for
+    [steps] steps; the source is a shallow double-couple-like force pair
+    near the basin edge. *)
+let run_hayward ?(nx = 160) ?(ny = 96) ?(h = 100.0) ?(steps = 600) () =
+  let grid = Grid.create ~nx ~ny ~h in
+  Grid.set_material grid hayward_material;
+  let f0 = 1.2 in
+  (* deep source centred in x: the left surface band sits over the soft
+     basin, the mirrored right band over bedrock, at equal epicentral
+     distance *)
+  let src =
+    Source.point_force ~i:(nx / 2) ~j:(ny / 2)
+      ~fx:(2.0e9) ~fy:(-1.5e9)
+      ~stf:(Source.ricker ~f0 ~t0:(2.0 /. f0))
+  in
+  let solver = Solver.create ~sources:[ src ] grid in
+  let pgv = Array.make nx 0.0 in
+  let uxp = Array.copy solver.Solver.ux and uyp = Array.copy solver.Solver.uy in
+  let jsurf = Elastic.margin in
+  for _ = 1 to steps do
+    Solver.step solver;
+    for i = 0 to nx - 1 do
+      let k = Grid.idx grid i jsurf in
+      let vx = (solver.Solver.ux.(k) -. uxp.(k)) /. solver.Solver.dt in
+      let vy = (solver.Solver.uy.(k) -. uyp.(k)) /. solver.Solver.dt in
+      let v = sqrt ((vx *. vx) +. (vy *. vy)) in
+      if v > pgv.(i) then pgv.(i) <- v
+    done;
+    Array.blit solver.Solver.ux 0 uxp 0 (Array.length uxp);
+    Array.blit solver.Solver.uy 0 uyp 0 (Array.length uyp)
+  done;
+  (* mirrored surface bands at equal distance from the epicentre: left band
+     over the basin, right band over bedrock *)
+  let basin_edge_i = min (int_of_float (4000.0 /. h)) (nx / 2) in
+  let band_lo = max Elastic.margin (basin_edge_i / 2) in
+  let band = Array.sub pgv band_lo (basin_edge_i - band_lo) in
+  let mirror =
+    Array.init (Array.length band) (fun k -> pgv.(nx - 1 - (band_lo + k)))
+  in
+  let basin_pgv = Icoe_util.Stats.mean band in
+  let rock_pgv = Icoe_util.Stats.mean mirror in
+  {
+    pgv_surface = pgv;
+    basin_amplified = basin_pgv > rock_pgv;
+    steps;
+    grid_points = nx * ny;
+  }
+
+(* --- sw4lite kernel variants (Sec 4.9) --- *)
+
+type variant = Naive_cuda | Shared_cuda | Raja | Cpu_openmp
+
+let variant_name = function
+  | Naive_cuda -> "cuda-naive"
+  | Shared_cuda -> "cuda-shared"
+  | Raja -> "raja"
+  | Cpu_openmp -> "omp-cpu"
+
+let variant_policy = function
+  | Naive_cuda -> Prog.Policy.Cuda
+  | Shared_cuda -> Prog.Policy.Cuda_shared
+  | Raja -> Prog.Policy.Raja_cuda
+  | Cpu_openmp -> Prog.Policy.Openmp 22
+
+let variant_device = function
+  | Cpu_openmp -> Hwsim.Device.power9
+  | _ -> Hwsim.Device.v100
+
+(** Simulated seconds per timestep of the RHS kernel for a grid, under a
+    variant. [fused] merges the stress and divergence sweeps into one
+    launch pass (the paper's kernel-merging optimization). *)
+let variant_time_per_step ?(fused = false) (g : Grid.t) v =
+  let w = Elastic.work g in
+  let w = if fused then { w with Hwsim.Kernel.launches = 1 } else w in
+  let device = variant_device v in
+  let policy = variant_policy v in
+  let eff = Prog.Policy.efficiency policy device in
+  let launch =
+    float_of_int w.Hwsim.Kernel.launches
+    *. Prog.Policy.launch_multiplier policy
+    *. device.Hwsim.Device.launch_overhead_s
+  in
+  launch +. Hwsim.Roofline.time ~eff device { w with Hwsim.Kernel.launches = 0 }
+
+(** Grid-point updates per second per node for the full solver on a
+    machine, used for the Sierra-vs-Cori throughput comparison. A Sierra
+    node runs 4 GPU-resident solvers; a Cori node runs the KNL OpenMP
+    code. *)
+let node_throughput (node : Hwsim.Node.t) ~points =
+  let g = Grid.create ~nx:(max 9 (int_of_float (sqrt (float_of_int points))))
+      ~ny:(max 9 (int_of_float (sqrt (float_of_int points)))) ~h:100.0 in
+  let w = Elastic.work g in
+  let per_gpu =
+    match node.Hwsim.Node.gpu with
+    | Some gpu ->
+        let eff = Prog.Policy.efficiency Prog.Policy.Cuda gpu in
+        let t = Hwsim.Roofline.time ~eff gpu w in
+        float_of_int (g.Grid.nx * g.Grid.ny) /. t
+    | None -> 0.0
+  in
+  let cpu_eff =
+    Prog.Policy.efficiency
+      (Prog.Policy.Openmp node.Hwsim.Node.cpu.Hwsim.Device.lanes)
+      node.Hwsim.Node.cpu
+  in
+  let t_cpu = Hwsim.Roofline.time ~eff:cpu_eff node.Hwsim.Node.cpu w in
+  let per_cpu = float_of_int (g.Grid.nx * g.Grid.ny) /. t_cpu in
+  if node.Hwsim.Node.gpus > 0 then float_of_int node.Hwsim.Node.gpus *. per_gpu
+  else float_of_int node.Hwsim.Node.cpu_sockets *. per_cpu
+
+(** The production Hayward run (Sec 4.9): 26 billion grid points, ~10
+    hours on Sierra with 256 nodes, "almost the same time as required on
+    Cori-II". Wall-clock hours of the campaign on [nodes] nodes of a
+    machine, including a surface-to-volume halo exchange per step. *)
+let production_run_hours ?(work_multiplier = 280.0)
+    (machine : Hwsim.Node.machine) ~nodes ~grid_points ~steps =
+  assert (nodes >= 1 && nodes <= machine.Hwsim.Node.nodes);
+  let points_per_node = grid_points /. float_of_int nodes in
+  let rate =
+    node_throughput machine.Hwsim.Node.node
+      ~points:(int_of_float (min points_per_node 16_000_000.0))
+  in
+  (* the production 3D curvilinear elastic kernel with supergrid layers,
+     attenuation and imaging does ~280x the work per point of the 2D model
+     kernel (calibrated once so the Sierra run lands at the paper's ~10 h) *)
+  let point_t = work_multiplier *. points_per_node /. rate in
+  (* halo: 6 faces of the per-node block, displacement + material fields *)
+  let face = points_per_node ** (2.0 /. 3.0) in
+  let halo_bytes = 6.0 *. face *. 8.0 *. 4.0 in
+  let halo_t = Hwsim.Link.transfer_time machine.Hwsim.Node.fabric ~bytes:halo_bytes in
+  float_of_int steps *. (point_t +. halo_t) /. 3600.0
+
+(** Nodes of [machine] needed to finish the same campaign in [hours]. *)
+let nodes_for_deadline ?work_multiplier (machine : Hwsim.Node.machine)
+    ~grid_points ~steps ~hours =
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if production_run_hours ?work_multiplier machine ~nodes:mid ~grid_points ~steps <= hours
+      then
+        search lo mid
+      else search (mid + 1) hi
+  in
+  search 1 machine.Hwsim.Node.nodes

@@ -1,0 +1,47 @@
+(** Earthquake scenarios and the sw4lite performance-variant study
+    (Sec 4.9): the Hayward-fault analog at laptop scale, the kernel
+    variants (naive/shared-memory CUDA, RAJA, OpenMP), the
+    Sierra-vs-Cori throughput accounting, and the 26B-point production
+    campaign model. *)
+
+val hayward_material : x:float -> y:float -> float * float * float
+(** Layered basin: soft sediments over bedrock; (rho, vp, vs). *)
+
+type shake_result = {
+  pgv_surface : float array;  (** peak |velocity| per surface point *)
+  basin_amplified : bool;  (** PGV higher over the basin than bedrock *)
+  steps : int;
+  grid_points : int;
+}
+
+val run_hayward :
+  ?nx:int -> ?ny:int -> ?h:float -> ?steps:int -> unit -> shake_result
+(** Deep centred source; compares mirrored equal-distance surface bands
+    over basin and bedrock (the Fig 7 science at small scale). *)
+
+type variant = Naive_cuda | Shared_cuda | Raja | Cpu_openmp
+
+val variant_name : variant -> string
+val variant_policy : variant -> Prog.Policy.t
+val variant_device : variant -> Hwsim.Device.t
+
+val variant_time_per_step : ?fused:bool -> Grid.t -> variant -> float
+(** Simulated seconds/step of the RHS kernel; [fused] merges the stress
+    and divergence sweeps into one launch (the kernel-merging
+    optimization). *)
+
+val node_throughput : Hwsim.Node.t -> points:int -> float
+(** Grid-point updates per second per node (GPU-resident on GPU nodes). *)
+
+val production_run_hours :
+  ?work_multiplier:float -> Hwsim.Node.machine -> nodes:int ->
+  grid_points:float -> steps:int -> float
+(** Wall-clock hours of the 26B-point campaign on a machine partition,
+    including halo exchange. The default multiplier calibrates the 2D
+    model kernel to the 3D production kernel's per-point work so the
+    256-node Sierra run lands at the paper's ~10 h. *)
+
+val nodes_for_deadline :
+  ?work_multiplier:float -> Hwsim.Node.machine -> grid_points:float ->
+  steps:int -> hours:float -> int
+(** Nodes needed to finish the campaign within a deadline. *)

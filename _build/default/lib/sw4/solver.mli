@@ -1,0 +1,45 @@
+(** Explicit leapfrog time stepping with supergrid-style damping layers
+    near the boundaries (SW4's artificial-boundary treatment), plus
+    receiver (seismogram) recording. *)
+
+type receiver = {
+  ri : int;
+  rj : int;
+  mutable trace : (float * float * float) list;  (** (t, ux, uy), newest first *)
+}
+
+val receiver : i:int -> j:int -> receiver
+
+type t = {
+  grid : Grid.t;
+  dt : float;
+  mutable time : float;
+  mutable steps : int;
+  ux : float array;
+  uy : float array;
+  ux_prev : float array;
+  uy_prev : float array;
+  ax : float array;
+  ay : float array;
+  scratch : Elastic.scratch;
+  damping : float array;  (** supergrid taper, 1 in the interior *)
+  sources : Source.t list;
+  receivers : receiver list;
+}
+
+val damping_profile : Grid.t -> width:int -> strength:float -> float array
+
+val create :
+  ?cfl:float -> ?damping_width:int -> ?damping_strength:float ->
+  ?sources:Source.t list -> ?receivers:receiver list -> Grid.t -> t
+
+val step : t -> unit
+val run : t -> steps:int -> unit
+
+val magnitude : t -> float array
+(** Displacement magnitude field (shake-map style output). *)
+
+val energy_proxy : t -> float
+(** Kinetic energy; bounded for a stable damped scheme. *)
+
+val max_displacement : t -> float

@@ -1,0 +1,45 @@
+(** Deterministic, splittable pseudo-random streams (splitmix64).
+
+    Every stochastic component of the workload takes an explicit [t] so
+    that tests and experiments are exactly reproducible across runs and
+    machines. *)
+
+type t
+(** A mutable random stream. *)
+
+val create : int -> t
+(** [create seed] makes a fresh stream; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy at the current state. *)
+
+val next_int64 : t -> int64
+(** One raw splitmix64 output; advances the stream. *)
+
+val split : t -> t
+(** Child stream whose draws never perturb the parent's future draws. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi]: uniform in [lo, hi). *)
+
+val int : t -> int -> int
+(** [int t n]: uniform in [0, n). Requires [n > 0]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal (Box-Muller). *)
+
+val normal : t -> mu:float -> sigma:float -> float
+
+val exponential : t -> rate:float -> float
+(** Exponential with mean [1/rate]. Requires [rate > 0]. *)
+
+val categorical : t -> float array -> int
+(** Sample an index proportionally to unnormalized nonnegative weights. *)
+
+val shuffle : t -> 'a array -> unit
+(** Fisher-Yates shuffle in place. *)

@@ -1,0 +1,58 @@
+(** Small descriptive-statistics helpers used by experiment harnesses. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) ** 2.0)) 0.0 a in
+    acc /. float_of_int (n - 1)
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  assert (Array.length a > 0);
+  Array.fold_left
+    (fun (lo, hi) x -> (min lo x, max hi x))
+    (a.(0), a.(0))
+    a
+
+let sum = Array.fold_left ( +. ) 0.0
+
+(** p in [0,1]; linear interpolation between order statistics. *)
+let percentile a p =
+  let s = Array.copy a in
+  Array.sort compare s;
+  let n = Array.length s in
+  assert (n > 0);
+  let idx = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor idx) in
+  let hi = int_of_float (Float.ceil idx) in
+  if lo = hi then s.(lo)
+  else
+    let w = idx -. float_of_int lo in
+    ((1.0 -. w) *. s.(lo)) +. (w *. s.(hi))
+
+let median a = percentile a 0.5
+
+(** Relative L2 error ||a - b|| / ||b||. *)
+let rel_l2_error a b =
+  assert (Array.length a = Array.length b);
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.(i) in
+      num := !num +. (d *. d);
+      den := !den +. (b.(i) *. b.(i)))
+    a;
+  if !den = 0.0 then sqrt !num else sqrt (!num /. !den)
+
+let max_abs_diff a b =
+  assert (Array.length a = Array.length b);
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := max !m (Float.abs (x -. b.(i)))) a;
+  !m

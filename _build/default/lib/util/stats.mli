@@ -1,0 +1,26 @@
+(** Small descriptive-statistics helpers used by experiment harnesses. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 for fewer than two samples. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** (minimum, maximum). Requires a nonempty array. *)
+
+val sum : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0, 1]; linear interpolation between
+    order statistics. Requires a nonempty array. *)
+
+val median : float array -> float
+
+val rel_l2_error : float array -> float array -> float
+(** [rel_l2_error a b] = ||a - b|| / ||b|| (plain ||a - b|| when b = 0). *)
+
+val max_abs_diff : float array -> float array -> float
+(** Pointwise infinity-norm distance. Arrays must have equal length. *)

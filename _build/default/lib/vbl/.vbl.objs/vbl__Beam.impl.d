@@ -1,0 +1,1 @@
+lib/vbl/beam.ml: Array Fftlib Float Icoe_util

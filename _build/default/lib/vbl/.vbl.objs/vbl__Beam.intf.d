@@ -1,0 +1,1 @@
+lib/vbl/beam.mli:

@@ -1,0 +1,1 @@
+lib/vbl/propagate.ml: Array Beam Fftlib Float Hwsim List

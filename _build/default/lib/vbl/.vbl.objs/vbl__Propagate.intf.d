@@ -1,0 +1,1 @@
+lib/vbl/propagate.mli: Beam Hwsim

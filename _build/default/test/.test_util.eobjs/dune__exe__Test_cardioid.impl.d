@@ -1,0 +1,1 @@
+test/test_cardioid.ml: Alcotest Array Cardioid Float Fmt Icoe_util Ionic Melodee Monodomain QCheck QCheck_alcotest

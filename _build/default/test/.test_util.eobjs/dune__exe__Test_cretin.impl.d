@@ -1,0 +1,1 @@
+test/test_cretin.ml: Alcotest Array Atomic Cretin Float Fmt Hwsim Icoe_util Linalg List Minikin Opacity QCheck QCheck_alcotest Ratematrix

@@ -1,0 +1,1 @@
+test/test_ddcmd.ml: Alcotest Array Bonded Cells Ddcmd Engine Float Fmt Icoe_util List Particles Perf Potential QCheck QCheck_alcotest Verlet

@@ -1,0 +1,1 @@
+test/test_dlearn.ml: Alcotest Array Distributed Dlearn Float Fmt Hwsim Icoe_util Lbann List Mlp Modelparallel QCheck QCheck_alcotest Videonet

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Cardioid Cretin Ddcmd Fftlib Float Hwsim Hypre Icoe_util Linalg Opt Samrai Sundials Vbl

@@ -1,0 +1,1 @@
+test/test_havoq.ml: Alcotest Array Bfs Fmt Graph Havoq Icoe_util List Perf QCheck QCheck_alcotest

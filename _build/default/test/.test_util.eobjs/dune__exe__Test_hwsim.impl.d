@@ -1,0 +1,1 @@
+test/test_hwsim.ml: Alcotest Clock Device Float Hwsim Kernel Link List Node QCheck QCheck_alcotest Roofline

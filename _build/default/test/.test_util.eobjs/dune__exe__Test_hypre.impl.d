@@ -1,0 +1,1 @@
+test/test_hypre.ml: Alcotest Array Float Fmt Hwsim Hypre Icoe_util Linalg List Prog QCheck QCheck_alcotest

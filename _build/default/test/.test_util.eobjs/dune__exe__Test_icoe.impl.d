@@ -1,0 +1,1 @@
+test/test_icoe.ml: Alcotest Astring Icoe Icoe_util List String

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Csr Dense Icoe_util Krylov Linalg QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_mfem.ml: Alcotest Array Float Fmt Hwsim Hypre Icoe_util Linalg List Mfem Prog Sundials

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Float Fmt Hashtbl Hwsim Icoe_util Linalg List Opt Paradyn QCheck QCheck_alcotest Scheduler Topopt

@@ -1,0 +1,1 @@
+test/test_prog.ml: Alcotest Array Hwsim Prog QCheck QCheck_alcotest

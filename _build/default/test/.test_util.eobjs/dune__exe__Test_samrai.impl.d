@@ -1,0 +1,1 @@
+test/test_samrai.ml: Alcotest Array Float Hwsim List Prog QCheck QCheck_alcotest Samrai

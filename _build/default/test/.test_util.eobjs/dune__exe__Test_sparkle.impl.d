@@ -1,0 +1,1 @@
+test/test_sparkle.ml: Alcotest Array Float Fmt Hashtbl Hwsim Icoe_util Lda List QCheck QCheck_alcotest Sparkle

@@ -1,0 +1,1 @@
+test/test_sundials.ml: Alcotest Array Float Hwsim Icoe_util Linalg Prog QCheck QCheck_alcotest Sundials

@@ -1,0 +1,1 @@
+test/test_sw4.ml: Alcotest Array Float Fmt Hwsim Icoe_util Linalg List Sw4

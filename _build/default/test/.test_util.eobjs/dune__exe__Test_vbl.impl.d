@@ -1,0 +1,1 @@
+test/test_vbl.ml: Alcotest Array Fftlib Float Fmt Hwsim Icoe_util QCheck QCheck_alcotest Vbl

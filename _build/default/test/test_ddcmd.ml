@@ -1,0 +1,375 @@
+(* Tests for the ddcMD analog: particles, potentials, linked cells, bonded
+   terms, the integrator stack, and the GROMACS comparison model. *)
+
+open Ddcmd
+
+let rng () = Icoe_util.Rng.create 71
+
+(* --- particles --- *)
+
+let test_lattice_no_overlap () =
+  let p = Particles.create ~n:64 ~box:8.0 in
+  Particles.lattice_init p;
+  let mind = ref infinity in
+  for i = 0 to 62 do
+    for j = i + 1 to 63 do
+      mind := min !mind (sqrt (Particles.dist2 p i j))
+    done
+  done;
+  Alcotest.(check bool) "min spacing positive" true (!mind > 1.0)
+
+let test_min_image () =
+  let p = Particles.create ~n:2 ~box:10.0 in
+  p.Particles.x.(0) <- 0.5;
+  p.Particles.x.(1) <- 9.5;
+  Alcotest.(check (float 1e-12)) "wraps across boundary" 1.0
+    (sqrt (Particles.dist2 p 0 1))
+
+let test_thermalize_temperature () =
+  let p = Particles.create ~n:2000 ~box:20.0 in
+  Particles.lattice_init p;
+  Particles.thermalize p ~rng:(rng ()) ~temp:1.5;
+  let t = Particles.temperature p in
+  Alcotest.(check bool) "temperature near target" true (Float.abs (t -. 1.5) < 0.1);
+  let mx, my, mz = Particles.total_momentum p in
+  Alcotest.(check bool) "zero COM momentum" true
+    (Float.abs mx +. Float.abs my +. Float.abs mz < 1e-9)
+
+(* --- potentials --- *)
+
+let test_lj_minimum () =
+  let pot = Potential.lennard_jones ~epsilon:1.0 ~sigma:1.0 ~cutoff:3.0 () in
+  (* force zero at r = 2^(1/6) sigma *)
+  let rmin = 2.0 ** (1.0 /. 6.0) in
+  let _, f = pot.Potential.eval ~si:0 ~sj:0 ~r2:(rmin *. rmin) in
+  Alcotest.(check (float 1e-9)) "zero force at minimum" 0.0 f;
+  let _, f_close = pot.Potential.eval ~si:0 ~sj:0 ~r2:(0.9 *. 0.9) in
+  let _, f_far = pot.Potential.eval ~si:0 ~sj:0 ~r2:(1.5 *. 1.5) in
+  Alcotest.(check bool) "repulsive inside" true (f_close > 0.0);
+  Alcotest.(check bool) "attractive outside" true (f_far < 0.0)
+
+let test_lj_cutoff_continuity () =
+  let pot = Potential.lennard_jones ~cutoff:2.5 () in
+  let e_in, _ = pot.Potential.eval ~si:0 ~sj:0 ~r2:(2.499 *. 2.499) in
+  let e_out, _ = pot.Potential.eval ~si:0 ~sj:0 ~r2:(2.501 *. 2.501) in
+  Alcotest.(check bool) "energy continuous at cutoff" true
+    (Float.abs (e_in -. e_out) < 1e-3)
+
+let test_exp6_repulsive_core () =
+  let pot = Potential.exp6 () in
+  let _, f = pot.Potential.eval ~si:0 ~sj:0 ~r2:(0.3 *. 0.3) in
+  Alcotest.(check bool) "repulsive at short range" true (f > 0.0)
+
+let test_martini_species_matrix () =
+  let eps = [| [| 1.0; 0.5 |]; [| 0.5; 2.0 |] |] in
+  let sg = [| [| 0.47; 0.47 |]; [| 0.47; 0.47 |] |] in
+  let pot = Potential.martini ~epsilon:eps ~sigma:sg () in
+  let e00, _ = pot.Potential.eval ~si:0 ~sj:0 ~r2:(0.5 *. 0.5) in
+  let e11, _ = pot.Potential.eval ~si:1 ~sj:1 ~r2:(0.5 *. 0.5) in
+  Alcotest.(check bool) "species-dependent wells" true
+    (Float.abs (e11 /. e00 -. 2.0) < 1e-9)
+
+(* --- cells --- *)
+
+let test_cells_match_all_pairs () =
+  (* forces via linked cells must equal O(N^2) enumeration *)
+  let r = rng () in
+  let p = Particles.create ~n:120 ~box:7.0 in
+  Particles.lattice_init p;
+  (* jitter positions *)
+  for i = 0 to 119 do
+    p.Particles.x.(i) <- Particles.wrap p (p.Particles.x.(i) +. Icoe_util.Rng.uniform r (-0.2) 0.2);
+    p.Particles.y.(i) <- Particles.wrap p (p.Particles.y.(i) +. Icoe_util.Rng.uniform r (-0.2) 0.2);
+    p.Particles.z.(i) <- Particles.wrap p (p.Particles.z.(i) +. Icoe_util.Rng.uniform r (-0.2) 0.2)
+  done;
+  let cutoff = 1.5 in
+  let cl = Cells.build p ~cutoff in
+  let pairs_cells = ref [] in
+  Cells.iter_pairs cl p ~cutoff (fun i j ->
+      pairs_cells := (min i j, max i j) :: !pairs_cells);
+  let pairs_naive = ref [] in
+  for i = 0 to 118 do
+    for j = i + 1 to 119 do
+      if Particles.dist2 p i j <= cutoff *. cutoff then
+        pairs_naive := (i, j) :: !pairs_naive
+    done
+  done;
+  let norm l = List.sort_uniq compare l in
+  Alcotest.(check int) "same pair count"
+    (List.length (norm !pairs_naive))
+    (List.length (norm !pairs_cells));
+  Alcotest.(check bool) "same pair set" true (norm !pairs_naive = norm !pairs_cells)
+
+(* --- bonded --- *)
+
+let test_bond_force_direction () =
+  let p = Particles.create ~n:2 ~box:10.0 in
+  p.Particles.x.(0) <- 4.0;
+  p.Particles.x.(1) <- 6.0;
+  p.Particles.y.(0) <- 5.0;
+  p.Particles.y.(1) <- 5.0;
+  p.Particles.z.(0) <- 5.0;
+  p.Particles.z.(1) <- 5.0;
+  (* stretched bond (r=2, r0=1.5): force pulls them together *)
+  let e = Bonded.bond_forces p [ { Bonded.bi = 0; bj = 1; k = 10.0; r0 = 1.5 } ] in
+  Alcotest.(check bool) "positive energy" true (e > 0.0);
+  Alcotest.(check bool) "0 pulled toward 1" true (p.Particles.fx.(0) > 0.0);
+  Alcotest.(check bool) "1 pulled toward 0" true (p.Particles.fx.(1) < 0.0);
+  Alcotest.(check (float 1e-12)) "newton's third law" 0.0
+    (p.Particles.fx.(0) +. p.Particles.fx.(1))
+
+let test_angle_force_restores () =
+  let p = Particles.create ~n:3 ~box:10.0 in
+  (* bent configuration: 90 degrees, equilibrium 180 *)
+  p.Particles.x.(0) <- 4.0; p.Particles.y.(0) <- 5.0; p.Particles.z.(0) <- 5.0;
+  p.Particles.x.(1) <- 5.0; p.Particles.y.(1) <- 5.0; p.Particles.z.(1) <- 5.0;
+  p.Particles.x.(2) <- 5.0; p.Particles.y.(2) <- 6.0; p.Particles.z.(2) <- 5.0;
+  let e =
+    Bonded.angle_forces p
+      [ { Bonded.ai = 0; aj = 1; ak = 2; ka = 5.0; theta0 = Float.pi } ]
+  in
+  Alcotest.(check bool) "positive energy away from equilibrium" true (e > 0.0);
+  (* net force zero *)
+  let fx = p.Particles.fx.(0) +. p.Particles.fx.(1) +. p.Particles.fx.(2) in
+  let fy = p.Particles.fy.(0) +. p.Particles.fy.(1) +. p.Particles.fy.(2) in
+  Alcotest.(check (float 1e-10)) "momentum conserved x" 0.0 fx;
+  Alcotest.(check (float 1e-10)) "momentum conserved y" 0.0 fy
+
+(* --- engine --- *)
+
+let lj_system ?(n = 125) ?(box = 6.5) ?(temp = 0.7) () =
+  let p = Particles.create ~n ~box in
+  Particles.lattice_init p;
+  Particles.thermalize p ~rng:(rng ()) ~temp;
+  Engine.create ~dt:0.004 ~potential:(Potential.lennard_jones ()) p
+
+let test_nve_energy_conservation () =
+  let e = lj_system () in
+  Engine.run e ~steps:50;
+  let e0 = Engine.total_energy e in
+  Engine.run e ~steps:400;
+  let e1 = Engine.total_energy e in
+  let drift = Float.abs (e1 -. e0) /. Float.abs e0 in
+  Alcotest.(check bool) (Fmt.str "relative drift %.2e < 1%%" drift) true (drift < 0.01)
+
+let test_nve_momentum_conservation () =
+  let e = lj_system () in
+  Engine.run e ~steps:300;
+  let mx, my, mz = Particles.total_momentum e.Engine.p in
+  Alcotest.(check bool) "momentum conserved" true
+    (Float.abs mx +. Float.abs my +. Float.abs mz < 1e-8)
+
+let test_langevin_thermostat () =
+  let e = lj_system ~temp:0.2 () in
+  let r = rng () in
+  (* thermostat drives the system toward T = 1.2 *)
+  Engine.run ~langevin:(5.0, 1.2, r) e ~steps:1500;
+  let samples = Array.init 50 (fun _ ->
+      Engine.run ~langevin:(5.0, 1.2, r) e ~steps:10;
+      Particles.temperature e.Engine.p)
+  in
+  let tbar = Icoe_util.Stats.mean samples in
+  Alcotest.(check bool) (Fmt.str "T=%.2f near 1.2" tbar) true
+    (Float.abs (tbar -. 1.2) < 0.15)
+
+let test_berendsen_compresses () =
+  (* a dilute gas below target pressure: barostat shrinks the box *)
+  let p = Particles.create ~n:64 ~box:12.0 in
+  Particles.lattice_init p;
+  Particles.thermalize p ~rng:(rng ()) ~temp:1.0;
+  let e = Engine.create ~dt:0.004 ~potential:(Potential.lennard_jones ()) p in
+  let box0 = p.Particles.box in
+  Engine.run ~berendsen:(0.02, 5.0) e ~steps:400;
+  Alcotest.(check bool) "box shrinks toward higher pressure" true
+    (p.Particles.box < box0)
+
+let test_shake_maintains_distance () =
+  let p = Particles.create ~n:2 ~box:10.0 in
+  p.Particles.x.(0) <- 5.0; p.Particles.y.(0) <- 5.0; p.Particles.z.(0) <- 5.0;
+  p.Particles.x.(1) <- 6.0; p.Particles.y.(1) <- 5.0; p.Particles.z.(1) <- 5.0;
+  (* opposing velocities try to stretch the constrained pair *)
+  p.Particles.vx.(0) <- -1.0;
+  p.Particles.vx.(1) <- 1.0;
+  let e =
+    Engine.create ~dt:0.004 ~constraints:[ (0, 1, 1.0) ]
+      ~potential:(Potential.soft_sphere ~sigma:0.1 ()) p
+  in
+  Engine.run e ~steps:200;
+  let d = sqrt (Particles.dist2 p 0 1) in
+  Alcotest.(check bool) (Fmt.str "constraint held: d=%.4f" d) true
+    (Float.abs (d -. 1.0) < 1e-3)
+
+let test_martini_membrane_patch_stable () =
+  (* two-species Martini-like fluid: runs stably with bonds, thermostat *)
+  let r = rng () in
+  let p = Particles.create ~n:96 ~box:5.0 in
+  Particles.lattice_init p;
+  for i = 0 to 95 do
+    p.Particles.species.(i) <- i mod 2
+  done;
+  Particles.thermalize p ~rng:r ~temp:1.0;
+  let eps = [| [| 1.0; 0.6 |]; [| 0.6; 1.2 |] |] in
+  let sg = [| [| 0.6; 0.6 |]; [| 0.6; 0.6 |] |] in
+  let bonds =
+    (* bond every even particle to the next odd one: crude dimer lipids *)
+    List.init 48 (fun k -> { Bonded.bi = 2 * k; bj = (2 * k) + 1; k = 50.0; r0 = 0.5 })
+  in
+  let e =
+    Engine.create ~dt:0.002 ~bonds
+      ~potential:(Potential.martini ~epsilon:eps ~sigma:sg ~cutoff:1.2 ())
+      p
+  in
+  Engine.run ~langevin:(2.0, 1.0, r) e ~steps:500;
+  Alcotest.(check bool) "finite positions" true
+    (Array.for_all Float.is_finite p.Particles.x);
+  Alcotest.(check bool) "pairs evaluated" true (e.Engine.pair_count > 0)
+
+let test_rdf_structure () =
+  (* an equilibrated LJ fluid: g(r) ~ 0 inside the core, peaks near the
+     potential minimum, tends to 1 at long range *)
+  let e = lj_system ~n:216 ~box:7.0 ~temp:0.9 () in
+  let r = rng () in
+  Engine.run ~langevin:(5.0, 0.9, r) e ~steps:800;
+  let g = Engine.rdf ~bins:35 ~rmax:3.0 e in
+  (* core exclusion: r < 0.8 sigma *)
+  Alcotest.(check bool) "core empty" true (g.(5) < 0.05);
+  (* first shell near r = 2^(1/6): bins around index 12-13 of 35 over 3.0 *)
+  let peak = max g.(12) (max g.(13) g.(14)) in
+  Alcotest.(check bool) (Fmt.str "first shell peak %.2f > 1.3" peak) true (peak > 1.3);
+  (* long range approaches unity *)
+  let tail = Icoe_util.Stats.mean (Array.sub g 28 7) in
+  Alcotest.(check bool) (Fmt.str "tail %.2f near 1" tail) true
+    (tail > 0.7 && tail < 1.3)
+
+let test_vacf_decays () =
+  (* VACF starts at 1 and decays in a dense fluid; the Green-Kubo
+     diffusion estimate is positive and finite *)
+  let e = lj_system ~n:125 ~box:6.0 ~temp:1.0 () in
+  Engine.run e ~steps:200;
+  let v = Engine.vacf ~samples:30 ~stride:5 e in
+  Alcotest.(check (float 1e-12)) "normalized at 0" 1.0 v.(0);
+  Alcotest.(check bool) "decays from unity" true (v.(29) < 0.8);
+  Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite v);
+  let c0 = 3.0 *. 1.0 (* 3 T / m *) in
+  let d = Engine.diffusion_coefficient ~vacf:v ~c0 ~dt_sample:(5.0 *. 0.004) in
+  Alcotest.(check bool) (Fmt.str "D=%.4f finite" d) true (Float.is_finite d)
+
+(* --- verlet lists --- *)
+
+let test_verlet_matches_cells () =
+  (* force-relevant pairs from the Verlet list = pairs from the cell grid *)
+  let e = lj_system ~n:125 ~box:6.5 () in
+  Engine.run e ~steps:20;
+  let p = e.Engine.p in
+  let cutoff = 2.5 in
+  let v = Verlet.build ~skin:0.4 p ~cutoff in
+  let collect iter =
+    let acc = ref [] in
+    iter (fun i j -> acc := (min i j, max i j) :: !acc);
+    List.sort_uniq compare !acc
+  in
+  let from_verlet = collect (fun f -> Verlet.iter_pairs v p f) in
+  let cl = Cells.build p ~cutoff in
+  let from_cells = collect (fun f -> Cells.iter_pairs cl p ~cutoff f) in
+  Alcotest.(check int) "same count" (List.length from_cells) (List.length from_verlet);
+  Alcotest.(check bool) "same set" true (from_cells = from_verlet)
+
+let test_verlet_rebuild_criterion () =
+  let e = lj_system ~n:64 ~box:6.0 ~temp:0.5 () in
+  Engine.run e ~steps:5;
+  let p = e.Engine.p in
+  let v = Verlet.build ~skin:0.5 p ~cutoff:2.5 in
+  Alcotest.(check bool) "fresh list valid" false (Verlet.needs_rebuild v p);
+  (* move one particle just under half the skin: still valid *)
+  p.Particles.x.(0) <- Particles.wrap p (p.Particles.x.(0) +. 0.24);
+  Alcotest.(check bool) "within skin" false (Verlet.needs_rebuild v p);
+  (* beyond half the skin: must rebuild *)
+  p.Particles.x.(0) <- Particles.wrap p (p.Particles.x.(0) +. 0.05);
+  Alcotest.(check bool) "stale" true (Verlet.needs_rebuild v p);
+  let v2 = Verlet.refresh v p in
+  Alcotest.(check int) "rebuild counted" 2 v2.Verlet.rebuilds;
+  Alcotest.(check bool) "fresh again" false (Verlet.needs_rebuild v2 p)
+
+let test_verlet_amortizes_over_steps () =
+  (* over an MD trajectory, far fewer rebuilds than steps *)
+  let e = lj_system ~n:125 ~box:6.5 ~temp:0.5 () in
+  Engine.run e ~steps:10;
+  let v = ref (Verlet.build ~skin:0.5 e.Engine.p ~cutoff:2.5) in
+  for _ = 1 to 100 do
+    Engine.run e ~steps:1;
+    v := Verlet.refresh !v e.Engine.p
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "%d rebuilds over 100 steps" !v.Verlet.rebuilds)
+    true
+    (!v.Verlet.rebuilds < 40 && !v.Verlet.rebuilds >= 1)
+
+(* --- performance model --- *)
+
+let test_gromacs_comparison_shape () =
+  let d1, g1 = Perf.step_times Perf.One_gpu in
+  let d4, g4 = Perf.step_times Perf.Four_gpu in
+  let dm, gm = Perf.step_times Perf.Mummi in
+  (* paper: 2.31 vs 2.88 ms; 1.3x at 4 GPUs; 2.3x inside MuMMI *)
+  Alcotest.(check bool) "1-gpu ddcMD ~2.3ms" true
+    (d1 > 2.0e-3 && d1 < 2.6e-3);
+  Alcotest.(check bool) "1-gpu ratio in 1.1-1.4" true
+    (g1 /. d1 > 1.1 && g1 /. d1 < 1.4);
+  Alcotest.(check bool) "4-gpu ratio in 1.15-1.5" true
+    (g4 /. d4 > 1.15 && g4 /. d4 < 1.5);
+  Alcotest.(check bool) "mummi ratio in 2.0-2.8" true
+    (gm /. dm > 2.0 && gm /. dm < 2.8);
+  Alcotest.(check bool) "4 gpus faster than 1" true (d4 < d1);
+  Alcotest.(check bool) "peak fraction > 30%" true
+    (Perf.ddcmd_peak_fraction () > 0.3)
+
+let prop_lj_forces_finite =
+  QCheck.Test.make ~name:"LJ eval finite for r2 in (0.5, 10)" ~count:200
+    QCheck.(float_range 0.5 10.0)
+    (fun r2 ->
+      let pot = Potential.lennard_jones () in
+      let e, f = pot.Potential.eval ~si:0 ~sj:0 ~r2 in
+      Float.is_finite e && Float.is_finite f)
+
+let () =
+  Alcotest.run "ddcmd"
+    [
+      ( "particles",
+        [
+          Alcotest.test_case "lattice" `Quick test_lattice_no_overlap;
+          Alcotest.test_case "min image" `Quick test_min_image;
+          Alcotest.test_case "thermalize" `Quick test_thermalize_temperature;
+        ] );
+      ( "potential",
+        [
+          Alcotest.test_case "lj minimum" `Quick test_lj_minimum;
+          Alcotest.test_case "lj cutoff" `Quick test_lj_cutoff_continuity;
+          Alcotest.test_case "exp6 core" `Quick test_exp6_repulsive_core;
+          Alcotest.test_case "martini matrix" `Quick test_martini_species_matrix;
+          QCheck_alcotest.to_alcotest prop_lj_forces_finite;
+        ] );
+      ("cells", [ Alcotest.test_case "matches all-pairs" `Quick test_cells_match_all_pairs ]);
+      ( "bonded",
+        [
+          Alcotest.test_case "bond direction" `Quick test_bond_force_direction;
+          Alcotest.test_case "angle restoring" `Quick test_angle_force_restores;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "nve energy" `Slow test_nve_energy_conservation;
+          Alcotest.test_case "nve momentum" `Quick test_nve_momentum_conservation;
+          Alcotest.test_case "langevin" `Slow test_langevin_thermostat;
+          Alcotest.test_case "berendsen" `Quick test_berendsen_compresses;
+          Alcotest.test_case "shake" `Quick test_shake_maintains_distance;
+          Alcotest.test_case "martini patch" `Quick test_martini_membrane_patch_stable;
+        ] );
+      ("rdf", [ Alcotest.test_case "fluid structure" `Slow test_rdf_structure ]);
+      ("vacf", [ Alcotest.test_case "decay + green-kubo" `Slow test_vacf_decays ]);
+      ( "verlet",
+        [
+          Alcotest.test_case "matches cells" `Quick test_verlet_matches_cells;
+          Alcotest.test_case "rebuild criterion" `Quick test_verlet_rebuild_criterion;
+          Alcotest.test_case "amortizes" `Slow test_verlet_amortizes_over_steps;
+        ] );
+      ("perf", [ Alcotest.test_case "gromacs comparison" `Quick test_gromacs_comparison_shape ]);
+    ]

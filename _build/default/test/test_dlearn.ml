@@ -1,0 +1,312 @@
+(* Tests for the deep-learning activity: MLP/backprop correctness, the
+   distributed-training comparison (KAVG vs ASGD), the Table 3 ensemble
+   study, and the Fig 3 LBANN scaling model. *)
+
+open Dlearn
+
+let rng () = Icoe_util.Rng.create 111
+
+(* --- mlp --- *)
+
+let test_forward_shapes () =
+  let m = Mlp.create ~rng:(rng ()) [| 4; 8; 3 |] in
+  let p = Mlp.predict_proba m [| 0.1; -0.2; 0.3; 0.5 |] in
+  Alcotest.(check int) "output size" 3 (Array.length p);
+  Alcotest.(check (float 1e-9)) "probs sum to 1" 1.0 (Icoe_util.Stats.sum p)
+
+let test_param_roundtrip () =
+  let m = Mlp.create ~rng:(rng ()) [| 3; 5; 2 |] in
+  let p = Mlp.get_params m in
+  Alcotest.(check int) "param count" ((3 * 5) + 5 + (5 * 2) + 2) (Array.length p);
+  let m2 = Mlp.create ~rng:(Icoe_util.Rng.create 999) [| 3; 5; 2 |] in
+  Mlp.set_params m2 p;
+  let x = [| 0.3; -0.7; 1.1 |] in
+  Alcotest.(check bool) "identical predictions after transplant" true
+    (Icoe_util.Stats.max_abs_diff (Mlp.predict_proba m x) (Mlp.predict_proba m2 x)
+    < 1e-15)
+
+let test_gradient_check () =
+  (* finite-difference check of backprop on a tiny network *)
+  let m = Mlp.create ~rng:(rng ()) [| 2; 3; 2 |] in
+  let x = [| 0.5; -0.3 |] in
+  let label = 1 in
+  Mlp.zero_grads m;
+  ignore (Mlp.backward m x ~label);
+  let analytic = ref [] in
+  Array.iter
+    (fun l ->
+      Array.iter (Array.iter (fun g -> analytic := g :: !analytic)) l.Mlp.gw;
+      Array.iter (fun g -> analytic := g :: !analytic) l.Mlp.gb)
+    m.Mlp.layers;
+  let analytic = Array.of_list (List.rev !analytic) in
+  Mlp.zero_grads m;
+  (* numeric gradient via parameter perturbation, same flattening order as
+     the gradient collection above (w rows then b per layer) *)
+  let loss_at params =
+    let m2 = Mlp.create ~rng:(Icoe_util.Rng.create 1) [| 2; 3; 2 |] in
+    Mlp.set_params m2 params;
+    let p = Mlp.predict_proba m2 x in
+    -.log (max 1e-12 p.(label))
+  in
+  let p0 = Mlp.get_params m in
+  let eps = 1e-6 in
+  (* note: get_params flattens in the same layer-major (w then b) order *)
+  Array.iteri
+    (fun k _ ->
+      let pp = Array.copy p0 in
+      pp.(k) <- pp.(k) +. eps;
+      let pm = Array.copy p0 in
+      pm.(k) <- pm.(k) -. eps;
+      let numeric = (loss_at pp -. loss_at pm) /. (2.0 *. eps) in
+      Alcotest.(check bool)
+        (Fmt.str "grad %d: %.6f vs %.6f" k analytic.(k) numeric)
+        true
+        (Float.abs (analytic.(k) -. numeric) < 1e-4))
+    p0
+
+let test_learns_separable_task () =
+  let r = rng () in
+  let data = Distributed.make_task ~rng:r ~classes:3 ~dim:6 ~n:300 ~spread:0.6 () in
+  let m = Mlp.create ~rng:r [| 6; 12; 3 |] in
+  for _ = 1 to 300 do
+    let xs, ls = Distributed.minibatch ~rng:r ~batch:32 data in
+    ignore (Mlp.train_batch ~momentum:0.9 m ~lr:0.05 xs ls)
+  done;
+  let acc = Mlp.accuracy m data.Distributed.xs data.Distributed.labels in
+  Alcotest.(check bool) (Fmt.str "acc %.3f > 0.9" acc) true (acc > 0.9)
+
+(* --- distributed --- *)
+
+let test_sync_sgd_converges () =
+  let r = rng () in
+  let data = Distributed.make_task ~rng:r () in
+  let run =
+    Distributed.sync_sgd ~rng:r ~learners:4 ~steps:300 ~batch:16 ~lr:0.05
+      [| 12; 16; 4 |] data
+  in
+  Alcotest.(check bool) "good accuracy" true (run.Distributed.final_accuracy > 0.8);
+  Alcotest.(check bool) "time accounted" true (run.Distributed.simulated_seconds > 0.0)
+
+let test_kavg_beats_asgd () =
+  (* Sec 4.5 / [34]: at a practical learning rate, ASGD's stale gradients
+     degrade the result; KAVG with the same budget does better *)
+  let task r = Distributed.make_task ~rng:r ~spread:1.0 () in
+  let sizes = [| 12; 16; 4 |] in
+  let asgd =
+    Distributed.asgd ~rng:(rng ()) ~learners:8 ~steps:800 ~batch:16 ~lr:0.08
+      ~staleness:8 sizes (task (rng ()))
+  in
+  let kavg =
+    Distributed.kavg ~rng:(rng ()) ~learners:8 ~rounds:100 ~k:8 ~batch:16
+      ~lr:0.08 sizes (task (rng ()))
+  in
+  Alcotest.(check bool)
+    (Fmt.str "kavg loss %.3f <= asgd loss %.3f" kavg.Distributed.final_loss
+       asgd.Distributed.final_loss)
+    true
+    (kavg.Distributed.final_loss <= asgd.Distributed.final_loss);
+  (* same number of gradient evaluations *)
+  Alcotest.(check int) "same budget" asgd.Distributed.steps kavg.Distributed.steps
+
+let test_kavg_optimal_k_exceeds_one () =
+  (* "the optimal K for convergence is usually greater than one": with
+     communication priced in, loss-at-equal-simulated-time favours K > 1 *)
+  let sizes = [| 12; 16; 4 |] in
+  let result k rounds =
+    Distributed.kavg ~rng:(rng ()) ~learners:8 ~rounds ~k ~batch:16 ~lr:0.05
+      sizes
+      (Distributed.make_task ~rng:(rng ()) ~spread:1.0 ())
+  in
+  let r1 = result 1 60 in
+  (* k=4 with 4x fewer rounds: similar compute, 4x less communication *)
+  let r4 = result 4 15 in
+  Alcotest.(check bool) "k=4 spends less simulated time" true
+    (r4.Distributed.simulated_seconds < r1.Distributed.simulated_seconds);
+  Alcotest.(check bool)
+    (Fmt.str "k=4 loss %.3f not much worse than k=1 %.3f"
+       r4.Distributed.final_loss r1.Distributed.final_loss)
+    true
+    (r4.Distributed.final_loss < r1.Distributed.final_loss +. 0.15)
+
+let test_asgd_staleness_hurts () =
+  let sizes = [| 12; 16; 4 |] in
+  let run staleness =
+    Distributed.asgd ~rng:(rng ()) ~learners:8 ~steps:500 ~batch:16 ~lr:0.1
+      ~staleness sizes
+      (Distributed.make_task ~rng:(rng ()) ~spread:1.0 ())
+  in
+  let fresh = run 0 and stale = run 16 in
+  Alcotest.(check bool)
+    (Fmt.str "stale %.3f >= fresh %.3f" stale.Distributed.final_loss
+       fresh.Distributed.final_loss)
+    true
+    (stale.Distributed.final_loss >= fresh.Distributed.final_loss -. 0.02)
+
+(* --- model parallel (real execution) --- *)
+
+let test_model_parallel_identical () =
+  (* the sharded network must compute bit-identical probabilities *)
+  let r = rng () in
+  let m = Mlp.create ~rng:r [| 10; 24; 5 |] in
+  let x = Array.init 10 (fun i -> sin (float_of_int i)) in
+  let reference = Mlp.predict_proba m x in
+  List.iter
+    (fun shards ->
+      let mp = Modelparallel.create ~shards m in
+      let p = Modelparallel.predict_proba mp x in
+      Alcotest.(check bool)
+        (Fmt.str "%d shards identical" shards)
+        true
+        (Icoe_util.Stats.max_abs_diff p reference < 1e-15))
+    [ 1; 2; 3; 4 ];
+  (* communication charged for multi-shard runs *)
+  let mp = Modelparallel.create ~shards:4 m in
+  ignore (Modelparallel.predict_proba mp x);
+  Alcotest.(check bool) "allgather charged" true
+    (Hwsim.Clock.total mp.Modelparallel.clock > 0.0)
+
+let test_model_parallel_scaling_shape () =
+  (* real parameter counts: speedup grows with shards but sub-linearly
+     (all-gather cost), echoing Fig 3's strong-scaling curvature *)
+  let r = rng () in
+  (* activation-heavy configuration (LBANN's semantic-segmentation regime:
+     large spatial activations, hence the large batch here) *)
+  let big = Mlp.create ~rng:r [| 512; 1024; 1024; 128 |] in
+  let s2 = Modelparallel.strong_scaling ~link:Hwsim.Link.nvlink2 big ~batch:512 ~shards:2 in
+  let s4 = Modelparallel.strong_scaling ~link:Hwsim.Link.nvlink2 big ~batch:512 ~shards:4 in
+  let s8 = Modelparallel.strong_scaling ~link:Hwsim.Link.nvlink2 big ~batch:512 ~shards:8 in
+  Alcotest.(check bool) (Fmt.str "s2=%.2f in (1,2]" s2) true (s2 > 1.0 && s2 <= 2.0);
+  Alcotest.(check bool) "monotone" true (s4 > s2 && s8 > s4);
+  Alcotest.(check bool) (Fmt.str "s8=%.2f sublinear" s8) true (s8 < 8.0)
+
+let test_easgd_converges () =
+  let run =
+    Distributed.easgd ~rng:(rng ()) ~learners:8 ~rounds:80 ~k:8 ~batch:16
+      ~lr:0.08 [| 12; 16; 4 |]
+      (Distributed.make_task ~rng:(rng ()) ~spread:1.0 ())
+  in
+  Alcotest.(check bool)
+    (Fmt.str "easgd acc %.3f > 0.85" run.Distributed.final_accuracy)
+    true
+    (run.Distributed.final_accuracy > 0.85)
+
+(* --- table 3 --- *)
+
+let test_table3_easy_shape () =
+  let rows = Videonet.table3 ~rng:(rng ()) Videonet.Easy in
+  let acc c = List.assoc c rows in
+  let singles = [ acc (Videonet.Single 0); acc (Videonet.Single 1); acc (Videonet.Single 2) ] in
+  let best_single = List.fold_left max 0.0 singles in
+  List.iter
+    (fun comb ->
+      Alcotest.(check bool)
+        (Videonet.combiner_name comb ^ " beats singles")
+        true
+        (acc comb > best_single))
+    [ Videonet.Simple_average; Videonet.Weighted_average;
+      Videonet.Logistic_regression; Videonet.Shallow_nn ];
+  Alcotest.(check bool) "singles in the 75-90% band" true
+    (List.for_all (fun a -> a > 0.72 && a < 0.92) singles);
+  Alcotest.(check bool) "ensembles above 90%" true
+    (acc Videonet.Simple_average > 0.9)
+
+let test_table3_hard_shape () =
+  let rows = Videonet.table3 ~rng:(rng ()) Videonet.Hard in
+  let acc c = List.assoc c rows in
+  let best_single =
+    List.fold_left max 0.0
+      [ acc (Videonet.Single 0); acc (Videonet.Single 1); acc (Videonet.Single 2) ]
+  in
+  Alcotest.(check bool) "fusion beats singles" true
+    (acc Videonet.Simple_average > best_single +. 0.1);
+  (* the I3D-style end-to-end model: competitive on easy, clearly below
+     the learned ensembles on hard (the paper's comparison row) *)
+  Alcotest.(check bool) "end-to-end below stacked LR on hard" true
+    (acc Videonet.End_to_end < acc Videonet.Logistic_regression);
+  (* the HMDB51 column's signature: the learned combiner clearly beats
+     plain averaging on the hard set *)
+  Alcotest.(check bool)
+    (Fmt.str "LR %.3f > avg %.3f + 0.03" (acc Videonet.Logistic_regression)
+       (acc Videonet.Simple_average))
+    true
+    (acc Videonet.Logistic_regression > acc Videonet.Simple_average +. 0.03);
+  Alcotest.(check bool) "hard is harder than easy" true
+    (acc Videonet.Simple_average
+    < List.assoc Videonet.Simple_average (Videonet.table3 ~rng:(rng ()) Videonet.Easy))
+
+(* --- lbann / fig 3 --- *)
+
+let test_lbann_memory_constraint () =
+  Alcotest.(check int) "needs at least 2 GPUs per sample" 2
+    Lbann.min_gpus_per_sample
+
+let test_lbann_strong_scaling_points () =
+  let s4 = Lbann.strong_scaling_speedup 4 in
+  let s8 = Lbann.strong_scaling_speedup 8 in
+  let s16 = Lbann.strong_scaling_speedup 16 in
+  Alcotest.(check bool) (Fmt.str "S(4)=%.2f near-perfect" s4) true
+    (s4 > 1.7 && s4 <= 2.0);
+  Alcotest.(check bool) (Fmt.str "S(8)=%.2f ~ 2.8" s8) true (s8 > 2.6 && s8 < 3.0);
+  Alcotest.(check bool) (Fmt.str "S(16)=%.2f ~ 3.4" s16) true (s16 > 3.2 && s16 < 3.7)
+
+let test_lbann_weak_scaling () =
+  (* weak scaling to 2048 GPUs stays efficient *)
+  List.iter
+    (fun g ->
+      let eff = Lbann.weak_scaling_efficiency ~g ~total0:(g * 4) ~total1:2048 in
+      Alcotest.(check bool)
+        (Fmt.str "g=%d eff %.2f > 0.85" g eff)
+        true (eff > 0.85))
+    [ 2; 4; 8; 16 ];
+  (* more GPUs always give more aggregate throughput *)
+  let t1 = Lbann.weak_scaling_throughput ~total_gpus:256 ~g:4 in
+  let t2 = Lbann.weak_scaling_throughput ~total_gpus:2048 ~g:4 in
+  Alcotest.(check bool) "throughput grows" true (t2 > 4.0 *. t1)
+
+let prop_mlp_probs_normalized =
+  QCheck.Test.make ~name:"softmax outputs normalized" ~count:50
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let r = Icoe_util.Rng.create seed in
+      let m = Mlp.create ~rng:r [| 3; 4; 3 |] in
+      let x = Array.init 3 (fun _ -> Icoe_util.Rng.uniform r (-2.0) 2.0) in
+      let p = Mlp.predict_proba m x in
+      Float.abs (Icoe_util.Stats.sum p -. 1.0) < 1e-9
+      && Array.for_all (fun v -> v >= 0.0) p)
+
+let () =
+  Alcotest.run "dlearn"
+    [
+      ( "mlp",
+        [
+          Alcotest.test_case "forward" `Quick test_forward_shapes;
+          Alcotest.test_case "param roundtrip" `Quick test_param_roundtrip;
+          Alcotest.test_case "gradient check" `Quick test_gradient_check;
+          Alcotest.test_case "learns" `Quick test_learns_separable_task;
+          QCheck_alcotest.to_alcotest prop_mlp_probs_normalized;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "sync sgd" `Quick test_sync_sgd_converges;
+          Alcotest.test_case "kavg beats asgd" `Slow test_kavg_beats_asgd;
+          Alcotest.test_case "optimal k > 1" `Slow test_kavg_optimal_k_exceeds_one;
+          Alcotest.test_case "staleness hurts" `Slow test_asgd_staleness_hurts;
+        ] );
+      ( "modelparallel",
+        [
+          Alcotest.test_case "identical results" `Quick test_model_parallel_identical;
+          Alcotest.test_case "scaling shape" `Quick test_model_parallel_scaling_shape;
+          Alcotest.test_case "easgd" `Slow test_easgd_converges;
+        ] );
+      ( "videonet",
+        [
+          Alcotest.test_case "table3 easy" `Slow test_table3_easy_shape;
+          Alcotest.test_case "table3 hard" `Slow test_table3_hard_shape;
+        ] );
+      ( "lbann",
+        [
+          Alcotest.test_case "memory constraint" `Quick test_lbann_memory_constraint;
+          Alcotest.test_case "strong scaling" `Quick test_lbann_strong_scaling_points;
+          Alcotest.test_case "weak scaling" `Quick test_lbann_weak_scaling;
+        ] );
+    ]

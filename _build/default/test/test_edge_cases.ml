@@ -1,0 +1,181 @@
+(* Failure-injection and edge-case tests across the workload: the library
+   must fail loudly (assertions, typed exceptions) or degrade gracefully
+   (converged = false) rather than silently returning nonsense. *)
+
+let expect_assert name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Assert_failure")
+  | exception Assert_failure _ -> ()
+  | exception Invalid_argument _ -> ()
+
+(* --- linalg --- *)
+
+let test_cg_nonconvergence_reported () =
+  (* CG on an indefinite operator: must report converged = false (or bail
+     via the finite-check), never loop forever or claim success *)
+  let op x = Array.mapi (fun i v -> if i mod 2 = 0 then v else -.v) x in
+  let b = Array.make 10 1.0 in
+  let r = Linalg.Krylov.cg ~tol:1e-12 ~max_iter:50 ~op b (Array.make 10 0.0) in
+  Alcotest.(check bool) "not claimed converged" true
+    ((not r.Linalg.Krylov.converged) || r.Linalg.Krylov.residual < 1e-12)
+
+let test_gmres_iteration_cap () =
+  (* a rotation-like operator that GMRES cannot solve in few iterations:
+     the cap must bind *)
+  let n = 40 in
+  let op x = Array.init n (fun i -> x.((i + 1) mod n)) in
+  let b = Array.init n (fun i -> if i = 0 then 1.0 else 0.0) in
+  let r = Linalg.Krylov.gmres ~tol:1e-14 ~max_iter:10 ~restart:5 ~op b (Array.make n 0.0) in
+  Alcotest.(check bool) "iters within cap" true (r.Linalg.Krylov.iters <= 10)
+
+let test_dense_singular_exception () =
+  let a = Linalg.Dense.init 4 4 (fun _ j -> float_of_int j) in
+  Alcotest.(check bool) "raises Singular" true
+    (match Linalg.Dense.lu_factor a with
+    | _ -> false
+    | exception Linalg.Dense.Singular _ -> true)
+
+let test_csr_triplet_bounds () =
+  expect_assert "row out of range" (fun () ->
+      Linalg.Csr.of_triplets ~m:2 ~n:2 [ (5, 0, 1.0) ])
+
+(* --- sundials --- *)
+
+let test_bdf_too_much_work () =
+  (* finite-time blow-up ODE with a tiny step cap must raise, not hang *)
+  let rhs _t y = [| y.(0) *. y.(0) |] in
+  Alcotest.(check bool) "raises Too_much_work" true
+    (match
+       Sundials.Cvode.bdf ~rtol:1e-10 ~atol:1e-12 ~max_steps:50 ~rhs
+         ~lsolve:(Sundials.Cvode.fd_dense_lsolve ~rhs) ~t0:0.0 ~y0:[| 1.0 |]
+         2.0
+     with
+    | _ -> false
+    | exception Sundials.Cvode.Too_much_work _ -> true)
+
+(* --- fft / vbl --- *)
+
+let test_fft_rejects_non_pow2 () =
+  expect_assert "non-power-of-2" (fun () ->
+      Fftlib.Fft.transform (Array.make (2 * 12) 0.0))
+
+let test_beam_rejects_non_pow2 () =
+  expect_assert "beam grid" (fun () -> Vbl.Beam.create ~n:100 ~width:0.1 ())
+
+(* --- scheduler --- *)
+
+let test_scheduler_empty_workload () =
+  let m = Opt.Scheduler.simulate ~gpus:4 Opt.Scheduler.Sjf [] in
+  Alcotest.(check int) "no jobs" 0 m.Opt.Scheduler.completed;
+  Alcotest.(check (float 1e-12)) "zero makespan" 0.0 m.Opt.Scheduler.makespan
+
+let test_scheduler_oversized_job () =
+  (* a job wider than the pool can never start; the simulation must
+     terminate and report it incomplete *)
+  let jobs = [ { Opt.Scheduler.id = 0; arrival = 0.0; duration = 1.0; gpus = 9 } ] in
+  let m = Opt.Scheduler.simulate ~gpus:4 Opt.Scheduler.Sjf jobs in
+  Alcotest.(check int) "not completed" 0 m.Opt.Scheduler.completed
+
+(* --- melodee --- *)
+
+let test_melodee_division_by_zero () =
+  (* IEEE semantics, not a crash *)
+  let e = Cardioid.Melodee.(Div (Const 1.0, Var 0)) in
+  let v = Cardioid.Melodee.eval [| 0.0 |] e in
+  Alcotest.(check bool) "inf" true (Float.is_finite v = false)
+
+let test_melodee_log_negative () =
+  let e = Cardioid.Melodee.(Log (Const (-1.0))) in
+  Alcotest.(check bool) "nan" true (Float.is_nan (Cardioid.Melodee.eval [||] e))
+
+(* --- hypre / pfmg --- *)
+
+let test_pfmg_rejects_bad_size () =
+  expect_assert "n must be 2^k - 1" (fun () -> Hypre.Pfmg.create 10)
+
+let test_boxloop_rejects_inverted_box () =
+  expect_assert "inverted box" (fun () ->
+      Samrai.Box.make ~ilo:5 ~jlo:0 ~ihi:2 ~jhi:3)
+
+(* --- util --- *)
+
+let test_rng_int_zero () =
+  expect_assert "n must be positive" (fun () ->
+      Icoe_util.Rng.int (Icoe_util.Rng.create 1) 0)
+
+let test_table_row_arity () =
+  let t = Icoe_util.Table.create ~title:"t" [ "a"; "b" ] in
+  expect_assert "wrong arity" (fun () -> Icoe_util.Table.add_row t [ "only one" ])
+
+let test_stats_singleton () =
+  Alcotest.(check (float 1e-12)) "variance of singleton" 0.0
+    (Icoe_util.Stats.variance [| 5.0 |]);
+  Alcotest.(check (float 1e-12)) "percentile of singleton" 5.0
+    (Icoe_util.Stats.percentile [| 5.0 |] 0.7)
+
+(* --- hwsim --- *)
+
+let test_kernel_rejects_negative () =
+  expect_assert "negative flops" (fun () ->
+      Hwsim.Kernel.make ~name:"bad" ~flops:(-1.0) ~bytes:0.0 ())
+
+let test_clock_rejects_negative_tick () =
+  let c = Hwsim.Clock.create () in
+  expect_assert "negative dt" (fun () -> Hwsim.Clock.tick c ~phase:"x" (-1.0))
+
+(* --- cretin --- *)
+
+let test_cretin_tiny_ladder_rejected () =
+  expect_assert "needs >= 2 levels" (fun () -> Cretin.Atomic.ladder 1)
+
+(* --- ddcmd --- *)
+
+let test_particles_bad_box () =
+  expect_assert "box must be positive" (fun () ->
+      Ddcmd.Particles.create ~n:8 ~box:(-1.0))
+
+let () =
+  Alcotest.run "edge_cases"
+    [
+      ( "linalg",
+        [
+          Alcotest.test_case "cg nonconvergence" `Quick test_cg_nonconvergence_reported;
+          Alcotest.test_case "gmres cap" `Quick test_gmres_iteration_cap;
+          Alcotest.test_case "singular" `Quick test_dense_singular_exception;
+          Alcotest.test_case "triplet bounds" `Quick test_csr_triplet_bounds;
+        ] );
+      ("sundials", [ Alcotest.test_case "too much work" `Quick test_bdf_too_much_work ]);
+      ( "fft",
+        [
+          Alcotest.test_case "non-pow2 fft" `Quick test_fft_rejects_non_pow2;
+          Alcotest.test_case "non-pow2 beam" `Quick test_beam_rejects_non_pow2;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "empty workload" `Quick test_scheduler_empty_workload;
+          Alcotest.test_case "oversized job" `Quick test_scheduler_oversized_job;
+        ] );
+      ( "melodee",
+        [
+          Alcotest.test_case "div by zero" `Quick test_melodee_division_by_zero;
+          Alcotest.test_case "log negative" `Quick test_melodee_log_negative;
+        ] );
+      ( "structured",
+        [
+          Alcotest.test_case "pfmg size" `Quick test_pfmg_rejects_bad_size;
+          Alcotest.test_case "inverted box" `Quick test_boxloop_rejects_inverted_box;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "rng int 0" `Quick test_rng_int_zero;
+          Alcotest.test_case "table arity" `Quick test_table_row_arity;
+          Alcotest.test_case "stats singleton" `Quick test_stats_singleton;
+        ] );
+      ( "hwsim",
+        [
+          Alcotest.test_case "negative kernel" `Quick test_kernel_rejects_negative;
+          Alcotest.test_case "negative tick" `Quick test_clock_rejects_negative_tick;
+        ] );
+      ("cretin", [ Alcotest.test_case "tiny ladder" `Quick test_cretin_tiny_ladder_rejected ]);
+      ("ddcmd", [ Alcotest.test_case "bad box" `Quick test_particles_bad_box ]);
+    ]

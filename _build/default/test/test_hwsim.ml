@@ -1,0 +1,158 @@
+(* Tests for the hardware model: roofline pricing, links, clocks, nodes. *)
+
+open Hwsim
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_roofline_bandwidth_bound () =
+  (* stream-like kernel: 1 flop per 24 bytes => bandwidth bound everywhere *)
+  let k = Kernel.make ~name:"stream" ~flops:1e9 ~bytes:24e9 () in
+  Alcotest.(check bool) "bw bound on V100" true
+    (Roofline.binding Device.v100 k = Roofline.Bandwidth_bound);
+  let eff = Roofline.eff ~compute:1.0 ~bandwidth:1.0 () in
+  let t = Roofline.time ~eff Device.v100 k in
+  let expected = Device.v100.Device.launch_overhead_s +. (24e9 /. (900.0 *. 1e9)) in
+  check_float "time = launch + bytes/bw" expected t
+
+let test_roofline_compute_bound () =
+  let k = Kernel.make ~name:"dgemm" ~flops:1e12 ~bytes:1e6 () in
+  Alcotest.(check bool) "compute bound" true
+    (Roofline.binding Device.v100 k = Roofline.Compute_bound)
+
+let test_roofline_lanes_scale () =
+  let k = Kernel.make ~name:"k" ~flops:1e9 ~bytes:0.0 ~launches:0 () in
+  let eff = Roofline.eff ~compute:1.0 ~bandwidth:1.0 () in
+  let full = Roofline.time ~eff Device.power9 k in
+  let half = Roofline.time ~eff ~lanes_used:11 Device.power9 k in
+  Alcotest.(check bool) "half lanes = 2x time" true
+    (Float.abs ((half /. full) -. 2.0) < 0.01)
+
+let test_gpu_faster_than_cpu_on_stream () =
+  let k = Kernel.make ~name:"stream" ~flops:1e9 ~bytes:64e9 () in
+  let tg = Roofline.time Device.v100 k and tc = Roofline.time Device.power9 k in
+  Alcotest.(check bool) "V100 beats P9 on bandwidth" true (tg < tc)
+
+let test_link_transfer_monotone () =
+  let t1 = Link.transfer_time Link.nvlink2 ~bytes:1e3 in
+  let t2 = Link.transfer_time Link.nvlink2 ~bytes:1e6 in
+  Alcotest.(check bool) "more bytes, more time" true (t2 > t1)
+
+let test_gpudirect_crossover () =
+  (* Sec 4.11: for small messages GPUDirect wins (low latency); for a few
+     KB or more cudaMemcpy wins (higher bandwidth). *)
+  let small = 256.0 and large = 65536.0 in
+  let gd_small = Link.transfer_time Link.gpudirect ~bytes:small in
+  let cm_small = Link.transfer_time Link.cuda_memcpy ~bytes:small in
+  let gd_large = Link.transfer_time Link.gpudirect ~bytes:large in
+  let cm_large = Link.transfer_time Link.cuda_memcpy ~bytes:large in
+  Alcotest.(check bool) "GPUDirect wins small" true (gd_small < cm_small);
+  Alcotest.(check bool) "cudaMemcpy wins large" true (cm_large < gd_large)
+
+let test_unified_memory_pages () =
+  (* 1 byte still moves a whole 64 KiB page *)
+  let t1 = Link.unified_memory_transfer ~link:Link.nvlink2 ~bytes:1.0 in
+  let t2 = Link.unified_memory_transfer ~link:Link.nvlink2 ~bytes:65536.0 in
+  check_float "sub-page rounds up" t2 t1
+
+let test_clock_phases () =
+  let c = Clock.create () in
+  Clock.tick c ~phase:"a" 1.0;
+  Clock.tick c ~phase:"b" 2.0;
+  Clock.tick c ~phase:"a" 0.5;
+  check_float "total" 3.5 (Clock.total c);
+  check_float "phase a" 1.5 (Clock.phase c "a");
+  check_float "phase b" 2.0 (Clock.phase c "b");
+  Alcotest.(check int) "breakdown order" 2 (List.length (Clock.breakdown c));
+  Clock.reset c;
+  check_float "reset" 0.0 (Clock.total c)
+
+let test_node_peaks () =
+  let open Node in
+  let w = witherspoon in
+  Alcotest.(check bool) "witherspoon GPU-dominant" true
+    (gpu_peak_gflops w > 10.0 *. cpu_peak_gflops w);
+  Alcotest.(check bool) "cori has no GPU" true (gpu_peak_gflops cori_ii = 0.0);
+  (* Sierra node ~ 31 TF/s DP within a factor *)
+  Alcotest.(check bool) "sierra node peak sane" true
+    (node_peak_gflops w > 25_000.0 && node_peak_gflops w < 40_000.0)
+
+let test_kernel_algebra () =
+  let a = Kernel.make ~name:"a" ~flops:1.0 ~bytes:2.0 () in
+  let b = Kernel.make ~name:"b" ~flops:3.0 ~bytes:4.0 ~launches:2 () in
+  let c = Kernel.add a b in
+  check_float "flops add" 4.0 c.Kernel.flops;
+  check_float "bytes add" 6.0 c.Kernel.bytes;
+  Alcotest.(check int) "launches add" 3 c.Kernel.launches;
+  let s = Kernel.scale 2.0 a in
+  check_float "scale flops" 2.0 s.Kernel.flops;
+  check_float "intensity invariant under scale" (Kernel.intensity a)
+    (Kernel.intensity s)
+
+(* --- nest counters (Sec 4.10.6) --- *)
+
+let test_counters_bandwidth () =
+  let c = Hwsim.Counters.create Hwsim.Device.power9 in
+  (* 1 GB moved over 0.02 s = 50 GB/s on a 120 GB/s device *)
+  Hwsim.Counters.sample c ~time:0.0 ~bytes:0.0;
+  Hwsim.Counters.sample c ~time:0.01 ~bytes:0.5e9;
+  Hwsim.Counters.sample c ~time:0.02 ~bytes:1.0e9;
+  Alcotest.(check (float 1e-9)) "achieved" 50.0 (Hwsim.Counters.achieved_gbs c);
+  Alcotest.(check bool) "not yet bandwidth bound" false
+    (Hwsim.Counters.bandwidth_bound c);
+  Hwsim.Counters.sample c ~time:0.025 ~bytes:1.6e9;
+  Alcotest.(check int) "series intervals" 3 (List.length (Hwsim.Counters.series c))
+
+let test_counters_detect_stream () =
+  (* a STREAM-like phase must be flagged bandwidth-bound *)
+  let c = Hwsim.Counters.create Hwsim.Device.power9 in
+  Hwsim.Counters.sample c ~time:0.0 ~bytes:0.0;
+  Hwsim.Counters.sample c ~time:0.1 ~bytes:(0.8 *. 120.0e9 *. 0.1);
+  Alcotest.(check bool) "bandwidth bound" true (Hwsim.Counters.bandwidth_bound c)
+
+let test_counters_monotonicity_guard () =
+  let c = Hwsim.Counters.create Hwsim.Device.power9 in
+  Hwsim.Counters.sample c ~time:1.0 ~bytes:100.0;
+  Alcotest.(check bool) "rejects rewinding counter" true
+    (match Hwsim.Counters.sample c ~time:0.5 ~bytes:200.0 with
+    | () -> false
+    | exception Assert_failure _ -> true)
+
+let prop_roofline_time_positive =
+  QCheck.Test.make ~name:"roofline time positive and monotone in work"
+    ~count:200
+    QCheck.(pair (float_range 1.0 1e12) (float_range 1.0 1e12))
+    (fun (f, b) ->
+      let k1 = Kernel.make ~name:"k" ~flops:f ~bytes:b () in
+      let k2 = Kernel.make ~name:"k" ~flops:(2.0 *. f) ~bytes:(2.0 *. b) () in
+      let t1 = Roofline.time Device.v100 k1 in
+      let t2 = Roofline.time Device.v100 k2 in
+      t1 > 0.0 && t2 >= t1)
+
+let () =
+  Alcotest.run "hwsim"
+    [
+      ( "roofline",
+        [
+          Alcotest.test_case "bandwidth bound" `Quick test_roofline_bandwidth_bound;
+          Alcotest.test_case "compute bound" `Quick test_roofline_compute_bound;
+          Alcotest.test_case "lane scaling" `Quick test_roofline_lanes_scale;
+          Alcotest.test_case "gpu beats cpu on stream" `Quick
+            test_gpu_faster_than_cpu_on_stream;
+          QCheck_alcotest.to_alcotest prop_roofline_time_positive;
+        ] );
+      ( "links",
+        [
+          Alcotest.test_case "monotone" `Quick test_link_transfer_monotone;
+          Alcotest.test_case "gpudirect crossover" `Quick test_gpudirect_crossover;
+          Alcotest.test_case "unified memory pages" `Quick test_unified_memory_pages;
+        ] );
+      ("clock", [ Alcotest.test_case "phases" `Quick test_clock_phases ]);
+      ("node", [ Alcotest.test_case "peaks" `Quick test_node_peaks ]);
+      ("kernel", [ Alcotest.test_case "algebra" `Quick test_kernel_algebra ]);
+      ( "counters",
+        [
+          Alcotest.test_case "bandwidth" `Quick test_counters_bandwidth;
+          Alcotest.test_case "stream detection" `Quick test_counters_detect_stream;
+          Alcotest.test_case "monotone guard" `Quick test_counters_monotonicity_guard;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+(* Tests for the hypre analog: smoothers, coarsening, BoomerAMG, BoxLoops. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let laplacian_problem n =
+  let a = Linalg.Csr.laplacian_2d n n in
+  let rng = Icoe_util.Rng.create 21 in
+  let x_true =
+    Array.init (n * n) (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0)
+  in
+  let b = Linalg.Csr.spmv a x_true in
+  (a, b, x_true)
+
+let residual a b x =
+  Linalg.Vec.nrm2 (Linalg.Vec.sub b (Linalg.Csr.spmv a x))
+  /. max (Linalg.Vec.nrm2 b) 1e-300
+
+(* --- smoothers --- *)
+
+let test_smoothers_reduce_residual () =
+  let a, b, _ = laplacian_problem 10 in
+  List.iter
+    (fun kind ->
+      let x = Array.make (Array.length b) 0.0 in
+      let r0 = residual a b x in
+      for _ = 1 to 10 do
+        Hypre.Smoother.sweep kind a b x
+      done;
+      let r1 = residual a b x in
+      Alcotest.(check bool)
+        (Hypre.Smoother.name kind ^ " reduces residual")
+        true (r1 < r0))
+    [ Hypre.Smoother.Jacobi 0.8; Hypre.Smoother.L1_jacobi; Hypre.Smoother.Gauss_seidel ]
+
+let test_gs_exact_on_triangular () =
+  (* Gauss-Seidel solves a lower-triangular system in one sweep. *)
+  let a =
+    Linalg.Csr.of_triplets ~m:3 ~n:3
+      [ (0, 0, 2.0); (1, 0, 1.0); (1, 1, 3.0); (2, 1, 1.0); (2, 2, 4.0) ]
+  in
+  let x_true = [| 1.0; 2.0; 3.0 |] in
+  let b = Linalg.Csr.spmv a x_true in
+  let x = Array.make 3 0.0 in
+  Hypre.Smoother.sweep Hypre.Smoother.Gauss_seidel a b x;
+  Alcotest.(check bool) "exact in one sweep" true
+    (Icoe_util.Stats.max_abs_diff x x_true < 1e-12)
+
+let test_gpu_capability_flags () =
+  Alcotest.(check bool) "jacobi gpu ok" true
+    (Hypre.Smoother.gpu_capable (Hypre.Smoother.Jacobi 0.8));
+  Alcotest.(check bool) "gs not gpu" false
+    (Hypre.Smoother.gpu_capable Hypre.Smoother.Gauss_seidel)
+
+(* --- coarsening --- *)
+
+let test_strength_pattern () =
+  let a = Linalg.Csr.laplacian_2d 6 6 in
+  let s = Hypre.Coarsen.strength ~theta:0.25 a in
+  (* every off-diagonal of the Laplacian is strong at theta=0.25 *)
+  Alcotest.(check int) "all offdiag strong"
+    (Linalg.Csr.nnz a - a.Linalg.Csr.m)
+    (Linalg.Csr.nnz s)
+
+let test_pmis_no_adjacent_coarse_under_strength () =
+  let a = Linalg.Csr.laplacian_2d 8 8 in
+  let s = Hypre.Coarsen.strength a in
+  let rng = Icoe_util.Rng.create 5 in
+  let cf = Hypre.Coarsen.pmis ~rng s in
+  let nc =
+    Array.fold_left
+      (fun c x -> if x = Hypre.Coarsen.Coarse then c + 1 else c)
+      0 cf
+  in
+  Alcotest.(check bool) "some coarse" true (nc > 0);
+  Alcotest.(check bool) "coarsens meaningfully" true (nc < 64);
+  (* every fine point must have at least one strong coarse neighbour
+     (the PMIS F-assignment rule guarantees it on this mesh) *)
+  Array.iteri
+    (fun i st ->
+      if st = Hypre.Coarsen.Fine then begin
+        let has = ref false in
+        for k = s.Linalg.Csr.row_ptr.(i) to s.Linalg.Csr.row_ptr.(i + 1) - 1 do
+          if cf.(s.Linalg.Csr.col_idx.(k)) = Hypre.Coarsen.Coarse then has := true
+        done;
+        Alcotest.(check bool) "fine has coarse neighbour" true !has
+      end)
+    cf
+
+let test_interpolation_partition_of_unity () =
+  (* For the constant-stencil Laplacian, each interpolation row of a fine
+     point sums to (sum neg offdiag)/a_ii = 1 on interior points. *)
+  let a = Linalg.Csr.laplacian_2d 8 8 in
+  let s = Hypre.Coarsen.strength a in
+  let rng = Icoe_util.Rng.create 5 in
+  let cf = Hypre.Coarsen.pmis ~rng s in
+  let p, _ = Hypre.Coarsen.direct_interpolation a s cf in
+  let ones = Array.make p.Linalg.Csr.n 1.0 in
+  let rowsums = Linalg.Csr.spmv p ones in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Hypre.Coarsen.Coarse -> check_float "coarse row injects" 1.0 rowsums.(i)
+      | Hypre.Coarsen.Fine ->
+          (* interior fine rows sum to 1; boundary rows may sum below 1
+             because a_ii includes the Dirichlet wall *)
+          Alcotest.(check bool) "fine row sum in (0,1]" true
+            (rowsums.(i) > 0.0 && rowsums.(i) <= 1.0 +. 1e-12))
+    cf
+
+(* --- BoomerAMG --- *)
+
+let test_amg_solves_2d () =
+  let a, b, x_true = laplacian_problem 16 in
+  let amg = Hypre.Boomeramg.setup a in
+  let x, cycles, res = Hypre.Boomeramg.solve ~tol:1e-10 amg b (Array.make (Array.length b) 0.0) in
+  Alcotest.(check bool) "converged" true (res < 1e-10);
+  Alcotest.(check bool) "few cycles" true (cycles < 60);
+  Alcotest.(check bool) "accurate" true
+    (Icoe_util.Stats.max_abs_diff x x_true < 1e-7)
+
+let test_amg_solves_3d () =
+  let a = Linalg.Csr.laplacian_3d 8 8 8 in
+  let rng = Icoe_util.Rng.create 22 in
+  let x_true = Array.init 512 (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+  let b = Linalg.Csr.spmv a x_true in
+  let amg = Hypre.Boomeramg.setup a in
+  let x, _, res = Hypre.Boomeramg.solve ~tol:1e-10 amg b (Array.make 512 0.0) in
+  Alcotest.(check bool) "3d converged" true (res < 1e-10);
+  Alcotest.(check bool) "3d accurate" true
+    (Icoe_util.Stats.max_abs_diff x x_true < 1e-7)
+
+let test_amg_hierarchy_shrinks () =
+  let a = Linalg.Csr.laplacian_2d 20 20 in
+  let amg = Hypre.Boomeramg.setup a in
+  Alcotest.(check bool) "multiple levels" true (Hypre.Boomeramg.num_levels amg >= 3);
+  let sizes =
+    Array.map (fun l -> l.Hypre.Boomeramg.a.Linalg.Csr.m) amg.Hypre.Boomeramg.levels
+  in
+  for i = 0 to Array.length sizes - 2 do
+    Alcotest.(check bool) "levels shrink" true (sizes.(i + 1) < sizes.(i))
+  done;
+  let oc = Hypre.Boomeramg.operator_complexity amg in
+  Alcotest.(check bool) "operator complexity sane" true (oc >= 1.0 && oc < 3.5)
+
+let test_amg_pcg_beats_plain_cg () =
+  let a, b, _ = laplacian_problem 24 in
+  let x0 = Array.make (Array.length b) 0.0 in
+  let amg = Hypre.Boomeramg.setup a in
+  let r_amg = Hypre.Boomeramg.pcg_solve ~tol:1e-10 amg b x0 in
+  let r_cg = Linalg.Krylov.cg ~tol:1e-10 ~max_iter:5000 ~op:(Linalg.Csr.spmv a) b x0 in
+  Alcotest.(check bool) "amg-pcg converged" true r_amg.Linalg.Krylov.converged;
+  Alcotest.(check bool) "amg-pcg needs fewer iterations" true
+    (r_amg.Linalg.Krylov.iters * 3 < r_cg.Linalg.Krylov.iters)
+
+let test_vcycle_work_counts () =
+  let a = Linalg.Csr.laplacian_2d 16 16 in
+  let amg = Hypre.Boomeramg.setup a in
+  let w = Hypre.Boomeramg.v_cycle_work amg in
+  Alcotest.(check bool) "positive flops" true (w.Hwsim.Kernel.flops > 0.0);
+  Alcotest.(check bool) "positive bytes" true (w.Hwsim.Kernel.bytes > 0.0);
+  Alcotest.(check bool) "many launches (spmv-shaped port)" true
+    (w.Hwsim.Kernel.launches > 5)
+
+(* --- BoxLoops --- *)
+
+let mk_ctx policy =
+  let clock = Hwsim.Clock.create () in
+  (Prog.Exec.make_ctx ~policy ~device:Hwsim.Device.v100 ~clock (), clock)
+
+let test_boxloop_sweeps_box () =
+  let ctx, _ = mk_ctx Prog.Policy.Cuda in
+  let hits = ref 0 in
+  Hypre.Boxloop.boxloop2 ctx ~flops_per:0.0 ~bytes_per:0.0
+    { Hypre.Boxloop.ilo = 2; ihi = 4; jlo = 1; jhi = 3 }
+    (fun i j ->
+      Alcotest.(check bool) "in box" true (i >= 2 && i <= 4 && j >= 1 && j <= 3);
+      incr hits);
+  Alcotest.(check int) "9 cells" 9 !hits
+
+let test_struct_solver_converges () =
+  let ctx, _ = mk_ctx Prog.Policy.Cuda in
+  let s = Hypre.Boxloop.Struct_solver.create 20 20 in
+  (* manufactured solution: u = 0 on boundary, b = point source *)
+  s.Hypre.Boxloop.Struct_solver.b.(Hypre.Boxloop.Struct_solver.idx s 10 10) <- 1.0;
+  let sweeps, rel = Hypre.Boxloop.Struct_solver.solve ~tol:1e-8 ctx s in
+  Alcotest.(check bool) "converged" true (rel < 1e-8);
+  Alcotest.(check bool) "took some sweeps" true (sweeps > 10);
+  (* solution positive at the source, decaying away *)
+  let u = s.Hypre.Boxloop.Struct_solver.u in
+  Alcotest.(check bool) "positive at source" true
+    (u.(Hypre.Boxloop.Struct_solver.idx s 10 10) > 0.0);
+  Alcotest.(check bool) "decays" true
+    (u.(Hypre.Boxloop.Struct_solver.idx s 10 10)
+    > u.(Hypre.Boxloop.Struct_solver.idx s 3 3))
+
+let test_struct_solver_backend_retarget () =
+  (* The BoxLoop port story: same numerics, different backends, different
+     simulated cost. *)
+  let run policy =
+    let ctx, clock = mk_ctx policy in
+    let s = Hypre.Boxloop.Struct_solver.create 16 16 in
+    s.Hypre.Boxloop.Struct_solver.b.(Hypre.Boxloop.Struct_solver.idx s 8 8) <- 1.0;
+    let _, rel = Hypre.Boxloop.Struct_solver.solve ~tol:1e-8 ctx s in
+    (Array.copy s.Hypre.Boxloop.Struct_solver.u, Hwsim.Clock.total clock, rel)
+  in
+  let u_cuda, t_cuda, r1 = run Prog.Policy.Cuda in
+  let u_raja, t_raja, r2 = run Prog.Policy.Raja_cuda in
+  Alcotest.(check bool) "both converge" true (r1 < 1e-8 && r2 < 1e-8);
+  Alcotest.(check bool) "identical numerics" true
+    (Icoe_util.Stats.max_abs_diff u_cuda u_raja < 1e-15);
+  Alcotest.(check bool) "different simulated cost" true (t_cuda <> t_raja)
+
+(* --- PFMG (structured geometric multigrid) --- *)
+
+let test_pfmg_converges_fast () =
+  let ctx, _ = mk_ctx Prog.Policy.Cuda in
+  let t = Hypre.Pfmg.create 63 in
+  let f = Hypre.Pfmg.finest t in
+  f.Hypre.Pfmg.b.(Hypre.Pfmg.idx f 32 32) <- 1.0;
+  let cycles, rel = Hypre.Pfmg.solve ~tol:1e-10 ctx t in
+  Alcotest.(check bool) "converged" true (rel < 1e-10);
+  (* multigrid signature: O(10) cycles regardless of size *)
+  Alcotest.(check bool) (Fmt.str "%d cycles < 15" cycles) true (cycles < 15)
+
+let test_pfmg_grid_independent () =
+  (* V-cycle count must not grow with the grid (the whole point of MG,
+     and why the paper's structured solvers scale) *)
+  let cycles n =
+    let ctx, _ = mk_ctx Prog.Policy.Cuda in
+    let t = Hypre.Pfmg.create n in
+    let f = Hypre.Pfmg.finest t in
+    f.Hypre.Pfmg.b.(Hypre.Pfmg.idx f (n / 2) (n / 2)) <- 1.0;
+    fst (Hypre.Pfmg.solve ~tol:1e-8 ctx t)
+  in
+  let c31 = cycles 31 and c127 = cycles 127 in
+  Alcotest.(check bool)
+    (Fmt.str "cycles %d (31) vs %d (127)" c31 c127)
+    true
+    (c127 <= c31 + 3)
+
+let test_pfmg_matches_struct_solver () =
+  (* same Poisson problem: PFMG and the Jacobi Struct_solver agree *)
+  let ctx, _ = mk_ctx Prog.Policy.Cuda in
+  let n = 15 in
+  let t = Hypre.Pfmg.create n in
+  let f = Hypre.Pfmg.finest t in
+  f.Hypre.Pfmg.b.(Hypre.Pfmg.idx f 8 8) <- 1.0;
+  ignore (Hypre.Pfmg.solve ~tol:1e-12 ctx t);
+  let s = Hypre.Boxloop.Struct_solver.create (n + 2) (n + 2) in
+  s.Hypre.Boxloop.Struct_solver.b.(Hypre.Boxloop.Struct_solver.idx s 8 8) <- 1.0;
+  ignore (Hypre.Boxloop.Struct_solver.solve ~tol:1e-12 ~max_sweeps:20000 ctx s);
+  let diff = ref 0.0 in
+  for j = 1 to n do
+    for i = 1 to n do
+      let a = f.Hypre.Pfmg.u.(Hypre.Pfmg.idx f i j) in
+      let b = s.Hypre.Boxloop.Struct_solver.u.(Hypre.Boxloop.Struct_solver.idx s i j) in
+      diff := max !diff (Float.abs (a -. b))
+    done
+  done;
+  Alcotest.(check bool) (Fmt.str "solutions agree: %.2e" !diff) true (!diff < 1e-8)
+
+let test_pfmg_beats_jacobi_cost () =
+  (* the reason hypre has multigrid: far less simulated work than plain
+     Jacobi iteration on the same problem *)
+  let run_pfmg () =
+    let ctx, clock = mk_ctx Prog.Policy.Cuda in
+    let t = Hypre.Pfmg.create 63 in
+    let f = Hypre.Pfmg.finest t in
+    f.Hypre.Pfmg.b.(Hypre.Pfmg.idx f 32 32) <- 1.0;
+    ignore (Hypre.Pfmg.solve ~tol:1e-8 ctx t);
+    Hwsim.Clock.total clock
+  in
+  let run_jacobi () =
+    let ctx, clock = mk_ctx Prog.Policy.Cuda in
+    let s = Hypre.Boxloop.Struct_solver.create 65 65 in
+    s.Hypre.Boxloop.Struct_solver.b.(Hypre.Boxloop.Struct_solver.idx s 32 32) <- 1.0;
+    ignore (Hypre.Boxloop.Struct_solver.solve ~tol:1e-8 ~max_sweeps:50000 ctx s);
+    Hwsim.Clock.total clock
+  in
+  Alcotest.(check bool) "pfmg much cheaper" true (run_pfmg () *. 5.0 < run_jacobi ())
+
+let prop_amg_random_spd =
+  QCheck.Test.make ~name:"AMG-PCG solves random sizes of 2D Laplacian" ~count:5
+    QCheck.(int_range 6 20)
+    (fun n ->
+      let a = Linalg.Csr.laplacian_2d n n in
+      let b = Array.make (n * n) 1.0 in
+      let amg = Hypre.Boomeramg.setup a in
+      let r = Hypre.Boomeramg.pcg_solve ~tol:1e-8 amg b (Array.make (n * n) 0.0) in
+      r.Linalg.Krylov.converged)
+
+let () =
+  Alcotest.run "hypre"
+    [
+      ( "smoother",
+        [
+          Alcotest.test_case "all reduce residual" `Quick test_smoothers_reduce_residual;
+          Alcotest.test_case "gs triangular" `Quick test_gs_exact_on_triangular;
+          Alcotest.test_case "gpu capability" `Quick test_gpu_capability_flags;
+        ] );
+      ( "coarsen",
+        [
+          Alcotest.test_case "strength pattern" `Quick test_strength_pattern;
+          Alcotest.test_case "pmis" `Quick test_pmis_no_adjacent_coarse_under_strength;
+          Alcotest.test_case "interpolation unity" `Quick test_interpolation_partition_of_unity;
+        ] );
+      ( "boomeramg",
+        [
+          Alcotest.test_case "solves 2d" `Quick test_amg_solves_2d;
+          Alcotest.test_case "solves 3d" `Quick test_amg_solves_3d;
+          Alcotest.test_case "hierarchy shrinks" `Quick test_amg_hierarchy_shrinks;
+          Alcotest.test_case "pcg beats cg" `Quick test_amg_pcg_beats_plain_cg;
+          Alcotest.test_case "vcycle work" `Quick test_vcycle_work_counts;
+          QCheck_alcotest.to_alcotest prop_amg_random_spd;
+        ] );
+      ( "pfmg",
+        [
+          Alcotest.test_case "converges fast" `Quick test_pfmg_converges_fast;
+          Alcotest.test_case "grid independent" `Quick test_pfmg_grid_independent;
+          Alcotest.test_case "matches struct solver" `Quick test_pfmg_matches_struct_solver;
+          Alcotest.test_case "beats jacobi" `Quick test_pfmg_beats_jacobi_cost;
+        ] );
+      ( "boxloop",
+        [
+          Alcotest.test_case "sweeps box" `Quick test_boxloop_sweeps_box;
+          Alcotest.test_case "struct solver" `Quick test_struct_solver_converges;
+          Alcotest.test_case "backend retarget" `Quick test_struct_solver_backend_retarget;
+        ] );
+    ]

@@ -1,0 +1,69 @@
+(* Tests for the aggregation layer: the activity registry and the
+   experiment harnesses behind the bench executable. *)
+
+let test_registry_complete () =
+  (* nine completed activities, as in Table 1 *)
+  Alcotest.(check int) "nine activities" 9 (List.length Icoe.Registry.activities);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (a.Icoe.Registry.name ^ " has modules")
+        true
+        (a.Icoe.Registry.modules <> []))
+    Icoe.Registry.activities;
+  let rendered = Icoe_util.Table.render (Icoe.Registry.table1 ()) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true
+        (Astring.String.is_infix ~affix:name rendered))
+    [ "Cardioid"; "Cretin"; "ParaDyn"; "Seismic (SW4)" ]
+
+let test_experiment_ids_unique () =
+  let ids = List.map (fun (i, _, _) -> i) Icoe.Experiments.all in
+  Alcotest.(check int) "no duplicate ids"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check bool) "all tables and figures covered" true
+    (List.for_all (fun id -> List.mem id ids)
+       [ "fig2"; "table2"; "table3"; "fig3"; "fig6"; "fig8"; "table4";
+         "table5"; "fig9" ])
+
+let test_find () =
+  Alcotest.(check bool) "finds fig8" true (Icoe.Experiments.find "fig8" <> None);
+  Alcotest.(check bool) "rejects nonsense" true (Icoe.Experiments.find "nope" = None)
+
+let test_fast_harnesses_produce_output () =
+  (* the cheap harnesses run in milliseconds; check they render *)
+  List.iter
+    (fun id ->
+      match Icoe.Experiments.find id with
+      | None -> Alcotest.fail ("missing " ^ id)
+      | Some (_, _, f) ->
+          let out = f () in
+          Alcotest.(check bool) (id ^ " nonempty") true (String.length out > 100))
+    [ "table1"; "fig3"; "fig6"; "gpudirect"; "table5" ]
+
+let test_run_all_mentions_every_result () =
+  let out = Icoe.Experiments.run_all () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in report") true
+        (Astring.String.is_infix ~affix:needle out))
+    [ "Fig 2"; "Table 2"; "Table 3"; "Fig 3"; "Fig 6"; "Fig 8"; "Table 4";
+      "Table 5"; "Fig 9"; "Cretin"; "GROMACS"; "SW4"; "KAVG"; "GPUDirect" ]
+
+let () =
+  Alcotest.run "icoe"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "ids unique" `Quick test_experiment_ids_unique;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "fast harnesses" `Quick test_fast_harnesses_produce_output;
+          Alcotest.test_case "run all" `Slow test_run_all_mentions_every_result;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* Tests for vectors, dense LU, CSR, and Krylov solvers. *)
+
+open Linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Vec --- *)
+
+let test_vec_ops () =
+  let x = [| 1.0; 2.0; 3.0 |] in
+  let y = [| 4.0; 5.0; 6.0 |] in
+  check_float "dot" 32.0 (Vec.dot x y);
+  check_float "nrm2" (sqrt 14.0) (Vec.nrm2 x);
+  check_float "nrm_inf" 3.0 (Vec.nrm_inf x);
+  let z = Vec.sub y x in
+  Alcotest.(check (array (float 1e-12))) "sub" [| 3.0; 3.0; 3.0 |] z;
+  let y2 = Array.copy y in
+  Vec.axpy 2.0 x y2;
+  Alcotest.(check (array (float 1e-12))) "axpy" [| 6.0; 9.0; 12.0 |] y2;
+  let y3 = Array.copy y in
+  Vec.xpby x 2.0 y3;
+  Alcotest.(check (array (float 1e-12))) "xpby" [| 9.0; 12.0; 15.0 |] y3
+
+let test_wrms () =
+  let x = [| 3.0; 4.0 |] and w = [| 1.0; 1.0 |] in
+  check_float "wrms" (sqrt 12.5) (Vec.wrms x w)
+
+(* --- Dense --- *)
+
+let test_lu_solves_random_system () =
+  let rng = Icoe_util.Rng.create 11 in
+  let n = 25 in
+  let a = Dense.init n n (fun i j ->
+      if i = j then 10.0 +. Icoe_util.Rng.float rng
+      else Icoe_util.Rng.uniform rng (-1.0) 1.0)
+  in
+  let x_true = Array.init n (fun i -> float_of_int (i + 1)) in
+  let b = Dense.matvec a x_true in
+  let x = Dense.solve a b in
+  Alcotest.(check bool) "solution accurate" true
+    (Icoe_util.Stats.max_abs_diff x x_true < 1e-9)
+
+let test_lu_pivoting () =
+  (* system that requires pivoting: zero in the (0,0) position *)
+  let a = Dense.init 2 2 (fun i j ->
+      match (i, j) with 0, 0 -> 0.0 | 0, 1 -> 1.0 | 1, 0 -> 1.0 | _ -> 1.0)
+  in
+  let x = Dense.solve a [| 2.0; 3.0 |] in
+  check_float "x0" 1.0 x.(0);
+  check_float "x1" 2.0 x.(1)
+
+let test_lu_singular_raises () =
+  let a = Dense.init 3 3 (fun _ _ -> 1.0) in
+  Alcotest.check_raises "singular" (Dense.Singular 1) (fun () ->
+      ignore (Dense.lu_factor a))
+
+let test_matmul_identity () =
+  let rng = Icoe_util.Rng.create 12 in
+  let a = Dense.init 6 6 (fun _ _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+  let i6 = Dense.identity 6 in
+  let ai = Dense.matmul a i6 in
+  Alcotest.(check bool) "A*I = A" true
+    (Icoe_util.Stats.max_abs_diff ai.Dense.a a.Dense.a < 1e-14)
+
+let test_transpose_involution () =
+  let a = Dense.init 3 5 (fun i j -> float_of_int ((i * 5) + j)) in
+  let att = Dense.transpose (Dense.transpose a) in
+  Alcotest.(check bool) "(A^T)^T = A" true (att.Dense.a = a.Dense.a)
+
+(* --- CSR --- *)
+
+let test_csr_spmv_matches_dense () =
+  let rng = Icoe_util.Rng.create 13 in
+  let d = Dense.init 8 6 (fun _ _ ->
+      if Icoe_util.Rng.float rng < 0.4 then Icoe_util.Rng.uniform rng (-2.0) 2.0
+      else 0.0)
+  in
+  let s = Csr.of_dense d in
+  let x = Array.init 6 (fun i -> float_of_int i -. 2.5) in
+  let yd = Dense.matvec d x and ys = Csr.spmv s x in
+  Alcotest.(check bool) "spmv matches dense" true
+    (Icoe_util.Stats.max_abs_diff yd ys < 1e-13)
+
+let test_csr_triplets_duplicates_summed () =
+  let s = Csr.of_triplets ~m:2 ~n:2 [ (0, 0, 1.0); (0, 0, 2.0); (1, 1, 5.0) ] in
+  let d = Csr.to_dense s in
+  check_float "summed" 3.0 (Dense.get d 0 0);
+  check_float "single" 5.0 (Dense.get d 1 1);
+  Alcotest.(check int) "nnz" 2 (Csr.nnz s)
+
+let test_csr_transpose () =
+  let s = Csr.of_triplets ~m:2 ~n:3 [ (0, 1, 2.0); (1, 0, 3.0); (1, 2, 4.0) ] in
+  let st = Csr.transpose s in
+  let d = Csr.to_dense st in
+  check_float "t(0,1)" 3.0 (Dense.get d 0 1);
+  check_float "t(1,0)" 2.0 (Dense.get d 1 0);
+  check_float "t(2,1)" 4.0 (Dense.get d 2 1)
+
+let test_csr_matmul_matches_dense () =
+  let rng = Icoe_util.Rng.create 14 in
+  let da = Dense.init 7 5 (fun _ _ ->
+      if Icoe_util.Rng.float rng < 0.5 then Icoe_util.Rng.uniform rng (-1.0) 1.0
+      else 0.0)
+  in
+  let db = Dense.init 5 6 (fun _ _ ->
+      if Icoe_util.Rng.float rng < 0.5 then Icoe_util.Rng.uniform rng (-1.0) 1.0
+      else 0.0)
+  in
+  let c_dense = Dense.matmul da db in
+  let c_sparse = Csr.matmul (Csr.of_dense da) (Csr.of_dense db) in
+  Alcotest.(check bool) "sparse matmul matches dense" true
+    (Icoe_util.Stats.max_abs_diff (Csr.to_dense c_sparse).Dense.a c_dense.Dense.a
+    < 1e-13)
+
+let test_laplacian_row_sums () =
+  let l = Csr.laplacian_2d 5 5 in
+  (* interior rows sum to 0; boundary rows are positive (Dirichlet) *)
+  let x = Array.make 25 1.0 in
+  let y = Csr.spmv l x in
+  check_float "interior row sum" 0.0 y.(12);
+  Alcotest.(check bool) "corner row sum positive" true (y.(0) > 0.0)
+
+let test_csr_diag () =
+  let l = Csr.laplacian_3d 3 3 3 in
+  let d = Csr.diag l in
+  Alcotest.(check bool) "diag all 6" true (Array.for_all (fun v -> v = 6.0) d)
+
+(* --- Krylov --- *)
+
+let laplacian_system n =
+  let a = Csr.laplacian_2d n n in
+  let rng = Icoe_util.Rng.create 15 in
+  let x_true = Array.init (n * n) (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+  let b = Csr.spmv a x_true in
+  (a, b, x_true)
+
+let test_cg_on_laplacian () =
+  let a, b, x_true = laplacian_system 12 in
+  let r = Krylov.cg ~tol:1e-12 ~max_iter:2000 ~op:(Csr.spmv a) b
+      (Array.make (Array.length b) 0.0)
+  in
+  Alcotest.(check bool) "converged" true r.Krylov.converged;
+  Alcotest.(check bool) "accurate" true
+    (Icoe_util.Stats.max_abs_diff r.Krylov.x x_true < 1e-8)
+
+let test_pcg_jacobi_faster () =
+  let a, b, _ = laplacian_system 16 in
+  let d = Csr.diag a in
+  let x0 = Array.make (Array.length b) 0.0 in
+  let plain = Krylov.cg ~tol:1e-10 ~max_iter:5000 ~op:(Csr.spmv a) b x0 in
+  let pre =
+    Krylov.pcg ~tol:1e-10 ~max_iter:5000 ~op:(Csr.spmv a)
+      ~precond:(fun r -> Array.mapi (fun i ri -> ri /. d.(i)) r)
+      b x0
+  in
+  Alcotest.(check bool) "both converge" true
+    (plain.Krylov.converged && pre.Krylov.converged);
+  (* Jacobi = diagonal scaling doesn't help a constant-diagonal Laplacian,
+     but must not hurt by more than rounding *)
+  Alcotest.(check bool) "pcg iter count sane" true
+    (pre.Krylov.iters <= plain.Krylov.iters + 2)
+
+let test_gmres_nonsymmetric () =
+  let rng = Icoe_util.Rng.create 16 in
+  let n = 30 in
+  let d = Dense.init n n (fun i j ->
+      if i = j then 8.0
+      else if Icoe_util.Rng.float rng < 0.3 then Icoe_util.Rng.uniform rng (-1.0) 1.0
+      else 0.0)
+  in
+  let a = Csr.of_dense d in
+  let x_true = Array.init n (fun i -> sin (float_of_int i)) in
+  let b = Csr.spmv a x_true in
+  let r = Krylov.gmres ~tol:1e-12 ~max_iter:500 ~restart:20 ~op:(Csr.spmv a) b
+      (Array.make n 0.0)
+  in
+  Alcotest.(check bool) "gmres converged" true r.Krylov.converged;
+  Alcotest.(check bool) "gmres accurate" true
+    (Icoe_util.Stats.max_abs_diff r.Krylov.x x_true < 1e-8)
+
+let test_bicgstab_nonsymmetric () =
+  let rng = Icoe_util.Rng.create 17 in
+  let n = 30 in
+  let d = Dense.init n n (fun i j ->
+      if i = j then 8.0
+      else if Icoe_util.Rng.float rng < 0.3 then Icoe_util.Rng.uniform rng (-1.0) 1.0
+      else 0.0)
+  in
+  let a = Csr.of_dense d in
+  let x_true = Array.init n (fun i -> cos (float_of_int i)) in
+  let b = Csr.spmv a x_true in
+  let r = Krylov.bicgstab ~tol:1e-12 ~max_iter:500 ~op:(Csr.spmv a) b
+      (Array.make n 0.0)
+  in
+  Alcotest.(check bool) "bicgstab converged" true r.Krylov.converged;
+  Alcotest.(check bool) "bicgstab accurate" true
+    (Icoe_util.Stats.max_abs_diff r.Krylov.x x_true < 1e-7)
+
+let test_gmres_with_preconditioner () =
+  let a, b, x_true = laplacian_system 10 in
+  let d = Csr.diag a in
+  let r =
+    Krylov.gmres ~tol:1e-12 ~max_iter:2000 ~restart:50 ~op:(Csr.spmv a)
+      ~precond:(fun r -> Array.mapi (fun i ri -> ri /. d.(i)) r)
+      b
+      (Array.make (Array.length b) 0.0)
+  in
+  Alcotest.(check bool) "converged" true r.Krylov.converged;
+  Alcotest.(check bool) "accurate" true
+    (Icoe_util.Stats.max_abs_diff r.Krylov.x x_true < 1e-7)
+
+let prop_lu_roundtrip =
+  QCheck.Test.make ~name:"LU solve recovers random diag-dominant systems"
+    ~count:30
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Icoe_util.Rng.create seed in
+      let n = 3 + Icoe_util.Rng.int rng 12 in
+      let a = Dense.init n n (fun i j ->
+          if i = j then float_of_int n +. 1.0
+          else Icoe_util.Rng.uniform rng (-1.0) 1.0)
+      in
+      let x_true = Array.init n (fun _ -> Icoe_util.Rng.uniform rng (-5.0) 5.0) in
+      let b = Dense.matvec a x_true in
+      let x = Dense.solve a b in
+      Icoe_util.Stats.max_abs_diff x x_true < 1e-8)
+
+let prop_csr_dense_roundtrip =
+  QCheck.Test.make ~name:"csr <-> dense roundtrip" ~count:30
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Icoe_util.Rng.create seed in
+      let m = 1 + Icoe_util.Rng.int rng 10 and n = 1 + Icoe_util.Rng.int rng 10 in
+      let d = Dense.init m n (fun _ _ ->
+          if Icoe_util.Rng.float rng < 0.4 then Icoe_util.Rng.uniform rng (-3.0) 3.0
+          else 0.0)
+      in
+      let d2 = Csr.to_dense (Csr.of_dense d) in
+      Icoe_util.Stats.max_abs_diff d2.Dense.a d.Dense.a < 1e-14)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "ops" `Quick test_vec_ops;
+          Alcotest.test_case "wrms" `Quick test_wrms;
+        ] );
+      ( "dense",
+        [
+          Alcotest.test_case "lu random" `Quick test_lu_solves_random_system;
+          Alcotest.test_case "lu pivoting" `Quick test_lu_pivoting;
+          Alcotest.test_case "lu singular" `Quick test_lu_singular_raises;
+          Alcotest.test_case "matmul identity" `Quick test_matmul_identity;
+          Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+          QCheck_alcotest.to_alcotest prop_lu_roundtrip;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "spmv vs dense" `Quick test_csr_spmv_matches_dense;
+          Alcotest.test_case "triplets dedupe" `Quick test_csr_triplets_duplicates_summed;
+          Alcotest.test_case "transpose" `Quick test_csr_transpose;
+          Alcotest.test_case "matmul vs dense" `Quick test_csr_matmul_matches_dense;
+          Alcotest.test_case "laplacian rows" `Quick test_laplacian_row_sums;
+          Alcotest.test_case "diag" `Quick test_csr_diag;
+          QCheck_alcotest.to_alcotest prop_csr_dense_roundtrip;
+        ] );
+      ( "krylov",
+        [
+          Alcotest.test_case "cg laplacian" `Quick test_cg_on_laplacian;
+          Alcotest.test_case "pcg jacobi" `Quick test_pcg_jacobi_faster;
+          Alcotest.test_case "gmres" `Quick test_gmres_nonsymmetric;
+          Alcotest.test_case "bicgstab" `Quick test_bicgstab_nonsymmetric;
+          Alcotest.test_case "gmres precond" `Quick test_gmres_with_preconditioner;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the Opt activity: job-scheduler policies (Sec 4.7 results)
+   and SIMP topology optimization with the texture-cache lever. *)
+
+open Opt
+
+let rng () = Icoe_util.Rng.create 121
+
+(* --- scheduler --- *)
+
+let test_batch_all_complete () =
+  let jobs = Scheduler.batch_workload ~rng:(rng ()) ~n:200 () in
+  List.iter
+    (fun pol ->
+      let m = Scheduler.simulate ~gpus:10 pol jobs in
+      Alcotest.(check int)
+        (Scheduler.policy_name pol ^ " completes all")
+        200 m.Scheduler.completed;
+      Alcotest.(check bool) "utilization sane" true
+        (m.Scheduler.utilization > 0.0 && m.Scheduler.utilization <= 1.0 +. 1e-9))
+    [ Scheduler.Fcfs; Scheduler.Sjf; Scheduler.Sjf_quota 0.5 ]
+
+let test_sjf_quota_beats_fcfs_utilization () =
+  (* the batch-arrival conclusion: SJF with quota raises GPU utilization *)
+  let jobs = Scheduler.batch_workload ~rng:(rng ()) ~n:400 () in
+  let fcfs = Scheduler.simulate ~gpus:16 Scheduler.Fcfs jobs in
+  let sjfq = Scheduler.simulate ~gpus:16 (Scheduler.Sjf_quota 0.5) jobs in
+  Alcotest.(check bool)
+    (Fmt.str "SJF+quota %.3f > FCFS %.3f" sjfq.Scheduler.utilization
+       fcfs.Scheduler.utilization)
+    true
+    (sjfq.Scheduler.utilization > fcfs.Scheduler.utilization);
+  Alcotest.(check bool) "and a shorter makespan" true
+    (sjfq.Scheduler.makespan < fcfs.Scheduler.makespan)
+
+let test_sjf_quota_bounds_starvation () =
+  (* pure SJF can starve long jobs; the quota reserves capacity *)
+  let jobs = Scheduler.batch_workload ~rng:(rng ()) ~n:400 () in
+  let sjf = Scheduler.simulate ~gpus:16 Scheduler.Sjf jobs in
+  let sjfq = Scheduler.simulate ~gpus:16 (Scheduler.Sjf_quota 0.5) jobs in
+  Alcotest.(check bool) "quota costs little utilization" true
+    (sjfq.Scheduler.utilization > 0.9 *. sjf.Scheduler.utilization)
+
+let test_throttling_conclusion () =
+  (* Poisson arrivals: above capacity the queue (mean wait) blows up;
+     throttled below capacity it stays modest *)
+  let gpus = 8 in
+  let mean_duration = exp (1.0 +. (0.6 *. 0.6 /. 2.0)) in
+  let cap = Scheduler.capacity ~gpus ~mean_duration in
+  let run rate =
+    let jobs = Scheduler.poisson_workload ~rng:(rng ()) ~rate ~horizon:2000.0 () in
+    Scheduler.simulate ~gpus Scheduler.Sjf jobs
+  in
+  let over = run (1.3 *. cap) in
+  let under = run (0.8 *. cap) in
+  Alcotest.(check bool)
+    (Fmt.str "overloaded wait %.1f >> throttled %.1f" over.Scheduler.mean_wait
+       under.Scheduler.mean_wait)
+    true
+    (over.Scheduler.mean_wait > 10.0 *. max 0.1 under.Scheduler.mean_wait);
+  Alcotest.(check bool) "throttled wait small" true (under.Scheduler.mean_wait < 5.0)
+
+let test_backfill_beats_fcfs () =
+  (* EASY backfill fills the holes FCFS leaves while never delaying the
+     blocked head *)
+  let jobs = Scheduler.batch_workload ~rng:(rng ()) ~n:400 () in
+  let fcfs = Scheduler.simulate ~gpus:16 Scheduler.Fcfs jobs in
+  let bf = Scheduler.simulate ~gpus:16 Scheduler.Fcfs_backfill jobs in
+  Alcotest.(check int) "all complete" 400 bf.Scheduler.completed;
+  Alcotest.(check bool)
+    (Fmt.str "backfill util %.3f > fcfs %.3f" bf.Scheduler.utilization
+       fcfs.Scheduler.utilization)
+    true
+    (bf.Scheduler.utilization > fcfs.Scheduler.utilization);
+  Alcotest.(check bool) "mean wait improves" true
+    (bf.Scheduler.mean_wait < fcfs.Scheduler.mean_wait)
+
+let test_fcfs_order_respected () =
+  (* with 1 GPU and 1-GPU jobs, FCFS runs in arrival order: max wait equals
+     sum of earlier durations *)
+  let jobs =
+    [
+      { Scheduler.id = 0; arrival = 0.0; duration = 2.0; gpus = 1 };
+      { Scheduler.id = 1; arrival = 0.0; duration = 1.0; gpus = 1 };
+      { Scheduler.id = 2; arrival = 0.0; duration = 1.0; gpus = 1 };
+    ]
+  in
+  let m = Scheduler.simulate ~gpus:1 Scheduler.Fcfs jobs in
+  Alcotest.(check (float 1e-9)) "makespan" 4.0 m.Scheduler.makespan;
+  Alcotest.(check (float 1e-9)) "max wait = 3" 3.0 m.Scheduler.max_wait
+
+(* --- topopt --- *)
+
+let test_topopt_volume_constraint () =
+  let t = Topopt.create ~volfrac:0.4 ~nx:20 ~ny:16 () in
+  ignore (Topopt.optimize ~iters:10 t);
+  Alcotest.(check bool)
+    (Fmt.str "volume %.3f ~ 0.4" (Topopt.volume t))
+    true
+    (Float.abs (Topopt.volume t -. 0.4) < 0.02)
+
+let compliance_at_full_penalization nx ny rho =
+  (* evaluate any design at the target penalization so designs are
+     comparable (the continuation ramp makes the in-run history mixed) *)
+  let t = Topopt.create ~nx ~ny () in
+  Array.blit rho 0 t.Topopt.rho 0 (nx * ny);
+  let u, _ = Topopt.solve_state t in
+  Linalg.Vec.dot u
+    (Array.init (nx * ny) (fun k -> if k / nx = ny - 1 then 1.0 else 0.0))
+
+let test_topopt_compliance_decreases () =
+  let nx = 20 and ny = 16 in
+  let t = Topopt.create ~nx ~ny () in
+  let uniform = compliance_at_full_penalization nx ny t.Topopt.rho in
+  let hist = Topopt.optimize ~iters:40 t in
+  let final = compliance_at_full_penalization nx ny t.Topopt.rho in
+  Alcotest.(check bool)
+    (Fmt.str "optimized %.0f << uniform %.0f" final uniform)
+    true
+    (final < uniform /. 3.0);
+  Alcotest.(check bool) "all finite" true (Array.for_all Float.is_finite hist)
+
+let test_topopt_forms_structure () =
+  (* the design polarizes into a funnel: mostly solid-or-void cells, with
+     solid material over the sink and void in the far corners *)
+  let t = Topopt.create ~nx:20 ~ny:16 () in
+  ignore (Topopt.optimize ~iters:40 t);
+  let extreme =
+    Array.fold_left
+      (fun acc r -> if r > 0.8 || r < 0.1 then acc + 1 else acc)
+      0 t.Topopt.rho
+  in
+  Alcotest.(check bool)
+    (Fmt.str "%d/320 cells polarized" extreme)
+    true
+    (extreme > 200);
+  Alcotest.(check bool) "solid above the sink" true
+    (t.Topopt.rho.(Topopt.idx t 10 1) > 0.8);
+  Alcotest.(check bool) "void in the bottom corner" true
+    (t.Topopt.rho.(Topopt.idx t 0 1) < 0.1)
+
+let test_texture_cache_story () =
+  (* Sec 4.7: texture path matters on the EA system (P100), not on Volta *)
+  let cells = 1_000_000 in
+  let p100_tex = Topopt.apply_time ~cells Hwsim.Device.p100 ~textures:true in
+  let p100_plain = Topopt.apply_time ~cells Hwsim.Device.p100 ~textures:false in
+  let v100_tex = Topopt.apply_time ~cells Hwsim.Device.v100 ~textures:true in
+  let v100_plain = Topopt.apply_time ~cells Hwsim.Device.v100 ~textures:false in
+  Alcotest.(check bool) "texture wins big on P100" true
+    (p100_tex < 0.7 *. p100_plain);
+  Alcotest.(check bool) "texture irrelevant on V100" true
+    (Float.abs (v100_tex -. v100_plain) /. v100_plain < 0.05)
+
+(* --- paradyn (Fig 6) --- *)
+
+let paradyn_inputs n =
+  let r = Icoe_util.Rng.create 7 in
+  List.map
+    (fun a -> (a, Array.init n (fun _ -> Icoe_util.Rng.uniform r (-1.0) 1.0)))
+    [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
+
+let test_passes_preserve_semantics () =
+  let inputs = paradyn_inputs 500 in
+  let base = Paradyn.Ir.paradyn_kernel in
+  let slnsp = Paradyn.Passes.slnsp base in
+  let dse = Paradyn.Passes.dse slnsp in
+  let env0, _ = Paradyn.Interp.run base ~inputs in
+  List.iter
+    (fun p ->
+      let env, _ = Paradyn.Interp.run p ~inputs in
+      List.iter
+        (fun out ->
+          Alcotest.(check bool)
+            (out ^ " identical")
+            true
+            (Icoe_util.Stats.max_abs_diff (Hashtbl.find env out)
+               (Hashtbl.find env0 out)
+            = 0.0))
+        base.Paradyn.Ir.outputs)
+    [ slnsp; dse ]
+
+let test_fig6_shape () =
+  let inputs = paradyn_inputs 100 in
+  let base = Paradyn.Ir.paradyn_kernel in
+  let slnsp = Paradyn.Passes.slnsp base in
+  let dse = Paradyn.Passes.dse slnsp in
+  let _, c0 = Paradyn.Interp.run base ~inputs in
+  let _, c1 = Paradyn.Interp.run slnsp ~inputs in
+  let _, c2 = Paradyn.Interp.run dse ~inputs in
+  (* SLNSP halves global loads *)
+  Alcotest.(check bool)
+    (Fmt.str "loads %d -> %d" c0.Paradyn.Interp.loads c1.Paradyn.Interp.loads)
+    true
+    (c1.Paradyn.Interp.loads * 2 <= c0.Paradyn.Interp.loads);
+  (* one launch after fusion *)
+  Alcotest.(check int) "fused to one launch" 1 c1.Paradyn.Interp.launches;
+  (* time: ~2x from SLNSP, then ~20% more from DSE *)
+  let n = 4_000_000 in
+  let t0 = Paradyn.Interp.gpu_time ~n c0 in
+  let t1 = Paradyn.Interp.gpu_time ~n c1 in
+  let t2 = Paradyn.Interp.gpu_time ~n c2 in
+  let s1 = t0 /. t1 and s2 = t1 /. t2 in
+  Alcotest.(check bool) (Fmt.str "SLNSP speedup %.2f in 1.5-2.2" s1) true
+    (s1 > 1.5 && s1 < 2.2);
+  Alcotest.(check bool) (Fmt.str "DSE bonus %.2f in 1.1-1.35" s2) true
+    (s2 > 1.1 && s2 < 1.35);
+  (* DSE removes stores *)
+  Alcotest.(check bool) "fewer stores after DSE" true
+    (c2.Paradyn.Interp.stores < c1.Paradyn.Interp.stores)
+
+let test_dse_keeps_outputs () =
+  let dse = Paradyn.Passes.dse (Paradyn.Passes.slnsp Paradyn.Ir.paradyn_kernel) in
+  (* every output still has a store *)
+  let stored =
+    List.concat_map
+      (fun l ->
+        List.filter_map
+          (fun st -> Paradyn.Ir.stmt_writes st)
+          l.Paradyn.Ir.body)
+      dse.Paradyn.Ir.loops
+  in
+  List.iter
+    (fun out ->
+      Alcotest.(check bool) (out ^ " still stored") true (List.mem out stored))
+    dse.Paradyn.Ir.outputs
+
+let test_cpu_fusion_regression () =
+  (* Sec 4.8's dual lesson: on the GPU, fusion wins (launch overhead +
+     traffic); on the CPU, hand-fused source LOSES vs the original small
+     loops — which is why the SLNSP compiler path was needed *)
+  let inputs = paradyn_inputs 100 in
+  let base = Paradyn.Ir.paradyn_kernel in
+  let fused = Paradyn.Passes.fuse base in
+  let _, c_base = Paradyn.Interp.run base ~inputs in
+  let _, c_fused = Paradyn.Interp.run fused ~inputs in
+  let n = 4_000_000 in
+  (* GPU: fused faster *)
+  Alcotest.(check bool) "gpu: fused wins" true
+    (Paradyn.Interp.gpu_time ~n c_fused < Paradyn.Interp.gpu_time ~n c_base);
+  (* CPU: fused source slower *)
+  let t_cpu_base = Paradyn.Interp.cpu_time ~n ~fused_source:false c_base in
+  let t_cpu_fused = Paradyn.Interp.cpu_time ~n ~fused_source:true c_fused in
+  Alcotest.(check bool) "cpu: small loops win" true (t_cpu_base < t_cpu_fused);
+  (* SLNSP (compiler-internal) keeps the unfused source: CPU unharmed,
+     and its GPU time beats the baseline *)
+  let slnsp = Paradyn.Passes.dse (Paradyn.Passes.slnsp base) in
+  let _, c_slnsp = Paradyn.Interp.run slnsp ~inputs in
+  Alcotest.(check bool) "slnsp gpu beats baseline" true
+    (Paradyn.Interp.gpu_time ~n c_slnsp < Paradyn.Interp.gpu_time ~n c_base)
+
+let prop_scheduler_conservation =
+  QCheck.Test.make ~name:"every policy completes every job" ~count:15
+    QCheck.(pair (int_range 1 3000) (int_range 1 3))
+    (fun (seed, pol_idx) ->
+      let r = Icoe_util.Rng.create seed in
+      let jobs = Scheduler.batch_workload ~rng:r ~n:80 () in
+      let pol =
+        match pol_idx with
+        | 1 -> Scheduler.Fcfs
+        | 2 -> Scheduler.Sjf
+        | _ -> Scheduler.Sjf_quota 0.5
+      in
+      let m = Scheduler.simulate ~gpus:10 pol jobs in
+      m.Scheduler.completed = 80)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "all complete" `Quick test_batch_all_complete;
+          Alcotest.test_case "sjf+quota utilization" `Quick test_sjf_quota_beats_fcfs_utilization;
+          Alcotest.test_case "quota cost bounded" `Quick test_sjf_quota_bounds_starvation;
+          Alcotest.test_case "throttling" `Quick test_throttling_conclusion;
+          Alcotest.test_case "fcfs order" `Quick test_fcfs_order_respected;
+          Alcotest.test_case "easy backfill" `Quick test_backfill_beats_fcfs;
+          QCheck_alcotest.to_alcotest prop_scheduler_conservation;
+        ] );
+      ( "topopt",
+        [
+          Alcotest.test_case "volume constraint" `Quick test_topopt_volume_constraint;
+          Alcotest.test_case "compliance decreases" `Quick test_topopt_compliance_decreases;
+          Alcotest.test_case "forms structure" `Quick test_topopt_forms_structure;
+          Alcotest.test_case "texture cache" `Quick test_texture_cache_story;
+        ] );
+      ( "paradyn",
+        [
+          Alcotest.test_case "semantics preserved" `Quick test_passes_preserve_semantics;
+          Alcotest.test_case "fig6 shape" `Quick test_fig6_shape;
+          Alcotest.test_case "dse keeps outputs" `Quick test_dse_keeps_outputs;
+          Alcotest.test_case "cpu fusion regression" `Quick test_cpu_fusion_regression;
+        ] );
+    ]

@@ -1,0 +1,232 @@
+(* Tests for the SAMRAI analog: boxes, patches, hierarchy, CleverLeaf. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- box --- *)
+
+let test_box_basics () =
+  let b = Samrai.Box.make ~ilo:2 ~jlo:3 ~ihi:5 ~jhi:7 in
+  Alcotest.(check int) "ni" 4 (Samrai.Box.ni b);
+  Alcotest.(check int) "nj" 5 (Samrai.Box.nj b);
+  Alcotest.(check int) "size" 20 (Samrai.Box.size b);
+  Alcotest.(check bool) "contains" true (Samrai.Box.contains b ~i:2 ~j:7);
+  Alcotest.(check bool) "not contains" false (Samrai.Box.contains b ~i:6 ~j:3)
+
+let test_box_intersect () =
+  let a = Samrai.Box.make ~ilo:0 ~jlo:0 ~ihi:4 ~jhi:4 in
+  let b = Samrai.Box.make ~ilo:3 ~jlo:2 ~ihi:8 ~jhi:8 in
+  (match Samrai.Box.intersect a b with
+  | None -> Alcotest.fail "should intersect"
+  | Some ov ->
+      Alcotest.(check int) "ilo" 3 ov.Samrai.Box.ilo;
+      Alcotest.(check int) "ihi" 4 ov.Samrai.Box.ihi;
+      Alcotest.(check int) "jlo" 2 ov.Samrai.Box.jlo);
+  let c = Samrai.Box.make ~ilo:10 ~jlo:10 ~ihi:12 ~jhi:12 in
+  Alcotest.(check bool) "disjoint" true (Samrai.Box.intersect a c = None)
+
+let test_box_refine_coarsen_roundtrip () =
+  let b = Samrai.Box.make ~ilo:1 ~jlo:2 ~ihi:3 ~jhi:5 in
+  let r = Samrai.Box.refine b 2 in
+  Alcotest.(check int) "refined size" (Samrai.Box.size b * 4) (Samrai.Box.size r);
+  let c = Samrai.Box.coarsen r 2 in
+  Alcotest.(check bool) "roundtrip" true (c = b)
+
+let test_box_split_covers () =
+  let b = Samrai.Box.make ~ilo:0 ~jlo:0 ~ihi:15 ~jhi:7 in
+  let parts = Samrai.Box.split b 4 in
+  let total = List.fold_left (fun a p -> a + Samrai.Box.size p) 0 parts in
+  Alcotest.(check int) "partition preserves cells" (Samrai.Box.size b) total;
+  Alcotest.(check bool) "multiple parts" true (List.length parts > 1)
+
+(* --- patch --- *)
+
+let test_patch_fields_and_ghosts () =
+  let b = Samrai.Box.make ~ilo:0 ~jlo:0 ~ihi:3 ~jhi:3 in
+  let p = Samrai.Patch.create ~ghosts:1 b in
+  Samrai.Patch.alloc_field p "u";
+  Samrai.Patch.set p "u" ~i:0 ~j:0 5.0;
+  check_float "get/set" 5.0 (Samrai.Patch.get p "u" ~i:0 ~j:0);
+  (* ghost index is addressable *)
+  Samrai.Patch.set p "u" ~i:(-1) ~j:0 7.0;
+  check_float "ghost" 7.0 (Samrai.Patch.get p "u" ~i:(-1) ~j:0)
+
+let test_patch_ghost_exchange () =
+  let b1 = Samrai.Box.make ~ilo:0 ~jlo:0 ~ihi:3 ~jhi:3 in
+  let b2 = Samrai.Box.make ~ilo:4 ~jlo:0 ~ihi:7 ~jhi:3 in
+  let p1 = Samrai.Patch.create ~ghosts:1 b1 in
+  let p2 = Samrai.Patch.create ~ghosts:1 b2 in
+  Samrai.Patch.alloc_field p1 "u";
+  Samrai.Patch.alloc_field p2 "u";
+  Samrai.Patch.iter_interior p2 (fun ~i ~j ->
+      Samrai.Patch.set p2 "u" ~i ~j (float_of_int (i + j)));
+  Samrai.Patch.fill_ghosts_from p1 "u" ~src:p2;
+  (* p1's right ghost column picks up p2's i=4 interior *)
+  check_float "ghost filled" 4.0 (Samrai.Patch.get p1 "u" ~i:4 ~j:0);
+  check_float "ghost filled j=3" 7.0 (Samrai.Patch.get p1 "u" ~i:4 ~j:3)
+
+let test_patch_pool_amortization () =
+  let pool = Prog.Pool.create "t" in
+  let clock = Hwsim.Clock.create () in
+  let b = Samrai.Box.make ~ilo:0 ~jlo:0 ~ihi:7 ~jhi:7 in
+  (* allocate/free the same field shape repeatedly, as regridding does *)
+  for _ = 1 to 20 do
+    let p = Samrai.Patch.create ~ghosts:1 ~pool ~clock b in
+    Samrai.Patch.alloc_field p "u";
+    Samrai.Patch.free_field p "u"
+  done;
+  Alcotest.(check int) "one raw allocation" 1 pool.Prog.Pool.raw_allocs;
+  Alcotest.(check int) "rest pooled" 19 pool.Prog.Pool.pooled_allocs
+
+(* --- hierarchy --- *)
+
+let test_hierarchy_levels () =
+  let d = Samrai.Box.make ~ilo:0 ~jlo:0 ~ihi:31 ~jhi:31 in
+  let h = Samrai.Hierarchy.create ~fields:[ "u" ] d in
+  Alcotest.(check int) "one level" 1 (Samrai.Hierarchy.num_levels h);
+  Alcotest.(check int) "level cells" 1024 (Samrai.Hierarchy.total_cells h);
+  let region = Samrai.Box.make ~ilo:8 ~jlo:8 ~ihi:15 ~jhi:15 in
+  Samrai.Hierarchy.add_refined_level h ~region ~ratio:2;
+  Alcotest.(check int) "two levels" 2 (Samrai.Hierarchy.num_levels h);
+  let fine = Samrai.Hierarchy.level h 1 in
+  Alcotest.(check int) "fine covers 4x cells" (64 * 4)
+    (Samrai.Hierarchy.level_cells fine)
+
+let test_hierarchy_coarsen_field () =
+  let d = Samrai.Box.make ~ilo:0 ~jlo:0 ~ihi:7 ~jhi:7 in
+  let h = Samrai.Hierarchy.create ~patches_per_level:1 ~fields:[ "u" ] d in
+  let region = Samrai.Box.make ~ilo:0 ~jlo:0 ~ihi:7 ~jhi:7 in
+  Samrai.Hierarchy.add_refined_level ~patches:1 h ~region ~ratio:2;
+  (* constant fine field coarsens to the same constant *)
+  List.iter
+    (fun p ->
+      Samrai.Patch.iter_interior p (fun ~i ~j -> Samrai.Patch.set p "u" ~i ~j 3.5))
+    (Samrai.Hierarchy.level h 1).Samrai.Hierarchy.patches;
+  Samrai.Hierarchy.coarsen_field h ~fine_idx:1 ~coarse_idx:0 "u";
+  List.iter
+    (fun p ->
+      Samrai.Patch.iter_interior p (fun ~i ~j ->
+          check_float "coarsened constant" 3.5 (Samrai.Patch.get p "u" ~i ~j)))
+    (Samrai.Hierarchy.level h 0).Samrai.Hierarchy.patches
+
+(* --- cleverleaf --- *)
+
+let sod_init ~x ~y:_ =
+  if x < 0.5 then (1.0, 0.0, 0.0, 1.0) else (0.125, 0.0, 0.0, 0.1)
+
+let test_cleverleaf_conservation () =
+  let t = Samrai.Cleverleaf.create ~nx:64 ~ny:8 ~lx:1.0 ~ly:0.125 () in
+  Samrai.Cleverleaf.init t sod_init;
+  let m0, _, _, e0 = Samrai.Cleverleaf.totals t in
+  Samrai.Cleverleaf.run t 0.1;
+  let m1, _, _, e1 = Samrai.Cleverleaf.totals t in
+  Alcotest.(check bool) "mass conserved" true (Float.abs (m1 -. m0) < 1e-10);
+  Alcotest.(check bool) "energy conserved" true (Float.abs (e1 -. e0) < 1e-10);
+  Alcotest.(check bool) "steps taken" true (t.Samrai.Cleverleaf.steps > 10)
+
+let test_cleverleaf_sod_structure () =
+  let t = Samrai.Cleverleaf.create ~nx:128 ~ny:4 ~lx:1.0 ~ly:0.03125 () in
+  Samrai.Cleverleaf.init t sod_init;
+  Samrai.Cleverleaf.run t 0.15;
+  let rho = Samrai.Cleverleaf.density_slice t in
+  (* basic Sod structure at t=0.15: left state intact near x=0, right state
+     near x=1, monotone-ish decrease through the fan/contact/shock *)
+  Alcotest.(check bool) "left plateau" true (rho.(5) > 0.95);
+  Alcotest.(check bool) "right plateau" true (rho.(122) < 0.15);
+  Alcotest.(check bool) "intermediate states" true
+    (rho.(64) > 0.2 && rho.(64) < 0.95);
+  Alcotest.(check bool) "no nans" true (Array.for_all Float.is_finite rho)
+
+let test_cleverleaf_positivity () =
+  let t = Samrai.Cleverleaf.create ~nx:32 ~ny:32 ~lx:1.0 ~ly:1.0 () in
+  (* strong blast in the centre *)
+  Samrai.Cleverleaf.init t (fun ~x ~y ->
+      let r2 = ((x -. 0.5) ** 2.0) +. ((y -. 0.5) ** 2.0) in
+      if r2 < 0.01 then (1.0, 0.0, 0.0, 10.0) else (1.0, 0.0, 0.0, 0.1));
+  Samrai.Cleverleaf.run t 0.05;
+  List.iter
+    (fun p ->
+      Samrai.Patch.iter_interior p (fun ~i ~j ->
+          Alcotest.(check bool) "rho > 0" true (Samrai.Patch.get p "rho" ~i ~j > 0.0)))
+    (Samrai.Hierarchy.level t.Samrai.Cleverleaf.hier 0).Samrai.Hierarchy.patches
+
+let test_cleverleaf_step_work_pricing () =
+  (* Table 5's shape: full node ~7x, single P9 vs single V100 ~15x *)
+  let (fc, fg), (sc, sg) =
+    Samrai.Cleverleaf.table5_times ~cells:4_000_000 ~steps:100
+  in
+  let full = fc /. fg and single = sc /. sg in
+  Alcotest.(check bool) "full node speedup in 5-10x band" true
+    (full > 5.0 && full < 10.0);
+  Alcotest.(check bool) "single device speedup in 10-20x band" true
+    (single > 10.0 && single < 20.0);
+  Alcotest.(check bool) "single ratio exceeds full-node ratio" true
+    (single > full)
+
+let test_tag_and_regrid () =
+  (* a sharp front in the field: regridding must cover it with a finer
+     level, and the refinement region must actually contain the front *)
+  let d = Samrai.Box.make ~ilo:0 ~jlo:0 ~ihi:31 ~jhi:31 in
+  let h = Samrai.Hierarchy.create ~patches_per_level:2 ~fields:[ "u" ] d in
+  List.iter
+    (fun p ->
+      Samrai.Patch.iter_interior p (fun ~i ~j ->
+          ignore j;
+          Samrai.Patch.set p "u" ~i ~j (if i < 10 then 0.0 else 1.0)))
+    (Samrai.Hierarchy.level h 0).Samrai.Hierarchy.patches;
+  let created = Samrai.Hierarchy.regrid_on_gradient h ~name:"u" ~threshold:0.25 in
+  Alcotest.(check bool) "level created" true created;
+  Alcotest.(check int) "two levels" 2 (Samrai.Hierarchy.num_levels h);
+  (* the refined level must straddle the i=16 front (level-1 coords = 2x) *)
+  let fine = Samrai.Hierarchy.level h 1 in
+  Alcotest.(check int) "refined at 2x" 2 fine.Samrai.Hierarchy.ratio;
+  let covers =
+    List.exists
+      (fun (p : Samrai.Patch.t) ->
+        p.Samrai.Patch.box.Samrai.Box.ilo <= 20 && p.Samrai.Patch.box.Samrai.Box.ihi >= 20)
+      fine.Samrai.Hierarchy.patches
+  in
+  Alcotest.(check bool) "covers the front" true covers;
+  (* smooth field: no regrid *)
+  let h2 = Samrai.Hierarchy.create ~fields:[ "u" ] d in
+  Alcotest.(check bool) "no tags, no level" false
+    (Samrai.Hierarchy.regrid_on_gradient h2 ~name:"u" ~threshold:0.25)
+
+let prop_box_split_total =
+  QCheck.Test.make ~name:"box split preserves cells" ~count:100
+    QCheck.(quad (int_range 1 40) (int_range 1 40) (int_range 1 8) (int_range 0 100))
+    (fun (ni, nj, n, off) ->
+      let b = Samrai.Box.make ~ilo:off ~jlo:(-off) ~ihi:(off + ni - 1) ~jhi:(-off + nj - 1) in
+      let parts = Samrai.Box.split b n in
+      List.fold_left (fun a p -> a + Samrai.Box.size p) 0 parts = Samrai.Box.size b)
+
+let () =
+  Alcotest.run "samrai"
+    [
+      ( "box",
+        [
+          Alcotest.test_case "basics" `Quick test_box_basics;
+          Alcotest.test_case "intersect" `Quick test_box_intersect;
+          Alcotest.test_case "refine/coarsen" `Quick test_box_refine_coarsen_roundtrip;
+          Alcotest.test_case "split" `Quick test_box_split_covers;
+          QCheck_alcotest.to_alcotest prop_box_split_total;
+        ] );
+      ( "patch",
+        [
+          Alcotest.test_case "fields+ghosts" `Quick test_patch_fields_and_ghosts;
+          Alcotest.test_case "ghost exchange" `Quick test_patch_ghost_exchange;
+          Alcotest.test_case "pool amortization" `Quick test_patch_pool_amortization;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "levels" `Quick test_hierarchy_levels;
+          Alcotest.test_case "coarsen field" `Quick test_hierarchy_coarsen_field;
+          Alcotest.test_case "tag and regrid" `Quick test_tag_and_regrid;
+        ] );
+      ( "cleverleaf",
+        [
+          Alcotest.test_case "conservation" `Quick test_cleverleaf_conservation;
+          Alcotest.test_case "sod structure" `Quick test_cleverleaf_sod_structure;
+          Alcotest.test_case "positivity" `Quick test_cleverleaf_positivity;
+          Alcotest.test_case "step work pricing" `Quick test_cleverleaf_step_work_pricing;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* Tests for the mini-Spark substrate and the LDA workload (Fig 2). *)
+
+let mk ?(optimized = false) ?(nodes = 8) () =
+  Sparkle.Cluster.create
+    (if optimized then Sparkle.Cluster.optimized_config ~nodes ()
+     else Sparkle.Cluster.default_config ~nodes ())
+
+(* --- rdd --- *)
+
+let test_rdd_partitioning () =
+  let c = mk () in
+  let r = Sparkle.Rdd.of_array c (Array.init 100 (fun i -> i)) in
+  Alcotest.(check int) "count preserved" 100 (Sparkle.Rdd.count r);
+  Alcotest.(check bool) "multiple partitions" true (Sparkle.Rdd.num_partitions r > 1);
+  let back = Sparkle.Rdd.collect r in
+  Array.sort compare back;
+  Alcotest.(check (array int)) "collect roundtrip" (Array.init 100 (fun i -> i)) back
+
+let test_rdd_map_and_charge () =
+  let c = mk () in
+  let r = Sparkle.Rdd.of_array c (Array.init 50 (fun i -> i)) in
+  let r2 = Sparkle.Rdd.map (fun x -> x * 2) r in
+  let total = Sparkle.Rdd.reduce ~init:0 ~combine:( + ) r2 in
+  Alcotest.(check int) "sum of doubles" (49 * 50) total;
+  Alcotest.(check bool) "compute time charged" true
+    (Hwsim.Clock.phase c.Sparkle.Cluster.clock "compute" > 0.0);
+  Alcotest.(check bool) "aggregate charged" true
+    (Hwsim.Clock.phase c.Sparkle.Cluster.clock "aggregate" > 0.0)
+
+let test_rdd_filter () =
+  let c = mk () in
+  let r = Sparkle.Rdd.of_array c (Array.init 30 (fun i -> i)) in
+  let evens = Sparkle.Rdd.filter (fun x -> x mod 2 = 0) r in
+  Alcotest.(check int) "filtered count" 15 (Sparkle.Rdd.count evens)
+
+let test_reduce_by_key () =
+  let c = mk () in
+  let data = Array.init 60 (fun i -> (i mod 5, 1)) in
+  let r = Sparkle.Rdd.of_array c data in
+  let counted = Sparkle.Rdd.reduce_by_key ~combine:( + ) r in
+  let pairs = Sparkle.Rdd.collect counted in
+  Alcotest.(check int) "five keys" 5 (Array.length pairs);
+  Array.iter (fun (_, v) -> Alcotest.(check int) "12 each" 12 v) pairs;
+  Alcotest.(check bool) "shuffle charged" true
+    (Hwsim.Clock.phase c.Sparkle.Cluster.clock "shuffle" > 0.0)
+
+let test_shuffle_key_locality () =
+  (* after a shuffle, all copies of a key live in one partition *)
+  let c = mk () in
+  let data = Array.init 200 (fun i -> (i mod 10, i)) in
+  let r = Sparkle.Rdd.of_array c data in
+  let s = Sparkle.Rdd.shuffle_by_key r in
+  let home = Hashtbl.create 16 in
+  Array.iteri
+    (fun pidx part ->
+      Array.iter
+        (fun (k, _) ->
+          match Hashtbl.find_opt home k with
+          | None -> Hashtbl.add home k pidx
+          | Some p -> Alcotest.(check int) "key in one partition" p pidx)
+        part)
+    s.Sparkle.Rdd.partitions;
+  Alcotest.(check int) "count preserved" 200 (Sparkle.Rdd.count s)
+
+(* --- cost model (Fig 2 levers) --- *)
+
+let test_adaptive_shuffle_cheaper () =
+  let slow = mk () and fast = mk ~optimized:true () in
+  Sparkle.Cluster.charge_shuffle slow ~bytes:1e9;
+  Sparkle.Cluster.charge_shuffle fast ~bytes:1e9;
+  Alcotest.(check bool) "adaptive shuffle faster" true
+    (Hwsim.Clock.phase fast.Sparkle.Cluster.clock "shuffle"
+    < Hwsim.Clock.phase slow.Sparkle.Cluster.clock "shuffle" /. 2.0)
+
+let test_tree_aggregate_scales () =
+  (* flat aggregate cost grows linearly with node count, tree grows as
+     log: at 128 nodes the gap is large *)
+  let flat = mk ~nodes:128 () and tree = mk ~optimized:true ~nodes:128 () in
+  Sparkle.Cluster.charge_aggregate flat ~bytes_per_node:50e6;
+  Sparkle.Cluster.charge_aggregate tree ~bytes_per_node:50e6;
+  Alcotest.(check bool) "tree much faster at scale" true
+    (Hwsim.Clock.phase tree.Sparkle.Cluster.clock "aggregate" *. 4.0
+    < Hwsim.Clock.phase flat.Sparkle.Cluster.clock "aggregate")
+
+let test_jvm_gc_drag () =
+  let slow = mk () and fast = mk ~optimized:true () in
+  Sparkle.Cluster.charge_compute slow ~flops:1e12;
+  Sparkle.Cluster.charge_compute fast ~flops:1e12;
+  Alcotest.(check bool) "optimized JVM computes faster" true
+    (Sparkle.Cluster.elapsed fast < Sparkle.Cluster.elapsed slow)
+
+let test_group_by_key () =
+  let c = mk () in
+  let data = Array.init 40 (fun i -> (i mod 4, i)) in
+  let r = Sparkle.Rdd.of_array c data in
+  let grouped = Sparkle.Rdd.group_by_key r in
+  let pairs = Sparkle.Rdd.collect grouped in
+  Alcotest.(check int) "four groups" 4 (Array.length pairs);
+  Array.iter
+    (fun (k, vs) ->
+      Alcotest.(check int) "10 values each" 10 (List.length vs);
+      List.iter (fun v -> Alcotest.(check int) "key consistent" k (v mod 4)) vs)
+    pairs
+
+let test_join () =
+  let c = mk () in
+  let left = Sparkle.Rdd.of_array c [| (1, "a"); (2, "b"); (3, "c") |] in
+  let right = Sparkle.Rdd.of_array c [| (2, 20); (3, 30); (4, 40); (3, 31) |] in
+  let j = Sparkle.Rdd.join left right in
+  let rows = Array.to_list (Sparkle.Rdd.collect j) in
+  let sorted = List.sort compare rows in
+  Alcotest.(check int) "three matches" 3 (List.length rows);
+  Alcotest.(check bool) "contents" true
+    (sorted = [ (2, ("b", 20)); (3, ("c", 30)); (3, ("c", 31)) ])
+
+(* --- data broker --- *)
+
+let test_databroker_kv () =
+  let c = mk () in
+  let db = Sparkle.Databroker.create c in
+  Sparkle.Databroker.put db ~ns:"topics" ~key:"lambda0" [| 1.0; 2.0 |];
+  (match Sparkle.Databroker.get db ~ns:"topics" ~key:"lambda0" with
+  | Some v -> Alcotest.(check (array (float 1e-12))) "roundtrip" [| 1.0; 2.0 |] v
+  | None -> Alcotest.fail "missing value");
+  Alcotest.(check bool) "miss returns None" true
+    (Sparkle.Databroker.get db ~ns:"topics" ~key:"nope" = None);
+  Sparkle.Databroker.delete_namespace db "topics";
+  Alcotest.(check bool) "namespace dropped" true
+    (Sparkle.Databroker.get db ~ns:"topics" ~key:"lambda0" = None);
+  Alcotest.(check bool) "broker time charged" true
+    (Hwsim.Clock.phase c.Sparkle.Cluster.clock "broker" > 0.0)
+
+let test_databroker_beats_default_shuffle () =
+  (* the Sec 4.4 exploration: broker-mediated shuffle skips JVM
+     serialization, beating the default sort-spill path *)
+  let c = mk ~nodes:32 () in
+  let db = Sparkle.Databroker.create c in
+  let bytes = 50e9 and tuples = 1_000_000 in
+  let broker = Sparkle.Databroker.shuffle_cost db ~bytes ~tuples in
+  let default_cluster = mk ~nodes:32 () in
+  Sparkle.Cluster.charge_shuffle default_cluster ~bytes;
+  let default_t = Hwsim.Clock.phase default_cluster.Sparkle.Cluster.clock "shuffle" in
+  Alcotest.(check bool)
+    (Fmt.str "broker %.2f s < default %.2f s" broker default_t)
+    true (broker < default_t)
+
+(* --- lda --- *)
+
+let test_digamma_recurrence () =
+  (* digamma(x+1) = digamma(x) + 1/x *)
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 1e-8))
+        (Fmt.str "recurrence at %.2f" x)
+        (Lda.Vem.digamma x +. (1.0 /. x))
+        (Lda.Vem.digamma (x +. 1.0)))
+    [ 0.3; 1.0; 2.5; 7.0; 20.0 ];
+  (* digamma(1) = -euler_gamma *)
+  Alcotest.(check (float 1e-6)) "digamma(1)" (-0.5772156649) (Lda.Vem.digamma 1.0)
+
+let test_corpus_generation () =
+  let rng = Icoe_util.Rng.create 101 in
+  let c = Lda.Corpus.generate ~ndocs:50 ~rng () in
+  Alcotest.(check int) "doc count" 50 (Array.length c.Lda.Corpus.docs);
+  Alcotest.(check int) "vocab" 240 c.Lda.Corpus.vocab;
+  Alcotest.(check int) "true topics" 6 c.Lda.Corpus.k_true;
+  Alcotest.(check bool) "tokens present" true (Lda.Corpus.tokens c > 1000);
+  (* topics are normalized *)
+  Array.iter
+    (fun row ->
+      Alcotest.(check (float 1e-9)) "topic row sums 1" 1.0 (Icoe_util.Stats.sum row))
+    c.Lda.Corpus.topic_word
+
+let test_lda_likelihood_increases () =
+  let rng = Icoe_util.Rng.create 102 in
+  let corpus = Lda.Corpus.generate ~ndocs:120 ~rng () in
+  let cluster = mk ~nodes:4 () in
+  let rdd = Sparkle.Rdd.of_array cluster corpus.Lda.Corpus.docs in
+  let m = Lda.Vem.init ~rng ~k:corpus.Lda.Corpus.k_true ~vocab:corpus.Lda.Corpus.vocab () in
+  let trace = Lda.Vem.train ~iters:8 m rdd in
+  (* likelihood proxy improves over training *)
+  Alcotest.(check bool)
+    (Fmt.str "ll %f -> %f" trace.(0) trace.(7))
+    true
+    (trace.(7) > trace.(0));
+  Alcotest.(check bool) "all finite" true (Array.for_all Float.is_finite trace)
+
+let test_lda_recovers_topics () =
+  let rng = Icoe_util.Rng.create 103 in
+  let corpus = Lda.Corpus.generate ~ndocs:240 ~rng () in
+  let cluster = mk ~nodes:4 () in
+  let rdd = Sparkle.Rdd.of_array cluster corpus.Lda.Corpus.docs in
+  let m = Lda.Vem.init ~rng ~k:corpus.Lda.Corpus.k_true ~vocab:corpus.Lda.Corpus.vocab () in
+  ignore (Lda.Vem.train ~iters:15 m rdd);
+  let score = Lda.Vem.recovery_score m corpus.Lda.Corpus.topic_word in
+  Alcotest.(check bool) (Fmt.str "recovery %.3f > 0.8" score) true (score > 0.8)
+
+let test_fig2_shape () =
+  (* default vs optimized stack on the Wikipedia-scale LDA workload:
+     optimized is > 2x faster overall and every major phase shrinks *)
+  let slow = Lda.Fig2.run ~optimized:false Lda.Fig2.wikipedia in
+  let fast = Lda.Fig2.run ~optimized:true Lda.Fig2.wikipedia in
+  let t_slow = Sparkle.Cluster.elapsed slow in
+  let t_fast = Sparkle.Cluster.elapsed fast in
+  Alcotest.(check bool)
+    (Fmt.str "overall %.2fx > 2x" (t_slow /. t_fast))
+    true
+    (t_slow /. t_fast > 2.0);
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) (phase ^ " shrinks") true
+        (Hwsim.Clock.phase fast.Sparkle.Cluster.clock phase
+        < Hwsim.Clock.phase slow.Sparkle.Cluster.clock phase))
+    [ "compute"; "shuffle"; "aggregate" ];
+  (* shuffle dominates the default stack, as profiled in the paper *)
+  Alcotest.(check bool) "shuffle dominant in default" true
+    (Hwsim.Clock.phase slow.Sparkle.Cluster.clock "shuffle"
+    > 0.4 *. t_slow)
+
+let prop_reduce_by_key_totals =
+  QCheck.Test.make ~name:"reduce_by_key preserves totals" ~count:30
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let rng = Icoe_util.Rng.create seed in
+      let n = 20 + Icoe_util.Rng.int rng 100 in
+      let data = Array.init n (fun _ -> (Icoe_util.Rng.int rng 7, Icoe_util.Rng.int rng 10)) in
+      let total = Array.fold_left (fun a (_, v) -> a + v) 0 data in
+      let c = mk () in
+      let r = Sparkle.Rdd.of_array c data in
+      let red = Sparkle.Rdd.reduce_by_key ~combine:( + ) r in
+      let total' =
+        Array.fold_left (fun a (_, v) -> a + v) 0 (Sparkle.Rdd.collect red)
+      in
+      total = total')
+
+let () =
+  Alcotest.run "sparkle"
+    [
+      ( "rdd",
+        [
+          Alcotest.test_case "partitioning" `Quick test_rdd_partitioning;
+          Alcotest.test_case "map+charge" `Quick test_rdd_map_and_charge;
+          Alcotest.test_case "filter" `Quick test_rdd_filter;
+          Alcotest.test_case "reduce_by_key" `Quick test_reduce_by_key;
+          Alcotest.test_case "shuffle locality" `Quick test_shuffle_key_locality;
+          QCheck_alcotest.to_alcotest prop_reduce_by_key_totals;
+          Alcotest.test_case "group_by_key" `Quick test_group_by_key;
+          Alcotest.test_case "join" `Quick test_join;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "adaptive shuffle" `Quick test_adaptive_shuffle_cheaper;
+          Alcotest.test_case "tree aggregate" `Quick test_tree_aggregate_scales;
+          Alcotest.test_case "jvm drag" `Quick test_jvm_gc_drag;
+        ] );
+      ( "databroker",
+        [
+          Alcotest.test_case "kv roundtrip" `Quick test_databroker_kv;
+          Alcotest.test_case "beats default shuffle" `Quick test_databroker_beats_default_shuffle;
+        ] );
+      ( "lda",
+        [
+          Alcotest.test_case "digamma" `Quick test_digamma_recurrence;
+          Alcotest.test_case "corpus" `Quick test_corpus_generation;
+          Alcotest.test_case "likelihood increases" `Slow test_lda_likelihood_increases;
+          Alcotest.test_case "topic recovery" `Slow test_lda_recovers_topics;
+          Alcotest.test_case "fig2 shape" `Slow test_fig2_shape;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* Tests for the SUNDIALS analog: N_Vector ops and CVODE-style integrators. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- nvector --- *)
+
+let test_nvector_ops () =
+  let open Sundials.Nvector in
+  let x = of_array [| 1.0; 2.0; 3.0 |] in
+  let y = of_array [| 4.0; 5.0; 6.0 |] in
+  let z = create 3 in
+  linear_sum 2.0 x 1.0 y z;
+  Alcotest.(check (array (float 1e-12))) "linear_sum" [| 6.0; 9.0; 12.0 |] (data z);
+  prod x y z;
+  Alcotest.(check (array (float 1e-12))) "prod" [| 4.0; 10.0; 18.0 |] (data z);
+  scale 3.0 x z;
+  Alcotest.(check (array (float 1e-12))) "scale" [| 3.0; 6.0; 9.0 |] (data z);
+  inv x z;
+  check_float "inv" 0.5 (get z 1);
+  add_const x 10.0 z;
+  check_float "add_const" 11.0 (get z 0);
+  check_float "dot" 32.0 (dot x y);
+  check_float "max_norm" 3.0 (max_norm x);
+  const 7.0 z;
+  check_float "const" 7.0 (get z 2)
+
+let test_nvector_device_backend_charges () =
+  let clock = Hwsim.Clock.create () in
+  let ctx =
+    Prog.Exec.make_ctx ~policy:Prog.Policy.Cuda ~device:Hwsim.Device.v100 ~clock ()
+  in
+  let be = Sundials.Nvector.device_backend ctx in
+  let x = Sundials.Nvector.of_array ~backend:be (Array.make 1000 1.0) in
+  let z = Sundials.Nvector.clone x in
+  Sundials.Nvector.scale 2.0 x z;
+  Alcotest.(check bool) "device op charged" true (Hwsim.Clock.total clock > 0.0);
+  (* I/O pulls data back over the link *)
+  let before = Hwsim.Clock.total clock in
+  let a = Sundials.Nvector.to_host_array z in
+  check_float "values correct" 2.0 a.(0);
+  Alcotest.(check bool) "transfer charged" true (Hwsim.Clock.total clock > before)
+
+(* --- integrators on analytic problems --- *)
+
+(* y' = -y, y(0)=1, y(t) = e^{-t} *)
+let decay_rhs _t y = Array.map (fun v -> -.v) y
+let decay_jac _t y =
+  Linalg.Dense.init (Array.length y) (Array.length y) (fun i j ->
+      if i = j then -1.0 else 0.0)
+
+let test_bdf_decay () =
+  let r =
+    Sundials.Cvode.bdf ~rtol:1e-8 ~atol:1e-10 ~rhs:decay_rhs
+      ~lsolve:(Sundials.Cvode.dense_lsolve ~jac:decay_jac)
+      ~t0:0.0 ~y0:[| 1.0 |] 2.0
+  in
+  Alcotest.(check bool) "accurate" true
+    (Float.abs (r.Sundials.Cvode.y.(0) -. exp (-2.0)) < 1e-6);
+  Alcotest.(check bool) "took steps" true (r.Sundials.Cvode.stats.Sundials.Cvode.nsteps > 5)
+
+let test_bdf_tolerance_scaling () =
+  let run rtol =
+    let r =
+      Sundials.Cvode.bdf ~rtol ~atol:(rtol /. 100.0) ~rhs:decay_rhs
+        ~lsolve:(Sundials.Cvode.dense_lsolve ~jac:decay_jac)
+        ~t0:0.0 ~y0:[| 1.0 |] 1.0
+    in
+    Float.abs (r.Sundials.Cvode.y.(0) -. exp (-1.0))
+  in
+  let loose = run 1e-4 and tight = run 1e-9 in
+  Alcotest.(check bool) "tighter tol -> smaller error" true (tight < loose)
+
+(* stiff linear problem: y' = -1000 (y - cos t) - sin t; y = cos t is the
+   slow manifold. *)
+let stiff_rhs t y = [| (-1000.0 *. (y.(0) -. cos t)) -. sin t |]
+let stiff_jac _t _y = Linalg.Dense.init 1 1 (fun _ _ -> -1000.0)
+
+let test_bdf_stiff () =
+  let r =
+    Sundials.Cvode.bdf ~rtol:1e-6 ~atol:1e-9 ~h0:1e-5 ~rhs:stiff_rhs
+      ~lsolve:(Sundials.Cvode.dense_lsolve ~jac:stiff_jac)
+      ~t0:0.0 ~y0:[| 0.0 |] 3.0
+  in
+  Alcotest.(check bool) "tracks slow manifold" true
+    (Float.abs (r.Sundials.Cvode.y.(0) -. cos 3.0) < 1e-4);
+  (* stiff solver must use far fewer steps than the explicit stability
+     limit (h < 2/1000 -> 1500 steps) *)
+  Alcotest.(check bool) "beats explicit step bound" true
+    (r.Sundials.Cvode.stats.Sundials.Cvode.nsteps < 1200)
+
+let test_euler_unstable_on_stiff () =
+  (* with h = 3/1000 > 2/1000, forward Euler must blow up *)
+  let y = Sundials.Cvode.euler ~rhs:stiff_rhs ~t0:0.0 ~y0:[| 0.0 |] ~steps:1000 3.0 in
+  Alcotest.(check bool) "euler diverges" true
+    ((not (Float.is_finite y.(0))) || Float.abs y.(0) > 10.0)
+
+let test_rk4_convergence_order () =
+  (* RK4 global error ~ h^4: halving h shrinks error ~16x *)
+  let exact = exp (-1.0) in
+  let err steps =
+    let y = Sundials.Cvode.rk4 ~rhs:decay_rhs ~t0:0.0 ~y0:[| 1.0 |] ~steps 1.0 in
+    Float.abs (y.(0) -. exact)
+  in
+  let e1 = err 10 and e2 = err 20 in
+  let order = Float.log (e1 /. e2) /. Float.log 2.0 in
+  Alcotest.(check bool) "order near 4" true (order > 3.5 && order < 4.5)
+
+let test_adams_oscillator () =
+  (* y'' = -y as a system; energy must be approximately conserved *)
+  let rhs _t y = [| y.(1); -.y.(0) |] in
+  let r =
+    Sundials.Cvode.adams ~rtol:1e-8 ~atol:1e-10 ~rhs ~t0:0.0 ~y0:[| 1.0; 0.0 |]
+      (2.0 *. Float.pi)
+  in
+  Alcotest.(check bool) "period return y" true
+    (Float.abs (r.Sundials.Cvode.y.(0) -. 1.0) < 1e-4);
+  Alcotest.(check bool) "period return y'" true
+    (Float.abs r.Sundials.Cvode.y.(1) < 1e-4)
+
+let test_fd_jacobian_matches_analytic () =
+  (* the FD lsolve must integrate the stiff problem about as well *)
+  let r =
+    Sundials.Cvode.bdf ~rtol:1e-6 ~atol:1e-9 ~h0:1e-5 ~rhs:stiff_rhs
+      ~lsolve:(Sundials.Cvode.fd_dense_lsolve ~rhs:stiff_rhs)
+      ~t0:0.0 ~y0:[| 0.0 |] 1.0
+  in
+  Alcotest.(check bool) "fd jacobian works" true
+    (Float.abs (r.Sundials.Cvode.y.(0) -. cos 1.0) < 1e-4)
+
+(* Robertson problem: the classic stiff kinetics benchmark. *)
+let robertson_rhs _t y =
+  let a = -0.04 *. y.(0) +. (1e4 *. y.(1) *. y.(2)) in
+  let c = 3e7 *. y.(1) *. y.(1) in
+  [| a; -.a -. c; c |]
+
+let robertson_jac _t y =
+  let j = Linalg.Dense.create 3 3 in
+  Linalg.Dense.set j 0 0 (-0.04);
+  Linalg.Dense.set j 0 1 (1e4 *. y.(2));
+  Linalg.Dense.set j 0 2 (1e4 *. y.(1));
+  Linalg.Dense.set j 1 0 0.04;
+  Linalg.Dense.set j 1 1 ((-1e4 *. y.(2)) -. (6e7 *. y.(1)));
+  Linalg.Dense.set j 1 2 (-1e4 *. y.(1));
+  Linalg.Dense.set j 2 1 (6e7 *. y.(1));
+  j
+
+let test_bdf_robertson_conservation () =
+  let r =
+    Sundials.Cvode.bdf ~rtol:1e-6 ~atol:1e-12 ~h0:1e-6 ~rhs:robertson_rhs
+      ~lsolve:(Sundials.Cvode.dense_lsolve ~jac:robertson_jac)
+      ~t0:0.0 ~y0:[| 1.0; 0.0; 0.0 |] 100.0
+  in
+  let total = r.Sundials.Cvode.y.(0) +. r.Sundials.Cvode.y.(1) +. r.Sundials.Cvode.y.(2) in
+  Alcotest.(check bool) "mass conserved" true (Float.abs (total -. 1.0) < 1e-6);
+  Alcotest.(check bool) "species order" true
+    (r.Sundials.Cvode.y.(0) > 0.5 && r.Sundials.Cvode.y.(1) < 1e-3)
+
+let test_erk23_accuracy_and_adaptivity () =
+  let r =
+    Sundials.Cvode.erk23 ~rtol:1e-8 ~atol:1e-10 ~rhs:decay_rhs ~t0:0.0
+      ~y0:[| 1.0 |] 2.0
+  in
+  Alcotest.(check bool) "accurate" true
+    (Float.abs (r.Sundials.Cvode.y.(0) -. exp (-2.0)) < 1e-7);
+  (* tolerance scaling *)
+  let err rtol =
+    let r =
+      Sundials.Cvode.erk23 ~rtol ~atol:(rtol /. 100.0) ~rhs:decay_rhs ~t0:0.0
+        ~y0:[| 1.0 |] 1.0
+    in
+    Float.abs (r.Sundials.Cvode.y.(0) -. exp (-1.0))
+  in
+  Alcotest.(check bool) "tighter tol, smaller error" true (err 1e-10 < err 1e-4)
+
+let test_erk23_oscillator_order () =
+  (* the 3rd-order method needs far fewer steps than Euler stability would
+     suggest, and lands the oscillator period accurately *)
+  let rhs _t y = [| y.(1); -.y.(0) |] in
+  let r =
+    Sundials.Cvode.erk23 ~rtol:1e-9 ~atol:1e-12 ~rhs ~t0:0.0 ~y0:[| 1.0; 0.0 |]
+      (2.0 *. Float.pi)
+  in
+  Alcotest.(check bool) "period return" true
+    (Float.abs (r.Sundials.Cvode.y.(0) -. 1.0) < 1e-6);
+  (* 3rd-order at rtol 1e-9 needs ~2-3k steps on one period *)
+  Alcotest.(check bool) "reasonable step count" true
+    (r.Sundials.Cvode.stats.Sundials.Cvode.nsteps < 6000
+    && r.Sundials.Cvode.stats.Sundials.Cvode.nsteps > 100)
+
+let prop_bdf_linear_systems =
+  QCheck.Test.make ~name:"BDF solves random stable linear systems" ~count:10
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let rng = Icoe_util.Rng.create seed in
+      let n = 2 + Icoe_util.Rng.int rng 3 in
+      (* random stable diagonal system with decay rates in [0.5, 5] *)
+      let rates = Array.init n (fun _ -> Icoe_util.Rng.uniform rng 0.5 5.0) in
+      let rhs _t y = Array.mapi (fun i v -> -.rates.(i) *. v) y in
+      let jac _t _y =
+        Linalg.Dense.init n n (fun i j -> if i = j then -.rates.(i) else 0.0)
+      in
+      let y0 = Array.make n 1.0 in
+      let r =
+        Sundials.Cvode.bdf ~rtol:1e-7 ~atol:1e-10 ~rhs
+          ~lsolve:(Sundials.Cvode.dense_lsolve ~jac) ~t0:0.0 ~y0 1.0
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if Float.abs (v -. exp (-.rates.(i))) > 1e-5 then ok := false)
+        r.Sundials.Cvode.y;
+      !ok)
+
+let () =
+  Alcotest.run "sundials"
+    [
+      ( "nvector",
+        [
+          Alcotest.test_case "ops" `Quick test_nvector_ops;
+          Alcotest.test_case "device backend" `Quick test_nvector_device_backend_charges;
+        ] );
+      ( "cvode",
+        [
+          Alcotest.test_case "bdf decay" `Quick test_bdf_decay;
+          Alcotest.test_case "bdf tolerance" `Quick test_bdf_tolerance_scaling;
+          Alcotest.test_case "bdf stiff" `Quick test_bdf_stiff;
+          Alcotest.test_case "euler unstable" `Quick test_euler_unstable_on_stiff;
+          Alcotest.test_case "rk4 order" `Quick test_rk4_convergence_order;
+          Alcotest.test_case "adams oscillator" `Quick test_adams_oscillator;
+          Alcotest.test_case "fd jacobian" `Quick test_fd_jacobian_matches_analytic;
+          Alcotest.test_case "robertson" `Quick test_bdf_robertson_conservation;
+          Alcotest.test_case "erk23 accuracy" `Quick test_erk23_accuracy_and_adaptivity;
+          Alcotest.test_case "erk23 oscillator" `Quick test_erk23_oscillator_order;
+          QCheck_alcotest.to_alcotest prop_bdf_linear_systems;
+        ] );
+    ]

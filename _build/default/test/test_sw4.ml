@@ -1,0 +1,311 @@
+(* Tests for the SW4 analog: grid/material, elastic operator, solver
+   physics (wave speeds, stability, damping), and the performance-variant
+   model. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_grid_material () =
+  let g = Sw4.Grid.create ~nx:16 ~ny:16 ~h:10.0 in
+  Sw4.Grid.homogeneous g ~rho:2000.0 ~vp:4000.0 ~vs:2000.0;
+  check_float "p speed" 4000.0 (Sw4.Grid.p_speed g 5 5);
+  check_float "s speed" 2000.0 (Sw4.Grid.s_speed g 5 5);
+  check_float "max p" 4000.0 (Sw4.Grid.max_p_speed g);
+  Alcotest.(check bool) "dt positive" true (Sw4.Grid.stable_dt g > 0.0)
+
+let test_d1_exact_on_cubics () =
+  (* the 4th-order stencil differentiates cubics exactly *)
+  let g = Sw4.Grid.create ~nx:16 ~ny:16 ~h:0.5 in
+  let f =
+    Array.init (16 * 16) (fun k ->
+        let i = k mod 16 and j = k / 16 in
+        let x = float_of_int i *. 0.5 and y = float_of_int j *. 0.5 in
+        (x ** 3.0) +. (2.0 *. (y ** 3.0)) +. (x *. y))
+  in
+  let x = 5.0 *. 0.5 and y = 7.0 *. 0.5 in
+  Alcotest.(check (float 1e-9)) "d/dx"
+    ((3.0 *. x *. x) +. y)
+    (Sw4.Elastic.d1x g f 5 7);
+  Alcotest.(check (float 1e-9)) "d/dy"
+    ((6.0 *. y *. y) +. x)
+    (Sw4.Elastic.d1y g f 5 7)
+
+let test_acceleration_zero_on_linear_field () =
+  (* uniform strain (linear displacement) in a homogeneous medium has zero
+     stress divergence *)
+  let g = Sw4.Grid.create ~nx:24 ~ny:24 ~h:1.0 in
+  Sw4.Grid.homogeneous g ~rho:1000.0 ~vp:2000.0 ~vs:1000.0;
+  let n = 24 * 24 in
+  let ux = Array.init n (fun k -> 0.001 *. float_of_int (k mod 24)) in
+  let uy = Array.init n (fun k -> 0.002 *. float_of_int (k / 24)) in
+  let ax = Array.make n 0.0 and ay = Array.make n 0.0 in
+  let s = Sw4.Elastic.make_scratch g in
+  Sw4.Elastic.acceleration g s ~ux ~uy ~ax ~ay;
+  Alcotest.(check bool) "ax ~ 0" true (Linalg.Vec.nrm_inf ax < 1e-8);
+  Alcotest.(check bool) "ay ~ 0" true (Linalg.Vec.nrm_inf ay < 1e-8)
+
+let test_p_wave_speed () =
+  (* point source in homogeneous medium: first arrival at a receiver at
+     distance r gives the P speed within ~20% on a coarse grid *)
+  let vp = 3000.0 and vs = 1500.0 in
+  let h = 50.0 in
+  let g = Sw4.Grid.create ~nx:120 ~ny:60 ~h in
+  Sw4.Grid.homogeneous g ~rho:2000.0 ~vp ~vs;
+  let f0 = 4.0 in
+  let src =
+    Sw4.Source.point_force ~i:20 ~j:30 ~fx:1e9 ~fy:0.0
+      ~stf:(Sw4.Source.ricker ~f0 ~t0:(1.2 /. f0))
+  in
+  let rcv = Sw4.Solver.receiver ~i:90 ~j:30 in
+  let solver = Sw4.Solver.create ~sources:[ src ] ~receivers:[ rcv ] g in
+  let dist = float_of_int (90 - 20) *. h in
+  let expected_arrival = (1.2 /. f0) +. (dist /. vp) in
+  let steps = int_of_float (1.3 *. expected_arrival /. solver.Sw4.Solver.dt) in
+  Sw4.Solver.run solver ~steps;
+  (* peak-arrival time: the P pulse peaks at t0 + dist/vp *)
+  let trace = List.rev rcv.Sw4.Solver.trace in
+  let tpeak = ref 0.0 and peak = ref 0.0 in
+  List.iter
+    (fun (t, x, y) ->
+      let v = sqrt ((x *. x) +. (y *. y)) in
+      if v > !peak then begin
+        peak := v;
+        tpeak := t
+      end)
+    trace;
+  Alcotest.(check bool) "wave arrived" true (!peak > 0.0);
+  let v_measured = dist /. (!tpeak -. (1.2 /. f0)) in
+  Alcotest.(check bool)
+    (Fmt.str "measured %.0f vs vp %.0f" v_measured vp)
+    true
+    (v_measured > 0.85 *. vp && v_measured < 1.15 *. vp)
+
+let test_stability_energy_bounded () =
+  let g = Sw4.Grid.create ~nx:48 ~ny:48 ~h:100.0 in
+  Sw4.Grid.homogeneous g ~rho:2500.0 ~vp:5000.0 ~vs:2500.0;
+  let f0 = 2.0 in
+  let src =
+    Sw4.Source.point_force ~i:24 ~j:24 ~fx:1e9 ~fy:1e9
+      ~stf:(Sw4.Source.ricker ~f0 ~t0:(1.0 /. f0))
+  in
+  let solver = Sw4.Solver.create ~sources:[ src ] g in
+  Sw4.Solver.run solver ~steps:400;
+  let e_mid = Sw4.Solver.energy_proxy solver in
+  Sw4.Solver.run solver ~steps:800;
+  let e_late = Sw4.Solver.energy_proxy solver in
+  Alcotest.(check bool) "finite" true (Float.is_finite e_late);
+  (* damping layers remove energy once the source is quiet *)
+  Alcotest.(check bool) "energy decays after source" true (e_late < e_mid);
+  Alcotest.(check bool) "fields finite" true
+    (Array.for_all Float.is_finite solver.Sw4.Solver.ux)
+
+let test_damping_profile_interior_unity () =
+  let g = Sw4.Grid.create ~nx:64 ~ny:64 ~h:10.0 in
+  Sw4.Grid.homogeneous g ~rho:2000.0 ~vp:3000.0 ~vs:1500.0;
+  let s = Sw4.Solver.create g in
+  check_float "interior taper 1" 1.0 s.Sw4.Solver.damping.(Sw4.Grid.idx g 32 32);
+  Alcotest.(check bool) "wall taper < 1" true
+    (s.Sw4.Solver.damping.(Sw4.Grid.idx g 0 32) < 1.0)
+
+let test_ricker_properties () =
+  check_float "peak at t0" 1.0 (Sw4.Source.ricker ~f0:2.0 ~t0:1.0 1.0);
+  Alcotest.(check bool) "decays" true
+    (Float.abs (Sw4.Source.ricker ~f0:2.0 ~t0:1.0 3.0) < 1e-6)
+
+let test_temporal_convergence () =
+  (* fixed grid, shrinking timestep: against a tiny-dt reference the
+     error must fall clearly as dt halves (the cold-start u(-dt) ~ u(0)
+     initialization contributes a first-order term, so we assert robust
+     decrease rather than the asymptotic factor of 4) *)
+  let nx = 48 in
+  let solve cfl =
+    let g = Sw4.Grid.create ~nx ~ny:nx ~h:100.0 in
+    Sw4.Grid.homogeneous g ~rho:2000.0 ~vp:2000.0 ~vs:1000.0;
+    let s = Sw4.Solver.create ~cfl ~damping_width:0 ~damping_strength:1.0 g in
+    for j = 0 to nx - 1 do
+      for i = 0 to nx - 1 do
+        let k = Sw4.Grid.idx g i j in
+        let x = float_of_int i /. float_of_int (nx - 1) in
+        let y = float_of_int j /. float_of_int (nx - 1) in
+        let v = 0.01 *. sin (Float.pi *. x) *. sin (Float.pi *. y) in
+        s.Sw4.Solver.ux.(k) <- v;
+        s.Sw4.Solver.ux_prev.(k) <- v
+      done
+    done;
+    let tphys = 0.5 in
+    (* choose cfl so steps divide tphys exactly *)
+    let steps = int_of_float (Float.round (tphys /. s.Sw4.Solver.dt)) in
+    let s = { s with Sw4.Solver.dt = tphys /. float_of_int steps } in
+    Sw4.Solver.run s ~steps;
+    s.Sw4.Solver.ux.(Sw4.Grid.idx g (nx / 2) (nx / 2))
+  in
+  let reference = solve 0.02 in
+  let e_coarse = Float.abs (solve 0.4 -. reference) in
+  let e_fine = Float.abs (solve 0.2 -. reference) in
+  Alcotest.(check bool)
+    (Fmt.str "dt halving shrinks error: %.2e -> %.2e" e_coarse e_fine)
+    true
+    (e_fine < 0.65 *. e_coarse)
+
+(* --- scenario / performance --- *)
+
+let test_hayward_basin_amplification () =
+  let r = Sw4.Scenario.run_hayward ~nx:120 ~ny:72 ~h:100.0 ~steps:400 () in
+  Alcotest.(check bool) "finite PGV" true
+    (Array.for_all Float.is_finite r.Sw4.Scenario.pgv_surface);
+  Alcotest.(check bool) "soft basin amplifies shaking" true
+    r.Sw4.Scenario.basin_amplified;
+  Alcotest.(check bool) "nonzero shaking" true
+    (Icoe_util.Stats.sum r.Sw4.Scenario.pgv_surface > 0.0)
+
+let test_variant_ordering () =
+  (* Sec 4.9: shared-memory ~2x naive; RAJA ~30% slower than CUDA *)
+  let g = Sw4.Grid.create ~nx:512 ~ny:512 ~h:100.0 in
+  let t v = Sw4.Scenario.variant_time_per_step g v in
+  let t_naive = t Sw4.Scenario.Naive_cuda in
+  let t_shared = t Sw4.Scenario.Shared_cuda in
+  let t_raja = t Sw4.Scenario.Raja in
+  let t_cpu = t Sw4.Scenario.Cpu_openmp in
+  Alcotest.(check bool) "shared beats naive" true (t_shared < t_naive);
+  Alcotest.(check bool) "raja ~20-60% behind cuda" true
+    (let pen = (t_raja -. t_naive) /. t_naive in
+     pen > 0.1 && pen < 0.7);
+  Alcotest.(check bool) "gpu beats cpu socket" true (t_naive < t_cpu)
+
+let test_fused_kernel_faster_small_grid () =
+  (* kernel merging pays off when launch overhead matters *)
+  let g = Sw4.Grid.create ~nx:32 ~ny:32 ~h:100.0 in
+  let t_split = Sw4.Scenario.variant_time_per_step g Sw4.Scenario.Naive_cuda in
+  let t_fused =
+    Sw4.Scenario.variant_time_per_step ~fused:true g Sw4.Scenario.Naive_cuda
+  in
+  Alcotest.(check bool) "fused faster" true (t_fused < t_split)
+
+let test_sierra_vs_cori_throughput () =
+  (* abstract: "up to a 14X throughput increase over Cori" per node *)
+  let points = 4_000_000 in
+  let sierra = Sw4.Scenario.node_throughput Hwsim.Node.witherspoon ~points in
+  let cori = Sw4.Scenario.node_throughput Hwsim.Node.cori_ii ~points in
+  let ratio = sierra /. cori in
+  Alcotest.(check bool)
+    (Fmt.str "ratio %.1f in 8-20x band" ratio)
+    true
+    (ratio > 8.0 && ratio < 20.0)
+
+(* --- 3D solver --- *)
+
+let test_3d_linear_field_zero_accel () =
+  let g = Sw4.Elastic3d.create_grid ~nx:12 ~ny:12 ~nz:12 ~h:1.0 in
+  Sw4.Elastic3d.homogeneous g ~rho:1000.0 ~vp:2000.0 ~vs:1000.0;
+  let st = Sw4.Elastic3d.create g in
+  (* uniform strain: linear displacement field -> zero stress divergence *)
+  for k = 0 to 11 do
+    for j = 0 to 11 do
+      for i = 0 to 11 do
+        let p = Sw4.Elastic3d.idx g i j k in
+        st.Sw4.Elastic3d.u.(0).(p) <- 0.001 *. float_of_int i;
+        st.Sw4.Elastic3d.u.(1).(p) <- 0.002 *. float_of_int j;
+        st.Sw4.Elastic3d.u.(2).(p) <- 0.003 *. float_of_int k
+      done
+    done
+  done;
+  Sw4.Elastic3d.acceleration st;
+  let m = ref 0.0 in
+  Array.iter (fun a -> Array.iter (fun v -> m := max !m (Float.abs v)) a) st.Sw4.Elastic3d.a;
+  Alcotest.(check bool) "zero acceleration" true (!m < 1e-8)
+
+let test_3d_p_wave_speed () =
+  let vp = 3000.0 and vs = 1500.0 in
+  let h = 100.0 in
+  let g = Sw4.Elastic3d.create_grid ~nx:64 ~ny:24 ~nz:24 ~h in
+  Sw4.Elastic3d.homogeneous g ~rho:2000.0 ~vp ~vs;
+  let st = Sw4.Elastic3d.create g in
+  let f0 = 3.0 in
+  let t0 = 1.2 /. f0 in
+  let stf = Sw4.Source.ricker ~f0 ~t0 in
+  let src = (12, 12, 12) and rcv = (52, 12, 12) in
+  let si, sj, sk = src and ri, rj, rk = rcv in
+  let dist = float_of_int (ri - si) *. h in
+  let expected = t0 +. (dist /. vp) in
+  let steps = int_of_float (1.3 *. expected /. st.Sw4.Elastic3d.dt) in
+  let peak = ref 0.0 and tpeak = ref 0.0 in
+  for s = 1 to steps do
+    let time = float_of_int (s - 1) *. st.Sw4.Elastic3d.dt in
+    Sw4.Elastic3d.step ~force:(si, sj, sk, 1e9, 0.0, 0.0, stf) st ~time;
+    let p = Sw4.Elastic3d.idx g ri rj rk in
+    let v = Float.abs st.Sw4.Elastic3d.u.(0).(p) in
+    if v > !peak then begin
+      peak := v;
+      tpeak := time
+    end
+  done;
+  Alcotest.(check bool) "wave arrived" true (!peak > 0.0);
+  let v_measured = dist /. (!tpeak -. t0) in
+  Alcotest.(check bool)
+    (Fmt.str "3D vp measured %.0f vs %.0f" v_measured vp)
+    true
+    (v_measured > 0.8 *. vp && v_measured < 1.25 *. vp)
+
+let test_3d_stability () =
+  let g = Sw4.Elastic3d.create_grid ~nx:20 ~ny:20 ~nz:20 ~h:100.0 in
+  Sw4.Elastic3d.homogeneous g ~rho:2500.0 ~vp:5000.0 ~vs:2500.0;
+  let st = Sw4.Elastic3d.create g in
+  let stf = Sw4.Source.ricker ~f0:3.0 ~t0:0.4 in
+  for s = 1 to 300 do
+    let time = float_of_int (s - 1) *. st.Sw4.Elastic3d.dt in
+    Sw4.Elastic3d.step ~force:(10, 10, 10, 1e9, 1e9, 1e9, stf) st ~time
+  done;
+  Alcotest.(check bool) "energy finite" true
+    (Float.is_finite (Sw4.Elastic3d.energy_proxy st));
+  Alcotest.(check bool) "fields finite" true
+    (Array.for_all Float.is_finite st.Sw4.Elastic3d.u.(0))
+
+let test_production_run_parity () =
+  (* 26B-point Hayward campaign: ~10 h on 256 Sierra nodes; Cori needs a
+     high multiple of the nodes for the same deadline *)
+  let gp = 26.0e9 and steps = 25_000 in
+  let h = Sw4.Scenario.production_run_hours Hwsim.Node.sierra ~nodes:256 ~grid_points:gp ~steps in
+  Alcotest.(check bool) (Fmt.str "%.1f h near 10" h) true (h > 5.0 && h < 15.0);
+  let cori_nodes = Sw4.Scenario.nodes_for_deadline Hwsim.Node.cori ~grid_points:gp ~steps ~hours:h in
+  Alcotest.(check bool)
+    (Fmt.str "cori needs %d nodes (>5x)" cori_nodes)
+    true
+    (cori_nodes > 5 * 256);
+  (* more nodes always means fewer or equal hours *)
+  let h512 = Sw4.Scenario.production_run_hours Hwsim.Node.sierra ~nodes:512 ~grid_points:gp ~steps in
+  Alcotest.(check bool) "scaling monotone" true (h512 < h)
+
+let () =
+  Alcotest.run "sw4"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "material" `Quick test_grid_material;
+          Alcotest.test_case "d1 exact" `Quick test_d1_exact_on_cubics;
+        ] );
+      ( "elastic",
+        [
+          Alcotest.test_case "linear field" `Quick test_acceleration_zero_on_linear_field;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "p-wave speed" `Slow test_p_wave_speed;
+          Alcotest.test_case "stability" `Quick test_stability_energy_bounded;
+          Alcotest.test_case "damping profile" `Quick test_damping_profile_interior_unity;
+          Alcotest.test_case "ricker" `Quick test_ricker_properties;
+          Alcotest.test_case "temporal convergence" `Slow test_temporal_convergence;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "hayward basin" `Slow test_hayward_basin_amplification;
+          Alcotest.test_case "variant ordering" `Quick test_variant_ordering;
+          Alcotest.test_case "fused kernels" `Quick test_fused_kernel_faster_small_grid;
+          Alcotest.test_case "sierra vs cori" `Quick test_sierra_vs_cori_throughput;
+          Alcotest.test_case "production parity" `Quick test_production_run_parity;
+        ] );
+      ( "elastic3d",
+        [
+          Alcotest.test_case "linear field" `Quick test_3d_linear_field_zero_accel;
+          Alcotest.test_case "p-wave speed" `Slow test_3d_p_wave_speed;
+          Alcotest.test_case "stability" `Slow test_3d_stability;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+(* Tests for the shared utility layer: deterministic RNG, statistics,
+   table rendering. *)
+
+open Icoe_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 1 in
+  let child = Rng.split parent in
+  let before = Rng.float parent in
+  (* drawing from the child must not perturb a copy of the parent *)
+  let parent2 = Rng.create 1 in
+  let _child2 = Rng.split parent2 in
+  ignore (Rng.float child);
+  let before2 = Rng.float parent2 in
+  check_float "parent unperturbed by child draws" before before2
+
+let test_rng_uniform_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform r 2.0 5.0 in
+    Alcotest.(check bool) "in range" true (x >= 2.0 && x < 5.0)
+  done
+
+let test_rng_int_range () =
+  let r = Rng.create 4 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    let k = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 7);
+    seen.(k) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all (fun b -> b) seen)
+
+let test_gaussian_moments () =
+  let r = Rng.create 5 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian r) in
+  let m = Stats.mean xs and s = Stats.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs m < 0.02);
+  Alcotest.(check bool) "stddev near 1" true (Float.abs (s -. 1.0) < 0.02)
+
+let test_exponential_mean () =
+  let r = Rng.create 6 in
+  let xs = Array.init 50_000 (fun _ -> Rng.exponential r ~rate:2.0) in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (Stats.mean xs -. 0.5) < 0.02)
+
+let test_categorical () =
+  let r = Rng.create 7 in
+  let w = [| 1.0; 0.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 10_000 do
+    let k = Rng.categorical r w in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check int) "zero-weight category never drawn" 0 counts.(1);
+  Alcotest.(check bool) "ratio near 3" true
+    (let ratio = float_of_int counts.(2) /. float_of_int counts.(0) in
+     ratio > 2.5 && ratio < 3.5)
+
+let test_shuffle_permutation () =
+  let r = Rng.create 8 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_stats_basic () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean a);
+  check_float "sum" 10.0 (Stats.sum a);
+  check_float "median" 2.5 (Stats.median a);
+  let lo, hi = Stats.min_max a in
+  check_float "min" 1.0 lo;
+  check_float "max" 4.0 hi;
+  check_float "variance" (5.0 /. 3.0) (Stats.variance a)
+
+let test_percentile () =
+  let a = Array.init 101 (fun i -> float_of_int i) in
+  check_float "p0" 0.0 (Stats.percentile a 0.0);
+  check_float "p50" 50.0 (Stats.percentile a 0.5);
+  check_float "p100" 100.0 (Stats.percentile a 1.0)
+
+let test_rel_l2 () =
+  let a = [| 1.0; 0.0 |] and b = [| 1.0; 0.0 |] in
+  check_float "identical" 0.0 (Stats.rel_l2_error a b)
+
+let test_table_render () =
+  let t = Table.create ~title:"t" [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 4 = "== t")
+
+let prop_rng_float_unit =
+  QCheck.Test.make ~name:"rng floats in [0,1)" ~count:200
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let r = Rng.create seed in
+      let x = Rng.float r in
+      x >= 0.0 && x < 1.0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "categorical" `Quick test_categorical;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          QCheck_alcotest.to_alcotest prop_rng_float_unit;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "rel l2" `Quick test_rel_l2;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+    ]

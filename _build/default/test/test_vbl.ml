@@ -1,0 +1,185 @@
+(* Tests for the FFT library and the VBL split-step laser propagation. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- fft --- *)
+
+let test_fft_roundtrip () =
+  let rng = Icoe_util.Rng.create 81 in
+  let n = 64 in
+  let a = Array.init (2 * n) (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+  let b = Fftlib.Fft.dft a in
+  let c = Fftlib.Fft.dft ~inverse:true b in
+  Alcotest.(check bool) "ifft(fft(x)) = x" true
+    (Icoe_util.Stats.max_abs_diff a c < 1e-10)
+
+let test_fft_delta_is_flat () =
+  let n = 32 in
+  let a = Array.make (2 * n) 0.0 in
+  a.(0) <- 1.0;
+  let b = Fftlib.Fft.dft a in
+  for k = 0 to n - 1 do
+    Alcotest.(check (float 1e-12)) "re = 1" 1.0 b.(2 * k);
+    Alcotest.(check (float 1e-12)) "im = 0" 0.0 b.((2 * k) + 1)
+  done
+
+let test_fft_single_tone () =
+  (* pure frequency m: spectrum concentrated in bin m *)
+  let n = 64 and m = 5 in
+  let a =
+    Array.init (2 * n) (fun k ->
+        let i = k / 2 in
+        let ph = 2.0 *. Float.pi *. float_of_int (m * i) /. float_of_int n in
+        if k mod 2 = 0 then cos ph else sin ph)
+  in
+  let b = Fftlib.Fft.dft a in
+  check_float "bin m magnitude" (float_of_int n)
+    (sqrt ((b.(2 * m) ** 2.0) +. (b.((2 * m) + 1) ** 2.0)));
+  (* all other bins tiny *)
+  for k = 0 to n - 1 do
+    if k <> m then
+      Alcotest.(check bool) "other bins ~0" true
+        (sqrt ((b.(2 * k) ** 2.0) +. (b.((2 * k) + 1) ** 2.0)) < 1e-9)
+  done
+
+let test_parseval () =
+  let rng = Icoe_util.Rng.create 82 in
+  let n = 128 in
+  let a = Array.init (2 * n) (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+  let e_time = Array.fold_left (fun s v -> s +. (v *. v)) 0.0 a in
+  let b = Fftlib.Fft.dft a in
+  let e_freq = Array.fold_left (fun s v -> s +. (v *. v)) 0.0 b /. float_of_int n in
+  Alcotest.(check (float 1e-8)) "parseval" e_time e_freq
+
+let test_transpose_variants_agree () =
+  let rng = Icoe_util.Rng.create 83 in
+  let n = 33 in
+  (* non-multiple of tile *)
+  let src = Array.init (2 * n * n) (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+  let d1 = Array.make (2 * n * n) 0.0 in
+  let d2 = Array.make (2 * n * n) 0.0 in
+  Fftlib.Fft.transpose_naive ~n src d1;
+  Fftlib.Fft.transpose_tiled ~tile:8 ~n src d2;
+  Alcotest.(check bool) "identical" true (Icoe_util.Stats.max_abs_diff d1 d2 = 0.0)
+
+let test_fft2d_roundtrip () =
+  let rng = Icoe_util.Rng.create 84 in
+  let n = 16 in
+  let a = Array.init (2 * n * n) (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+  let b = Array.copy a in
+  Fftlib.Fft.transform_2d ~n b;
+  Fftlib.Fft.transform_2d ~inverse:true ~n b;
+  Alcotest.(check bool) "2d roundtrip" true (Icoe_util.Stats.max_abs_diff a b < 1e-10)
+
+let test_tiled_transpose_faster_model () =
+  let t_naive = Fftlib.Fft.transpose_time ~n:2048 ~device:Hwsim.Device.v100 `Naive in
+  let t_tiled = Fftlib.Fft.transpose_time ~n:2048 ~device:Hwsim.Device.v100 `Tiled in
+  Alcotest.(check bool) "tiled much faster" true (t_tiled *. 3.0 < t_naive)
+
+(* --- vbl --- *)
+
+let test_power_conserved_free_space () =
+  let b = Vbl.Beam.create ~n:64 ~width:0.4 () in
+  Vbl.Beam.flat_top b;
+  let p0 = Vbl.Beam.total_power b in
+  Vbl.Propagate.run b ~distance:5.0 ~steps:4;
+  let p1 = Vbl.Beam.total_power b in
+  Alcotest.(check bool) "unitary propagation" true
+    (Float.abs (p1 -. p0) /. p0 < 1e-10)
+
+let test_gaussian_spreads () =
+  (* a focused Gaussian diffracts: peak fluence decreases with distance *)
+  let b = Vbl.Beam.create ~n:128 ~width:0.02 () in
+  Vbl.Beam.gaussian ~w0:0.001 b;
+  let f0 = Vbl.Beam.fluence b in
+  let peak0 = Array.fold_left max 0.0 f0 in
+  Vbl.Propagate.run b ~distance:20.0 ~steps:8;
+  let f1 = Vbl.Beam.fluence b in
+  let peak1 = Array.fold_left max 0.0 f1 in
+  Alcotest.(check bool) "peak decreased" true (peak1 < 0.8 *. peak0)
+
+let test_amplifier_gains_and_saturates () =
+  let b = Vbl.Beam.create ~n:32 ~width:0.4 () in
+  Vbl.Beam.flat_top b;
+  let p0 = Vbl.Beam.total_power b in
+  Vbl.Propagate.amplifier_step b ~g0:1.0 ~fsat:10.0 ~dz:1.0;
+  let p1 = Vbl.Beam.total_power b in
+  Alcotest.(check bool) "gain" true (p1 > p0);
+  (* a much hotter beam gains less (saturation) *)
+  let hot = Vbl.Beam.create ~n:32 ~width:0.4 () in
+  Vbl.Beam.set_field hot (fun ~x:_ ~y:_ -> (100.0, 0.0));
+  let h0 = Vbl.Beam.total_power hot in
+  Vbl.Propagate.amplifier_step hot ~g0:1.0 ~fsat:10.0 ~dz:1.0;
+  let h1 = Vbl.Beam.total_power hot in
+  Alcotest.(check bool) "saturated gain smaller" true
+    (h1 /. h0 < p1 /. p0)
+
+let test_fig9_defect_ripples () =
+  (* Fig 9: two phase defects cause fluence ripples after 10 m *)
+  (* aperture scaled so the 150 micron defects are resolved on the grid *)
+  let clean = Vbl.Beam.create ~n:256 ~width:0.05 () in
+  Vbl.Beam.flat_top clean;
+  Vbl.Propagate.run clean ~distance:10.0 ~steps:5;
+  let c_clean = Vbl.Beam.center_contrast clean in
+  let defective = Vbl.Beam.create ~n:256 ~width:0.05 () in
+  Vbl.Beam.flat_top defective;
+  Vbl.Propagate.defect_screen ~defect_size:150e-6 ~depth:2.0 defective;
+  (* defects are pure phase: fluence unchanged at z = 0 *)
+  let c_at0 = Vbl.Beam.center_contrast defective in
+  Vbl.Propagate.run defective ~distance:10.0 ~steps:5;
+  let c_defect = Vbl.Beam.center_contrast defective in
+  Alcotest.(check bool) "phase defects invisible at z=0" true
+    (Float.abs (c_at0 -. 0.0) < 0.05);
+  Alcotest.(check bool)
+    (Fmt.str "ripples appear: %.3f > %.3f" c_defect c_clean)
+    true
+    (c_defect > (5.0 *. c_clean) && c_defect > 0.05)
+
+let test_step_time_transpose_lever () =
+  let t_naive =
+    Vbl.Propagate.step_time ~n:2048 ~device:Hwsim.Device.v100
+      ~transpose_variant:`Naive
+  in
+  let t_tiled =
+    Vbl.Propagate.step_time ~n:2048 ~device:Hwsim.Device.v100
+      ~transpose_variant:`Tiled
+  in
+  Alcotest.(check bool) "tiled transpose speeds the step" true (t_tiled < t_naive)
+
+let prop_fft_linear =
+  QCheck.Test.make ~name:"FFT is linear" ~count:50
+    QCheck.(pair (int_range 1 1000) (float_range (-3.0) 3.0))
+    (fun (seed, alpha) ->
+      let rng = Icoe_util.Rng.create seed in
+      let n = 32 in
+      let a = Array.init (2 * n) (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+      let b = Array.init (2 * n) (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+      let sum = Array.init (2 * n) (fun i -> a.(i) +. (alpha *. b.(i))) in
+      let fs = Fftlib.Fft.dft sum in
+      let fa = Fftlib.Fft.dft a and fb = Fftlib.Fft.dft b in
+      let expected = Array.init (2 * n) (fun i -> fa.(i) +. (alpha *. fb.(i))) in
+      Icoe_util.Stats.max_abs_diff fs expected < 1e-9)
+
+let () =
+  Alcotest.run "vbl"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "delta" `Quick test_fft_delta_is_flat;
+          Alcotest.test_case "single tone" `Quick test_fft_single_tone;
+          Alcotest.test_case "parseval" `Quick test_parseval;
+          Alcotest.test_case "transpose agree" `Quick test_transpose_variants_agree;
+          Alcotest.test_case "2d roundtrip" `Quick test_fft2d_roundtrip;
+          Alcotest.test_case "tiled model" `Quick test_tiled_transpose_faster_model;
+          QCheck_alcotest.to_alcotest prop_fft_linear;
+        ] );
+      ( "beam",
+        [
+          Alcotest.test_case "power conserved" `Quick test_power_conserved_free_space;
+          Alcotest.test_case "gaussian spreads" `Quick test_gaussian_spreads;
+          Alcotest.test_case "amplifier" `Quick test_amplifier_gains_and_saturates;
+          Alcotest.test_case "fig9 ripples" `Quick test_fig9_defect_ripples;
+          Alcotest.test_case "transpose lever" `Quick test_step_time_transpose_lever;
+        ] );
+    ]
