@@ -155,5 +155,9 @@ let () =
   Fmt.pr "==========================================================@.";
   Fmt.pr " iCoE reproduction: every table and figure of the paper@.";
   Fmt.pr "==========================================================@.@.";
+  Icoe.Experiments.clear_traces ();
   print_string (Icoe.Experiments.run_all ());
+  (* the instrumented harnesses left span traces behind: show where the
+     simulated time went, per device and per phase *)
+  print_string (Icoe.Experiments.trace_rollup_report ());
   microbenchmarks ()

@@ -3,7 +3,13 @@
    Usage:
      dune exec bin/icoe_report.exe -- list
      dune exec bin/icoe_report.exe -- run fig8 table4
-     dune exec bin/icoe_report.exe -- run all *)
+     dune exec bin/icoe_report.exe -- run all
+     dune exec bin/icoe_report.exe -- --trace /tmp/t.json
+
+   Instrumented experiments (fig2, table2, fig8, table4) record span
+   traces of the simulated machine; after a run the report appends
+   per-device/per-phase rollup tables, and --trace FILE exports the spans
+   as Chrome trace-event JSON for chrome://tracing / Perfetto. *)
 
 open Cmdliner
 
@@ -18,24 +24,58 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_cmd =
-  let doc = "Run experiments by id ('all' for everything)." in
-  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
-  let run ids =
-    if List.mem "all" ids then print_string (Icoe.Experiments.run_all ())
-    else
-      List.iter
-        (fun id ->
-          match Icoe.Experiments.find id with
-          | Some (_, _, f) -> print_string (f ())
-          | None ->
-              Fmt.epr "unknown experiment %S; try 'list'@." id;
-              exit 1)
-        ids
+(* The experiments whose harnesses emit spans; the bare `--trace FILE`
+   invocation (no ids) runs exactly these. *)
+let traced_ids = [ "fig2"; "table2"; "fig8"; "table4" ]
+
+let trace_arg =
+  let doc =
+    "Write the collected span traces to $(docv) as Chrome trace-event \
+     JSON (open in chrome://tracing or Perfetto)."
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let run_ids ids trace_file =
+  Icoe.Experiments.clear_traces ();
+  let ids = if ids = [] then traced_ids else ids in
+  if List.mem "all" ids then print_string (Icoe.Experiments.run_all ())
+  else
+    List.iter
+      (fun id ->
+        match Icoe.Experiments.find id with
+        | Some (_, _, f) -> print_string (f ())
+        | None ->
+            Fmt.epr "unknown experiment %S; try 'list'@." id;
+            exit 1)
+      ids;
+  print_string (Icoe.Experiments.trace_rollup_report ());
+  match trace_file with
+  | None -> ()
+  | Some file ->
+      let traces = Icoe.Experiments.collected_traces () in
+      (match open_out file with
+      | oc ->
+          output_string oc (Hwsim.Trace.chrome_json_of_many traces);
+          close_out oc
+      | exception Sys_error msg ->
+          Fmt.epr "cannot write trace file: %s@." msg;
+          exit 1);
+      let spans =
+        List.fold_left (fun n (_, t) -> n + Hwsim.Trace.span_count t) 0 traces
+      in
+      Fmt.pr "trace: wrote %d spans from %d experiment run(s) to %s@." spans
+        (List.length traces) file
+
+let run_cmd =
+  let doc =
+    "Run experiments by id ('all' for everything; defaults to the \
+     trace-instrumented set)."
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids $ trace_arg)
 
 let () =
   let doc = "Reproduced experiments from the SC'19 iCoE paper" in
   let info = Cmd.info "icoe_report" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  let default = Term.(const (fun tf -> run_ids [] tf) $ trace_arg) in
+  exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+lib/hwsim/trace.ml: Buffer Char Clock Counters Device Float Fmt Hashtbl Icoe_util Kernel List Option Roofline String Table

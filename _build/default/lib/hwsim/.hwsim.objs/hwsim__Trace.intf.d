@@ -1,0 +1,1 @@
+lib/hwsim/trace.mli: Clock Counters Device Format Icoe_util Kernel Roofline

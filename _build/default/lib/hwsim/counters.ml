@@ -40,12 +40,23 @@ let utilization t = achieved_gbs t /. t.device.Device.mem_bw_gbs
     bandwidth is the usual rule of thumb the tuning guides use) *)
 let bandwidth_bound t = utilization t > 0.6
 
-(** Per-interval bandwidth series, oldest first: (t_mid, GB/s). *)
+(** Per-interval bandwidth series, oldest first: (t_mid, GB/s).
+
+    [sample] accepts equal timestamps (the monotonicity assert is [>=]),
+    so zero-width intervals are merged before dividing: consecutive
+    samples at the same instant collapse to the newest one — the counter
+    is cumulative, so no traffic is lost — and the series never contains
+    nan/inf entries from a 0/0 or x/0 division. *)
 let series t =
+  let rec dedup = function
+    | a :: b :: rest when a.t = b.t -> dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
   let rec pair = function
     | a :: (b :: _ as rest) ->
         ((a.t +. b.t) /. 2.0, (a.bytes -. b.bytes) /. (a.t -. b.t) /. 1e9)
         :: pair rest
     | _ -> []
   in
-  List.rev (pair t.samples)
+  List.rev (pair (dedup t.samples))

@@ -21,10 +21,16 @@ let eff ?(compute = 1.0) ?(bandwidth = 1.0) () =
 
 let default_eff = { compute = 0.6; bandwidth = 0.75 }
 
-(** Execution time in seconds of kernel [k] on device [d]. [lanes_used]
-    (default: all) idles part of the chip, scaling both roofs — this is how
-    the Cretin memory-constrained "60% of CPU cores idle" case is modelled. *)
-let time ?(eff = default_eff) ?lanes_used (d : Device.t) (k : Kernel.t) =
+(** Which roof binds. *)
+type bound = Compute_bound | Bandwidth_bound
+
+(** Execution time in seconds of kernel [k] on device [d], together with
+    the roof that bound it under the same efficiency/lane scaling.
+    [lanes_used] (default: all) idles part of the chip, scaling both
+    roofs — this is how the Cretin memory-constrained "60% of CPU cores
+    idle" case is modelled. *)
+let time_and_bound ?(eff = default_eff) ?lanes_used (d : Device.t)
+    (k : Kernel.t) =
   let lane_frac =
     match lanes_used with
     | None -> 1.0
@@ -36,11 +42,11 @@ let time ?(eff = default_eff) ?lanes_used (d : Device.t) (k : Kernel.t) =
   let bw = d.Device.mem_bw_gbs *. 1e9 *. eff.bandwidth *. lane_frac in
   let compute_t = k.Kernel.flops /. peak in
   let mem_t = k.Kernel.bytes /. bw in
-  (float_of_int k.Kernel.launches *. d.Device.launch_overhead_s)
-  +. max compute_t mem_t
+  ( (float_of_int k.Kernel.launches *. d.Device.launch_overhead_s)
+    +. max compute_t mem_t,
+    if compute_t >= mem_t then Compute_bound else Bandwidth_bound )
 
-(** Which roof binds. *)
-type bound = Compute_bound | Bandwidth_bound
+let time ?eff ?lanes_used d k = fst (time_and_bound ?eff ?lanes_used d k)
 
 let binding ?(eff = default_eff) (d : Device.t) (k : Kernel.t) =
   let compute_t = k.Kernel.flops /. (d.Device.peak_gflops *. 1e9 *. eff.compute) in

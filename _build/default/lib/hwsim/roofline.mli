@@ -18,12 +18,17 @@ val eff : ?compute:float -> ?bandwidth:float -> unit -> efficiency
 val default_eff : efficiency
 (** compute 0.6, bandwidth 0.75 — a competent hand-tuned kernel. *)
 
+type bound = Compute_bound | Bandwidth_bound
+
 val time : ?eff:efficiency -> ?lanes_used:int -> Device.t -> Kernel.t -> float
 (** Execution seconds of a kernel on a device. [lanes_used] (default all)
     idles part of the chip, scaling both roofs — how the Cretin
     memory-constrained core-idling case is modelled. *)
 
-type bound = Compute_bound | Bandwidth_bound
+val time_and_bound :
+  ?eff:efficiency -> ?lanes_used:int -> Device.t -> Kernel.t -> float * bound
+(** [time] plus which roof bound the kernel under the same scaling; the
+    tracer records this per span. *)
 
 val binding : ?eff:efficiency -> Device.t -> Kernel.t -> bound
 (** Which roof binds for this kernel on this device. *)

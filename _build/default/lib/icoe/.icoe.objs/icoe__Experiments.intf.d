@@ -1,1 +1,1 @@
-lib/icoe/experiments.mli:
+lib/icoe/experiments.mli: Hwsim

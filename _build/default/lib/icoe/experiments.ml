@@ -9,6 +9,40 @@ open Icoe_util
 let section title body = Fmt.str "### %s\n%s\n" title body
 
 (* ------------------------------------------------------------------ *)
+(* Trace collection                                                    *)
+(*                                                                     *)
+(* Instrumented harnesses register the Hwsim.Trace of their last run   *)
+(* here; the icoe_report CLI and the bench executable read the set     *)
+(* back to render rollup tables and export Chrome trace-event JSON.    *)
+(* ------------------------------------------------------------------ *)
+
+let traces : (string * Hwsim.Trace.t) list ref = ref []
+let clear_traces () = traces := []
+let record_trace name tr = traces := (name, tr) :: !traces
+let collected_traces () = List.rev !traces
+
+let trace_rollup_report () =
+  match collected_traces () with
+  | [] -> ""
+  | ts ->
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf
+        "### Trace rollups — where the simulated time went\n";
+      List.iter
+        (fun (name, tr) ->
+          Buffer.add_string buf
+            (Table.render
+               (Hwsim.Trace.device_table ~title:(name ^ ": per-device rollup") tr));
+          Buffer.add_string buf
+            (Table.render
+               (Hwsim.Trace.phase_table ~title:(name ^ ": per-phase rollup") tr));
+          Buffer.add_string buf
+            (Table.render
+               (Hwsim.Trace.span_table ~title:(name ^ ": top spans") ~n:5 tr)))
+        ts;
+      Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Fig 2: SparkPlug LDA, default vs optimized stack                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -21,9 +55,12 @@ let fig2 () =
   let model = Lda.Vem.init ~rng ~k:corpus.Lda.Corpus.k_true ~vocab:corpus.Lda.Corpus.vocab () in
   let trace = Lda.Vem.train ~iters:10 model rdd in
   let recovery = Lda.Vem.recovery_score model corpus.Lda.Corpus.topic_word in
-  (* paper-scale breakdown *)
+  (* paper-scale breakdown; the cluster charges every stage through its
+     span tracer, so both runs are exportable to chrome://tracing *)
   let slow = Lda.Fig2.run ~optimized:false Lda.Fig2.wikipedia in
   let fast = Lda.Fig2.run ~optimized:true Lda.Fig2.wikipedia in
+  record_trace "fig2/default" (Sparkle.Cluster.trace slow);
+  record_trace "fig2/optimized" (Sparkle.Cluster.trace fast);
   let t = Table.create ~title:"Fig 2: LDA aggregate time breakdown (s, 32 nodes, Wikipedia-scale)"
       ~aligns:[| Table.Left; Table.Right; Table.Right |]
       [ "phase"; "default"; "optimized" ] in
@@ -69,6 +106,25 @@ let table2 () =
   done;
   let td = Havoq.Bfs.top_down g ~src:!src in
   let hy = Havoq.Bfs.hybrid g ~src:!src in
+  (* trace the two sweeps priced on the BG/Q model (one edge inspection
+     ~ 16 B of irregular traffic, 2 flops), with a nest-counter reading
+     attached so the span records how bandwidth-bound BFS is *)
+  let tr = Hwsim.Trace.create ~root:"table2" (Hwsim.Clock.create ()) in
+  let bfs_kernel name (r : Havoq.Bfs.stats) =
+    let e = float_of_int r.Havoq.Bfs.edges_traversed in
+    Hwsim.Kernel.make ~name ~flops:(2.0 *. e) ~bytes:(16.0 *. e) ()
+  in
+  let ctr = Hwsim.Counters.create Hwsim.Device.bgq in
+  Hwsim.Trace.with_span tr "bfs" (fun () ->
+      Hwsim.Counters.sample ctr ~time:(Hwsim.Trace.now tr) ~bytes:0.0;
+      let ktd = bfs_kernel "bfs/top-down" td in
+      let khy = bfs_kernel "bfs/hybrid" hy in
+      ignore (Hwsim.Trace.charge_kernel tr ~phase:"bfs/top-down" Hwsim.Device.bgq ktd);
+      ignore (Hwsim.Trace.charge_kernel tr ~phase:"bfs/hybrid" Hwsim.Device.bgq khy);
+      Hwsim.Counters.sample ctr ~time:(Hwsim.Trace.now tr)
+        ~bytes:(ktd.Hwsim.Kernel.bytes +. khy.Hwsim.Kernel.bytes);
+      Hwsim.Trace.annotate_counters tr ctr);
+  record_trace "table2" tr;
   section "Table 2 — HavoqGT graph BFS"
     (Fmt.str "%sreal RMAT scale-12 BFS: top-down traversed %d edges, hybrid %d (%.1fx fewer), %d direction switches\n"
        (Table.render t) td.Havoq.Bfs.edges_traversed hy.Havoq.Bfs.edges_traversed
@@ -169,12 +225,31 @@ let fig8 () =
      hardware pair (1 P8 thread vs P100) *)
   let r = Mfem.Nldiff.run ~n:10 ~p:3 ~tf:0.004 () in
   let scale = 1.0e6 /. float_of_int r.Mfem.Nldiff.ndof in
-  let fc, pc, sc =
-    Mfem.Nldiff.price ~scale r ~device:Hwsim.Device.power8 ~policy:Prog.Policy.Serial
+  (* each device's breakdown is charged as spans under one device span,
+     so the trace answers "where did the time go, on which device" *)
+  let tr = Hwsim.Trace.create ~root:"fig8" (Hwsim.Clock.create ()) in
+  let priced label (device : Hwsim.Device.t) policy =
+    Hwsim.Trace.with_span tr ~device:device.Hwsim.Device.name label (fun () ->
+        let f, p, s = Mfem.Nldiff.price ~scale r ~device ~policy in
+        let dev = device.Hwsim.Device.name in
+        Hwsim.Trace.charge tr ~device:dev ~phase:"formulation" f;
+        Hwsim.Trace.charge tr ~device:dev ~phase:"preconditioner" p;
+        Hwsim.Trace.charge tr ~device:dev ~phase:"solve" s;
+        (f, p, s))
   in
-  let fg, pg, sg =
-    Mfem.Nldiff.price ~scale r ~device:Hwsim.Device.p100 ~policy:Prog.Policy.Cuda
-  in
+  let fc, pc, sc = priced "nldiff/P8-serial" Hwsim.Device.power8 Prog.Policy.Serial in
+  let fg, pg, sg = priced "nldiff/P100-cuda" Hwsim.Device.p100 Prog.Policy.Cuda in
+  (* nest-counter reading over the GPU pass: cumulative DRAM traffic of
+     the scaled V-cycles, attached to the root for context *)
+  let ctr = Hwsim.Counters.create Hwsim.Device.p100 in
+  Hwsim.Counters.sample ctr ~time:(fc +. pc +. sc) ~bytes:0.0;
+  Hwsim.Counters.sample ctr
+    ~time:(Hwsim.Trace.now tr)
+    ~bytes:
+      ((Hwsim.Kernel.scale scale r.Mfem.Nldiff.vcycle_work).Hwsim.Kernel.bytes
+      *. float_of_int r.Mfem.Nldiff.counters.Mfem.Nldiff.vcycles);
+  Hwsim.Trace.annotate_counters tr ctr;
+  record_trace "fig8" tr;
   let t = Table.create ~title:"Fig 8: nonlinear diffusion timing breakdown (s, 1M DoF)"
       ~aligns:[| Table.Left; Table.Right; Table.Right |]
       [ "phase"; "P8 (1 thread)"; "P100" ] in
@@ -202,28 +277,36 @@ let table4 () =
       [ "Unknowns"; "p=2"; "p=4"; "p=8"; "paper (p=2/4/8)" ] in
   (* one real run per order; each size row scales the measured work *)
   let runs = List.map (fun p -> (p, Mfem.Nldiff.run ~n:(24 / p) ~p ~tf:0.004 ())) [ 2; 4; 8 ] in
+  let tr = Hwsim.Trace.create ~root:"table4" (Hwsim.Clock.create ()) in
   List.iter
     (fun (unknowns, paper_row) ->
       let speedups =
-        List.map
-          (fun (_, r) ->
-            let scale = unknowns /. float_of_int r.Mfem.Nldiff.ndof in
-            let fc, pc, sc =
-              Mfem.Nldiff.price ~scale r ~device:Hwsim.Device.power9
-                ~policy:Prog.Policy.Serial
-            in
-            let fg, pg, sg =
-              Mfem.Nldiff.price ~scale r ~device:Hwsim.Device.v100
-                ~policy:Prog.Policy.Cuda
-            in
-            (fc +. pc +. sc) /. (fg +. pg +. sg))
-          runs
+        Hwsim.Trace.with_span tr (Fmt.str "unknowns=%.3g" unknowns) (fun () ->
+            List.map
+              (fun (p, r) ->
+                let scale = unknowns /. float_of_int r.Mfem.Nldiff.ndof in
+                let fc, pc, sc =
+                  Mfem.Nldiff.price ~scale r ~device:Hwsim.Device.power9
+                    ~policy:Prog.Policy.Serial
+                in
+                let fg, pg, sg =
+                  Mfem.Nldiff.price ~scale r ~device:Hwsim.Device.v100
+                    ~policy:Prog.Policy.Cuda
+                in
+                Hwsim.Trace.with_span tr (Fmt.str "p=%d" p) (fun () ->
+                    Hwsim.Trace.charge tr ~device:"POWER9" ~phase:"cpu-serial"
+                      (fc +. pc +. sc);
+                    Hwsim.Trace.charge tr ~device:"V100" ~phase:"gpu-cuda"
+                      (fg +. pg +. sg));
+                (fc +. pc +. sc) /. (fg +. pg +. sg))
+              runs)
       in
       Table.add_row t
         ([ Fmt.str "%.3g" unknowns ]
         @ List.map (Table.fcell ~prec:2) speedups
         @ [ String.concat "/" (List.map (Fmt.str "%.2f") paper_row) ]))
     paper;
+  record_trace "table4" tr;
   section "Table 4 — integrated-stack GPU speedups" (Table.render t)
 
 (* ------------------------------------------------------------------ *)

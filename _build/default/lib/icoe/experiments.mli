@@ -11,3 +11,20 @@ val all : (string * string * (unit -> string)) list
 val find : string -> (string * string * (unit -> string)) option
 
 val run_all : unit -> string
+
+(** {1 Traces}
+
+    The instrumented harnesses (fig2, table2, fig8, table4) register the
+    {!Hwsim.Trace} of their most recent run; the CLI and bench read the
+    set back for rollup tables and Chrome trace-event export. *)
+
+val clear_traces : unit -> unit
+val record_trace : string -> Hwsim.Trace.t -> unit
+
+val collected_traces : unit -> (string * Hwsim.Trace.t) list
+(** Registration order; one entry per [record_trace] call since the last
+    [clear_traces]. *)
+
+val trace_rollup_report : unit -> string
+(** Rendered per-device / per-phase / top-span tables for every collected
+    trace; empty string when nothing was recorded. *)

@@ -25,7 +25,11 @@ let cg ?(tol = default_tol) ?(max_iter = 1000) ~op b x0 =
   (try
      while !iters < max_iter && sqrt !rr /. bnorm > tol do
        let ap = op p in
-       let alpha = !rr /. Vec.dot p ap in
+       let pap = Vec.dot p ap in
+       (* zero or negative curvature: the operator is not SPD along p and
+          alpha = rr/pap would poison x with inf/nan — bail out like pcg *)
+       if pap <= 0.0 || not (Float.is_finite pap) then raise Exit;
+       let alpha = !rr /. pap in
        Vec.axpy alpha p x;
        Vec.axpy (-.alpha) ap r;
        let rr' = Vec.dot r r in

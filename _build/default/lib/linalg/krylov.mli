@@ -23,7 +23,8 @@ val cg :
   float array ->
   result
 (** Conjugate gradients on an SPD operator: [cg ~op b x0]. Bails out
-    (converged = false) if the iteration produces non-finite values. *)
+    (converged = false, x finite) if the iteration produces non-finite
+    values or meets a zero/negative-curvature direction. *)
 
 val pcg :
   ?tol:float ->

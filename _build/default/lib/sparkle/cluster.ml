@@ -34,9 +34,11 @@ let optimized_config ?(nodes = 32) () =
     tree_aggregate = true;
   }
 
-type t = { config : config; clock : Hwsim.Clock.t }
+type t = { config : config; clock : Hwsim.Clock.t; trace : Hwsim.Trace.t }
 
-let create config = { config; clock = Hwsim.Clock.create () }
+let create config =
+  let clock = Hwsim.Clock.create () in
+  { config; clock; trace = Hwsim.Trace.create ~root:"sparkle" clock }
 
 let total_cores t = t.config.nodes * t.config.cores_per_node
 
@@ -51,15 +53,21 @@ let ser_rate t = if t.config.jvm_optimized then 600e6 else 150e6
 (** GC drag: fraction added on top of compute time. *)
 let gc_drag t = if t.config.jvm_optimized then 0.07 else 0.28
 
-(* --- charging primitives --- *)
+(* --- charging primitives ---
+
+   All charges go through the span tracer (which ticks [t.clock]), so
+   every stage of a job is visible in the Chrome trace export and the
+   per-phase rollups still agree with the clock breakdown. *)
+
+let charge tr ~phase dt = Hwsim.Trace.charge tr ~device:"cluster" ~phase dt
 
 (** Charge a parallel compute stage of [flops] total work across the
     cluster's cores, plus GC drag. *)
 let charge_compute t ~flops =
   let per_core = 2.0e9 (* effective scalar JVM flops/s per core *) in
   let ideal = flops /. (float_of_int (total_cores t) *. per_core) in
-  Hwsim.Clock.tick t.clock ~phase:"compute" (ideal *. (1.0 +. gc_drag t));
-  Hwsim.Clock.tick t.clock ~phase:"compute" (task_overhead t)
+  charge t.trace ~phase:"compute" (ideal *. (1.0 +. gc_drag t));
+  charge t.trace ~phase:"compute" (task_overhead t)
 
 (** Charge an all-to-all shuffle of [bytes] total. The default sort-based
     shuffle serializes, spills to disk and re-reads; the adaptive shuffle
@@ -77,7 +85,7 @@ let charge_shuffle t ~bytes =
       2.0 *. bytes /. (n *. 500e6)
   in
   let tasks = task_overhead t *. 2.0 in
-  Hwsim.Clock.tick t.clock ~phase:"shuffle" (wire +. serde +. spill +. tasks)
+  charge t.trace ~phase:"shuffle" (wire +. serde +. spill +. tasks)
 
 (** Charge an all-to-one aggregate of [bytes] per node toward the driver.
     Flat: the driver ingests every node's contribution serially. Tree:
@@ -95,7 +103,7 @@ let charge_aggregate t ~bytes_per_node =
       *. (link_time bytes_per_node +. serde bytes_per_node)
       +. task_overhead t
   in
-  Hwsim.Clock.tick t.clock ~phase:"aggregate" time
+  charge t.trace ~phase:"aggregate" time
 
 (** Charge a driver-to-all broadcast of [bytes] (tree-shaped both ways). *)
 let charge_broadcast t ~bytes =
@@ -104,8 +112,9 @@ let charge_broadcast t ~bytes =
   let time =
     rounds *. ((bytes /. (cfg.fabric.Hwsim.Link.bw_gbs *. 1e9 *. 0.5)) +. (bytes /. ser_rate t))
   in
-  Hwsim.Clock.tick t.clock ~phase:"broadcast" time
+  charge t.trace ~phase:"broadcast" time
 
 let elapsed t = Hwsim.Clock.total t.clock
 let breakdown t = Hwsim.Clock.breakdown t.clock
 let reset t = Hwsim.Clock.reset t.clock
+let trace t = t.trace

@@ -18,7 +18,7 @@ type config = {
 val default_config : ?nodes:int -> unit -> config
 val optimized_config : ?nodes:int -> unit -> config
 
-type t = { config : config; clock : Hwsim.Clock.t }
+type t = { config : config; clock : Hwsim.Clock.t; trace : Hwsim.Trace.t }
 
 val create : config -> t
 val total_cores : t -> int
@@ -42,3 +42,7 @@ val charge_broadcast : t -> bytes:float -> unit
 val elapsed : t -> float
 val breakdown : t -> (string * float) list
 val reset : t -> unit
+
+val trace : t -> Hwsim.Trace.t
+(** The span trace every charging primitive writes through; ticks the
+    same clock [elapsed]/[breakdown] read, so the two views agree. *)

@@ -32,12 +32,19 @@ let float t =
 (** Uniform float in [lo, hi). *)
 let uniform t lo hi = lo +. ((hi -. lo) *. float t)
 
-(** Uniform int in [0, n). Requires n > 0. *)
-let int t n =
+(** Uniform int in [0, n). Requires n > 0. Rejection sampling: the draw
+    is uniform over [0, 2^62) and 2^62 is rarely a multiple of [n], so a
+    bare [mod] overweights small remainders; redrawing whenever the value
+    lands in the final partial bucket removes the bias while leaving the
+    accepted stream (and thus existing golden values) unchanged. *)
+let rec int t n =
   assert (n > 0);
   (* shift by 2 keeps the value within OCaml's 63-bit native int range *)
   let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  v mod n
+  let r = v mod n in
+  (* v - r is the bucket base; the bucket is partial iff it extends past
+     max_int = 2^62 - 1 *)
+  if v - r > max_int - n + 1 then int t n else r
 
 let bool t = float t < 0.5
 
@@ -54,19 +61,27 @@ let exponential t ~rate =
   assert (rate > 0.0);
   -.log (max 1e-300 (float t)) /. rate
 
-(** Sample an index from unnormalized nonneg weights. *)
-let categorical t weights =
+(** Sample an index from unnormalized nonneg weights at quantile [u] in
+    [0, 1). The walk is capped at the last positive-weight index, so no
+    float quirk (e.g. the total overflowing to infinity, which makes
+    every [x < acc] comparison false) can ever select a trailing
+    zero-weight category. Pure; exposed so boundary cases are testable. *)
+let categorical_from u weights =
+  assert (u >= 0.0 && u < 1.0);
   let total = Array.fold_left ( +. ) 0.0 weights in
   assert (total > 0.0);
-  let x = float t *. total in
-  let n = Array.length weights in
+  let x = u *. total in
+  let last = ref 0 in
+  Array.iteri (fun i w -> if w > 0.0 then last := i) weights;
   let rec go i acc =
-    if i >= n - 1 then n - 1
+    if i >= !last then !last
     else
       let acc = acc +. weights.(i) in
       if x < acc then i else go (i + 1) acc
   in
   go 0 0.0
+
+let categorical t weights = categorical_from (float t) weights
 
 (** Fisher-Yates shuffle in place. *)
 let shuffle t a =

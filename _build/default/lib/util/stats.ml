@@ -23,12 +23,20 @@ let min_max a =
 
 let sum = Array.fold_left ( +. ) 0.0
 
-(** p in [0,1]; linear interpolation between order statistics. *)
-let percentile a p =
+(** Sorted copy for repeated quantile queries. [Float.compare] (total
+    order, NaN first) keeps the sort monomorphic — the polymorphic
+    [compare] walks the runtime representation on every comparison. *)
+let presort a =
   let s = Array.copy a in
-  Array.sort compare s;
+  Array.sort Float.compare s;
+  s
+
+(** p in [0,1]; linear interpolation between the order statistics of an
+    already-sorted array (see [presort]) — sort once, query many. *)
+let percentile_sorted s p =
   let n = Array.length s in
   assert (n > 0);
+  assert (p >= 0.0 && p <= 1.0);
   let idx = p *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor idx) in
   let hi = int_of_float (Float.ceil idx) in
@@ -37,6 +45,7 @@ let percentile a p =
     let w = idx -. float_of_int lo in
     ((1.0 -. w) *. s.(lo)) +. (w *. s.(hi))
 
+let percentile a p = percentile_sorted (presort a) p
 let median a = percentile a 0.5
 
 (** Relative L2 error ||a - b|| / ||b||. *)

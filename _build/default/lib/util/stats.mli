@@ -15,7 +15,17 @@ val sum : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile a p] with [p] in [0, 1]; linear interpolation between
-    order statistics. Requires a nonempty array. *)
+    order statistics. Requires a nonempty array. Sorts per call with
+    [Float.compare]; for repeated queries use {!presort} +
+    {!percentile_sorted}. *)
+
+val presort : float array -> float array
+(** Sorted copy ([Float.compare]: monomorphic, NaN-total). Sort once,
+    then query with {!percentile_sorted}. *)
+
+val percentile_sorted : float array -> float -> float
+(** [percentile] on an array already sorted by {!presort}; does not
+    re-sort. *)
 
 val median : float array -> float
 

@@ -1,1 +1,1 @@
-test/test_edge_cases.ml: Alcotest Array Cardioid Cretin Ddcmd Fftlib Float Hwsim Hypre Icoe_util Linalg Opt Samrai Sundials Vbl
+test/test_edge_cases.ml: Alcotest Array Cardioid Cretin Ddcmd Fftlib Float Hwsim Hypre Icoe_util Linalg List Opt Printf Samrai Sundials Vbl

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Astring Clock Counters Device Hwsim Icoe_util Kernel Lda List Roofline Sparkle String Trace

@@ -97,6 +97,23 @@ let test_boxloop_rejects_inverted_box () =
   expect_assert "inverted box" (fun () ->
       Samrai.Box.make ~ilo:5 ~jlo:0 ~ihi:2 ~jhi:3)
 
+(* --- linalg regression: unguarded curvature division in cg --- *)
+
+let test_cg_singular_projection_stays_finite () =
+  (* A projection operator that zeroes the last component is singular; with
+     b = e_last the very first search direction has p^T A p = 0.  The
+     unguarded alpha = rr / pap division poisoned x with inf/nan; the guard
+     must bail immediately with a finite x and converged = false. *)
+  let n = 6 in
+  let op x = Array.mapi (fun i v -> if i = n - 1 then 0.0 else v) x in
+  let b = Array.init n (fun i -> if i = n - 1 then 1.0 else 0.0) in
+  let r = Linalg.Krylov.cg ~max_iter:20 ~op b (Array.make n 0.0) in
+  Alcotest.(check bool) "not converged" false r.Linalg.Krylov.converged;
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "x stays finite" true (Float.is_finite v))
+    r.Linalg.Krylov.x
+
 (* --- util --- *)
 
 let test_rng_int_zero () =
@@ -113,6 +130,53 @@ let test_stats_singleton () =
   Alcotest.(check (float 1e-12)) "percentile of singleton" 5.0
     (Icoe_util.Stats.percentile [| 5.0 |] 0.7)
 
+let test_rng_int_unbiased () =
+  (* n = 3 * 2^60 divides the 62-bit draw domain [0, 2^62) into a "low"
+     region [0, 2^60) hit by draws in [0, 2^60) ∪ [3*2^60, 2^62), i.e.
+     with the old biased modulo half of all draws landed below 2^60
+     instead of a third.  Rejection sampling must bring the fraction back
+     to ~1/3. *)
+  let rng = Icoe_util.Rng.create 2024 in
+  let n = 3 * (1 lsl 60) in
+  let lo = 1 lsl 60 in
+  let draws = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to draws do
+    if Icoe_util.Rng.int rng n < lo then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int draws in
+  Alcotest.(check bool)
+    (Printf.sprintf "low fraction %.3f near 1/3, not 1/2" frac)
+    true
+    (frac < 0.40)
+
+let test_categorical_skips_trailing_zero_weight () =
+  (* Weights summing to +inf made every [x < acc] comparison false, so the
+     walk fell off the end and returned the final — zero-weight — index. *)
+  let rng = Icoe_util.Rng.create 7 in
+  let w = [| 1e308; 1e308; 0.0 |] in
+  for _ = 1 to 100 do
+    let i = Icoe_util.Rng.categorical rng w in
+    Alcotest.(check bool) "never the zero-weight index" true (i < 2)
+  done;
+  (* deterministic boundary: a u just below 1.0 must map to the last
+     positive-weight index, not beyond it *)
+  let u = 1.0 -. (epsilon_float /. 2.0) in
+  Alcotest.(check int) "u -> 1.0 boundary" 1
+    (Icoe_util.Rng.categorical_from u [| 1.0; 1.0; 0.0 |])
+
+let test_percentile_sorted_once () =
+  let a = [| 9.0; 1.0; 5.0; 3.0; 7.0 |] in
+  let s = Icoe_util.Stats.presort a in
+  Alcotest.(check bool) "input untouched" true (a.(0) = 9.0);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "p=%.2f agrees" p)
+        (Icoe_util.Stats.percentile a p)
+        (Icoe_util.Stats.percentile_sorted s p))
+    [ 0.0; 0.25; 0.5; 0.9; 1.0 ]
+
 (* --- hwsim --- *)
 
 let test_kernel_rejects_negative () =
@@ -122,6 +186,34 @@ let test_kernel_rejects_negative () =
 let test_clock_rejects_negative_tick () =
   let c = Hwsim.Clock.create () in
   expect_assert "negative dt" (fun () -> Hwsim.Clock.tick c ~phase:"x" (-1.0))
+
+let test_counters_series_equal_timestamps () =
+  (* two samples at the same instant used to produce a zero-width interval
+     and a nan/inf bandwidth entry; they must be merged instead, keeping
+     the later cumulative count so no traffic is lost *)
+  let c = Hwsim.Counters.create Hwsim.Device.power9 in
+  Hwsim.Counters.sample c ~time:0.0 ~bytes:0.0;
+  Hwsim.Counters.sample c ~time:1.0 ~bytes:10e9;
+  Hwsim.Counters.sample c ~time:1.0 ~bytes:15e9;
+  Hwsim.Counters.sample c ~time:2.0 ~bytes:25e9;
+  let s = Hwsim.Counters.series c in
+  List.iter
+    (fun (t, gbs) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finite at t=%.2f" t)
+        true
+        (Float.is_finite gbs))
+    s;
+  Alcotest.(check int) "two real intervals" 2 (List.length s);
+  (* the merged sample keeps bytes=15e9, so the first interval carries all
+     traffic up to t=1 and the mean over the window is unchanged *)
+  (match s with
+  | (_, gbs1) :: (_, gbs2) :: _ ->
+      Alcotest.(check (float 1e-6)) "first interval" 15.0 gbs1;
+      Alcotest.(check (float 1e-6)) "second interval" 10.0 gbs2
+  | _ -> Alcotest.fail "expected two intervals");
+  Alcotest.(check (float 1e-6)) "mean bandwidth" 12.5
+    (Hwsim.Counters.achieved_gbs c)
 
 (* --- cretin --- *)
 
@@ -143,6 +235,8 @@ let () =
           Alcotest.test_case "gmres cap" `Quick test_gmres_iteration_cap;
           Alcotest.test_case "singular" `Quick test_dense_singular_exception;
           Alcotest.test_case "triplet bounds" `Quick test_csr_triplet_bounds;
+          Alcotest.test_case "cg singular projection" `Quick
+            test_cg_singular_projection_stays_finite;
         ] );
       ("sundials", [ Alcotest.test_case "too much work" `Quick test_bdf_too_much_work ]);
       ( "fft",
@@ -170,11 +264,18 @@ let () =
           Alcotest.test_case "rng int 0" `Quick test_rng_int_zero;
           Alcotest.test_case "table arity" `Quick test_table_row_arity;
           Alcotest.test_case "stats singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "rng int unbiased" `Quick test_rng_int_unbiased;
+          Alcotest.test_case "categorical trailing zero" `Quick
+            test_categorical_skips_trailing_zero_weight;
+          Alcotest.test_case "percentile sorted once" `Quick
+            test_percentile_sorted_once;
         ] );
       ( "hwsim",
         [
           Alcotest.test_case "negative kernel" `Quick test_kernel_rejects_negative;
           Alcotest.test_case "negative tick" `Quick test_clock_rejects_negative_tick;
+          Alcotest.test_case "counters equal timestamps" `Quick
+            test_counters_series_equal_timestamps;
         ] );
       ("cretin", [ Alcotest.test_case "tiny ladder" `Quick test_cretin_tiny_ladder_rejected ]);
       ("ddcmd", [ Alcotest.test_case "bad box" `Quick test_particles_bad_box ]);

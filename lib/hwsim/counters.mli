@@ -24,4 +24,6 @@ val bandwidth_bound : t -> bool
 (** True when utilization exceeds the usual 60% tuning-guide threshold. *)
 
 val series : t -> (float * float) list
-(** Per-interval (mid-time, GB/s) series, oldest first. *)
+(** Per-interval (mid-time, GB/s) series, oldest first. Zero-width
+    intervals (consecutive samples at the same instant) are merged, so
+    the series is always finite. *)

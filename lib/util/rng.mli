@@ -26,7 +26,9 @@ val uniform : t -> float -> float -> float
 (** [uniform t lo hi]: uniform in [lo, hi). *)
 
 val int : t -> int -> int
-(** [int t n]: uniform in [0, n). Requires [n > 0]. *)
+(** [int t n]: uniform in [0, n). Requires [n > 0]. Bias-free: the top
+    partial bucket of the underlying 62-bit draw is rejected and redrawn
+    rather than folded over small remainders. *)
 
 val bool : t -> bool
 
@@ -39,7 +41,13 @@ val exponential : t -> rate:float -> float
 (** Exponential with mean [1/rate]. Requires [rate > 0]. *)
 
 val categorical : t -> float array -> int
-(** Sample an index proportionally to unnormalized nonnegative weights. *)
+(** Sample an index proportionally to unnormalized nonnegative weights.
+    Never returns a zero-weight trailing index, whatever float rounding
+    does to the partial sums. *)
+
+val categorical_from : float -> float array -> int
+(** [categorical_from u weights]: the pure sampler behind [categorical],
+    drawing at quantile [u] in [0, 1). *)
 
 val shuffle : t -> 'a array -> unit
 (** Fisher-Yates shuffle in place. *)
