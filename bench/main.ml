@@ -6,7 +6,14 @@
 
    Part 2 runs Bechamel microbenchmarks — real wall-clock time of the core
    computational kernels of each activity on this machine — one Test.make
-   per reproduced table/figure's dominant kernel. *)
+   per reproduced table/figure's dominant kernel — and writes the results
+   plus a metrics-registry snapshot to BENCH_<id>.json, so successive
+   commits leave a machine-readable perf trajectory behind.
+
+   Flags: --micro-only skips part 1 (the CI smoke run). The id comes from
+   the BENCH_ID environment variable when set (CI passes the commit sha),
+   otherwise the Unix timestamp. ICOE_METRICS=0 disables the metrics
+   registry for overhead comparisons. *)
 
 open Bechamel
 open Toolkit
@@ -118,6 +125,8 @@ let bench_topopt_apply =
   let y = Array.make 1024 0.0 in
   Test.make ~name:"opt/matrix-free-apply-32x32" (Staged.stage (fun () -> Opt.Topopt.apply t u y))
 
+(** Run every microbenchmark; returns (kernel name, ns/run estimate)
+    newest last, printing the table as it goes. *)
 let microbenchmarks () =
   let tests =
     [
@@ -133,6 +142,7 @@ let microbenchmarks () =
   Fmt.pr "@.== Bechamel microbenchmarks (real wall time on this machine) ==@.";
   Fmt.pr "%-32s %14s@." "kernel" "ns/run";
   Fmt.pr "%s@." (String.make 48 '-');
+  let out = ref [] in
   List.iter
     (fun test ->
       let results =
@@ -140,24 +150,86 @@ let microbenchmarks () =
       in
       List.iter
         (fun (name, raw) ->
-          match Analyze.one analyze Instance.monotonic_clock raw with
-          | ols -> (
-              match Analyze.OLS.estimates ols with
-              | Some [ est ] -> Fmt.pr "%-32s %14.1f@." name est
-              | _ -> Fmt.pr "%-32s %14s@." name "n/a")
-          | exception _ -> Fmt.pr "%-32s %14s@." name "error")
+          let est =
+            match Analyze.one analyze Instance.monotonic_clock raw with
+            | ols -> (
+                match Analyze.OLS.estimates ols with
+                | Some [ est ] -> Some est
+                | _ -> None)
+            | exception _ -> None
+          in
+          (match est with
+          | Some e -> Fmt.pr "%-32s %14.1f@." name e
+          | None -> Fmt.pr "%-32s %14s@." name "n/a");
+          out := (name, est) :: !out)
         results)
-    tests
+    tests;
+  List.rev !out
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_<id>.json emission                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json kernels =
+  let id =
+    match Sys.getenv_opt "BENCH_ID" with
+    | Some s when s <> "" -> s
+    | _ -> string_of_int (int_of_float (Unix.time ()))
+  in
+  let file = Fmt.str "BENCH_%s.json" id in
+  let buf = Buffer.create 4096 in
+  Fmt.kstr (Buffer.add_string buf) "{\n  \"id\": \"%s\",\n  \"kernels\": [\n"
+    (json_escape id);
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      match ns with
+      | Some v when Float.is_finite v ->
+          Fmt.kstr (Buffer.add_string buf)
+            "    {\"name\": \"%s\", \"ns_per_run\": %.17g}" (json_escape name) v
+      | _ ->
+          Fmt.kstr (Buffer.add_string buf)
+            "    {\"name\": \"%s\", \"ns_per_run\": null}" (json_escape name))
+    kernels;
+  (* the kernels above ran the instrumented engines, so the registry
+     snapshot records how much work each benchmark did (V-cycles, pair
+     interactions, BFS edges, ...) alongside how long it took *)
+  Buffer.add_string buf "\n  ],\n  \"registry\": ";
+  Buffer.add_string buf (String.trim (Icoe_obs.Metrics.to_json ()));
+  Buffer.add_string buf "\n}\n";
+  (match open_out file with
+  | oc ->
+      Buffer.output_buffer oc buf;
+      close_out oc
+  | exception Sys_error msg -> Fmt.epr "cannot write %s: %s@." file msg);
+  Fmt.pr "@.bench: wrote %d kernel records to %s@." (List.length kernels) file
 
 let () =
-  Fmt.pr "==========================================================@.";
-  Fmt.pr " iCoE reproduction: every table and figure of the paper@.";
-  Fmt.pr "==========================================================@.@.";
-  Icoe.Experiments.clear_traces ();
-  print_string (Icoe.Experiments.run_all ());
-  (* the instrumented harnesses left span traces behind: show where the
-     simulated time went, per device and per phase *)
-  print_string (Icoe.Experiments.trace_rollup_report ());
-  microbenchmarks ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let micro_only = List.mem "--micro-only" args in
+  if not micro_only then begin
+    Fmt.pr "==========================================================@.";
+    Fmt.pr " iCoE reproduction: every table and figure of the paper@.";
+    Fmt.pr "==========================================================@.@.";
+    Icoe.Experiments.clear_traces ();
+    print_string (Icoe.Experiments.run_all ());
+    (* the instrumented harnesses left span traces behind: show where the
+       simulated time went, per device and per phase *)
+    print_string (Icoe.Experiments.trace_rollup_report ())
+  end;
+  Icoe_obs.Metrics.reset ();
+  let kernels = microbenchmarks () in
+  write_bench_json kernels

@@ -24,10 +24,6 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-(* The experiments whose harnesses emit spans; the bare `--trace FILE`
-   invocation (no ids) runs exactly these. *)
-let traced_ids = [ "fig2"; "table2"; "fig8"; "table4" ]
-
 let trace_arg =
   let doc =
     "Write the collected span traces to $(docv) as Chrome trace-event \
@@ -35,9 +31,43 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let run_ids ids trace_file =
+let metrics_arg =
+  let doc =
+    "Write a JSON snapshot of the engine metrics registry (counters, \
+     gauges, histograms accumulated during the run) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let write_file file contents =
+  match open_out file with
+  | oc ->
+      output_string oc contents;
+      close_out oc
+  | exception Sys_error msg ->
+      Fmt.epr "cannot write %s: %s@." file msg;
+      exit 1
+
+let export_trace file =
+  match Icoe.Experiments.collected_traces () with
+  | [] ->
+      Fmt.epr
+        "trace: no spans were collected (none of the requested experiments \
+         is instrumented); skipping write of %s@."
+        file
+  | traces ->
+      write_file file (Hwsim.Trace.chrome_json_of_many traces);
+      let spans =
+        List.fold_left (fun n (_, t) -> n + Hwsim.Trace.span_count t) 0 traces
+      in
+      Fmt.pr "trace: wrote %d spans from %d experiment run(s) to %s@." spans
+        (List.length traces) file
+
+let run_ids ids trace_file metrics_file =
   Icoe.Experiments.clear_traces ();
-  let ids = if ids = [] then traced_ids else ids in
+  (* start each invocation from a clean registry so the snapshot reflects
+     exactly the requested experiments *)
+  Icoe_obs.Metrics.reset ();
+  let ids = if ids = [] then Icoe.Experiments.traced_ids else ids in
   if List.mem "all" ids then print_string (Icoe.Experiments.run_all ())
   else
     List.iter
@@ -49,22 +79,18 @@ let run_ids ids trace_file =
             exit 1)
       ids;
   print_string (Icoe.Experiments.trace_rollup_report ());
-  match trace_file with
+  if Icoe_obs.Metrics.snapshot () <> [] then
+    print_string
+      (Icoe_util.Table.render
+         (Icoe_obs.Metrics.render_table ~title:"Engine metrics" ()));
+  (match trace_file with None -> () | Some file -> export_trace file);
+  match metrics_file with
   | None -> ()
   | Some file ->
-      let traces = Icoe.Experiments.collected_traces () in
-      (match open_out file with
-      | oc ->
-          output_string oc (Hwsim.Trace.chrome_json_of_many traces);
-          close_out oc
-      | exception Sys_error msg ->
-          Fmt.epr "cannot write trace file: %s@." msg;
-          exit 1);
-      let spans =
-        List.fold_left (fun n (_, t) -> n + Hwsim.Trace.span_count t) 0 traces
-      in
-      Fmt.pr "trace: wrote %d spans from %d experiment run(s) to %s@." spans
-        (List.length traces) file
+      write_file file (Icoe_obs.Metrics.to_json ());
+      Fmt.pr "metrics: wrote %d samples to %s@."
+        (List.length (Icoe_obs.Metrics.snapshot ()))
+        file
 
 let run_cmd =
   let doc =
@@ -72,10 +98,13 @@ let run_cmd =
      trace-instrumented set)."
   in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids $ trace_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_ids $ ids $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "Reproduced experiments from the SC'19 iCoE paper" in
   let info = Cmd.info "icoe_report" ~version:"1.0" ~doc in
-  let default = Term.(const (fun tf -> run_ids [] tf) $ trace_arg) in
+  let default =
+    Term.(const (fun tf mf -> run_ids [] tf mf) $ trace_arg $ metrics_arg)
+  in
   exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd ]))

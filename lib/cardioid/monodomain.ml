@@ -76,9 +76,16 @@ let diffusion_step t =
   done;
   Array.blit t.scratch 0 t.v 0 (Array.length t.v)
 
+let m_steps =
+  Icoe_obs.Metrics.counter ~help:"Operator-split steps" "cardioid_steps_total"
+
+(* Wall-clock split between the two halves of the operator splitting —
+   the compute-bound vs memory-bound balance the placement study turns on. *)
 let step t =
-  reaction_step t;
-  diffusion_step t
+  Icoe_obs.Metrics.time "cardioid_reaction_seconds" (fun () -> reaction_step t);
+  Icoe_obs.Metrics.time "cardioid_diffusion_seconds" (fun () ->
+      diffusion_step t);
+  Icoe_obs.Metrics.inc m_steps
 
 let run t ~steps =
   for _ = 1 to steps do

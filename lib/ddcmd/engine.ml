@@ -16,6 +16,22 @@ type t = {
   mutable pair_count : int;  (** pairs evaluated last force call *)
 }
 
+let m_force_evals =
+  Icoe_obs.Metrics.counter ~help:"Full force recomputations"
+    "md_force_evaluations_total"
+
+let m_pairs =
+  Icoe_obs.Metrics.counter ~help:"Pair interactions evaluated"
+    "md_pair_interactions_total"
+
+let m_steps =
+  Icoe_obs.Metrics.counter ~help:"Velocity-Verlet steps" "md_steps_total"
+
+let m_drift =
+  Icoe_obs.Metrics.gauge
+    ~help:"Relative total-energy drift over the last run call"
+    "md_energy_drift"
+
 let create ?(bonds = []) ?(angles = []) ?(constraints = []) ~dt ~potential p =
   {
     p;
@@ -61,7 +77,9 @@ let compute_forces t =
   epot := !epot +. Bonded.angle_forces p t.angles;
   t.pot_energy <- !epot;
   t.virial <- !virial;
-  t.pair_count <- !pairs
+  t.pair_count <- !pairs;
+  Icoe_obs.Metrics.inc m_force_evals;
+  Icoe_obs.Metrics.inc ~by:(float_of_int !pairs) m_pairs
 
 (* SHAKE: iteratively project positions back onto the constraint manifold *)
 let shake ?(iters = 50) ?(tol = 1e-8) t =
@@ -152,7 +170,8 @@ let step ?langevin ?berendsen t =
         p.Particles.y.(i) <- p.Particles.y.(i) *. mu;
         p.Particles.z.(i) <- p.Particles.z.(i) *. mu
       done);
-  t.steps <- t.steps + 1
+  t.steps <- t.steps + 1;
+  Icoe_obs.Metrics.inc m_steps
 
 let total_energy t = t.pot_energy +. Particles.kinetic_energy t.p
 
@@ -162,9 +181,12 @@ let pressure t =
 
 let run ?langevin ?berendsen t ~steps =
   if t.steps = 0 then compute_forces t;
+  let e0 = total_energy t in
   for _ = 1 to steps do
     step ?langevin ?berendsen t
-  done
+  done;
+  let e1 = total_energy t in
+  Icoe_obs.Metrics.set m_drift ((e1 -. e0) /. max (Float.abs e0) 1e-300)
 
 (** Radial distribution function g(r) up to [rmax] in [bins] bins —
     the standard structural observable (MuMMI's in-situ analysis computes

@@ -10,6 +10,27 @@ type stats = {
   switches : int;  (** top-down <-> bottom-up transitions (hybrid only) *)
 }
 
+let m_frontier =
+  Icoe_obs.Metrics.histogram ~help:"Frontier size per BFS iteration"
+    "bfs_frontier_size"
+
+let m_switches =
+  Icoe_obs.Metrics.counter ~help:"Top-down <-> bottom-up direction switches"
+    "bfs_direction_switches_total"
+
+let m_edges =
+  Icoe_obs.Metrics.counter ~help:"Edges traversed across all searches"
+    "bfs_edges_traversed_total"
+
+let m_searches =
+  Icoe_obs.Metrics.counter ~help:"Completed BFS searches" "bfs_searches_total"
+
+let record (s : stats) =
+  Icoe_obs.Metrics.inc m_searches;
+  Icoe_obs.Metrics.inc ~by:(float_of_int s.edges_traversed) m_edges;
+  Icoe_obs.Metrics.inc ~by:(float_of_int s.switches) m_switches;
+  s
+
 let top_down (g : Graph.t) ~src =
   let parents = Array.make g.Graph.n (-1) in
   parents.(src) <- src;
@@ -19,6 +40,7 @@ let top_down (g : Graph.t) ~src =
   let iters = ref 0 in
   while !frontier <> [] do
     incr iters;
+    Icoe_obs.Metrics.observe m_frontier (float_of_int (List.length !frontier));
     let next = ref [] in
     List.iter
       (fun u ->
@@ -34,13 +56,14 @@ let top_down (g : Graph.t) ~src =
       !frontier;
     frontier := !next
   done;
-  {
-    parents;
-    reached = !reached;
-    edges_traversed = !edges;
-    iterations = !iters;
-    switches = 0;
-  }
+  record
+    {
+      parents;
+      reached = !reached;
+      edges_traversed = !edges;
+      iterations = !iters;
+      switches = 0;
+    }
 
 (** Direction-optimizing BFS: switch to bottom-up when the frontier is a
     large fraction of the graph, back to top-down when it shrinks. *)
@@ -60,6 +83,7 @@ let hybrid ?(alpha = 15) ?(beta = 18) (g : Graph.t) ~src =
   let unexplored_edges = ref g.Graph.m in
   while !frontier_size > 0 do
     incr iters;
+    Icoe_obs.Metrics.observe m_frontier (float_of_int !frontier_size);
     let was = !bottom_up in
     (* Beamer heuristics *)
     if (not !bottom_up) && !frontier_edges * alpha > !unexplored_edges then
@@ -111,13 +135,14 @@ let hybrid ?(alpha = 15) ?(beta = 18) (g : Graph.t) ~src =
     frontier_size := !next_size;
     frontier_edges := !next_edges
   done;
-  {
-    parents;
-    reached = !reached;
-    edges_traversed = !edges;
-    iterations = !iters;
-    switches = !switches;
-  }
+  record
+    {
+      parents;
+      reached = !reached;
+      edges_traversed = !edges;
+      iterations = !iters;
+      switches = !switches;
+    }
 
 (** Connected components by label propagation (HavoqGT's other core
     analytic): every vertex takes the minimum label among itself and its

@@ -80,9 +80,29 @@ let with_span t ?device name f =
       pop t;
       raise e
 
+(* Bridge to the metrics registry: every simulated second charged to a
+   phase also shows up as hwsim_phase_seconds{phase=...}, so registry
+   snapshots and [by_phase] rollups agree. Counter handles are memoized
+   per phase to keep the charge path cheap. *)
+let phase_counters : (string, Icoe_obs.Metrics.counter) Hashtbl.t =
+  Hashtbl.create 16
+
+let phase_seconds phase =
+  match Hashtbl.find_opt phase_counters phase with
+  | Some c -> c
+  | None ->
+      let c =
+        Icoe_obs.Metrics.counter ~help:"Simulated seconds charged per phase"
+          ~labels:[ ("phase", phase) ]
+          "hwsim_phase_seconds"
+      in
+      Hashtbl.add phase_counters phase c;
+      c
+
 let charge t ?device ~phase dt =
   let sp = mk_span ?device ~start:(now t) phase in
   Clock.tick t.clock ~phase dt;
+  Icoe_obs.Metrics.inc ~by:(max 0.0 dt) (phase_seconds phase);
   sp.stop <- now t;
   add_child t (current t) sp
 
@@ -96,6 +116,7 @@ let charge_kernel t ?eff ?lanes_used ?phase (d : Device.t) (k : Kernel.t) =
   register_device t d;
   let sp = mk_span ~device:d.Device.name ~start:(now t) phase in
   Clock.tick t.clock ~phase dt;
+  Icoe_obs.Metrics.inc ~by:(max 0.0 dt) (phase_seconds phase);
   sp.stop <- now t;
   sp.flops <- k.Kernel.flops;
   sp.bytes <- k.Kernel.bytes;

@@ -31,6 +31,23 @@ type setup_params = {
   seed : int;
 }
 
+let m_vcycles =
+  Icoe_obs.Metrics.counter ~help:"BoomerAMG V-cycles applied" "amg_vcycles_total"
+
+let m_levels =
+  Icoe_obs.Metrics.gauge ~help:"Levels in the last AMG hierarchy built"
+    "amg_levels"
+
+let m_opcx =
+  Icoe_obs.Metrics.gauge
+    ~help:"Operator complexity of the last AMG hierarchy built"
+    "amg_operator_complexity"
+
+let m_reduction =
+  Icoe_obs.Metrics.histogram
+    ~help:"Residual reduction factor per standalone solve cycle"
+    "amg_cycle_reduction"
+
 let default_params =
   {
     theta = 0.25;
@@ -41,6 +58,15 @@ let default_params =
     nu_post = 1;
     seed = 7;
   }
+
+let num_levels t = Array.length t.levels
+
+let operator_complexity t =
+  let fine = float_of_int (Linalg.Csr.nnz t.levels.(0).a) in
+  let total =
+    Array.fold_left (fun s l -> s +. float_of_int (Linalg.Csr.nnz l.a)) 0.0 t.levels
+  in
+  total /. fine
 
 let setup ?(params = default_params) (a0 : Linalg.Csr.t) =
   let rng = Icoe_util.Rng.create params.seed in
@@ -71,25 +97,22 @@ let setup ?(params = default_params) (a0 : Linalg.Csr.t) =
       done;
       Linalg.Dense.lu_factor d
   in
-  {
-    levels = Array.of_list levels;
-    coarse_lu = lu;
-    smoother = params.smoother;
-    nu_pre = params.nu_pre;
-    nu_post = params.nu_post;
-  }
-
-let num_levels t = Array.length t.levels
-
-let operator_complexity t =
-  let fine = float_of_int (Linalg.Csr.nnz t.levels.(0).a) in
-  let total =
-    Array.fold_left (fun s l -> s +. float_of_int (Linalg.Csr.nnz l.a)) 0.0 t.levels
+  let t =
+    {
+      levels = Array.of_list levels;
+      coarse_lu = lu;
+      smoother = params.smoother;
+      nu_pre = params.nu_pre;
+      nu_post = params.nu_post;
+    }
   in
-  total /. fine
+  Icoe_obs.Metrics.set m_levels (float_of_int (num_levels t));
+  Icoe_obs.Metrics.set m_opcx (operator_complexity t);
+  t
 
 (** One V-cycle for A x = b starting from x (modified in place at level 0). *)
 let v_cycle t b x =
+  Icoe_obs.Metrics.inc m_vcycles;
   let nl = Array.length t.levels in
   let rec descend lvl b x =
     let a = t.levels.(lvl).a in
@@ -125,8 +148,11 @@ let solve ?(tol = 1e-8) ?(max_cycles = 100) t b x0 =
   let res = ref (Linalg.Vec.nrm2 (Linalg.Vec.sub b (Linalg.Csr.spmv a x)) /. bnorm) in
   let cycles = ref 0 in
   while !res > tol && !cycles < max_cycles do
+    let res_before = !res in
     v_cycle t b x;
     res := Linalg.Vec.nrm2 (Linalg.Vec.sub b (Linalg.Csr.spmv a x)) /. bnorm;
+    if res_before > 0.0 then
+      Icoe_obs.Metrics.observe m_reduction (!res /. res_before);
     incr cycles
   done;
   (x, !cycles, !res)

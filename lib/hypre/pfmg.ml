@@ -17,6 +17,13 @@ type level = {
 
 type t = { levels : level array }
 
+let m_vcycles =
+  Icoe_obs.Metrics.counter ~help:"PFMG V-cycles applied" "pfmg_vcycles_total"
+
+let m_residual =
+  Icoe_obs.Metrics.gauge ~help:"Final relative residual of the last PFMG solve"
+    "pfmg_last_residual"
+
 let idx lvl i j = i + ((lvl.n + 2) * j)
 
 let make_level n =
@@ -101,6 +108,7 @@ let prolong ctx ~(coarse : level) ~(fine : level) =
 
 (** One V(nu1, nu2)-cycle. *)
 let v_cycle ?(nu1 = 2) ?(nu2 = 2) ctx t =
+  Icoe_obs.Metrics.inc m_vcycles;
   let nl = Array.length t.levels in
   let rec descend l =
     let lvl = t.levels.(l) in
@@ -143,7 +151,10 @@ let solve ?(tol = 1e-10) ?(max_cycles = 50) ctx t =
   let r0 = max (residual_norm ctx t) 1e-300 in
   let rec go c =
     let r = residual_norm ctx t /. r0 in
-    if r <= tol || c >= max_cycles then (c, r)
+    if r <= tol || c >= max_cycles then begin
+      Icoe_obs.Metrics.set m_residual r;
+      (c, r)
+    end
     else begin
       v_cycle ctx t;
       go (c + 1)

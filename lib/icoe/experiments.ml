@@ -16,6 +16,10 @@ let section title body = Fmt.str "### %s\n%s\n" title body
 (* back to render rollup tables and export Chrome trace-event JSON.    *)
 (* ------------------------------------------------------------------ *)
 
+(* The experiments whose harnesses emit spans; the CLI's bare
+   `--trace FILE` invocation runs exactly these. *)
+let traced_ids = [ "fig2"; "table2"; "fig8"; "table4" ]
+
 let traces : (string * Hwsim.Trace.t) list ref = ref []
 let clear_traces () = traces := []
 let record_trace name tr = traces := (name, tr) :: !traces

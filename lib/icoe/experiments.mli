@@ -18,6 +18,11 @@ val run_all : unit -> string
     {!Hwsim.Trace} of their most recent run; the CLI and bench read the
     set back for rollup tables and Chrome trace-event export. *)
 
+val traced_ids : string list
+(** Ids of the trace-instrumented experiments, in run order. The CLI's
+    default (no-id) invocation runs exactly these; keeping the list here
+    stops the CLI and the harnesses from drifting apart. *)
+
 val clear_traces : unit -> unit
 val record_trace : string -> Hwsim.Trace.t -> unit
 

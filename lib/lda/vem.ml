@@ -46,7 +46,19 @@ let elog_beta m =
 (* E-step for one document: returns (per-topic gamma, contribution to the
    sufficient statistics as (topic, word, value) updates applied to a local
    accumulator) and the document ELBO-ish likelihood proxy. *)
+let m_docs =
+  Icoe_obs.Metrics.counter ~help:"Documents processed by the E-step"
+    "lda_estep_docs_total"
+
+let m_iters =
+  Icoe_obs.Metrics.counter ~help:"Distributed EM iterations"
+    "lda_em_iterations_total"
+
+let m_elbo =
+  Icoe_obs.Metrics.gauge ~help:"ELBO proxy of the last EM iteration" "lda_elbo"
+
 let e_step_doc m elogb (d : Corpus.doc) stats =
+  Icoe_obs.Metrics.inc m_docs;
   let k = m.k in
   let nw = Array.length d.Corpus.words in
   let gamma = Array.make k (m.alpha +. (float_of_int (Corpus.doc_length d) /. float_of_int k)) in
@@ -128,6 +140,8 @@ let em_iteration m (rdd : Corpus.doc Sparkle.Rdd.t) =
       m.lambda.(t).(w) <- m.eta +. stats.(t).(w)
     done
   done;
+  Icoe_obs.Metrics.inc m_iters;
+  Icoe_obs.Metrics.set m_elbo loglik;
   { loglik }
 
 (** Run [iters] EM iterations; returns the log-likelihood trace. *)

@@ -14,6 +14,33 @@ type result = {
 
 let default_tol = 1e-10
 
+(* Work accounting per method; handles are created once at module init so
+   recording a solve is two counter bumps and a gauge store. *)
+let record =
+  let handles meth =
+    let labels = [ ("method", meth) ] in
+    ( Icoe_obs.Metrics.counter ~help:"Total Krylov iterations" ~labels
+        "krylov_iterations_total",
+      Icoe_obs.Metrics.counter ~help:"Completed Krylov solves" ~labels
+        "krylov_solves_total",
+      Icoe_obs.Metrics.gauge ~help:"Relative residual of the last solve"
+        ~labels "krylov_last_residual" )
+  in
+  let cg_h = handles "cg" and pcg_h = handles "pcg" in
+  let gmres_h = handles "gmres" and bicgstab_h = handles "bicgstab" in
+  fun meth (r : result) ->
+    let iters, solves, resid =
+      match meth with
+      | `Cg -> cg_h
+      | `Pcg -> pcg_h
+      | `Gmres -> gmres_h
+      | `Bicgstab -> bicgstab_h
+    in
+    Icoe_obs.Metrics.inc ~by:(float_of_int r.iters) iters;
+    Icoe_obs.Metrics.inc solves;
+    Icoe_obs.Metrics.set resid r.residual;
+    r
+
 (** Conjugate gradients on an SPD operator. *)
 let cg ?(tol = default_tol) ?(max_iter = 1000) ~op b x0 =
   let x = Array.copy x0 in
@@ -41,7 +68,7 @@ let cg ?(tol = default_tol) ?(max_iter = 1000) ~op b x0 =
      done
    with Exit -> ());
   let res = sqrt !rr /. bnorm in
-  { x; iters = !iters; residual = res; converged = res <= tol }
+  record `Cg { x; iters = !iters; residual = res; converged = res <= tol }
 
 (** Preconditioned CG; [precond r] returns M^{-1} r. *)
 let pcg ?(tol = default_tol) ?(max_iter = 1000) ~op ~precond b x0 =
@@ -70,7 +97,7 @@ let pcg ?(tol = default_tol) ?(max_iter = 1000) ~op ~precond b x0 =
        incr iters
      done
    with Exit -> ());
-  { x; iters = !iters; residual = !res; converged = !res <= tol }
+  record `Pcg { x; iters = !iters; residual = !res; converged = !res <= tol }
 
 (** Restarted GMRES(m) with optional right preconditioning. *)
 let gmres ?(tol = default_tol) ?(max_iter = 1000) ?(restart = 30)
@@ -161,7 +188,8 @@ let gmres ?(tol = default_tol) ?(max_iter = 1000) ?(restart = 30)
        if k = 0 then raise Exit
      done
    with Exit -> ());
-  { x = !x; iters = !total_iters; residual = !final_res; converged = !converged }
+  record `Gmres
+    { x = !x; iters = !total_iters; residual = !final_res; converged = !converged }
 
 (** BiCGStab for nonsymmetric systems. *)
 let bicgstab ?(tol = default_tol) ?(max_iter = 1000) ~op b x0 =
@@ -200,4 +228,4 @@ let bicgstab ?(tol = default_tol) ?(max_iter = 1000) ~op b x0 =
        if Float.abs !omega < 1e-300 then raise Exit
      done
    with Exit -> ());
-  { x; iters = !iters; residual = !res; converged = !res <= tol }
+  record `Bicgstab { x; iters = !iters; residual = !res; converged = !res <= tol }

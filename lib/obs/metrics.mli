@@ -1,0 +1,158 @@
+(** Process-wide metrics for the real engines (the paper's Tools activity,
+    Sec 4.10.6, applied to our own code): counters, gauges and log-bucketed
+    histograms, collected into a registry with deterministic snapshots and
+    two exposition formats (Prometheus text and JSON).
+
+    The tracing layer ({!Hwsim.Trace}) answers "where did the *simulated*
+    time go"; this module answers "how much work did the *real* engines
+    do" — AMG V-cycles, Krylov iterations, BDF steps, force evaluations,
+    BFS frontier sizes — so every run leaves a machine-readable record of
+    its work, and successive PRs get a perf trajectory via the bench
+    harness's [BENCH_*.json] emission.
+
+    Handles are cheap: engines create them once at module initialization
+    ([counter]/[gauge]/[histogram] are get-or-create) and the hot-path
+    operations ([inc]/[set]/[observe]) are a branch plus a float store.
+    Disabling a registry ({!set_enabled}, or the [ICOE_METRICS=0]
+    environment variable for the default registry) turns them into
+    no-ops. *)
+
+type registry
+(** A set of named metrics. Most callers use {!default}. *)
+
+type counter
+(** Monotonically increasing value (events, iterations, seconds-of-work). *)
+
+type gauge
+(** A value that goes up and down (last residual, current dt). *)
+
+type histogram
+(** Log-bucketed distribution with count/sum/min/max, plus a bounded
+    window of recent observations from which p50/p90/p99 are derived via
+    {!Icoe_util.Stats.percentile_sorted}. *)
+
+val create : unit -> registry
+(** A fresh, enabled registry (independent of {!default}). *)
+
+val default : registry
+(** The process-wide registry. Enabled unless the [ICOE_METRICS]
+    environment variable is set to ["0"], ["off"] or ["false"] at
+    startup. *)
+
+val set_enabled : ?registry:registry -> bool -> unit
+(** Enable/disable a registry. Disabled registries make [inc]/[set]/
+    [observe]/[time] no-ops (handles stay valid; stored values freeze). *)
+
+val is_enabled : ?registry:registry -> unit -> bool
+
+(** {1 Metric creation (get-or-create)}
+
+    [labels] distinguish members of a metric family (e.g.
+    [("method", "cg")]); they are sorted by key at registration so label
+    order never matters. Registering the same name+labels twice returns
+    the same handle. Registering an existing name+labels as a different
+    metric type raises [Invalid_argument]. *)
+
+val counter :
+  ?registry:registry -> ?help:string -> ?labels:(string * string) list ->
+  string -> counter
+
+val gauge :
+  ?registry:registry -> ?help:string -> ?labels:(string * string) list ->
+  string -> gauge
+
+val histogram :
+  ?registry:registry -> ?help:string -> ?labels:(string * string) list ->
+  string -> histogram
+
+(** {1 Hot-path operations} *)
+
+val inc : ?by:float -> counter -> unit
+(** Add [by] (default 1.0). Negative [by] raises [Invalid_argument]. *)
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+
+val time : ?registry:registry -> ?labels:(string * string) list ->
+  string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()] and observes its wall-clock duration in
+    seconds into histogram [name]. The duration is recorded even when [f]
+    raises (the exception is re-raised). Uses the module clock
+    ({!set_clock}); negative deltas (non-monotonic clock) clamp to 0. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the wall-clock source used by {!time} (seconds; default
+    [Unix.gettimeofday]). Tests inject a deterministic clock here. *)
+
+(** {1 Reading back} *)
+
+val counter_value : counter -> float
+val gauge_value : gauge -> float
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] with [q] in [0, 1], over the retained observation
+    window (the most recent {!window_capacity} observations); 0.0 for an
+    empty histogram. *)
+
+val window_capacity : int
+(** Number of recent observations a histogram retains for quantiles. *)
+
+val value : ?registry:registry -> ?labels:(string * string) list ->
+  string -> float option
+(** Current value of a counter or gauge by name+labels, [None] if absent
+    (does not create). Histograms return their sum. *)
+
+(** {1 Snapshot and exposition} *)
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  hmin : float;  (** 0.0 when empty *)
+  hmax : float;  (** 0.0 when empty *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  buckets : (float * int) list;
+      (** (upper bound, cumulative count), nonempty buckets only, plus a
+          final (infinity, total). *)
+}
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of histogram_summary
+
+type sample = {
+  name : string;
+  labels : (string * string) list;  (** sorted by key *)
+  help : string;
+  value : value;
+}
+
+val snapshot : ?registry:registry -> unit -> sample list
+(** Deterministic: sorted by name, then by rendered labels. Identical
+    registry states produce identical snapshots regardless of
+    registration or update order. *)
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every counter/gauge and empty every histogram. Handles held by
+    engines stay registered and valid. *)
+
+val to_prometheus : ?registry:registry -> unit -> string
+(** Prometheus text exposition format: # HELP / # TYPE headers, one line
+    per sample, histograms as cumulative [_bucket{le=...}] + [_sum] +
+    [_count]. *)
+
+val to_json : ?registry:registry -> unit -> string
+(** JSON document [{"metrics": [...]}] with one object per sample
+    (counters/gauges: ["value"]; histograms: count/sum/min/max/p50/p90/
+    p99). Non-finite floats are emitted as [null] so the output is always
+    valid JSON. *)
+
+val render_table : ?registry:registry -> ?title:string -> unit ->
+  Icoe_util.Table.t
+(** Snapshot rendered as an {!Icoe_util.Table} (metric, labels, value)
+    for the CLI report. *)

@@ -30,6 +30,15 @@ let create ?(patches = 4) ~nx ~ny ~lx ~ly () =
     steps = 0;
   }
 
+let m_steps =
+  Icoe_obs.Metrics.counter ~help:"Hydro steps taken" "cleverleaf_steps_total"
+
+let m_dt = Icoe_obs.Metrics.gauge ~help:"CFL timestep of the last step" "cleverleaf_dt"
+
+let m_patch_updates =
+  Icoe_obs.Metrics.counter ~help:"Patch updates (patches x steps)"
+    "cleverleaf_patch_updates_total"
+
 let pressure ~rho ~mx ~my ~e =
   let u = mx /. rho and v = my /. rho in
   (gamma_gas -. 1.0) *. (e -. (0.5 *. rho *. ((u *. u) +. (v *. v))))
@@ -138,6 +147,11 @@ let step ?(cfl = 0.4) t =
     updates;
   t.time <- t.time +. dt;
   t.steps <- t.steps + 1;
+  Icoe_obs.Metrics.inc m_steps;
+  Icoe_obs.Metrics.inc
+    ~by:(float_of_int (List.length level.Hierarchy.patches))
+    m_patch_updates;
+  Icoe_obs.Metrics.set m_dt dt;
   dt
 
 (** Run until [tstop] (bounded step count). *)

@@ -95,6 +95,32 @@ let newton_solve ~rhs ~lsolve ~stats ~gamma ~t ~c ~y_guess ~weights ~maxiters =
 
 type result = { y : float array; t : float; stats : stats }
 
+(* Integration work per method, recorded when an integrate call returns.
+   Handles are created once at module init. *)
+let record =
+  let handles meth =
+    let labels = [ ("method", meth) ] in
+    let c help name = Icoe_obs.Metrics.counter ~help ~labels name in
+    ( c "Accepted time steps" "cvode_steps_total",
+      c "Rejected steps (error test + nonlinear failures)"
+        "cvode_rejected_steps_total",
+      c "Newton / fixed-point iterations" "cvode_nonlinear_iterations_total",
+      c "Right-hand-side evaluations" "cvode_rhs_evals_total" )
+  in
+  let bdf_h = handles "bdf" in
+  let adams_h = handles "adams" in
+  let erk_h = handles "erk23" in
+  fun meth (r : result) ->
+    let steps, rejected, nniters, fevals =
+      match meth with `Bdf -> bdf_h | `Adams -> adams_h | `Erk23 -> erk_h
+    in
+    let f = float_of_int in
+    Icoe_obs.Metrics.inc ~by:(f r.stats.nsteps) steps;
+    Icoe_obs.Metrics.inc ~by:(f (r.stats.netf + r.stats.nncf)) rejected;
+    Icoe_obs.Metrics.inc ~by:(f r.stats.nniters) nniters;
+    Icoe_obs.Metrics.inc ~by:(f r.stats.nfevals) fevals;
+    r
+
 (** Adaptive BDF (order 1 start-up step, order 2 thereafter, variable step)
     with Newton. This is the stiff path used for the paper's nonlinear
     diffusion runs. *)
@@ -228,7 +254,7 @@ let bdf ?(rtol = 1e-6) ?(atol = 1e-9) ?(h0 = 1e-4) ?(max_steps = 200_000)
             raise (Too_much_work "BDF step underflow (error test)")
         end
   done;
-  { y = !yn; t = !t; stats }
+  record `Bdf { y = !yn; t = !t; stats }
 
 (* --- Adams-Bashforth-Moulton 2 with functional iteration (non-stiff) --- *)
 
@@ -292,7 +318,7 @@ let adams ?(rtol = 1e-6) ?(atol = 1e-9) ?(h0 = 1e-4) ?(max_steps = 500_000)
       end
     end
   done;
-  { y = !yn; t = !t; stats }
+  record `Adams { y = !yn; t = !t; stats }
 
 (* --- fixed-step explicit baselines --- *)
 
@@ -388,4 +414,4 @@ let erk23 ?(rtol = 1e-6) ?(atol = 1e-9) ?(h0 = 1e-4) ?(max_steps = 500_000)
       if !h < 1e-15 then raise (Too_much_work "ERK23 step underflow")
     end
   done;
-  { y = !y; t = !t; stats }
+  record `Erk23 { y = !y; t = !t; stats }

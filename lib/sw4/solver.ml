@@ -4,6 +4,18 @@
 
 type receiver = { ri : int; rj : int; mutable trace : (float * float * float) list }
 
+let m_steps =
+  Icoe_obs.Metrics.counter ~help:"Leapfrog steps taken" "sw4_steps_total"
+
+let m_updates =
+  Icoe_obs.Metrics.counter ~help:"Interior grid-point updates"
+    "sw4_gridpoint_updates_total"
+
+let m_rate =
+  Icoe_obs.Metrics.gauge
+    ~help:"Grid-point updates per wall-clock second over the last run"
+    "sw4_gridpoint_updates_per_s"
+
 let receiver ~i ~j = { ri = i; rj = j; trace = [] }
 
 type t = {
@@ -91,6 +103,10 @@ let step t =
   done;
   t.time <- t.time +. t.dt;
   t.steps <- t.steps + 1;
+  Icoe_obs.Metrics.inc m_steps;
+  Icoe_obs.Metrics.inc
+    ~by:(float_of_int ((g.Grid.nx - (2 * m)) * (g.Grid.ny - (2 * m))))
+    m_updates;
   List.iter
     (fun r ->
       let k = Grid.idx g r.ri r.rj in
@@ -98,9 +114,17 @@ let step t =
     t.receivers
 
 let run t ~steps =
+  let t0 = Unix.gettimeofday () in
   for _ = 1 to steps do
     step t
-  done
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let g = t.grid in
+  let m = Elastic.margin in
+  let updates =
+    float_of_int (steps * (g.Grid.nx - (2 * m)) * (g.Grid.ny - (2 * m)))
+  in
+  if elapsed > 0.0 then Icoe_obs.Metrics.set m_rate (updates /. elapsed)
 
 (** Displacement magnitude field (for shake-map style outputs). *)
 let magnitude t =

@@ -112,11 +112,20 @@ let test_interpolation_partition_of_unity () =
 let test_amg_solves_2d () =
   let a, b, x_true = laplacian_problem 16 in
   let amg = Hypre.Boomeramg.setup a in
+  let vc0 =
+    Option.value ~default:0.0 (Icoe_obs.Metrics.value "amg_vcycles_total")
+  in
   let x, cycles, res = Hypre.Boomeramg.solve ~tol:1e-10 amg b (Array.make (Array.length b) 0.0) in
   Alcotest.(check bool) "converged" true (res < 1e-10);
   Alcotest.(check bool) "few cycles" true (cycles < 60);
   Alcotest.(check bool) "accurate" true
-    (Icoe_util.Stats.max_abs_diff x x_true < 1e-7)
+    (Icoe_util.Stats.max_abs_diff x x_true < 1e-7);
+  (* solve calls v_cycle once per cycle, so the registry counter must
+     advance by exactly the returned cycle count *)
+  Alcotest.(check (float 1e-9)) "registry counted the V-cycles"
+    (float_of_int cycles)
+    (Option.value ~default:0.0 (Icoe_obs.Metrics.value "amg_vcycles_total")
+    -. vc0)
 
 let test_amg_solves_3d () =
   let a = Linalg.Csr.laplacian_3d 8 8 8 in

@@ -127,6 +127,9 @@ let test_csr_diag () =
 
 (* --- Krylov --- *)
 
+let metric_value name labels =
+  Option.value ~default:0.0 (Icoe_obs.Metrics.value ~labels name)
+
 let laplacian_system n =
   let a = Csr.laplacian_2d n n in
   let rng = Icoe_util.Rng.create 15 in
@@ -136,12 +139,20 @@ let laplacian_system n =
 
 let test_cg_on_laplacian () =
   let a, b, x_true = laplacian_system 12 in
+  let it0 = metric_value "krylov_iterations_total" [ ("method", "cg") ] in
+  let sv0 = metric_value "krylov_solves_total" [ ("method", "cg") ] in
   let r = Krylov.cg ~tol:1e-12 ~max_iter:2000 ~op:(Csr.spmv a) b
       (Array.make (Array.length b) 0.0)
   in
   Alcotest.(check bool) "converged" true r.Krylov.converged;
   Alcotest.(check bool) "accurate" true
-    (Icoe_util.Stats.max_abs_diff r.Krylov.x x_true < 1e-8)
+    (Icoe_util.Stats.max_abs_diff r.Krylov.x x_true < 1e-8);
+  (* the metrics registry must agree with the returned result *)
+  Alcotest.(check (float 1e-9)) "registry counted the iterations"
+    (float_of_int r.Krylov.iters)
+    (metric_value "krylov_iterations_total" [ ("method", "cg") ] -. it0);
+  Alcotest.(check (float 1e-9)) "registry counted the solve" 1.0
+    (metric_value "krylov_solves_total" [ ("method", "cg") ] -. sv0)
 
 let test_pcg_jacobi_faster () =
   let a, b, _ = laplacian_system 16 in

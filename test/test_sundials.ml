@@ -49,6 +49,10 @@ let decay_jac _t y =
       if i = j then -1.0 else 0.0)
 
 let test_bdf_decay () =
+  let steps0 =
+    Option.value ~default:0.0
+      (Icoe_obs.Metrics.value ~labels:[ ("method", "bdf") ] "cvode_steps_total")
+  in
   let r =
     Sundials.Cvode.bdf ~rtol:1e-8 ~atol:1e-10 ~rhs:decay_rhs
       ~lsolve:(Sundials.Cvode.dense_lsolve ~jac:decay_jac)
@@ -56,7 +60,13 @@ let test_bdf_decay () =
   in
   Alcotest.(check bool) "accurate" true
     (Float.abs (r.Sundials.Cvode.y.(0) -. exp (-2.0)) < 1e-6);
-  Alcotest.(check bool) "took steps" true (r.Sundials.Cvode.stats.Sundials.Cvode.nsteps > 5)
+  Alcotest.(check bool) "took steps" true (r.Sundials.Cvode.stats.Sundials.Cvode.nsteps > 5);
+  (* the metrics registry must agree with the integrator's own stats *)
+  Alcotest.(check (float 1e-9)) "registry counted the steps"
+    (float_of_int r.Sundials.Cvode.stats.Sundials.Cvode.nsteps)
+    (Option.value ~default:0.0
+       (Icoe_obs.Metrics.value ~labels:[ ("method", "bdf") ] "cvode_steps_total")
+    -. steps0)
 
 let test_bdf_tolerance_scaling () =
   let run rtol =
