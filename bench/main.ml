@@ -1,19 +1,22 @@
 (* The benchmark harness.
 
    Part 1 regenerates every table and figure of the paper through
-   Icoe.Experiments (real workloads + hardware-model pricing), printing
-   paper reference values alongside.
+   Icoe.Harness_registry (real workloads + hardware-model pricing),
+   printing paper reference values alongside and timing each harness's
+   real wall clock next to its simulated seconds.
 
    Part 2 runs Bechamel microbenchmarks — real wall-clock time of the core
    computational kernels of each activity on this machine — one Test.make
-   per reproduced table/figure's dominant kernel — and writes the results
-   plus a metrics-registry snapshot to BENCH_<id>.json, so successive
-   commits leave a machine-readable perf trajectory behind.
+   per reproduced table/figure's dominant kernel, plus par/* variants
+   sized to exercise the Icoe_par.Pool domain pool — and writes the
+   results plus a metrics-registry snapshot to BENCH_<id>.json, so
+   successive commits leave a machine-readable perf trajectory behind.
 
    Flags: --micro-only skips part 1 (the CI smoke run). The id comes from
    the BENCH_ID environment variable when set (CI passes the commit sha),
-   otherwise the Unix timestamp. ICOE_METRICS=0 disables the metrics
-   registry for overhead comparisons. *)
+   otherwise the Unix timestamp. ICOE_DOMAINS sets the pool size (recorded
+   in the JSON payload); ICOE_METRICS=0 disables the metrics registry for
+   overhead comparisons. *)
 
 open Bechamel
 open Toolkit
@@ -125,6 +128,49 @@ let bench_topopt_apply =
   let y = Array.make 1024 0.0 in
   Test.make ~name:"opt/matrix-free-apply-32x32" (Staged.stage (fun () -> Opt.Topopt.apply t u y))
 
+(* par/* benchmarks: the same engine kernels at sizes where the domain
+   pool engages (all of these clear the serial-fallback thresholds), so
+   the BENCH trajectory shows the wall-clock effect of ICOE_DOMAINS. *)
+
+let bench_par_spmv =
+  let a = Linalg.Csr.laplacian_2d 256 256 in
+  let n = 256 * 256 in
+  let x = Array.init n (fun i -> float_of_int (i mod 7)) in
+  let y = Array.make n 0.0 in
+  Test.make ~name:"par/spmv-256x256"
+    (Staged.stage (fun () -> Linalg.Csr.spmv_into a x y))
+
+let bench_par_sw4_rhs =
+  let g = Sw4.Grid.create ~nx:128 ~ny:128 ~h:100.0 in
+  Sw4.Grid.homogeneous g ~rho:2500.0 ~vp:5000.0 ~vs:2500.0;
+  let solver = Sw4.Solver.create g in
+  Test.make ~name:"par/sw4-step-128x128"
+    (Staged.stage (fun () -> Sw4.Solver.step solver))
+
+let bench_par_reaction =
+  let m = Cardioid.Monodomain.create ~nx:64 ~ny:64 () in
+  Test.make ~name:"par/cardioid-reaction-64x64"
+    (Staged.stage (fun () -> Cardioid.Monodomain.reaction_step m))
+
+let bench_par_md_forces =
+  let rng = Icoe_util.Rng.create 9 in
+  let p = Ddcmd.Particles.create ~n:1000 ~box:13.0 in
+  Ddcmd.Particles.lattice_init p;
+  Ddcmd.Particles.thermalize p ~rng ~temp:0.7;
+  let e = Ddcmd.Engine.create ~dt:0.004 ~potential:(Ddcmd.Potential.lennard_jones ()) p in
+  Test.make ~name:"par/md-forces-1000"
+    (Staged.stage (fun () -> Ddcmd.Engine.compute_forces e))
+
+let bench_par_lda_estep =
+  let rng = Icoe_util.Rng.create 10 in
+  let corpus = Lda.Corpus.generate ~ndocs:32 ~rng () in
+  let m = Lda.Vem.init ~rng ~k:6 ~vocab:corpus.Lda.Corpus.vocab () in
+  let elogb = Lda.Vem.elog_beta m in
+  Test.make ~name:"par/lda-estep-32docs"
+    (Staged.stage (fun () ->
+         let stats = Array.make_matrix 6 corpus.Lda.Corpus.vocab 0.0 in
+         ignore (Lda.Vem.e_step_docs m elogb corpus.Lda.Corpus.docs stats)))
+
 (** Run every microbenchmark; returns (kernel name, ns/run estimate)
     newest last, printing the table as it goes. *)
 let microbenchmarks () =
@@ -133,7 +179,8 @@ let microbenchmarks () =
       bench_spmv; bench_amg_vcycle; bench_pa_apply; bench_sw4_step;
       bench_md_forces; bench_reaction_kernel; bench_fft; bench_bfs;
       bench_lda_estep; bench_rate_matrix; bench_cleverleaf; bench_mlp;
-      bench_paradyn; bench_topopt_apply;
+      bench_paradyn; bench_topopt_apply; bench_par_spmv; bench_par_sw4_rhs;
+      bench_par_reaction; bench_par_md_forces; bench_par_lda_estep;
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -183,7 +230,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_bench_json kernels =
+let write_bench_json ~harnesses kernels =
   let id =
     match Sys.getenv_opt "BENCH_ID" with
     | Some s when s <> "" -> s
@@ -191,8 +238,18 @@ let write_bench_json kernels =
   in
   let file = Fmt.str "BENCH_%s.json" id in
   let buf = Buffer.create 4096 in
-  Fmt.kstr (Buffer.add_string buf) "{\n  \"id\": \"%s\",\n  \"kernels\": [\n"
-    (json_escape id);
+  Fmt.kstr (Buffer.add_string buf)
+    "{\n  \"id\": \"%s\",\n  \"icoe_domains\": %d,\n  \"harnesses\": [\n"
+    (json_escape id)
+    (Icoe_par.Pool.size (Icoe_par.Pool.get ()));
+  List.iteri
+    (fun i (hid, wall_ns, simulated_s) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Fmt.kstr (Buffer.add_string buf)
+        "    {\"id\": \"%s\", \"wall_ns\": %.17g, \"simulated_s\": %.17g}"
+        (json_escape hid) wall_ns simulated_s)
+    harnesses;
+  Buffer.add_string buf "\n  ],\n  \"kernels\": [\n";
   List.iteri
     (fun i (name, ns) ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -217,19 +274,47 @@ let write_bench_json kernels =
   | exception Sys_error msg -> Fmt.epr "cannot write %s: %s@." file msg);
   Fmt.pr "@.bench: wrote %d kernel records to %s@." (List.length kernels) file
 
+(* Part 1: every harness through the registry, timing the real wall
+   clock of each run next to the simulated seconds its traces account
+   for. Returns (id, wall_ns, simulated_s) rows for the JSON payload. *)
+let run_harnesses () =
+  let rows_and_traces =
+    List.map
+      (fun (h : Icoe.Harness.t) ->
+        let t0 = Unix.gettimeofday () in
+        let o = h.run () in
+        let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+        print_string o.Icoe.Harness.report;
+        ((h.id, wall_ns, Icoe.Harness.simulated_seconds o), o.Icoe.Harness.traces))
+      Icoe.Harness_registry.all
+  in
+  let rows = List.map fst rows_and_traces in
+  (* the instrumented harnesses recorded span traces: show where the
+     simulated time went, per device and per phase *)
+  print_string
+    (Icoe.Harness.rollup_report (List.concat_map snd rows_and_traces));
+  Fmt.pr "@.== Harness wall clock (ICOE_DOMAINS=%d) ==@."
+    (Icoe_par.Pool.size (Icoe_par.Pool.get ()));
+  Fmt.pr "%-12s %14s %14s@." "harness" "wall ms" "simulated s";
+  Fmt.pr "%s@." (String.make 42 '-');
+  List.iter
+    (fun (id, wall_ns, sim_s) ->
+      Fmt.pr "%-12s %14.2f %14.3f@." id (wall_ns /. 1e6) sim_s)
+    rows;
+  rows
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = List.mem "--micro-only" args in
-  if not micro_only then begin
-    Fmt.pr "==========================================================@.";
-    Fmt.pr " iCoE reproduction: every table and figure of the paper@.";
-    Fmt.pr "==========================================================@.@.";
-    Icoe.Experiments.clear_traces ();
-    print_string (Icoe.Experiments.run_all ());
-    (* the instrumented harnesses left span traces behind: show where the
-       simulated time went, per device and per phase *)
-    print_string (Icoe.Experiments.trace_rollup_report ())
-  end;
+  let harnesses =
+    if micro_only then []
+    else begin
+      Fmt.pr "==========================================================@.";
+      Fmt.pr " iCoE reproduction: every table and figure of the paper@.";
+      Fmt.pr "==========================================================@.@.";
+      run_harnesses ()
+    end
+  in
   Icoe_obs.Metrics.reset ();
   let kernels = microbenchmarks () in
-  write_bench_json kernels
+  write_bench_json ~harnesses kernels

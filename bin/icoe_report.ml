@@ -6,21 +6,31 @@
      dune exec bin/icoe_report.exe -- run all
      dune exec bin/icoe_report.exe -- --trace /tmp/t.json
 
-   Instrumented experiments (fig2, table2, fig8, table4) record span
-   traces of the simulated machine; after a run the report appends
-   per-device/per-phase rollup tables, and --trace FILE exports the spans
-   as Chrome trace-event JSON for chrome://tracing / Perfetto. *)
+   Experiments are Icoe.Harness values resolved through
+   Icoe.Harness_registry; each run returns a structured outcome carrying
+   the rendered report, the span traces it recorded, and its metrics
+   delta. Requested ids are validated and de-duplicated up front: an
+   unknown id fails before any experiment runs, and 'all' expands to the
+   full registry (combining with other ids, duplicates dropped).
+
+   Instrumented experiments (tag "traced": fig2, table2, fig8, table4)
+   record span traces of the simulated machine; after a run the report
+   appends per-device/per-phase rollup tables, and --trace FILE exports
+   the spans as Chrome trace-event JSON for chrome://tracing /
+   Perfetto. *)
 
 open Cmdliner
 
 let list_cmd =
   let doc = "List the reproducible tables and figures." in
   let run () =
-    Fmt.pr "%-10s %s@." "id" "description";
-    Fmt.pr "%s@." (String.make 60 '-');
+    Fmt.pr "%-10s %-34s %s@." "id" "description" "tags";
+    Fmt.pr "%s@." (String.make 72 '-');
     List.iter
-      (fun (id, desc, _) -> Fmt.pr "%-10s %s@." id desc)
-      Icoe.Experiments.all
+      (fun (h : Icoe.Harness.t) ->
+        Fmt.pr "%-10s %-34s %s@." h.id h.description
+          (String.concat "," h.tags))
+      Icoe.Harness_registry.all
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -47,8 +57,8 @@ let write_file file contents =
       Fmt.epr "cannot write %s: %s@." file msg;
       exit 1
 
-let export_trace file =
-  match Icoe.Experiments.collected_traces () with
+let export_trace file traces =
+  match traces with
   | [] ->
       Fmt.epr
         "trace: no spans were collected (none of the requested experiments \
@@ -62,28 +72,64 @@ let export_trace file =
       Fmt.pr "trace: wrote %d spans from %d experiment run(s) to %s@." spans
         (List.length traces) file
 
+(* Expand 'all', reject unknown ids (all of them at once, before any
+   experiment runs), and drop duplicates keeping the first occurrence. *)
+let resolve_ids ids =
+  let requested =
+    if ids = [] then
+      List.map (fun (h : Icoe.Harness.t) -> h.id) (Icoe.Harness_registry.traced ())
+    else ids
+  in
+  let expanded =
+    List.concat_map
+      (fun id -> if id = "all" then Icoe.Harness_registry.ids () else [ id ])
+      requested
+  in
+  (match
+     List.filter
+       (fun id -> Option.is_none (Icoe.Harness_registry.find id))
+       expanded
+   with
+  | [] -> ()
+  | unknown ->
+      Fmt.epr "unknown experiment%s %s; try 'list'@."
+        (if List.length unknown = 1 then "" else "s")
+        (String.concat ", "
+           (List.map (Fmt.str "%S") (List.sort_uniq compare unknown)));
+      exit 1);
+  let seen = Hashtbl.create 19 in
+  List.filter
+    (fun id ->
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    expanded
+
 let run_ids ids trace_file metrics_file =
-  Icoe.Experiments.clear_traces ();
+  let ids = resolve_ids ids in
   (* start each invocation from a clean registry so the snapshot reflects
      exactly the requested experiments *)
   Icoe_obs.Metrics.reset ();
-  let ids = if ids = [] then Icoe.Experiments.traced_ids else ids in
-  if List.mem "all" ids then print_string (Icoe.Experiments.run_all ())
-  else
-    List.iter
+  let outcomes =
+    List.map
       (fun id ->
-        match Icoe.Experiments.find id with
-        | Some (_, _, f) -> print_string (f ())
-        | None ->
-            Fmt.epr "unknown experiment %S; try 'list'@." id;
-            exit 1)
-      ids;
-  print_string (Icoe.Experiments.trace_rollup_report ());
+        match Icoe.Harness_registry.find id with
+        | Some h -> h.Icoe.Harness.run ()
+        | None -> assert false (* resolve_ids validated *))
+      ids
+  in
+  List.iter (fun (o : Icoe.Harness.outcome) -> print_string o.report) outcomes;
+  let traces =
+    List.concat_map (fun (o : Icoe.Harness.outcome) -> o.traces) outcomes
+  in
+  print_string (Icoe.Harness.rollup_report traces);
   if Icoe_obs.Metrics.snapshot () <> [] then
     print_string
       (Icoe_util.Table.render
          (Icoe_obs.Metrics.render_table ~title:"Engine metrics" ()));
-  (match trace_file with None -> () | Some file -> export_trace file);
+  (match trace_file with None -> () | Some file -> export_trace file traces);
   match metrics_file with
   | None -> ()
   | Some file ->

@@ -48,22 +48,30 @@ let stimulate t ~ilo ~ihi ~jlo ~jhi ~amplitude =
 let clear_stimulus t =
   Array.iter (fun s -> s.(Ionic.istim_idx) <- 0.0) t.state
 
-(** Reaction half-step: per-cell ionic update (embarrassingly parallel). *)
-let reaction_step t =
-  Array.iteri
-    (fun k s ->
-      s.(Ionic.iv) <- t.v.(k);
-      let d = t.deriv s in
-      for c = 0 to Ionic.n_state - 1 do
-        s.(c) <- s.(c) +. (t.dt *. d.(c))
-      done;
-      t.v.(k) <- s.(Ionic.iv))
-    t.state
+let react_cell t k =
+  let s = t.state.(k) in
+  s.(Ionic.iv) <- t.v.(k);
+  let d = t.deriv s in
+  for c = 0 to Ionic.n_state - 1 do
+    s.(c) <- s.(c) +. (t.dt *. d.(c))
+  done;
+  t.v.(k) <- s.(Ionic.iv)
 
-(** Diffusion half-step: explicit 5-point stencil with no-flux walls. *)
-let diffusion_step t =
-  let alpha = t.sigma *. t.dt /. (t.dx *. t.dx) in
-  for j = 0 to t.ny - 1 do
+(** Reaction half-step: per-cell ionic update, cell-parallel on the
+    domain pool. Every cell touches only its own state row and voltage
+    entry, so the result is bit-identical to {!reaction_step_seq} for
+    any pool size. *)
+let reaction_step t =
+  Icoe_par.Pool.parallel_for ~lo:0 ~hi:(Array.length t.state) (react_cell t)
+
+(** Serial reference path for the reaction half-step. *)
+let reaction_step_seq t =
+  for k = 0 to Array.length t.state - 1 do
+    react_cell t k
+  done
+
+let diffuse_rows t alpha jlo jhi =
+  for j = jlo to jhi - 1 do
     for i = 0 to t.nx - 1 do
       let k = idx t i j in
       let c = t.v.(k) in
@@ -73,7 +81,15 @@ let diffusion_step t =
       let vy1 = if j < t.ny - 1 then t.v.(k + t.nx) else c in
       t.scratch.(k) <- c +. (alpha *. (vx0 +. vx1 +. vy0 +. vy1 -. (4.0 *. c)))
     done
-  done;
+  done
+
+(** Diffusion half-step: explicit 5-point stencil with no-flux walls,
+    row-parallel into the scratch field (reads [v], writes [scratch] —
+    disjoint, so any pool size gives the serial answer). *)
+let diffusion_step t =
+  let alpha = t.sigma *. t.dt /. (t.dx *. t.dx) in
+  Icoe_par.Pool.parallel_for_chunks ~chunk:8 ~lo:0 ~hi:t.ny (fun jlo jhi ->
+      diffuse_rows t alpha jlo jhi);
   Array.blit t.scratch 0 t.v 0 (Array.length t.v)
 
 let m_steps =

@@ -35,7 +35,15 @@ val stimulate : t -> ilo:int -> ihi:int -> jlo:int -> jhi:int -> amplitude:float
 val clear_stimulus : t -> unit
 
 val reaction_step : t -> unit
+(** Cell-parallel on the {!Icoe_par.Pool}; bit-identical to
+    {!reaction_step_seq} for any pool size (disjoint per-cell writes). *)
+
+val reaction_step_seq : t -> unit
+(** Serial reference path for the reaction half-step. *)
+
 val diffusion_step : t -> unit
+(** Row-parallel stencil into the scratch field, then a blit back. *)
+
 val step : t -> unit
 val run : t -> steps:int -> unit
 

@@ -46,40 +46,83 @@ let create ?(bonds = []) ?(angles = []) ?(constraints = []) ~dt ~potential p =
     pair_count = 0;
   }
 
-(** Recompute all forces; updates [pot_energy] and [virial]. *)
-let compute_forces t =
+(* Nonbonded forces on particles [lo, hi): the per-particle full-shell
+   enumeration (each pair seen from both ends, so every particle's force
+   sum is written by exactly one iteration — no synchronization, and the
+   same summation order whoever runs the chunk). Returns the chunk's
+   (2*epot, 2*virial, evaluations): pair-shared terms are halved once,
+   after the deterministic chunk-ordered reduction. *)
+let nonbonded_chunk t cl lo hi =
   let p = t.p in
-  Particles.zero_forces p;
   let cutoff = t.potential.Potential.cutoff in
-  let cl = Cells.build p ~cutoff in
-  let epot = ref 0.0 and virial = ref 0.0 and pairs = ref 0 in
-  Cells.iter_pairs cl p ~cutoff (fun i j ->
-      incr pairs;
-      let r2 = Particles.dist2 p i j in
-      let e, f_over_r =
-        t.potential.Potential.eval ~si:p.Particles.species.(i)
-          ~sj:p.Particles.species.(j) ~r2
-      in
-      if f_over_r <> 0.0 || e <> 0.0 then begin
-        epot := !epot +. e;
-        let dx = Particles.min_image p (p.Particles.x.(i) -. p.Particles.x.(j)) in
-        let dy = Particles.min_image p (p.Particles.y.(i) -. p.Particles.y.(j)) in
-        let dz = Particles.min_image p (p.Particles.z.(i) -. p.Particles.z.(j)) in
-        virial := !virial +. (f_over_r *. r2);
-        p.Particles.fx.(i) <- p.Particles.fx.(i) +. (f_over_r *. dx);
-        p.Particles.fy.(i) <- p.Particles.fy.(i) +. (f_over_r *. dy);
-        p.Particles.fz.(i) <- p.Particles.fz.(i) +. (f_over_r *. dz);
-        p.Particles.fx.(j) <- p.Particles.fx.(j) -. (f_over_r *. dx);
-        p.Particles.fy.(j) <- p.Particles.fy.(j) -. (f_over_r *. dy);
-        p.Particles.fz.(j) <- p.Particles.fz.(j) -. (f_over_r *. dz)
-      end);
+  let epot2 = ref 0.0 and virial2 = ref 0.0 and evals = ref 0 in
+  for i = lo to hi - 1 do
+    let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+    Cells.iter_neighbors cl p ~cutoff i (fun j ->
+        incr evals;
+        let r2 = Particles.dist2 p i j in
+        let e, f_over_r =
+          t.potential.Potential.eval ~si:p.Particles.species.(i)
+            ~sj:p.Particles.species.(j) ~r2
+        in
+        if f_over_r <> 0.0 || e <> 0.0 then begin
+          epot2 := !epot2 +. e;
+          virial2 := !virial2 +. (f_over_r *. r2);
+          let dx = Particles.min_image p (p.Particles.x.(i) -. p.Particles.x.(j)) in
+          let dy = Particles.min_image p (p.Particles.y.(i) -. p.Particles.y.(j)) in
+          let dz = Particles.min_image p (p.Particles.z.(i) -. p.Particles.z.(j)) in
+          fx := !fx +. (f_over_r *. dx);
+          fy := !fy +. (f_over_r *. dy);
+          fz := !fz +. (f_over_r *. dz)
+        end);
+    p.Particles.fx.(i) <- !fx;
+    p.Particles.fy.(i) <- !fy;
+    p.Particles.fz.(i) <- !fz
+  done;
+  (!epot2, !virial2, !evals)
+
+let finish_forces t (epot2, virial2, evals) =
+  let p = t.p in
+  let epot = ref (0.5 *. epot2) in
   epot := !epot +. Bonded.bond_forces p t.bonds;
   epot := !epot +. Bonded.angle_forces p t.angles;
   t.pot_energy <- !epot;
-  t.virial <- !virial;
-  t.pair_count <- !pairs;
+  t.virial <- 0.5 *. virial2;
+  t.pair_count <- evals / 2;
   Icoe_obs.Metrics.inc m_force_evals;
-  Icoe_obs.Metrics.inc ~by:(float_of_int !pairs) m_pairs
+  Icoe_obs.Metrics.inc ~by:(float_of_int t.pair_count) m_pairs
+
+let combine_chunks (ea, va, na) (eb, vb, nb) = (ea +. eb, va +. vb, na + nb)
+
+(** Recompute all forces; updates [pot_energy] and [virial].
+    Particle-parallel on the {!Icoe_par.Pool}: per-particle full-shell
+    accumulation gives disjoint writes, and the energy/virial partials
+    are combined in chunk order, so the result is bit-identical to
+    {!compute_forces_seq} for any pool size. Bonded terms stay serial
+    (they are a small fraction of the work). *)
+let compute_forces t =
+  let p = t.p in
+  let cl = Cells.build p ~cutoff:t.potential.Potential.cutoff in
+  finish_forces t
+    (Icoe_par.Pool.map_reduce ~lo:0 ~hi:p.Particles.n
+       ~combine:combine_chunks ~init:(0.0, 0.0, 0)
+       (fun lo hi -> nonbonded_chunk t cl lo hi))
+
+(** Serial reference path: the same per-particle algorithm and chunk
+    layout run entirely in the calling domain. *)
+let compute_forces_seq t =
+  let p = t.p in
+  let cl = Cells.build p ~cutoff:t.potential.Potential.cutoff in
+  let n = p.Particles.n in
+  let csize = Icoe_par.Pool.default_chunk n in
+  let acc = ref (0.0, 0.0, 0) in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + csize) in
+    acc := combine_chunks !acc (nonbonded_chunk t cl !lo hi);
+    lo := hi
+  done;
+  finish_forces t !acc
 
 (* SHAKE: iteratively project positions back onto the constraint manifold *)
 let shake ?(iters = 50) ?(tol = 1e-8) t =

@@ -22,7 +22,15 @@ val create :
   Particles.t -> t
 
 val compute_forces : t -> unit
-(** Recompute all forces; updates potential energy and virial. *)
+(** Recompute all forces; updates potential energy and virial.
+    Particle-parallel on the {!Icoe_par.Pool}: each particle accumulates
+    its force over the full neighbour shell (GPU-style, each pair
+    evaluated from both ends), so writes are disjoint and the result is
+    bit-identical to {!compute_forces_seq} for any pool size. *)
+
+val compute_forces_seq : t -> unit
+(** Serial reference path: same algorithm and chunk-ordered reduction,
+    entirely in the calling domain. *)
 
 val shake : ?iters:int -> ?tol:float -> t -> unit
 (** Iterative projection onto the constraint manifold. *)

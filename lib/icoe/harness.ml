@@ -1,0 +1,68 @@
+open Icoe_util
+
+type outcome = {
+  report : string;
+  traces : (string * Hwsim.Trace.t) list;
+  metrics : Icoe_obs.Metrics.sample list;
+}
+
+type t = {
+  id : string;
+  description : string;
+  tags : string list;
+  run : unit -> outcome;
+}
+
+let section title body = Fmt.str "### %s\n%s\n" title body
+
+(* Traces recorded by the harness currently running. Harness bodies run
+   one at a time in the caller's domain (pool workers never run harness
+   code), so a single scoped ref suffices. *)
+let current : (string * Hwsim.Trace.t) list ref = ref []
+let active = ref false
+
+let record_trace name tr = if !active then current := (name, tr) :: !current
+
+let make ~id ~description ?(tags = []) f =
+  let run () =
+    let saved_traces = !current and saved_active = !active in
+    current := [];
+    active := true;
+    let restore () =
+      current := saved_traces;
+      active := saved_active
+    in
+    Fun.protect ~finally:restore (fun () ->
+        let before = Icoe_obs.Metrics.snapshot () in
+        let report = f () in
+        let after = Icoe_obs.Metrics.snapshot () in
+        {
+          report;
+          traces = List.rev !current;
+          metrics = Icoe_obs.Metrics.diff ~before ~after;
+        })
+  in
+  { id; description; tags; run }
+
+let simulated_seconds o =
+  List.fold_left (fun acc (_, tr) -> acc +. Hwsim.Trace.total tr) 0.0 o.traces
+
+let rollup_report = function
+  | [] -> ""
+  | ts ->
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf
+        "### Trace rollups — where the simulated time went\n";
+      List.iter
+        (fun (name, tr) ->
+          Buffer.add_string buf
+            (Table.render
+               (Hwsim.Trace.device_table ~title:(name ^ ": per-device rollup") tr));
+          Buffer.add_string buf
+            (Table.render
+               (Hwsim.Trace.phase_table ~title:(name ^ ": per-phase rollup") tr));
+          Buffer.add_string buf
+            (Table.render
+               (Hwsim.Trace.span_table ~title:(name ^ ": top spans") ~n:5 tr)))
+        ts;
+      Buffer.contents buf

@@ -1,0 +1,54 @@
+(** First-class experiment harnesses.
+
+    A harness is one reproduced table/figure/study of the paper: an id,
+    a human description, a set of tags, and a [run] function returning a
+    structured {!outcome} instead of a bare string. The outcome carries
+    the rendered report plus everything the observability layers caught
+    while the harness ran — the {!Hwsim.Trace.t}s it recorded and the
+    delta of the {!Icoe_obs.Metrics} default registry — so callers
+    (the CLI, the bench executable, the tests) no longer scrape global
+    state after the fact.
+
+    Harnesses are registered in {!Harness_registry.all}; each activity
+    contributes its own [Harness_*] module. *)
+
+type outcome = {
+  report : string;  (** rendered text, paper reference values alongside *)
+  traces : (string * Hwsim.Trace.t) list;
+      (** simulated-time traces recorded via {!record_trace} during the
+          run, in recording order *)
+  metrics : Icoe_obs.Metrics.sample list;
+      (** what the run added to the default metrics registry
+          ({!Icoe_obs.Metrics.diff} of snapshots taken around [run]) *)
+}
+
+type t = {
+  id : string;  (** stable CLI id, e.g. ["fig2"] *)
+  description : string;
+  tags : string list;
+      (** kind tags ["figure"]/["table"]/["study"], an ["activity:*"]
+          tag, and ["traced"] for harnesses that record spans *)
+  run : unit -> outcome;
+}
+
+val make :
+  id:string -> description:string -> ?tags:string list ->
+  (unit -> string) -> t
+(** [make ~id ~description ~tags f] wraps a report-producing function:
+    [run] snapshots the default metrics registry around [f ()], scopes
+    {!record_trace} to this run, and assembles the {!outcome}. *)
+
+val record_trace : string -> Hwsim.Trace.t -> unit
+(** Attach a named trace to the outcome of the harness currently
+    running. Outside a harness body the trace is dropped. *)
+
+val section : string -> string -> string
+(** [section title body] renders one report section ([### title]). *)
+
+val simulated_seconds : outcome -> float
+(** Sum of {!Hwsim.Trace.total} over the outcome's traces: the simulated
+    time the harness accounted for (0 for untraced harnesses). *)
+
+val rollup_report : (string * Hwsim.Trace.t) list -> string
+(** Per-device/per-phase/top-span rollup tables for a set of named
+    traces; [""] when the list is empty. *)

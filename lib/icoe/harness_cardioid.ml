@@ -1,0 +1,50 @@
+(** Sec 4.1: Cardioid reaction-kernel variants, the placement study, and
+    a real monodomain tissue wave. *)
+
+open Icoe_util
+
+let cardioid () =
+  let t = Table.create ~title:"Sec 4.1: Cardioid reaction-kernel variants"
+      ~aligns:[| Table.Left; Table.Right; Table.Right; Table.Right |]
+      [ "variant"; "flops/cell"; "coeff loads/cell"; "us/step (1M cells, V100)" ] in
+  List.iter
+    (fun v ->
+      let tm =
+        Cardioid.Monodomain.time_per_step ~variant:v ~cells:1_000_000
+          Cardioid.Monodomain.All_gpu
+      in
+      Table.add_row t
+        [ Cardioid.Ionic.variant_name v;
+          Table.fcell ~prec:0 (Cardioid.Ionic.variant_flops v);
+          string_of_int (Cardioid.Ionic.variant_loads v);
+          Table.fcell ~prec:1 (tm *. 1e6) ])
+    [ Cardioid.Ionic.Libm; Cardioid.Ionic.Rational; Cardioid.Ionic.Rational_folded ];
+  let t2 = Table.create ~title:"placement study (1M cells, us/step)"
+      ~aligns:[| Table.Left; Table.Right |] [ "placement"; "us/step" ] in
+  List.iter
+    (fun pl ->
+      Table.add_row t2
+        [ Cardioid.Monodomain.placement_name pl;
+          Table.fcell ~prec:1
+            (Cardioid.Monodomain.time_per_step ~cells:1_000_000 pl *. 1e6) ])
+    [ Cardioid.Monodomain.All_cpu; Cardioid.Monodomain.Split_cpu_gpu;
+      Cardioid.Monodomain.All_gpu ];
+  (* real tissue wave *)
+  let m = Cardioid.Monodomain.create ~nx:24 ~ny:8 ~variant:Cardioid.Ionic.Rational () in
+  Cardioid.Monodomain.stimulate m ~ilo:0 ~ihi:2 ~jlo:0 ~jhi:7 ~amplitude:60.0;
+  let far = ref (-1) in
+  for s = 1 to 40 do
+    Cardioid.Monodomain.run m ~steps:25;
+    if s = 6 then Cardioid.Monodomain.clear_stimulus m;
+    if !far < 0 && Cardioid.Monodomain.activated m ~i:23 ~j:4 then far := s * 25
+  done;
+  Harness.section "Sec 4.1 — Cardioid (paper: rational polys + compile-time constants; keep data on GPU)"
+    (Fmt.str "%s%sreal monodomain wave reached the far edge after %d steps\n"
+       (Table.render t) (Table.render t2) !far)
+
+let harnesses =
+  [
+    Harness.make ~id:"cardioid" ~description:"Cardioid DSL + placement (Sec 4.1)"
+      ~tags:[ "study"; "activity:cardioid" ]
+      cardioid;
+  ]

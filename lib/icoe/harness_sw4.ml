@@ -1,0 +1,44 @@
+(** Sec 4.9: SW4 kernel variants, node throughput, and the production
+    Hayward campaign. *)
+
+open Icoe_util
+
+let sw4 () =
+  let res = Sw4.Scenario.run_hayward ~nx:120 ~ny:72 ~h:100.0 ~steps:300 () in
+  let g = Sw4.Grid.create ~nx:512 ~ny:512 ~h:100.0 in
+  let t = Table.create ~title:"Sec 4.9: sw4lite kernel variants (512^2 grid, s/step)"
+      ~aligns:[| Table.Left; Table.Right |]
+      [ "variant"; "time/step (ms)" ] in
+  List.iter
+    (fun v ->
+      Table.add_row t
+        [ Sw4.Scenario.variant_name v;
+          Table.fcell ~prec:3 (Sw4.Scenario.variant_time_per_step g v *. 1e3) ])
+    [ Sw4.Scenario.Cpu_openmp; Sw4.Scenario.Naive_cuda; Sw4.Scenario.Shared_cuda;
+      Sw4.Scenario.Raja ];
+  let sierra = Sw4.Scenario.node_throughput Hwsim.Node.witherspoon ~points:4_000_000 in
+  let cori = Sw4.Scenario.node_throughput Hwsim.Node.cori_ii ~points:4_000_000 in
+  (* the production Hayward campaign: 26B points, ~10 h on 256 Sierra nodes *)
+  let gp = 26.0e9 and steps = 25_000 in
+  let sierra_h =
+    Sw4.Scenario.production_run_hours Hwsim.Node.sierra ~nodes:256 ~grid_points:gp ~steps
+  in
+  let cori_nodes =
+    Sw4.Scenario.nodes_for_deadline Hwsim.Node.cori ~grid_points:gp ~steps ~hours:sierra_h
+  in
+  Harness.section "Sec 4.9 — SW4 seismic (paper: shared-mem ~2x, RAJA ~0.7x CUDA, 14X node throughput vs Cori)"
+    (Fmt.str
+       "%sSierra/Cori node throughput ratio: %.1fx\n\
+        production Hayward campaign (26B points): %.1f h on 256 Sierra nodes (paper ~10 h);\n\
+        Cori-II needs %d nodes (%.1fx more) for the same wall clock\n\
+        real Hayward-like run: basin amplification %b over %d grid points\n"
+       (Table.render t) (sierra /. cori) sierra_h cori_nodes
+       (float_of_int cori_nodes /. 256.0)
+       res.Sw4.Scenario.basin_amplified res.Sw4.Scenario.grid_points)
+
+let harnesses =
+  [
+    Harness.make ~id:"sw4" ~description:"SW4 variants and node throughput (Sec 4.9)"
+      ~tags:[ "study"; "activity:sw4" ]
+      sw4;
+  ]

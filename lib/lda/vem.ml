@@ -58,7 +58,6 @@ let m_elbo =
   Icoe_obs.Metrics.gauge ~help:"ELBO proxy of the last EM iteration" "lda_elbo"
 
 let e_step_doc m elogb (d : Corpus.doc) stats =
-  Icoe_obs.Metrics.inc m_docs;
   let k = m.k in
   let nw = Array.length d.Corpus.words in
   let gamma = Array.make k (m.alpha +. (float_of_int (Corpus.doc_length d) /. float_of_int k)) in
@@ -100,6 +99,65 @@ let e_step_doc m elogb (d : Corpus.doc) stats =
   done;
   !loglik
 
+(* Documents per pool chunk. Fixed (never pool-derived) so the chunk
+   layout — and hence the order sufficient statistics are reduced in —
+   is identical for every ICOE_DOMAINS setting. *)
+let estep_doc_chunk = 4
+
+(** E-step over a batch of documents, document-parallel on the domain
+    pool: each chunk accumulates into its own statistics matrix and the
+    partials are added into [stats] in ascending chunk order, so the
+    result is bit-identical to {!e_step_docs_seq} for any pool size.
+    Returns the batch log-likelihood proxy. *)
+let e_step_docs m elogb (docs : Corpus.doc array) stats =
+  let n = Array.length docs in
+  Icoe_obs.Metrics.inc ~by:(float_of_int n) m_docs;
+  let _, ll =
+    Icoe_par.Pool.map_reduce ~chunk:estep_doc_chunk ~lo:0 ~hi:n
+      ~combine:(fun (sa, la) (sb, lb) ->
+        for t = 0 to m.k - 1 do
+          for w = 0 to m.vocab - 1 do
+            sa.(t).(w) <- sa.(t).(w) +. sb.(t).(w)
+          done
+        done;
+        (sa, la +. lb))
+      ~init:(stats, 0.0)
+      (fun lo hi ->
+        let local = Array.make_matrix m.k m.vocab 0.0 in
+        let ll = ref 0.0 in
+        for di = lo to hi - 1 do
+          ll := !ll +. e_step_doc m elogb docs.(di) local
+        done;
+        (local, !ll))
+  in
+  ll
+
+(** Serial reference path: same chunk layout and reduction order as
+    {!e_step_docs}, entirely in the calling domain. *)
+let e_step_docs_seq m elogb (docs : Corpus.doc array) stats =
+  let n = Array.length docs in
+  Icoe_obs.Metrics.inc ~by:(float_of_int n) m_docs;
+  let ll = ref 0.0 in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + estep_doc_chunk) in
+    let local = Array.make_matrix m.k m.vocab 0.0 in
+    (* per-chunk partial, added once — the same float association the
+       pool's ordered reduction produces *)
+    let chunk_ll = ref 0.0 in
+    for di = !lo to hi - 1 do
+      chunk_ll := !chunk_ll +. e_step_doc m elogb docs.(di) local
+    done;
+    for t = 0 to m.k - 1 do
+      for w = 0 to m.vocab - 1 do
+        stats.(t).(w) <- stats.(t).(w) +. local.(t).(w)
+      done
+    done;
+    ll := !ll +. !chunk_ll;
+    lo := hi
+  done;
+  !ll
+
 type iteration_result = { loglik : float }
 
 (** One distributed EM iteration over an RDD of documents. *)
@@ -116,9 +174,8 @@ let em_iteration m (rdd : Corpus.doc Sparkle.Rdd.t) =
     Sparkle.Rdd.map_partitions ~flops_per_elem
       (fun docs ->
         let stats = Array.make_matrix m.k m.vocab 0.0 in
-        let ll = ref 0.0 in
-        Array.iter (fun d -> ll := !ll +. e_step_doc m elogb d stats) docs;
-        [| (stats, !ll) |])
+        let ll = e_step_docs m elogb docs stats in
+        [| (stats, ll) |])
       rdd
   in
   (* aggregate sufficient statistics all-to-one *)

@@ -25,6 +25,19 @@ val e_step_doc :
 (** Variational E-step for one document, accumulating sufficient
     statistics; returns the document's likelihood proxy. *)
 
+val e_step_docs :
+  model -> float array array -> Corpus.doc array -> float array array -> float
+(** E-step over a batch, document-parallel on the {!Icoe_par.Pool}:
+    per-chunk statistics matrices are reduced into the accumulator in
+    ascending chunk order, so the result is bit-identical to
+    {!e_step_docs_seq} for any pool size. Returns the batch
+    log-likelihood proxy. *)
+
+val e_step_docs_seq :
+  model -> float array array -> Corpus.doc array -> float array array -> float
+(** Serial reference path with the same chunk layout and reduction
+    order as {!e_step_docs}. *)
+
 type iteration_result = { loglik : float }
 
 val em_iteration : model -> Corpus.doc Sparkle.Rdd.t -> iteration_result

@@ -86,29 +86,40 @@ let to_dense t =
   done;
   d
 
-(** y <- A x (fresh array). *)
-let spmv t x =
-  assert (Array.length x = t.n);
-  let y = Array.make t.m 0.0 in
-  for i = 0 to t.m - 1 do
-    let s = ref 0.0 in
-    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      s := !s +. (t.values.(k) *. x.(t.col_idx.(k)))
-    done;
-    y.(i) <- !s
-  done;
-  y
-
-(** y <- A x into a preallocated output. *)
-let spmv_into t x y =
-  assert (Array.length x = t.n && Array.length y = t.m);
-  for i = 0 to t.m - 1 do
+let spmv_rows t x y lo hi =
+  for i = lo to hi - 1 do
     let s = ref 0.0 in
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
       s := !s +. (t.values.(k) *. x.(t.col_idx.(k)))
     done;
     y.(i) <- !s
   done
+
+(** y <- A x, strictly in the calling domain (the reference path). *)
+let spmv_seq_into t x y =
+  assert (Array.length x = t.n && Array.length y = t.m);
+  spmv_rows t x y 0 t.m
+
+(* Rows below this count don't amortize the pool's chunk dispatch (AMG
+   coarse levels live here). Row-disjoint writes with an unchanged
+   per-row summation order make the parallel path bit-identical to the
+   serial one, so the threshold only affects speed. *)
+let spmv_par_threshold = 512
+
+(** y <- A x into a preallocated output, row-parallel on the domain
+    pool for matrices large enough to amortize the dispatch. *)
+let spmv_into t x y =
+  assert (Array.length x = t.n && Array.length y = t.m);
+  if t.m < spmv_par_threshold then spmv_rows t x y 0 t.m
+  else
+    Icoe_par.Pool.parallel_for_chunks ~lo:0 ~hi:t.m (fun lo hi ->
+        spmv_rows t x y lo hi)
+
+(** y <- A x (fresh array). *)
+let spmv t x =
+  let y = Array.make t.m 0.0 in
+  spmv_into t x y;
+  y
 
 let diag t =
   let d = Array.make t.m 0.0 in

@@ -25,7 +25,17 @@ val spmv : t -> float array -> float array
 (** y = A x, fresh output. *)
 
 val spmv_into : t -> float array -> float array -> unit
-(** y = A x into a preallocated output. *)
+(** y = A x into a preallocated output. Row-parallel on the
+    {!Icoe_par.Pool} for matrices with at least {!spmv_par_threshold}
+    rows; per-row summation order is unchanged, so the result is
+    bit-identical to {!spmv_seq_into} for any pool size. *)
+
+val spmv_seq_into : t -> float array -> float array -> unit
+(** y = A x, strictly in the calling domain — the reference path the
+    parallel one must match exactly. *)
+
+val spmv_par_threshold : int
+(** Minimum row count before {!spmv_into} uses the pool. *)
 
 val diag : t -> float array
 

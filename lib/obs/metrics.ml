@@ -274,6 +274,35 @@ let snapshot ?(registry = default) () =
          | 0 -> compare a.labels b.labels
          | c -> c)
 
+(* Samples that changed between two snapshots, keyed by name+labels.
+   Counters and histogram count/sum become deltas; gauges keep their
+   [after] value. Snapshots are already sorted, so the diff is too. *)
+let diff ~before ~after =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace tbl (s.name, s.labels) s.value) before;
+  List.filter_map
+    (fun s ->
+      let prev = Hashtbl.find_opt tbl (s.name, s.labels) in
+      match (s.value, prev) with
+      | Counter a, Some (Counter b) ->
+          if a = b then None else Some { s with value = Counter (a -. b) }
+      | Gauge a, Some (Gauge b) -> if a = b then None else Some s
+      | Histogram a, Some (Histogram b) ->
+          if a.count = b.count && a.sum = b.sum then None
+          else
+            Some
+              { s with
+                value =
+                  Histogram { a with count = a.count - b.count; sum = a.sum -. b.sum }
+              }
+      | _, None -> (
+          match s.value with
+          | Counter 0.0 -> None
+          | Histogram h when h.count = 0 -> None
+          | _ -> Some s)
+      | _, Some _ -> Some s)
+    after
+
 let reset ?(registry = default) () =
   Hashtbl.iter
     (fun _ m ->

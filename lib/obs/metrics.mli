@@ -137,6 +137,13 @@ val snapshot : ?registry:registry -> unit -> sample list
     registry states produce identical snapshots regardless of
     registration or update order. *)
 
+val diff : before:sample list -> after:sample list -> sample list
+(** The samples that changed between two {!snapshot}s, keyed by
+    name+labels. Counter values and histogram count/sum become deltas;
+    gauges keep their [after] value. Unchanged samples (and counters/
+    histograms that first appear at zero) are dropped. Order follows
+    [after], so the result is deterministically sorted. *)
+
 val reset : ?registry:registry -> unit -> unit
 (** Zero every counter/gauge and empty every histogram. Handles held by
     engines stay registered and valid. *)

@@ -1,0 +1,87 @@
+(** A hand-rolled OCaml 5 domain pool: the shared on-node execution layer
+    under the hot engine kernels (the paper's "one machine abstraction
+    every activity exploits" applied to our own reproduction).
+
+    Design constraints, in order:
+
+    {ol
+    {- {b Determinism.} Chunk boundaries depend only on the iteration
+       range (never on the pool size or on which domain runs a chunk),
+       and {!map_reduce} combines per-chunk partials in ascending chunk
+       order. A kernel routed through the pool therefore produces
+       bit-identical floating-point results for {e any} [ICOE_DOMAINS]
+       setting — the property the CI determinism diff enforces.}
+    {- {b Reuse.} The global pool is created once (first use) and reused;
+       worker domains block on a condition variable between jobs.}
+    {- {b Graceful serial fallback.} A pool of size 1 never spawns
+       domains and runs chunks in ascending order in the caller — the
+       exact serial path.}}
+
+    Work distribution inside one job is dynamic (workers claim chunk
+    indices from an atomic counter), which balances load without
+    affecting results: every chunk writes disjoint state or produces a
+    partial stored at its chunk index.
+
+    Nested calls (a pooled kernel invoked from inside a chunk) do not
+    deadlock: the inner call detects the active job and degrades to the
+    serial path, which is bit-identical anyway. *)
+
+type t
+(** A pool of domains. The caller participates in every job, so a pool
+    of size [n] uses [n - 1] spawned worker domains. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] workers (default: the
+    global default, see {!default_domains}). [domains] is clamped to
+    [\[1, 128\]]. Pools must be {!shutdown} (or created via
+    {!with_pool}) to let the process exit. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers. Idempotent. After shutdown the pool runs
+    everything serially. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down
+    afterwards (also on exceptions). *)
+
+val size : t -> int
+(** Number of domains working on a job, caller included ([>= 1]). *)
+
+val default_domains : unit -> int
+(** The [ICOE_DOMAINS] environment variable if set to a positive
+    integer, else [Domain.recommended_domain_count ()]. [1] means
+    "exactly serial". *)
+
+val get : unit -> t
+(** The global shared pool, created from {!default_domains} on first
+    use and torn down [at_exit]. All engine kernels route through it. *)
+
+val default_chunk : int -> int
+(** [default_chunk n] is the chunk size used when [?chunk] is omitted:
+    [max 16 ((n + 63) / 64)] — at most 64 chunks, at least 16 iterations
+    each. A function of the range length only, never of the pool. *)
+
+val parallel_for :
+  ?pool:t -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~lo ~hi f] calls [f i] once for each [lo <= i < hi].
+    Within a chunk, indices run in ascending order. [f] must write only
+    state disjoint from other iterations (and must not touch the metrics
+    registry — counters are not atomic). Empty ranges are no-ops. *)
+
+val parallel_for_chunks :
+  ?pool:t -> ?chunk:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for_chunks ~lo ~hi f] calls [f clo chi] once per chunk
+    with [lo <= clo < chi <= hi]; the callback owns the half-open range
+    [\[clo, chi)]. Lower per-iteration overhead than {!parallel_for} for
+    row-blocked kernels. *)
+
+val map_reduce :
+  ?pool:t -> ?chunk:int -> lo:int -> hi:int ->
+  combine:('a -> 'a -> 'a) -> init:'a -> (int -> int -> 'a) -> 'a
+(** [map_reduce ~lo ~hi ~combine ~init map] computes
+    [combine (... (combine init p0) ...) p_(k-1)] where [p_k] is
+    [map clo chi] of the [k]-th chunk. The combine order is always
+    ascending chunk index, so floating-point reductions are
+    deterministic for any pool size. [combine] runs in the caller and
+    may mutate and return its first argument. Empty ranges return
+    [init]. *)

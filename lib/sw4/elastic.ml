@@ -38,10 +38,9 @@ let margin = 4
 (** Compute accelerations (ax, ay) from displacements (ux, uy).
     All arrays are full-grid; only the interior beyond [margin] is
     written. *)
-let acceleration (g : Grid.t) s ~ux ~uy ~ax ~ay =
-  let nx = g.Grid.nx and ny = g.Grid.ny in
-  (* stress pass: needs a 2-wide halo inside the boundary *)
-  for j = 2 to ny - 3 do
+let stress_rows (g : Grid.t) s ~ux ~uy jlo jhi =
+  let nx = g.Grid.nx in
+  for j = jlo to jhi - 1 do
     for i = 2 to nx - 3 do
       let k = Grid.idx g i j in
       let dux_dx = d1x g ux i j and dux_dy = d1y g ux i j in
@@ -51,9 +50,11 @@ let acceleration (g : Grid.t) s ~ux ~uy ~ax ~ay =
       s.syy.(k) <- (lam *. (dux_dx +. duy_dy)) +. (2.0 *. mu *. duy_dy);
       s.sxy.(k) <- mu *. (dux_dy +. duy_dx)
     done
-  done;
-  (* divergence pass *)
-  for j = margin to ny - 1 - margin do
+  done
+
+let divergence_rows (g : Grid.t) s ~ax ~ay jlo jhi =
+  let nx = g.Grid.nx in
+  for j = jlo to jhi - 1 do
     for i = margin to nx - 1 - margin do
       let k = Grid.idx g i j in
       let fx = d1x g s.sxx i j +. d1y g s.sxy i j in
@@ -62,6 +63,31 @@ let acceleration (g : Grid.t) s ~ux ~uy ~ax ~ay =
       ay.(k) <- fy /. g.Grid.rho.(k)
     done
   done
+
+(* Rows per pool chunk. A fixed constant (never derived from the pool
+   size) keeps the chunk layout — and hence scheduling — deterministic;
+   writes are row-disjoint, so results are bit-identical to the serial
+   sweep for any ICOE_DOMAINS. *)
+let row_chunk = 8
+
+let acceleration (g : Grid.t) s ~ux ~uy ~ax ~ay =
+  let ny = g.Grid.ny in
+  (* stress pass: needs a 2-wide halo inside the boundary. The pass must
+     complete before the divergence reads the stresses, hence two pooled
+     sweeps with an implicit barrier between them. *)
+  Icoe_par.Pool.parallel_for_chunks ~chunk:row_chunk ~lo:2 ~hi:(ny - 2)
+    (fun jlo jhi -> stress_rows g s ~ux ~uy jlo jhi);
+  (* divergence pass *)
+  Icoe_par.Pool.parallel_for_chunks ~chunk:row_chunk ~lo:margin
+    ~hi:(ny - margin)
+    (fun jlo jhi -> divergence_rows g s ~ax ~ay jlo jhi)
+
+(** Serial reference evaluation of the same operator (bit-identical to
+    {!acceleration}; the agreement tests pin this down). *)
+let acceleration_seq (g : Grid.t) s ~ux ~uy ~ax ~ay =
+  let ny = g.Grid.ny in
+  stress_rows g s ~ux ~uy 2 (ny - 2);
+  divergence_rows g s ~ax ~ay margin (ny - margin)
 
 (** Flop/byte volume of one full-grid acceleration evaluation, used by the
     device pricing. Two 4th-order stencil sweeps over ~n points. *)

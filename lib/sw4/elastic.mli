@@ -15,11 +15,22 @@ val make_scratch : Grid.t -> scratch
 val margin : int
 (** Cells near the boundary held fixed (the wide stencil can't reach). *)
 
+val row_chunk : int
+(** Grid rows per pool chunk — a fixed constant so the chunk layout is
+    deterministic for any pool size. *)
+
 val acceleration :
   Grid.t -> scratch -> ux:float array -> uy:float array -> ax:float array ->
   ay:float array -> unit
 (** Stress pass then divergence pass; writes the interior beyond
-    [margin]. *)
+    [margin]. Both passes are row-parallel on the {!Icoe_par.Pool} with
+    a barrier in between; writes are row-disjoint, so the result is
+    bit-identical to {!acceleration_seq} for any pool size. *)
+
+val acceleration_seq :
+  Grid.t -> scratch -> ux:float array -> uy:float array -> ax:float array ->
+  ay:float array -> unit
+(** Serial reference evaluation of the same operator. *)
 
 val work : Grid.t -> Hwsim.Kernel.t
 (** Flop/byte volume of one full-grid evaluation. *)

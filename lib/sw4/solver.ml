@@ -84,23 +84,28 @@ let step t =
   let dt2 = t.dt *. t.dt in
   let g = t.grid in
   let m = Elastic.margin in
-  for j = m to g.Grid.ny - 1 - m do
-    for i = m to g.Grid.nx - 1 - m do
-      let k = Grid.idx g i j in
-      let d = t.damping.(k) in
-      (* damped leapfrog: the taper bleeds energy out of the velocity *)
-      let unew =
-        t.ux.(k) +. (d *. (t.ux.(k) -. t.ux_prev.(k))) +. (dt2 *. t.ax.(k))
-      in
-      let vnew =
-        t.uy.(k) +. (d *. (t.uy.(k) -. t.uy_prev.(k))) +. (dt2 *. t.ay.(k))
-      in
-      t.ux_prev.(k) <- t.ux.(k);
-      t.uy_prev.(k) <- t.uy.(k);
-      t.ux.(k) <- unew;
-      t.uy.(k) <- vnew
-    done
-  done;
+  (* row-parallel on the pool: each grid point reads and writes only its
+     own entries, so the update is bit-identical for any ICOE_DOMAINS *)
+  Icoe_par.Pool.parallel_for_chunks ~chunk:Elastic.row_chunk ~lo:m
+    ~hi:(g.Grid.ny - m)
+    (fun jlo jhi ->
+      for j = jlo to jhi - 1 do
+        for i = m to g.Grid.nx - 1 - m do
+          let k = Grid.idx g i j in
+          let d = t.damping.(k) in
+          (* damped leapfrog: the taper bleeds energy out of the velocity *)
+          let unew =
+            t.ux.(k) +. (d *. (t.ux.(k) -. t.ux_prev.(k))) +. (dt2 *. t.ax.(k))
+          in
+          let vnew =
+            t.uy.(k) +. (d *. (t.uy.(k) -. t.uy_prev.(k))) +. (dt2 *. t.ay.(k))
+          in
+          t.ux_prev.(k) <- t.ux.(k);
+          t.uy_prev.(k) <- t.uy.(k);
+          t.ux.(k) <- unew;
+          t.uy.(k) <- vnew
+        done
+      done);
   t.time <- t.time +. t.dt;
   t.steps <- t.steps + 1;
   Icoe_obs.Metrics.inc m_steps;

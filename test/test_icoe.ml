@@ -1,5 +1,5 @@
 (* Tests for the aggregation layer: the activity registry and the
-   experiment harnesses behind the bench executable. *)
+   experiment harness registry behind the bench executable. *)
 
 let test_registry_complete () =
   (* nine completed activities, as in Table 1 *)
@@ -19,7 +19,7 @@ let test_registry_complete () =
     [ "Cardioid"; "Cretin"; "ParaDyn"; "Seismic (SW4)" ]
 
 let test_experiment_ids_unique () =
-  let ids = List.map (fun (i, _, _) -> i) Icoe.Experiments.all in
+  let ids = Icoe.Harness_registry.ids () in
   Alcotest.(check int) "no duplicate ids"
     (List.length ids)
     (List.length (List.sort_uniq compare ids));
@@ -29,22 +29,75 @@ let test_experiment_ids_unique () =
          "table5"; "fig9" ])
 
 let test_find () =
-  Alcotest.(check bool) "finds fig8" true (Icoe.Experiments.find "fig8" <> None);
-  Alcotest.(check bool) "rejects nonsense" true (Icoe.Experiments.find "nope" = None)
+  Alcotest.(check bool) "finds fig8" true
+    (Option.is_some (Icoe.Harness_registry.find "fig8"));
+  Alcotest.(check bool) "rejects nonsense" true
+    (Option.is_none (Icoe.Harness_registry.find "nope"))
+
+let test_tags () =
+  (* every harness carries a kind tag and an activity tag *)
+  List.iter
+    (fun (h : Icoe.Harness.t) ->
+      Alcotest.(check bool)
+        (h.id ^ " has a kind tag")
+        true
+        (List.exists (fun t -> List.mem t h.tags) [ "figure"; "table"; "study" ]);
+      Alcotest.(check bool)
+        (h.id ^ " has an activity tag")
+        true
+        (List.exists
+           (fun t -> Astring.String.is_prefix ~affix:"activity:" t)
+           h.tags))
+    Icoe.Harness_registry.all;
+  (* the traced set is exactly the span-instrumented harnesses *)
+  Alcotest.(check (list string)) "traced set"
+    [ "fig2"; "table2"; "fig8"; "table4" ]
+    (List.map (fun (h : Icoe.Harness.t) -> h.id) (Icoe.Harness_registry.traced ()))
 
 let test_fast_harnesses_produce_output () =
   (* the cheap harnesses run in milliseconds; check they render *)
   List.iter
     (fun id ->
-      match Icoe.Experiments.find id with
+      match Icoe.Harness_registry.find id with
       | None -> Alcotest.fail ("missing " ^ id)
-      | Some (_, _, f) ->
-          let out = f () in
-          Alcotest.(check bool) (id ^ " nonempty") true (String.length out > 100))
+      | Some h ->
+          let o = h.Icoe.Harness.run () in
+          Alcotest.(check bool) (id ^ " nonempty") true
+            (String.length o.Icoe.Harness.report > 100))
     [ "table1"; "fig3"; "fig6"; "gpudirect"; "table5" ]
 
+let test_traced_harness_outcome () =
+  (* a traced harness returns its spans in the outcome, scoped to the
+     run (nothing leaks into a following untraced run) *)
+  match Icoe.Harness_registry.find "table2" with
+  | None -> Alcotest.fail "missing table2"
+  | Some h ->
+      let o = h.Icoe.Harness.run () in
+      Alcotest.(check bool) "table2 recorded a trace" true
+        (o.Icoe.Harness.traces <> []);
+      Alcotest.(check bool) "simulated seconds > 0" true
+        (Icoe.Harness.simulated_seconds o > 0.0);
+      let untraced =
+        match Icoe.Harness_registry.find "gpudirect" with
+        | Some h -> h.Icoe.Harness.run ()
+        | None -> Alcotest.fail "missing gpudirect"
+      in
+      Alcotest.(check int) "untraced harness has no spans" 0
+        (List.length untraced.Icoe.Harness.traces)
+
+let test_outcome_metrics_delta () =
+  (* the outcome's metrics are a delta: running an engine-backed harness
+     surfaces only what that run added *)
+  match Icoe.Harness_registry.find "md" with
+  | None -> Alcotest.fail "missing md"
+  | Some h ->
+      let o = h.Icoe.Harness.run () in
+      if Icoe_obs.Metrics.is_enabled () then
+        Alcotest.(check bool) "md run produced metric deltas" true
+          (o.Icoe.Harness.metrics <> [])
+
 let test_run_all_mentions_every_result () =
-  let out = Icoe.Experiments.run_all () in
+  let out = Icoe.Harness_registry.run_all () in
   List.iter
     (fun needle ->
       Alcotest.(check bool) (needle ^ " in report") true
@@ -63,7 +116,10 @@ let () =
         [
           Alcotest.test_case "ids unique" `Quick test_experiment_ids_unique;
           Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "tags" `Quick test_tags;
           Alcotest.test_case "fast harnesses" `Quick test_fast_harnesses_produce_output;
+          Alcotest.test_case "traced outcome" `Quick test_traced_harness_outcome;
+          Alcotest.test_case "metrics delta" `Quick test_outcome_metrics_delta;
           Alcotest.test_case "run all" `Slow test_run_all_mentions_every_result;
         ] );
     ]

@@ -1,0 +1,266 @@
+(* The domain pool and the parallel-equals-serial contract.
+
+   Two layers of evidence:
+   - qcheck properties that Icoe_par.Pool.parallel_for / map_reduce
+     match the serial loop / chunk-ordered fold bitwise for arbitrary
+     range sizes (including empty), chunkings and pool sizes; and
+   - exact-agreement tests for every engine kernel routed through the
+     pool (spmv, SW4 acceleration, Cardioid reaction, ddcMD forces, LDA
+     E-step): the parallel path must equal its serial reference
+     float-for-float, whatever ICOE_DOMAINS says. *)
+
+module Pool = Icoe_par.Pool
+
+(* the reference map_reduce: same chunk layout, ascending, in one domain *)
+let serial_map_reduce ~chunk ~lo ~hi ~combine ~init map =
+  let acc = ref init in
+  let clo = ref lo in
+  while !clo < hi do
+    let chi = min hi (!clo + chunk) in
+    acc := combine !acc (map !clo chi);
+    clo := chi
+  done;
+  !acc
+
+let prop_parallel_for =
+  QCheck.Test.make ~name:"parallel_for matches the serial loop" ~count:80
+    QCheck.(triple (int_bound 400) (int_range 1 60) (int_range 1 4))
+    (fun (n, chunk, domains) ->
+      let expect = Array.init (max n 1) (fun i -> if i < n then i * i else 0) in
+      let got = Array.make (max n 1) 0 in
+      Pool.with_pool ~domains (fun pool ->
+          Pool.parallel_for ~pool ~chunk ~lo:0 ~hi:n (fun i ->
+              got.(i) <- i * i));
+      (if n = 0 then expect.(0) <- 0);
+      got = expect)
+
+let prop_parallel_for_chunks_partition =
+  QCheck.Test.make ~name:"parallel_for_chunks partitions the range" ~count:80
+    QCheck.(triple (int_bound 400) (int_range 1 60) (int_range 1 4))
+    (fun (n, chunk, domains) ->
+      let hits = Array.make (max n 1) 0 in
+      Pool.with_pool ~domains (fun pool ->
+          Pool.parallel_for_chunks ~pool ~chunk ~lo:0 ~hi:n (fun clo chi ->
+              for i = clo to chi - 1 do
+                hits.(i) <- hits.(i) + 1
+              done));
+      Array.for_all (fun c -> c = 1) (Array.sub hits 0 n))
+
+let prop_map_reduce =
+  QCheck.Test.make
+    ~name:"map_reduce equals the chunk-ordered fold bitwise" ~count:80
+    QCheck.(triple (int_bound 400) (int_range 1 60) (int_range 1 4))
+    (fun (n, chunk, domains) ->
+      (* a sum where float rounding makes the combine order observable *)
+      let map lo hi =
+        let s = ref 0.0 in
+        for i = lo to hi - 1 do
+          s := !s +. (1.0 /. (float_of_int i +. 1.0))
+        done;
+        !s
+      in
+      let expect =
+        serial_map_reduce ~chunk ~lo:0 ~hi:n ~combine:( +. ) ~init:0.0 map
+      in
+      let got =
+        Pool.with_pool ~domains (fun pool ->
+            Pool.map_reduce ~pool ~chunk ~lo:0 ~hi:n ~combine:( +. ) ~init:0.0
+              map)
+      in
+      Float.equal got expect)
+
+let prop_map_reduce_default_chunk =
+  QCheck.Test.make
+    ~name:"map_reduce default chunking is pool-size independent" ~count:40
+    QCheck.(pair (int_bound 2000) (int_range 2 4))
+    (fun (n, domains) ->
+      let map lo hi =
+        let s = ref 0.0 in
+        for i = lo to hi - 1 do
+          s := !s +. sin (float_of_int i)
+        done;
+        !s
+      in
+      let serial =
+        Pool.with_pool ~domains:1 (fun pool ->
+            Pool.map_reduce ~pool ~lo:0 ~hi:n ~combine:( +. ) ~init:0.0 map)
+      in
+      let par =
+        Pool.with_pool ~domains (fun pool ->
+            Pool.map_reduce ~pool ~lo:0 ~hi:n ~combine:( +. ) ~init:0.0 map)
+      in
+      Float.equal serial par)
+
+let test_empty_ranges () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Pool.parallel_for ~pool ~lo:0 ~hi:0 (fun _ -> Alcotest.fail "ran on empty");
+      Pool.parallel_for ~pool ~lo:7 ~hi:3 (fun _ -> Alcotest.fail "ran on inverted");
+      Alcotest.(check (float 0.0)) "empty map_reduce returns init" 42.0
+        (Pool.map_reduce ~pool ~lo:5 ~hi:5 ~combine:( +. ) ~init:42.0
+           (fun _ _ -> Alcotest.fail "mapped on empty")))
+
+let test_exception_propagates () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "worker exception reraised in caller"
+        (Failure "chunk 57")
+        (fun () ->
+          Pool.parallel_for ~pool ~chunk:1 ~lo:0 ~hi:100 (fun i ->
+              if i = 57 then failwith "chunk 57"));
+      (* the pool survives a failed job *)
+      let s = ref 0 in
+      Pool.parallel_for ~pool ~lo:0 ~hi:10 (fun _ -> ignore s);
+      Alcotest.(check int) "pool still works" 10
+        (Pool.map_reduce ~pool ~chunk:3 ~lo:0 ~hi:10 ~combine:( + ) ~init:0
+           (fun lo hi -> hi - lo)))
+
+let test_nested_calls () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let grid = Array.make_matrix 8 64 0 in
+      Pool.parallel_for ~pool ~chunk:1 ~lo:0 ~hi:8 (fun r ->
+          (* inner call from a worker chunk: degrades to serial, same result *)
+          Pool.parallel_for ~pool ~chunk:8 ~lo:0 ~hi:64 (fun c ->
+              grid.(r).(c) <- (r * 64) + c));
+      Alcotest.(check bool) "nested writes all landed" true
+        (Array.for_all Fun.id
+           (Array.mapi
+              (fun r row -> Array.for_all Fun.id (Array.mapi (fun c v -> v = (r * 64) + c) row))
+              grid)))
+
+let test_pool_sizing () =
+  Pool.with_pool ~domains:1 (fun p -> Alcotest.(check int) "size 1" 1 (Pool.size p));
+  Pool.with_pool ~domains:3 (fun p -> Alcotest.(check int) "size 3" 3 (Pool.size p));
+  let p = Pool.create ~domains:2 () in
+  Pool.shutdown p;
+  Alcotest.(check int) "shut-down pool is serial" 1 (Pool.size p);
+  (* still usable, serially *)
+  Alcotest.(check int) "serial fallback works" 45
+    (Pool.map_reduce ~pool:p ~chunk:4 ~lo:0 ~hi:10 ~combine:( + ) ~init:0
+       (fun lo hi ->
+         let s = ref 0 in
+         for i = lo to hi - 1 do s := !s + i done;
+         !s))
+
+let test_default_chunk () =
+  Alcotest.(check int) "small ranges one big chunk" 16 (Pool.default_chunk 10);
+  Alcotest.(check int) "64-way split beyond 1024" 32 (Pool.default_chunk 2048);
+  Alcotest.(check bool) "at most 64 chunks" true
+    (let n = 100_000 in
+     (n + Pool.default_chunk n - 1) / Pool.default_chunk n <= 64)
+
+(* --- parallel kernels equal their serial references, bitwise --- *)
+
+let check_float_array name a b =
+  Alcotest.(check int) (name ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Float.equal x b.(i)) then
+        Alcotest.failf "%s differs at %d: %.17g vs %.17g" name i x b.(i))
+    a
+
+let test_spmv_agreement () =
+  let a = Linalg.Csr.laplacian_2d 32 32 in
+  let n = 32 * 32 in
+  Alcotest.(check bool) "above the parallel threshold" true
+    (n >= Linalg.Csr.spmv_par_threshold);
+  let rng = Icoe_util.Rng.create 17 in
+  let x = Array.init n (fun _ -> Icoe_util.Rng.uniform rng (-1.0) 1.0) in
+  let y_par = Array.make n nan in
+  let y_seq = Array.make n nan in
+  Linalg.Csr.spmv_into a x y_par;
+  Linalg.Csr.spmv_seq_into a x y_seq;
+  check_float_array "spmv" y_par y_seq
+
+let test_sw4_acceleration_agreement () =
+  let g = Sw4.Grid.create ~nx:48 ~ny:40 ~h:100.0 in
+  Sw4.Grid.homogeneous g ~rho:2500.0 ~vp:5000.0 ~vs:2500.0;
+  let n = 48 * 40 in
+  let rng = Icoe_util.Rng.create 23 in
+  let ux = Array.init n (fun _ -> Icoe_util.Rng.uniform rng (-1e-3) 1e-3) in
+  let uy = Array.init n (fun _ -> Icoe_util.Rng.uniform rng (-1e-3) 1e-3) in
+  let ax_p = Array.make n 0.0 and ay_p = Array.make n 0.0 in
+  let ax_s = Array.make n 0.0 and ay_s = Array.make n 0.0 in
+  Sw4.Elastic.acceleration g (Sw4.Elastic.make_scratch g) ~ux ~uy ~ax:ax_p ~ay:ay_p;
+  Sw4.Elastic.acceleration_seq g (Sw4.Elastic.make_scratch g) ~ux ~uy ~ax:ax_s ~ay:ay_s;
+  check_float_array "sw4 ax" ax_p ax_s;
+  check_float_array "sw4 ay" ay_p ay_s
+
+let test_cardioid_reaction_agreement () =
+  let mk () =
+    let m = Cardioid.Monodomain.create ~nx:20 ~ny:12 () in
+    Cardioid.Monodomain.stimulate m ~ilo:0 ~ihi:2 ~jlo:0 ~jhi:11 ~amplitude:60.0;
+    m
+  in
+  let m_par = mk () and m_seq = mk () in
+  for _ = 1 to 3 do
+    Cardioid.Monodomain.reaction_step m_par;
+    Cardioid.Monodomain.reaction_step_seq m_seq
+  done;
+  check_float_array "cardioid v" m_par.Cardioid.Monodomain.v m_seq.Cardioid.Monodomain.v;
+  Array.iteri
+    (fun k s -> check_float_array (Fmt.str "cardioid state %d" k) s m_seq.Cardioid.Monodomain.state.(k))
+    m_par.Cardioid.Monodomain.state
+
+let test_md_forces_agreement () =
+  let mk () =
+    let rng = Icoe_util.Rng.create 31 in
+    let p = Ddcmd.Particles.create ~n:216 ~box:7.5 in
+    Ddcmd.Particles.lattice_init p;
+    Ddcmd.Particles.thermalize p ~rng ~temp:0.7;
+    Ddcmd.Engine.create ~dt:0.004 ~potential:(Ddcmd.Potential.lennard_jones ()) p
+  in
+  let e_par = mk () and e_seq = mk () in
+  Ddcmd.Engine.compute_forces e_par;
+  Ddcmd.Engine.compute_forces_seq e_seq;
+  check_float_array "md fx" e_par.Ddcmd.Engine.p.Ddcmd.Particles.fx
+    e_seq.Ddcmd.Engine.p.Ddcmd.Particles.fx;
+  check_float_array "md fy" e_par.Ddcmd.Engine.p.Ddcmd.Particles.fy
+    e_seq.Ddcmd.Engine.p.Ddcmd.Particles.fy;
+  check_float_array "md fz" e_par.Ddcmd.Engine.p.Ddcmd.Particles.fz
+    e_seq.Ddcmd.Engine.p.Ddcmd.Particles.fz;
+  Alcotest.(check bool) "md epot equal" true
+    (Float.equal e_par.Ddcmd.Engine.pot_energy e_seq.Ddcmd.Engine.pot_energy);
+  Alcotest.(check bool) "md virial equal" true
+    (Float.equal e_par.Ddcmd.Engine.virial e_seq.Ddcmd.Engine.virial);
+  Alcotest.(check int) "md pair count equal" e_par.Ddcmd.Engine.pair_count
+    e_seq.Ddcmd.Engine.pair_count
+
+let test_lda_estep_agreement () =
+  let rng = Icoe_util.Rng.create 41 in
+  let corpus = Lda.Corpus.generate ~ndocs:24 ~rng () in
+  let m = Lda.Vem.init ~rng ~k:corpus.Lda.Corpus.k_true ~vocab:corpus.Lda.Corpus.vocab () in
+  let elogb = Lda.Vem.elog_beta m in
+  let k = corpus.Lda.Corpus.k_true and vocab = corpus.Lda.Corpus.vocab in
+  let s_par = Array.make_matrix k vocab 0.0 in
+  let s_seq = Array.make_matrix k vocab 0.0 in
+  let ll_par = Lda.Vem.e_step_docs m elogb corpus.Lda.Corpus.docs s_par in
+  let ll_seq = Lda.Vem.e_step_docs_seq m elogb corpus.Lda.Corpus.docs s_seq in
+  Alcotest.(check bool) "lda loglik equal" true (Float.equal ll_par ll_seq);
+  Array.iteri
+    (fun t row -> check_float_array (Fmt.str "lda stats %d" t) row s_seq.(t))
+    s_par
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_parallel_for; prop_parallel_for_chunks_partition; prop_map_reduce;
+      prop_map_reduce_default_chunk ]
+
+let () =
+  Alcotest.run "par"
+    [
+      ("properties", qsuite);
+      ( "pool",
+        [
+          Alcotest.test_case "empty ranges" `Quick test_empty_ranges;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "nested calls" `Quick test_nested_calls;
+          Alcotest.test_case "sizing + shutdown" `Quick test_pool_sizing;
+          Alcotest.test_case "default chunk" `Quick test_default_chunk;
+        ] );
+      ( "kernels-parallel-equals-serial",
+        [
+          Alcotest.test_case "spmv" `Quick test_spmv_agreement;
+          Alcotest.test_case "sw4 acceleration" `Quick test_sw4_acceleration_agreement;
+          Alcotest.test_case "cardioid reaction" `Quick test_cardioid_reaction_agreement;
+          Alcotest.test_case "ddcmd forces" `Quick test_md_forces_agreement;
+          Alcotest.test_case "lda e-step" `Quick test_lda_estep_agreement;
+        ] );
+    ]
