@@ -171,6 +171,36 @@ let bench_par_lda_estep =
          let stats = Array.make_matrix 6 corpus.Lda.Corpus.vocab 0.0 in
          ignore (Lda.Vem.e_step_docs m elogb corpus.Lda.Corpus.docs stats)))
 
+(* fault/* benchmarks: the resilience layer's hot paths — drawing a full
+   seeded fault schedule, driving the checkpoint/restart loop over a
+   trivial engine, and a bounded-retry cycle with deterministic jitter. *)
+
+let bench_fault_plan =
+  Test.make ~name:"fault/plan-generate"
+    (Staged.stage (fun () ->
+         ignore
+           (Icoe_fault.Plan.generate ~seed:42 Icoe_fault.Plan.default_config)))
+
+let bench_fault_checkpoint =
+  let plan =
+    Icoe_fault.Plan.for_run (Icoe_fault.Plan.spec 42) ~ideal_s:100.0 ~nodes:16
+  in
+  Test.make ~name:"fault/checkpoint-driver-100"
+    (Staged.stage (fun () ->
+         ignore
+           (Icoe_fault.Checkpoint.run ~plan ~step_cost_s:1.0
+              ~checkpoint_cost_s:0.25 ~interval:10 ~steps:100
+              ~snapshot:(fun () -> ())
+              ~restore:ignore ~step:ignore ())))
+
+let bench_fault_retry =
+  Test.make ~name:"fault/retry-giveup"
+    (Staged.stage (fun () ->
+         let rng = Icoe_util.Rng.create 3 in
+         ignore
+           (Icoe_fault.Retry.run ~rng ~charge:ignore (fun ~attempt:_ ->
+                Error ()))))
+
 (** Run every microbenchmark; returns (kernel name, ns/run estimate)
     newest last, printing the table as it goes. *)
 let microbenchmarks () =
@@ -181,6 +211,7 @@ let microbenchmarks () =
       bench_lda_estep; bench_rate_matrix; bench_cleverleaf; bench_mlp;
       bench_paradyn; bench_topopt_apply; bench_par_spmv; bench_par_sw4_rhs;
       bench_par_reaction; bench_par_md_forces; bench_par_lda_estep;
+      bench_fault_plan; bench_fault_checkpoint; bench_fault_retry;
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -230,7 +261,24 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_bench_json ~harnesses kernels =
+(* Seeded resilience runs for the trajectory: always emitted (also under
+   --micro-only, which CI uses), so every BENCH_<id>.json carries the
+   fault-injection acceptance numbers. Deterministic for the fixed
+   seed. *)
+let fault_rows () =
+  let spec = Icoe_fault.Plan.spec 42 in
+  List.map
+    (fun (id, run) ->
+      let _plan, interval, (rep : Icoe_fault.Checkpoint.report), identical =
+        run spec
+      in
+      (id, interval, rep, identical))
+    [
+      ("sw4", Icoe.Harness_sw4.resilience_run);
+      ("cardioid", Icoe.Harness_cardioid.resilience_run);
+    ]
+
+let write_bench_json ~harnesses ~faults kernels =
   let id =
     match Sys.getenv_opt "BENCH_ID" with
     | Some s when s <> "" -> s
@@ -261,6 +309,24 @@ let write_bench_json ~harnesses kernels =
           Fmt.kstr (Buffer.add_string buf)
             "    {\"name\": \"%s\", \"ns_per_run\": null}" (json_escape name))
     kernels;
+  Buffer.add_string buf "\n  ],\n  \"faults\": [\n";
+  List.iteri
+    (fun i (fid, interval, (rep : Icoe_fault.Checkpoint.report), identical) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Fmt.kstr (Buffer.add_string buf)
+        "    {\"id\": \"%s\", \"seed\": 42, \"interval\": %d, \"injected\": \
+         %d, \"recovered\": %d, \"checkpoints\": %d, \"ideal_s\": %.17g, \
+         \"achieved_s\": %.17g, \"inflation\": %.17g, \
+         \"checkpoint_overhead_s\": %.17g, \"lost_work_s\": %.17g, \
+         \"identical\": %b}"
+        (json_escape fid) interval rep.Icoe_fault.Checkpoint.injected
+        rep.Icoe_fault.Checkpoint.recovered
+        rep.Icoe_fault.Checkpoint.checkpoints rep.Icoe_fault.Checkpoint.ideal_s
+        rep.Icoe_fault.Checkpoint.achieved_s
+        (Icoe_fault.Checkpoint.inflation rep)
+        rep.Icoe_fault.Checkpoint.checkpoint_overhead_s
+        rep.Icoe_fault.Checkpoint.lost_work_s identical)
+    faults;
   (* the kernels above ran the instrumented engines, so the registry
      snapshot records how much work each benchmark did (V-cycles, pair
      interactions, BFS edges, ...) alongside how long it took *)
@@ -317,4 +383,5 @@ let () =
   in
   Icoe_obs.Metrics.reset ();
   let kernels = microbenchmarks () in
-  write_bench_json ~harnesses kernels
+  let faults = fault_rows () in
+  write_bench_json ~harnesses ~faults kernels

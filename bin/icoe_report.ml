@@ -48,6 +48,16 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let faults_arg =
+  let doc =
+    "Run under a seeded fault plan. Resilience-aware experiments (sw4, \
+     cardioid, resilience) derive a deterministic fault schedule from \
+     $(docv) and report injected failures, recoveries and \
+     time-to-solution inflation; everything is simulated time, so the \
+     output is bit-identical across repeats and ICOE_DOMAINS settings."
+  in
+  Arg.(value & opt (some int) None & info [ "faults" ] ~docv:"SEED" ~doc)
+
 let write_file file contents =
   match open_out file with
   | oc ->
@@ -107,7 +117,13 @@ let resolve_ids ids =
       end)
     expanded
 
-let run_ids ids trace_file metrics_file =
+let run_ids ids trace_file metrics_file faults_seed =
+  let with_faults body =
+    match faults_seed with
+    | None -> body ()
+    | Some seed -> Icoe_fault.Context.with_spec (Icoe_fault.Plan.spec seed) body
+  in
+  with_faults @@ fun () ->
   let ids = resolve_ids ids in
   (* start each invocation from a clean registry so the snapshot reflects
      exactly the requested experiments *)
@@ -145,12 +161,14 @@ let run_cmd =
   in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_ids $ ids $ trace_arg $ metrics_arg)
+    Term.(const run_ids $ ids $ trace_arg $ metrics_arg $ faults_arg)
 
 let () =
   let doc = "Reproduced experiments from the SC'19 iCoE paper" in
   let info = Cmd.info "icoe_report" ~version:"1.0" ~doc in
   let default =
-    Term.(const (fun tf mf -> run_ids [] tf mf) $ trace_arg $ metrics_arg)
+    Term.(
+      const (fun tf mf fs -> run_ids [] tf mf fs)
+      $ trace_arg $ metrics_arg $ faults_arg)
   in
   exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd ]))

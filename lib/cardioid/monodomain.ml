@@ -108,6 +108,22 @@ let run t ~steps =
     step t
   done
 
+(* --- checkpoint/restart support (Icoe_fault.Checkpoint) --- *)
+
+(** Full tissue state: every cell's ionic state row plus the voltage
+    field. [scratch] is rewritten by each diffusion half-step before
+    being read, so it is not part of the state. *)
+type snapshot = { c_state : float array array; c_v : float array }
+
+let snapshot t =
+  { c_state = Array.map Array.copy t.state; c_v = Array.copy t.v }
+
+let restore t s =
+  Array.iteri
+    (fun k row -> Array.blit s.c_state.(k) 0 row 0 (Array.length row))
+    t.state;
+  Array.blit s.c_v 0 t.v 0 (Array.length t.v)
+
 (** Has the excitation wave reached cell (i, j)? (voltage above -20 mV) *)
 let activated t ~i ~j = t.v.(idx t i j) > -20.0
 

@@ -47,6 +47,17 @@ val diffusion_step : t -> unit
 val step : t -> unit
 val run : t -> steps:int -> unit
 
+type snapshot
+(** Full tissue state: per-cell ionic state plus the voltage field. *)
+
+val snapshot : t -> snapshot
+(** Deep copy of the mutable state, for checkpoint/restart
+    ({!Icoe_fault.Checkpoint}). *)
+
+val restore : t -> snapshot -> unit
+(** Restore a snapshot taken from the same solver; stepping after a
+    restore replays bit-identically. *)
+
 val activated : t -> i:int -> j:int -> bool
 (** Voltage above -20 mV (the excitation wavefront marker). *)
 

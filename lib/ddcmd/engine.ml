@@ -288,3 +288,62 @@ let diffusion_coefficient ~vacf ~c0 ~dt_sample =
     integral := !integral +. (0.5 *. (vacf.(k) +. vacf.(k + 1)) *. dt_sample)
   done;
   c0 *. !integral /. 3.0
+
+(* --- checkpoint/restart support (Icoe_fault.Checkpoint) --- *)
+
+(** Full MD state: positions, velocities, forces, box size and the
+    engine accumulators. Cell lists are rebuilt per force call, so they
+    are not part of the state. *)
+type snapshot = {
+  s_box : float;
+  s_x : float array;
+  s_y : float array;
+  s_z : float array;
+  s_vx : float array;
+  s_vy : float array;
+  s_vz : float array;
+  s_fx : float array;
+  s_fy : float array;
+  s_fz : float array;
+  s_pot_energy : float;
+  s_virial : float;
+  s_steps : int;
+  s_pair_count : int;
+}
+
+let snapshot t =
+  let p = t.p in
+  {
+    s_box = p.Particles.box;
+    s_x = Array.copy p.Particles.x;
+    s_y = Array.copy p.Particles.y;
+    s_z = Array.copy p.Particles.z;
+    s_vx = Array.copy p.Particles.vx;
+    s_vy = Array.copy p.Particles.vy;
+    s_vz = Array.copy p.Particles.vz;
+    s_fx = Array.copy p.Particles.fx;
+    s_fy = Array.copy p.Particles.fy;
+    s_fz = Array.copy p.Particles.fz;
+    s_pot_energy = t.pot_energy;
+    s_virial = t.virial;
+    s_steps = t.steps;
+    s_pair_count = t.pair_count;
+  }
+
+let restore t s =
+  let p = t.p in
+  let blit src dst = Array.blit src 0 dst 0 (Array.length dst) in
+  p.Particles.box <- s.s_box;
+  blit s.s_x p.Particles.x;
+  blit s.s_y p.Particles.y;
+  blit s.s_z p.Particles.z;
+  blit s.s_vx p.Particles.vx;
+  blit s.s_vy p.Particles.vy;
+  blit s.s_vz p.Particles.vz;
+  blit s.s_fx p.Particles.fx;
+  blit s.s_fy p.Particles.fy;
+  blit s.s_fz p.Particles.fz;
+  t.pot_energy <- s.s_pot_energy;
+  t.virial <- s.s_virial;
+  t.steps <- s.s_steps;
+  t.pair_count <- s.s_pair_count

@@ -49,6 +49,19 @@ val run :
   ?langevin:float * float * Icoe_util.Rng.t -> ?berendsen:float * float ->
   t -> steps:int -> unit
 
+type snapshot
+(** Full MD state: positions, velocities, forces, box and engine
+    accumulators. *)
+
+val snapshot : t -> snapshot
+(** Deep copy of the mutable state, for checkpoint/restart
+    ({!Icoe_fault.Checkpoint}). *)
+
+val restore : t -> snapshot -> unit
+(** Restore a snapshot taken from the same engine; deterministic
+    stepping (e.g. NVE, or Langevin with a replayed rng) after a
+    restore replays bit-identically. *)
+
 val rdf : ?bins:int -> ?rmax:float -> t -> float array
 (** Radial distribution function g(r), normalized against the ideal-gas
     expectation — MuMMI's in-situ analysis staple. *)

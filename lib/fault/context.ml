@@ -1,0 +1,8 @@
+let active : Plan.spec option ref = ref None
+
+let current () = !active
+
+let with_spec spec f =
+  let prev = !active in
+  active := Some spec;
+  Fun.protect ~finally:(fun () -> active := prev) f

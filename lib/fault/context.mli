@@ -1,0 +1,12 @@
+(** Ambient fault spec, scoped around a harness run.
+
+    [icoe_report --faults <seed>] installs a {!Plan.spec} here;
+    harnesses that model resilience pick it up and derive a plan
+    matched to their own simulated time scale with {!Plan.for_run}.
+    Harnesses that ignore faults are unaffected. *)
+
+val current : unit -> Plan.spec option
+
+val with_spec : Plan.spec -> (unit -> 'a) -> 'a
+(** Install the spec for the duration of [f] (exception-safe,
+    restores the previous value; nesting is allowed). *)

@@ -13,10 +13,12 @@ type t = {
 
 let pp ppf l = Fmt.pf ppf "%s(%.1fus, %.0f GB/s)" l.name (l.latency_s *. 1e6) l.bw_gbs
 
-(** Time to move [bytes] across the link. *)
+(** Time to move [bytes] across the link; an empty transfer costs
+    nothing (no message, no latency). *)
 let transfer_time l ~bytes =
   assert (bytes >= 0.0);
-  l.latency_s +. (bytes /. (l.bw_gbs *. 1e9))
+  if bytes = 0.0 then 0.0
+  else l.latency_s +. (bytes /. (l.bw_gbs *. 1e9))
 
 (** PCIe gen3 x16, the pre-EA clusters' host link. *)
 let pcie3 = { name = "PCIe3"; latency_s = 10e-6; bw_gbs = 12.0 }
@@ -34,12 +36,18 @@ let cuda_memcpy = { name = "cudaMemcpy"; latency_s = 7e-6; bw_gbs = 75.0 }
 let gpudirect = { name = "GPUDirect"; latency_s = 1.2e-6; bw_gbs = 8.0 }
 
 (** CUDA Unified Memory migrates in 64 KiB blocks: a transfer of n bytes
-    moves ceil(n / 64K) pages, each paying a page-fault service latency. *)
+    moves ceil(n / 64K) pages, each paying a page-fault service latency
+    plus its wire time. The fault-service cost replaces the link setup
+    latency (each page fault is its own round trip), so the rounded-up
+    tail page is not additionally charged [latency_s]; zero bytes move
+    zero pages and cost nothing. *)
 let unified_memory_transfer ~link ~bytes =
+  assert (bytes >= 0.0);
   let page = 65536.0 in
   let pages = Float.ceil (bytes /. page) in
   let fault_cost = 3e-6 in
-  (pages *. fault_cost) +. transfer_time link ~bytes:(pages *. page)
+  if pages = 0.0 then 0.0
+  else (pages *. fault_cost) +. (pages *. page /. (link.bw_gbs *. 1e9))
 
 (** EDR InfiniBand node interconnect (per-port). *)
 let ib_edr = { name = "IB-EDR"; latency_s = 1.0e-6; bw_gbs = 12.5 }

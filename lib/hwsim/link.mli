@@ -13,7 +13,9 @@ type t = {
 val pp : Format.formatter -> t -> unit
 
 val transfer_time : t -> bytes:float -> float
-(** Time to move [bytes] across the link (latency + bytes/bandwidth). *)
+(** Time to move [bytes] across the link (latency + bytes/bandwidth).
+    An empty transfer costs 0: no message is sent, so no latency is
+    paid. *)
 
 val pcie3 : t
 val nvlink1 : t
@@ -29,7 +31,9 @@ val gpudirect : t
 
 val unified_memory_transfer : link:t -> bytes:float -> float
 (** CUDA Unified Memory migrates 64 KiB pages; a transfer moves whole
-    pages, each paying a fault-service latency. *)
+    pages, each paying a fault-service latency plus its wire time. The
+    per-page fault cost replaces the link setup latency (no
+    double-charge on the rounded-up tail page); zero bytes cost 0. *)
 
 val ib_edr : t
 val ib_dual_edr : t

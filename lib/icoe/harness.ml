@@ -4,6 +4,7 @@ type outcome = {
   report : string;
   traces : (string * Hwsim.Trace.t) list;
   metrics : Icoe_obs.Metrics.sample list;
+  faults : (string * Icoe_fault.Checkpoint.report) list;
 }
 
 type t = {
@@ -19,17 +20,25 @@ let section title body = Fmt.str "### %s\n%s\n" title body
    one at a time in the caller's domain (pool workers never run harness
    code), so a single scoped ref suffices. *)
 let current : (string * Hwsim.Trace.t) list ref = ref []
+let current_faults : (string * Icoe_fault.Checkpoint.report) list ref = ref []
 let active = ref false
 
 let record_trace name tr = if !active then current := (name, tr) :: !current
 
+let record_faults name r =
+  if !active then current_faults := (name, r) :: !current_faults
+
 let make ~id ~description ?(tags = []) f =
   let run () =
-    let saved_traces = !current and saved_active = !active in
+    let saved_traces = !current
+    and saved_faults = !current_faults
+    and saved_active = !active in
     current := [];
+    current_faults := [];
     active := true;
     let restore () =
       current := saved_traces;
+      current_faults := saved_faults;
       active := saved_active
     in
     Fun.protect ~finally:restore (fun () ->
@@ -40,6 +49,7 @@ let make ~id ~description ?(tags = []) f =
           report;
           traces = List.rev !current;
           metrics = Icoe_obs.Metrics.diff ~before ~after;
+          faults = List.rev !current_faults;
         })
   in
   { id; description; tags; run }

@@ -20,6 +20,10 @@ type outcome = {
   metrics : Icoe_obs.Metrics.sample list;
       (** what the run added to the default metrics registry
           ({!Icoe_obs.Metrics.diff} of snapshots taken around [run]) *)
+  faults : (string * Icoe_fault.Checkpoint.report) list;
+      (** checkpoint/restart reports recorded via {!record_faults}
+          during the run — nonempty only when the harness ran under a
+          fault plan (see {!Icoe_fault.Context}) *)
 }
 
 type t = {
@@ -41,6 +45,11 @@ val make :
 val record_trace : string -> Hwsim.Trace.t -> unit
 (** Attach a named trace to the outcome of the harness currently
     running. Outside a harness body the trace is dropped. *)
+
+val record_faults : string -> Icoe_fault.Checkpoint.report -> unit
+(** Attach a named checkpoint/restart report (time-to-solution
+    inflation, recovery counts, lost work) to the outcome of the
+    harness currently running. Outside a harness body it is dropped. *)
 
 val section : string -> string -> string
 (** [section title body] renders one report section ([### title]). *)

@@ -1,0 +1,2 @@
+val harnesses : Harness.t list
+(** The harnesses this activity contributes to {!Harness_registry.all}. *)

@@ -21,6 +21,7 @@ let pool =
       Harness_hwsim.harnesses;
       Harness_cardioid.harnesses;
       Harness_hypre.harnesses;
+      Harness_fault.harnesses;
       Harness_ablations.harnesses;
     ]
 
@@ -28,7 +29,7 @@ let order =
   [
     "table1"; "fig2"; "table2"; "table3"; "fig3"; "fig6"; "fig8"; "table4";
     "table5"; "fig9"; "cretin"; "md"; "sw4"; "opt"; "kavg"; "gpudirect";
-    "cardioid"; "hypre"; "ablations";
+    "cardioid"; "hypre"; "resilience"; "ablations";
   ]
 
 let all =

@@ -36,9 +36,79 @@ let sw4 () =
        (float_of_int cori_nodes /. 256.0)
        res.Sw4.Scenario.basin_amplified res.Sw4.Scenario.grid_points)
 
+(* --- resilience: the production campaign under a seeded fault plan ---
+
+   Each step of a small real solver stands in 1:1 for one step of the
+   26B-point Hayward campaign, at the campaign's simulated per-step
+   cost on 256 Sierra nodes. A failure rolls the real solver back to
+   its last snapshot, so the faulted trajectory must reconverge to the
+   bit-exact fault-free state — which is checked and reported. *)
+let resilience_run (spec : Icoe_fault.Plan.spec) =
+  let mk () =
+    let g = Sw4.Grid.create ~nx:48 ~ny:40 ~h:100.0 in
+    Sw4.Grid.homogeneous g ~rho:2600.0 ~vp:5000.0 ~vs:2900.0;
+    let src =
+      Sw4.Source.point_force ~i:24 ~j:20 ~fx:0.0 ~fy:1e9
+        ~stf:(Sw4.Source.ricker ~f0:2.0 ~t0:0.6)
+    in
+    Sw4.Solver.create ~sources:[ src ] g
+  in
+  let steps = 400 in
+  let step_cost_s =
+    Sw4.Scenario.production_run_hours Hwsim.Node.sierra ~nodes:256
+      ~grid_points:26.0e9 ~steps:25_000
+    *. 3600.0 /. 25_000.0
+  in
+  let ideal_s = float_of_int steps *. step_cost_s in
+  let plan = Icoe_fault.Plan.for_run spec ~ideal_s ~nodes:256 in
+  (* burst-tier dump of the campaign state, and a partition restart *)
+  let checkpoint_cost_s = 15.0 and restart_cost_s = 10.0 in
+  let interval =
+    Icoe_fault.Checkpoint.young_daly_steps ~mtbf_s:(Icoe_fault.Plan.mtbf plan)
+      ~checkpoint_cost_s ~step_cost_s
+  in
+  let faulted = mk () in
+  let report =
+    Icoe_fault.Checkpoint.run ~plan ~step_cost_s ~checkpoint_cost_s
+      ~restart_cost_s ~interval ~steps
+      ~snapshot:(fun () -> Sw4.Solver.snapshot faulted)
+      ~restore:(Sw4.Solver.restore faulted)
+      ~step:(fun _ -> Sw4.Solver.step faulted)
+      ()
+  in
+  let clean = mk () in
+  for _ = 1 to steps do
+    Sw4.Solver.step clean
+  done;
+  let identical =
+    faulted.Sw4.Solver.ux = clean.Sw4.Solver.ux
+    && faulted.Sw4.Solver.uy = clean.Sw4.Solver.uy
+    && faulted.Sw4.Solver.steps = clean.Sw4.Solver.steps
+  in
+  (plan, interval, report, identical)
+
+let resilience_section spec =
+  let plan, interval, rep, identical = resilience_run spec in
+  Harness.record_faults "sw4" rep;
+  Harness.section
+    "Resilience — Hayward campaign under a seeded fault plan"
+    (Fmt.str
+       "%a\nYoung/Daly checkpoint interval: %d steps (plan MTBF %.4g s, \
+        checkpoint %.4g s)\n%a\nrecovered state identical to the \
+        fault-free run: %b\n"
+       Icoe_fault.Plan.pp_summary plan interval
+       (Icoe_fault.Plan.mtbf plan) 15.0 Icoe_fault.Checkpoint.pp_report rep
+       identical)
+
+let sw4_with_faults () =
+  let base = sw4 () in
+  match Icoe_fault.Context.current () with
+  | None -> base
+  | Some spec -> base ^ resilience_section spec
+
 let harnesses =
   [
     Harness.make ~id:"sw4" ~description:"SW4 variants and node throughput (Sec 4.9)"
       ~tags:[ "study"; "activity:sw4" ]
-      sw4;
+      sw4_with_faults;
   ]

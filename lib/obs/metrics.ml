@@ -14,10 +14,18 @@ let bucket_lo = 1e-12
 let n_buckets = 96
 let window_capacity = 1024
 
+(* ceil(log2 (v / bucket_lo)) without transcendentals: going through
+   [Float.log2] rounds, which can push an exact boundary value
+   [bucket_lo *. 2^k] one bucket high or low. [v /. bucket_lo] is exact
+   for those boundaries (same mantissa as [v], scaled), and [frexp]
+   recovers the exponent exactly: x = m * 2^e with m in [0.5, 1), so
+   ceil(log2 x) is e - 1 when x is exactly a power of two and e
+   otherwise. *)
 let bucket_index v =
   if v <= bucket_lo then 0
   else
-    let k = int_of_float (Float.ceil (Float.log2 (v /. bucket_lo))) in
+    let m, e = Float.frexp (v /. bucket_lo) in
+    let k = if m = 0.5 then e - 1 else e in
     if k < 0 then 0 else if k > n_buckets then n_buckets else k
 
 let bucket_upper k =
@@ -107,7 +115,18 @@ let kind_name = function
   | Pgauge _ -> "gauge"
   | Phist _ -> "histogram"
 
+(* The registry (Hashtbl + unsynchronized float cells) must never be
+   touched from inside a pool worker chunk; enforce the pool.mli
+   contract instead of silently corrupting counts. *)
+let check_not_in_job op =
+  if Icoe_par.Pool.in_parallel_job () then
+    invalid_arg
+      ("Metrics." ^ op
+     ^ ": called from inside a Pool parallel job; worker chunks must not \
+        touch the metrics registry")
+
 let register registry ~help ~labels name make match_payload =
+  check_not_in_job "register";
   let labels = sort_labels labels in
   let k = key name labels in
   match Hashtbl.find_opt registry.tbl k with
@@ -148,14 +167,18 @@ let histogram ?(registry = default) ?(help = "") ?(labels = []) name =
 (* --- hot path --- *)
 
 let inc ?(by = 1.0) t =
+  check_not_in_job "inc";
   if t.c_reg.enabled then begin
     if by < 0.0 then invalid_arg "Metrics.inc: negative increment";
     t.c := !(t.c) +. by
   end
 
-let set t v = if t.g_reg.enabled then t.g := v
+let set t v =
+  check_not_in_job "set";
+  if t.g_reg.enabled then t.g := v
 
 let observe t v =
+  check_not_in_job "observe";
   if t.h_reg.enabled then begin
     let h = t.h in
     h.count <- h.count + 1;

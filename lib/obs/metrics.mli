@@ -65,7 +65,13 @@ val histogram :
   ?registry:registry -> ?help:string -> ?labels:(string * string) list ->
   string -> histogram
 
-(** {1 Hot-path operations} *)
+(** {1 Hot-path operations}
+
+    The registry is not thread-safe: every operation below (and metric
+    creation) raises [Invalid_argument] when called from inside an
+    {!Icoe_par.Pool} parallel job (see [Pool.in_parallel_job]) — record
+    inside the chunk into chunk-local state and flush after the pooled
+    call returns. *)
 
 val inc : ?by:float -> counter -> unit
 (** Add [by] (default 1.0). Negative [by] raises [Invalid_argument]. *)
@@ -99,6 +105,26 @@ val quantile : histogram -> float -> float
 
 val window_capacity : int
 (** Number of recent observations a histogram retains for quantiles. *)
+
+(** {1 Histogram geometry}
+
+    Exposed so boundary behaviour is testable: buckets are exponential
+    base-2, bucket [k > 0] covering [(bucket_lo * 2^(k-1),
+    bucket_lo * 2^k]] with bucket 0 absorbing everything at or below
+    [bucket_lo] and bucket [n_buckets] the overflow. Exact boundary
+    values [bucket_lo *. 2.0 ** k] land in bucket [k] (upper bound
+    inclusive); the index is computed via [Float.frexp], not a rounded
+    [log2]. *)
+
+val bucket_lo : float
+val n_buckets : int
+
+val bucket_index : float -> int
+(** Bucket an observation lands in, in [\[0, n_buckets\]]. *)
+
+val bucket_upper : int -> float
+(** Inclusive upper bound of bucket [k]; [infinity] for the overflow
+    bucket. *)
 
 val value : ?registry:registry -> ?labels:(string * string) list ->
   string -> float option

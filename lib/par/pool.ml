@@ -27,6 +27,19 @@ type t = {
 
 let size t = if Array.length t.workers = 0 then 1 else t.requested
 
+(* Domain-local "currently executing a chunk" flag. Observable via
+   [in_parallel_job] so layers with non-thread-safe state (the metrics
+   registry) can detect — and reject — use from inside worker chunks.
+   Set on every execution path, including the serial fallback, so the
+   contract is enforced identically whatever ICOE_DOMAINS says. *)
+let in_job_key = Domain.DLS.new_key (fun () -> false)
+let in_parallel_job () = Domain.DLS.get in_job_key
+
+let with_in_job f =
+  let prev = Domain.DLS.get in_job_key in
+  Domain.DLS.set in_job_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_job_key prev) f
+
 let default_domains () =
   match Sys.getenv_opt "ICOE_DOMAINS" with
   | Some s -> (
@@ -71,7 +84,7 @@ let worker t () =
       | None -> ()
       | Some job ->
           Mutex.unlock t.m;
-          claim_loop t job;
+          with_in_job (fun () -> claim_loop t job);
           Mutex.lock t.m
     end
   done;
@@ -132,9 +145,10 @@ let run_chunked t ~nchunks run =
   if nchunks > 0 then
     if size t = 1 || nchunks = 1 || not (Atomic.compare_and_set t.busy false true)
     then
-      for k = 0 to nchunks - 1 do
-        run k
-      done
+      with_in_job (fun () ->
+          for k = 0 to nchunks - 1 do
+            run k
+          done)
     else begin
       let job =
         {
@@ -151,7 +165,7 @@ let run_chunked t ~nchunks run =
       t.generation <- t.generation + 1;
       Condition.broadcast t.work_ready;
       Mutex.unlock t.m;
-      claim_loop t job;
+      with_in_job (fun () -> claim_loop t job);
       Mutex.lock t.m;
       while job.completed < job.nchunks do
         Condition.wait t.work_done t.m

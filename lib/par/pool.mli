@@ -56,6 +56,14 @@ val get : unit -> t
 (** The global shared pool, created from {!default_domains} on first
     use and torn down [at_exit]. All engine kernels route through it. *)
 
+val in_parallel_job : unit -> bool
+(** [true] while the calling domain is executing a chunk of a pool job
+    (any execution path: worker domain, submitting caller, or the
+    serial fallback — so the answer does not depend on
+    [ICOE_DOMAINS]). Layers with non-thread-safe state use this to
+    reject calls from worker chunks; {!Icoe_obs.Metrics} raises
+    [Invalid_argument] on any registry access made under it. *)
+
 val default_chunk : int -> int
 (** [default_chunk n] is the chunk size used when [?chunk] is omitted:
     [max 16 ((n + 63) / 64)] — at most 64 chunks, at least 16 iterations

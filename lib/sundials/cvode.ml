@@ -415,3 +415,20 @@ let erk23 ?(rtol = 1e-6) ?(atol = 1e-9) ?(h0 = 1e-4) ?(max_steps = 500_000)
     end
   done;
   record `Erk23 { y = !y; t = !t; stats }
+
+(* --- checkpoint/resume support (Icoe_fault.Checkpoint) --- *)
+
+type checkpoint = { ck_t : float; ck_y : float array }
+
+let checkpoint ~t ~y = { ck_t = t; ck_y = Array.copy y }
+
+let checkpoint_of_result (r : result) = checkpoint ~t:r.t ~y:r.y
+
+let resume_bdf ?rtol ?atol ?h0 ?max_steps ?newton_maxiters ~rhs ~lsolve ck
+    tstop =
+  bdf ?rtol ?atol ?h0 ?max_steps ?newton_maxiters ~rhs ~lsolve ~t0:ck.ck_t
+    ~y0:(Array.copy ck.ck_y) tstop
+
+let resume_adams ?rtol ?atol ?h0 ?max_steps ?fp_maxiters ~rhs ck tstop =
+  adams ?rtol ?atol ?h0 ?max_steps ?fp_maxiters ~rhs ~t0:ck.ck_t
+    ~y0:(Array.copy ck.ck_y) tstop

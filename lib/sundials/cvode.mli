@@ -85,3 +85,45 @@ val erk23 :
   result
 (** Adaptive explicit Bogacki-Shampine RK3(2) with an embedded error
     estimate (FSAL) — the ERK path for non-stiff problems. *)
+
+(** {1 Checkpoint/resume}
+
+    Thin state-capture helpers for the fault layer
+    ({!Icoe_fault.Checkpoint}): a checkpoint is the integrator's
+    mathematical state (t, y). Resuming restarts the method from that
+    state — the step-size/order history is rebuilt, exactly as a real
+    CVODE restart from a saved vector would, so the resumed solution
+    agrees with an uninterrupted run to integration tolerance (not bit
+    for bit). *)
+
+type checkpoint = { ck_t : float; ck_y : float array }
+
+val checkpoint : t:float -> y:float array -> checkpoint
+(** Copies [y]. *)
+
+val checkpoint_of_result : result -> checkpoint
+
+val resume_bdf :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?max_steps:int ->
+  ?newton_maxiters:int ->
+  rhs:rhs ->
+  lsolve:lsolve ->
+  checkpoint ->
+  float ->
+  result
+(** [resume_bdf ~rhs ~lsolve ck tstop] = {!bdf} from [(ck.ck_t, ck.ck_y)]. *)
+
+val resume_adams :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?max_steps:int ->
+  ?fp_maxiters:int ->
+  rhs:rhs ->
+  checkpoint ->
+  float ->
+  result
+(** [resume_adams ~rhs ck tstop] = {!adams} from [(ck.ck_t, ck.ck_y)]. *)

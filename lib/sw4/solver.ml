@@ -131,6 +131,49 @@ let run t ~steps =
   in
   if elapsed > 0.0 then Icoe_obs.Metrics.set m_rate (updates /. elapsed)
 
+(* --- checkpoint/restart support (Icoe_fault.Checkpoint) --- *)
+
+(** Full solver state at an instant: wave fields, leapfrog history,
+    accelerations, clock and recorded seismograms. [scratch] is fully
+    rewritten by every [Elastic.acceleration] call, so it is not part
+    of the state. *)
+type snapshot = {
+  s_time : float;
+  s_steps : int;
+  s_ux : float array;
+  s_uy : float array;
+  s_ux_prev : float array;
+  s_uy_prev : float array;
+  s_ax : float array;
+  s_ay : float array;
+  s_traces : (float * float * float) list array;
+}
+
+let snapshot t =
+  {
+    s_time = t.time;
+    s_steps = t.steps;
+    s_ux = Array.copy t.ux;
+    s_uy = Array.copy t.uy;
+    s_ux_prev = Array.copy t.ux_prev;
+    s_uy_prev = Array.copy t.uy_prev;
+    s_ax = Array.copy t.ax;
+    s_ay = Array.copy t.ay;
+    s_traces = Array.of_list (List.map (fun r -> r.trace) t.receivers);
+  }
+
+let restore t s =
+  t.time <- s.s_time;
+  t.steps <- s.s_steps;
+  let blit src dst = Array.blit src 0 dst 0 (Array.length dst) in
+  blit s.s_ux t.ux;
+  blit s.s_uy t.uy;
+  blit s.s_ux_prev t.ux_prev;
+  blit s.s_uy_prev t.uy_prev;
+  blit s.s_ax t.ax;
+  blit s.s_ay t.ay;
+  List.iteri (fun i r -> r.trace <- s.s_traces.(i)) t.receivers
+
 (** Displacement magnitude field (for shake-map style outputs). *)
 let magnitude t =
   Array.init

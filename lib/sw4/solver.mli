@@ -36,6 +36,18 @@ val create :
 val step : t -> unit
 val run : t -> steps:int -> unit
 
+type snapshot
+(** Full solver state: wave fields, leapfrog history, accelerations,
+    clock and recorded seismograms. *)
+
+val snapshot : t -> snapshot
+(** Deep copy of the mutable state, for checkpoint/restart
+    ({!Icoe_fault.Checkpoint}). *)
+
+val restore : t -> snapshot -> unit
+(** Restore a snapshot taken from the same solver. Stepping after a
+    restore replays bit-identically to the original trajectory. *)
+
 val magnitude : t -> float array
 (** Displacement magnitude field (shake-map style output). *)
 

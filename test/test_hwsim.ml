@@ -54,6 +54,25 @@ let test_unified_memory_pages () =
   let t2 = Link.unified_memory_transfer ~link:Link.nvlink2 ~bytes:65536.0 in
   check_float "sub-page rounds up" t2 t1
 
+let test_zero_byte_transfers () =
+  (* no message, no latency: an empty transfer is free on every link *)
+  List.iter
+    (fun l -> check_float (l.Link.name ^ " empty") 0.0 (Link.transfer_time l ~bytes:0.0))
+    [ Link.pcie3; Link.nvlink2; Link.gpudirect; Link.ib_dual_edr ];
+  check_float "UM empty" 0.0
+    (Link.unified_memory_transfer ~link:Link.nvlink2 ~bytes:0.0);
+  (* ... and a 1-byte transfer still pays the setup latency *)
+  Alcotest.(check bool) "1 byte >= latency" true
+    (Link.transfer_time Link.nvlink2 ~bytes:1.0 >= Link.nvlink2.Link.latency_s)
+
+let test_unified_memory_no_link_latency () =
+  (* pages pay the fault-service cost, not the link setup latency: the
+     UM time must depend only on page count x (fault cost + wire time),
+     so doubling the pages exactly doubles the time *)
+  let one = Link.unified_memory_transfer ~link:Link.nvlink2 ~bytes:65536.0 in
+  let two = Link.unified_memory_transfer ~link:Link.nvlink2 ~bytes:131072.0 in
+  check_float "no per-transfer constant" (2.0 *. one) two
+
 let test_clock_phases () =
   let c = Clock.create () in
   Clock.tick c ~phase:"a" 1.0;
@@ -145,6 +164,9 @@ let () =
           Alcotest.test_case "monotone" `Quick test_link_transfer_monotone;
           Alcotest.test_case "gpudirect crossover" `Quick test_gpudirect_crossover;
           Alcotest.test_case "unified memory pages" `Quick test_unified_memory_pages;
+          Alcotest.test_case "zero-byte transfers" `Quick test_zero_byte_transfers;
+          Alcotest.test_case "UM latency not double-charged" `Quick
+            test_unified_memory_no_link_latency;
         ] );
       ("clock", [ Alcotest.test_case "phases" `Quick test_clock_phases ]);
       ("node", [ Alcotest.test_case "peaks" `Quick test_node_peaks ]);

@@ -51,7 +51,7 @@ let test_tags () =
     Icoe.Harness_registry.all;
   (* the traced set is exactly the span-instrumented harnesses *)
   Alcotest.(check (list string)) "traced set"
-    [ "fig2"; "table2"; "fig8"; "table4" ]
+    [ "fig2"; "table2"; "fig8"; "table4"; "resilience" ]
     (List.map (fun (h : Icoe.Harness.t) -> h.id) (Icoe.Harness_registry.traced ()))
 
 let test_fast_harnesses_produce_output () =

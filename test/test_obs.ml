@@ -268,6 +268,40 @@ let test_time_records_duration () =
   let h = M.histogram ~registry:r "ok_seconds" in
   check_float "observed delta" 1.5 (M.histogram_sum h)
 
+(* --- bucket boundaries --- *)
+
+let test_bucket_boundaries () =
+  (* exact power-of-two boundaries land in the bucket they bound:
+     bucket k > 0 covers (lo * 2^(k-1), lo * 2^k], upper-inclusive *)
+  for k = 1 to M.n_buckets - 1 do
+    let upper = M.bucket_lo *. Float.pow 2.0 (float_of_int k) in
+    Alcotest.(check int)
+      (Fmt.str "boundary 2^%d lands in its own bucket" k)
+      k (M.bucket_index upper);
+    Alcotest.(check int)
+      (Fmt.str "just above 2^%d spills to the next" k)
+      (k + 1)
+      (M.bucket_index (Float.succ upper))
+  done;
+  Alcotest.(check int) "at bucket_lo" 0 (M.bucket_index M.bucket_lo);
+  Alcotest.(check int) "below bucket_lo" 0 (M.bucket_index (M.bucket_lo /. 4.0));
+  Alcotest.(check int) "zero" 0 (M.bucket_index 0.0);
+  Alcotest.(check int) "huge overflows" M.n_buckets (M.bucket_index 1e40)
+
+let test_bucket_index_matches_upper () =
+  (* the index function and the bound function agree: every observation
+     is <= its bucket's upper bound and > the previous bucket's *)
+  let vals = [ 2.3e-12; 1e-9; 0.000244140625; 0.5; 1.0; 3.14; 1e6 ] in
+  List.iter
+    (fun v ->
+      let k = M.bucket_index v in
+      Alcotest.(check bool) (Fmt.str "%g <= upper(%d)" v k) true
+        (v <= M.bucket_upper k);
+      if k > 0 then
+        Alcotest.(check bool) (Fmt.str "%g > upper(%d)" v (k - 1)) true
+          (v > M.bucket_upper (k - 1)))
+    vals
+
 let () =
   Alcotest.run "obs"
     [
@@ -282,6 +316,9 @@ let () =
           Alcotest.test_case "semantics" `Quick test_histogram_semantics;
           Alcotest.test_case "window bounded" `Quick
             test_histogram_window_bounded;
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "bucket index vs upper" `Quick
+            test_bucket_index_matches_upper;
         ] );
       ( "labels",
         [ Alcotest.test_case "order irrelevant" `Quick test_label_order_irrelevant ] );

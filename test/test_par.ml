@@ -239,6 +239,32 @@ let test_lda_estep_agreement () =
     (fun t row -> check_float_array (Fmt.str "lda stats %d" t) row s_seq.(t))
     s_par
 
+(* --- the pool/metrics hazard guard --- *)
+
+let test_metrics_rejected_inside_job () =
+  (* the metrics registry is not thread-safe; touching it from a worker
+     chunk is a data-race hazard the pool now detects on every execution
+     path (worker domain, submitter, serial fallback) *)
+  let c = Icoe_obs.Metrics.counter "par_guard_probe_total" in
+  Icoe_obs.Metrics.inc c;
+  (* fine outside a job *)
+  Alcotest.(check bool) "not in job outside" false (Pool.in_parallel_job ());
+  let in_job = Array.make 8 false in
+  let rejected = Array.make 8 false in
+  Pool.with_pool ~domains:2 (fun pool ->
+      Pool.parallel_for ~pool ~chunk:1 ~lo:0 ~hi:8 (fun i ->
+          in_job.(i) <- Pool.in_parallel_job ();
+          match Icoe_obs.Metrics.inc c with
+          | () -> ()
+          | exception Invalid_argument _ -> rejected.(i) <- true));
+  Alcotest.(check bool) "flag set in every chunk" true
+    (Array.for_all Fun.id in_job);
+  Alcotest.(check bool) "every registry access rejected" true
+    (Array.for_all Fun.id rejected);
+  (* and the guard resets once the job completes *)
+  Alcotest.(check bool) "not in job after" false (Pool.in_parallel_job ());
+  Icoe_obs.Metrics.inc c
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_parallel_for; prop_parallel_for_chunks_partition; prop_map_reduce;
       prop_map_reduce_default_chunk ]
@@ -254,6 +280,8 @@ let () =
           Alcotest.test_case "nested calls" `Quick test_nested_calls;
           Alcotest.test_case "sizing + shutdown" `Quick test_pool_sizing;
           Alcotest.test_case "default chunk" `Quick test_default_chunk;
+          Alcotest.test_case "metrics guarded in jobs" `Quick
+            test_metrics_rejected_inside_job;
         ] );
       ( "kernels-parallel-equals-serial",
         [
