@@ -278,7 +278,41 @@ let fault_rows () =
       ("cardioid", Icoe.Harness_cardioid.resilience_run);
     ]
 
-let write_bench_json ~harnesses ~faults kernels =
+(* Overlap-scheduler model evaluations for the trajectory: always
+   emitted (also under --micro-only, which CI uses), with overlap forced
+   on so every BENCH_<id>.json records the critical-path numbers
+   regardless of the ICOE_OVERLAP setting of the surrounding run.
+   Deterministic: pure cost-model arithmetic, no RNG. *)
+let overlap_rows () =
+  let sw4 =
+    let m =
+      Sw4.Scenario.production_step_model ~overlap:true Hwsim.Node.sierra
+        ~nodes:256 ~grid_points:26.0e9
+    in
+    ("sw4", m.Sw4.Scenario.serial_s, m.Sw4.Scenario.overlapped_s)
+  in
+  let md id scen =
+    let m = Ddcmd.Perf.ddcmd_step_model ~overlap:true scen in
+    (id, m.Ddcmd.Perf.serial_s, m.Ddcmd.Perf.overlapped_s)
+  in
+  let kavg =
+    let m =
+      Dlearn.Distributed.kavg_round_model ~overlap:true ~learners:8 ~k:8
+        ~batch:16 [| 12; 16; 4 |]
+    in
+    ( "kavg",
+      m.Dlearn.Distributed.serial_round_s,
+      m.Dlearn.Distributed.overlapped_round_s )
+  in
+  [
+    sw4;
+    md "ddcmd-1gpu" Ddcmd.Perf.One_gpu;
+    md "ddcmd-4gpu" Ddcmd.Perf.Four_gpu;
+    md "ddcmd-mummi" Ddcmd.Perf.Mummi;
+    kavg;
+  ]
+
+let write_bench_json ~harnesses ~faults ~overlap kernels =
   let id =
     match Sys.getenv_opt "BENCH_ID" with
     | Some s when s <> "" -> s
@@ -291,12 +325,23 @@ let write_bench_json ~harnesses ~faults kernels =
     (json_escape id)
     (Icoe_par.Pool.size (Icoe_par.Pool.get ()));
   List.iteri
-    (fun i (hid, wall_ns, simulated_s) ->
+    (fun i (hid, wall_ns, simulated_s, overlap_eff) ->
       if i > 0 then Buffer.add_string buf ",\n";
       Fmt.kstr (Buffer.add_string buf)
-        "    {\"id\": \"%s\", \"wall_ns\": %.17g, \"simulated_s\": %.17g}"
-        (json_escape hid) wall_ns simulated_s)
+        "    {\"id\": \"%s\", \"wall_ns\": %.17g, \"simulated_s\": %.17g, \
+         \"overlap_efficiency\": %.17g}"
+        (json_escape hid) wall_ns simulated_s overlap_eff)
     harnesses;
+  Buffer.add_string buf "\n  ],\n  \"overlap\": [\n";
+  List.iteri
+    (fun i (oid, serial_s, overlapped_s) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Fmt.kstr (Buffer.add_string buf)
+        "    {\"id\": \"%s\", \"serial_s\": %.17g, \"overlapped_s\": %.17g, \
+         \"efficiency\": %.17g}"
+        (json_escape oid) serial_s overlapped_s
+        (if serial_s > 0.0 then overlapped_s /. serial_s else 1.0))
+    overlap;
   Buffer.add_string buf "\n  ],\n  \"kernels\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -342,7 +387,10 @@ let write_bench_json ~harnesses ~faults kernels =
 
 (* Part 1: every harness through the registry, timing the real wall
    clock of each run next to the simulated seconds its traces account
-   for. Returns (id, wall_ns, simulated_s) rows for the JSON payload. *)
+   for. Returns (id, wall_ns, simulated_s, overlap_efficiency) rows for
+   the JSON payload; the efficiency comes from the harness's
+   overlap_efficiency gauge (1.0 when the harness recorded none, e.g.
+   under ICOE_OVERLAP=0 or with the registry disabled). *)
 let run_harnesses () =
   let rows_and_traces =
     List.map
@@ -351,7 +399,17 @@ let run_harnesses () =
         let o = h.run () in
         let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
         print_string o.Icoe.Harness.report;
-        ((h.id, wall_ns, Icoe.Harness.simulated_seconds o), o.Icoe.Harness.traces))
+        let overlap_eff =
+          match
+            Icoe_obs.Metrics.value
+              ~labels:[ ("harness", h.id) ]
+              "overlap_efficiency"
+          with
+          | Some v when v > 0.0 -> v
+          | _ -> 1.0
+        in
+        ( (h.id, wall_ns, Icoe.Harness.simulated_seconds o, overlap_eff),
+          o.Icoe.Harness.traces ))
       Icoe.Harness_registry.all
   in
   let rows = List.map fst rows_and_traces in
@@ -361,11 +419,12 @@ let run_harnesses () =
     (Icoe.Harness.rollup_report (List.concat_map snd rows_and_traces));
   Fmt.pr "@.== Harness wall clock (ICOE_DOMAINS=%d) ==@."
     (Icoe_par.Pool.size (Icoe_par.Pool.get ()));
-  Fmt.pr "%-12s %14s %14s@." "harness" "wall ms" "simulated s";
-  Fmt.pr "%s@." (String.make 42 '-');
+  Fmt.pr "%-12s %14s %14s %9s@." "harness" "wall ms" "simulated s" "overlap";
+  Fmt.pr "%s@." (String.make 52 '-');
   List.iter
-    (fun (id, wall_ns, sim_s) ->
-      Fmt.pr "%-12s %14.2f %14.3f@." id (wall_ns /. 1e6) sim_s)
+    (fun (id, wall_ns, sim_s, overlap_eff) ->
+      Fmt.pr "%-12s %14.2f %14.3f %9.3f@." id (wall_ns /. 1e6) sim_s
+        overlap_eff)
     rows;
   rows
 
@@ -384,4 +443,5 @@ let () =
   Icoe_obs.Metrics.reset ();
   let kernels = microbenchmarks () in
   let faults = fault_rows () in
-  write_bench_json ~harnesses ~faults kernels
+  let overlap = overlap_rows () in
+  write_bench_json ~harnesses ~faults ~overlap kernels

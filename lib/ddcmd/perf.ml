@@ -25,8 +25,69 @@ let flops_per_particle = 68_000.0
 let v100_dp = Hwsim.Device.v100.Hwsim.Device.peak_gflops *. 1e9 *. 0.6
 let p9_dp = Hwsim.Device.power9.Hwsim.Device.peak_gflops *. 1e9 *. 0.4
 
-(** (ddcmd_s, gromacs_s) per MD step for [particles] beads. *)
-let step_times ?(particles = 136_500) scenario =
+type step_model = { serial_s : float; overlapped_s : float; step_s : float }
+
+let kernel_count = 46
+
+(** Per-step model of the ddcMD GPU pipeline: 46 kernel launches issued
+    from the host on a "cpu" stream, each kernel executing on the "gpu"
+    stream once its launch lands — so with overlap on, launch [i+1]
+    hides under kernel [i] and only the first launch shows on the
+    critical path. [Four_gpu] adds the multi-GPU scaling loss as a halo
+    exchange on a "nic" stream, dependent on the mid-pipeline kernel and
+    hidden under the back half. [serial_s] is the exact pre-scheduler
+    expression ([compute + 46 launches], with the 0.85 scaling factor
+    folded into compute for [Four_gpu]); the schedule's item durations
+    sum to the same cost. *)
+let ddcmd_step_model ?(particles = 136_500) ?overlap ?trace scenario =
+  let n = float_of_int particles in
+  let work_dp = n *. flops_per_particle in
+  let l1 = Hwsim.Device.v100.Hwsim.Device.launch_overhead_s in
+  let launch k = float_of_int k *. l1 in
+  let serial_s =
+    match scenario with
+    | One_gpu | Mummi -> (work_dp /. v100_dp) +. launch kernel_count
+    | Four_gpu -> (work_dp /. v100_dp /. (4.0 *. 0.85)) +. launch kernel_count
+  in
+  let compute_total =
+    match scenario with
+    | One_gpu | Mummi -> work_dp /. v100_dp
+    | Four_gpu -> work_dp /. v100_dp /. 4.0
+  in
+  let halo_s =
+    match scenario with
+    | One_gpu | Mummi -> 0.0
+    | Four_gpu ->
+        (* the 85% scaling efficiency, modeled as inter-GPU halo traffic *)
+        work_dp /. v100_dp *. ((1.0 /. (4.0 *. 0.85)) -. (1.0 /. 4.0))
+  in
+  let sched = Hwsim.Sched.create ?overlap ?trace () in
+  let kdur = compute_total /. float_of_int kernel_count in
+  let mid = ref None in
+  for i = 0 to kernel_count - 1 do
+    let la =
+      Hwsim.Sched.work sched ~stream:"cpu" ~device:"cpu" ~phase:"launch" l1
+    in
+    let k =
+      Hwsim.Sched.work sched ~stream:"gpu" ~deps:[ la ] ~device:"gpu"
+        ~phase:"kernels" kdur
+    in
+    if i = (kernel_count / 2) - 1 then mid := Some k
+  done;
+  (if halo_s > 0.0 then
+     let deps = match !mid with Some k -> [ k ] | None -> [] in
+     ignore
+       (Hwsim.Sched.work sched ~stream:"nic" ~deps ~device:"nvlink2"
+          ~phase:"halo" halo_s));
+  let overlapped_s = Hwsim.Sched.run sched in
+  let step_s = if Hwsim.Sched.overlap sched then overlapped_s else serial_s in
+  { serial_s; overlapped_s; step_s }
+
+(** (ddcmd_s, gromacs_s) per MD step for [particles] beads. The ddcMD
+    side overlaps launches/halo under the kernel pipeline unless
+    [ICOE_OVERLAP=0] (or [~overlap:false]); GROMACS' per-step host
+    transfers are inherently synchronous and stay serialized. *)
+let step_times ?(particles = 136_500) ?overlap scenario =
   let n = float_of_int particles in
   let work_dp = n *. flops_per_particle in
   let launch k = float_of_int k *. Hwsim.Device.v100.Hwsim.Device.launch_overhead_s in
@@ -39,18 +100,17 @@ let step_times ?(particles = 136_500) scenario =
   let cpu_frac = 0.065 in
   let gro_gpu work gpus = work *. (1.0 -. cpu_frac) /. (2.0 *. v100_dp) /. gpus in
   let gro_cpu work sockets busy = work *. cpu_frac /. p9_dp /. sockets *. busy in
+  let ddc = (ddcmd_step_model ~particles ?overlap scenario).step_s in
   match scenario with
   | One_gpu ->
-      let ddc = (work_dp /. v100_dp) +. launch 46 in
       let gro =
         max (gro_gpu work_dp 1.0) (gro_cpu work_dp 1.0 1.0) +. xfer +. launch 8
       in
       (ddc, gro)
   | Four_gpu ->
-      (* 85% multi-GPU scaling for ddcMD; GROMACS gets both sockets and
-         its load balancer shifts part of the bonded work onto the now
-         less-loaded GPUs (effective CPU share drops) *)
-      let ddc = (work_dp /. v100_dp /. (4.0 *. 0.85)) +. launch 46 in
+      (* GROMACS gets both sockets and its load balancer shifts part of
+         the bonded work onto the now less-loaded GPUs (effective CPU
+         share drops) *)
       let cpu_share = work_dp *. 0.05 /. p9_dp /. 2.0 in
       let gro =
         max (gro_gpu work_dp (4.0 *. 0.85)) cpu_share +. xfer +. launch 8
@@ -59,7 +119,6 @@ let step_times ?(particles = 136_500) scenario =
   | Mummi ->
       (* the macro model and in-situ analysis occupy the CPUs: GROMACS'
          CPU share runs ~2x slower; ddcMD is unaffected *)
-      let ddc = (work_dp /. v100_dp) +. launch 46 in
       let gro =
         max (gro_gpu work_dp 1.0) (gro_cpu work_dp 1.0 2.0) +. xfer +. launch 8
       in

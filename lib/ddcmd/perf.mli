@@ -15,8 +15,31 @@ val flops_per_particle : float
 (** Calibrated per-particle DP flop volume of one full ddcMD step, pinned
     to the paper's 2.31 ms/step at the MuMMI membrane-patch size. *)
 
-val step_times : ?particles:int -> scenario -> float * float
-(** (ddcmd_seconds, gromacs_seconds) per MD step. *)
+type step_model = {
+  serial_s : float;
+      (** the exact pre-scheduler ddcMD step time: compute + 46 launch
+          overheads (multi-GPU scaling folded into compute) *)
+  overlapped_s : float;
+      (** critical path with launches issued from a "cpu" stream under
+          the "gpu" kernel pipeline and the [Four_gpu] halo on a "nic"
+          stream — only the first launch stays exposed *)
+  step_s : float;  (** the charged time: overlapped or serial *)
+}
+
+val kernel_count : int
+(** The 46 fused double-precision kernels of one ddcMD step. *)
+
+val ddcmd_step_model :
+  ?particles:int -> ?overlap:bool -> ?trace:Hwsim.Trace.t -> scenario ->
+  step_model
+(** Per-step launch/kernel/halo pipeline model for the ddcMD side.
+    [overlap] defaults to {!Hwsim.Sched.overlap_enabled}; a bound
+    [trace] receives one step's items. *)
+
+val step_times : ?particles:int -> ?overlap:bool -> scenario -> float * float
+(** (ddcmd_seconds, gromacs_seconds) per MD step. The ddcMD side uses
+    {!ddcmd_step_model}'s charged time; GROMACS' synchronous per-step
+    host transfers stay serialized. *)
 
 val ddcmd_peak_fraction : unit -> float
 (** Fraction of V100 DP peak the calibrated step achieves (paper: >30%). *)

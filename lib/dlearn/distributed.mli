@@ -22,7 +22,33 @@ type run = {
   final_accuracy : float;
   simulated_seconds : float;
   steps : int;
+  overlap_efficiency : float;
+      (** charged time over serial-sum time, in (0, 1]; 1.0 for the
+          algorithms that don't overlap communication *)
 }
+
+val layer_params : int array -> int list
+(** Parameter count of each MLP layer (weights + biases), input first;
+    sums to {!Mlp.num_params}. *)
+
+type round_model = {
+  serial_round_s : float;
+      (** the exact pre-scheduler round cost, [k * compute + allreduce] *)
+  overlapped_round_s : float;
+      (** critical path with each layer's allreduce slice on the "net"
+          stream under the last local step's per-layer backward pass *)
+  round_s : float;  (** the charged per-round time: overlapped or serial *)
+  round_efficiency : float;  (** [overlapped /. serial] (1.0 when serial) *)
+}
+
+val kavg_round_model :
+  ?overlap:bool -> ?trace:Hwsim.Trace.t -> learners:int -> k:int ->
+  batch:int -> int array -> round_model
+(** Per-round KAVG cost model: the round's allreduce is bucketed per
+    layer (proportional to parameter share, no extra per-bucket latency)
+    and issued as soon as that layer's gradients exist. [overlap]
+    defaults to {!Hwsim.Sched.overlap_enabled}; a bound [trace] receives
+    one round's items. *)
 
 val sync_sgd :
   rng:Icoe_util.Rng.t -> learners:int -> steps:int -> batch:int -> lr:float ->
@@ -42,6 +68,8 @@ val easgd :
 
 val kavg :
   rng:Icoe_util.Rng.t -> learners:int -> rounds:int -> k:int -> batch:int ->
-  lr:float -> int array -> dataset -> run
+  lr:float -> ?overlap:bool -> int array -> dataset -> run
 (** K-step averaging: k local steps then a weight average;
-    bulk-synchronous with k-fold less communication. *)
+    bulk-synchronous with k-fold less communication. The round clock
+    comes from {!kavg_round_model}; with overlap on, the average's
+    allreduce hides under the last local step's backprop. *)

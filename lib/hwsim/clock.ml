@@ -17,6 +17,23 @@ let reset t =
   Hashtbl.reset t.phases;
   t.order <- []
 
+(** Charge [dt] seconds to [phase]'s breakdown without advancing the
+    total. The stream scheduler uses this for overlapped work: each
+    item's busy seconds stay attributed to its phase while the total
+    only advances by the DAG's critical path (see {!advance}). *)
+let attribute t ~phase dt =
+  assert (dt >= 0.0);
+  match Hashtbl.find_opt t.phases phase with
+  | Some r -> r := !r +. dt
+  | None ->
+      Hashtbl.add t.phases phase (ref dt);
+      t.order <- phase :: t.order
+
+(** Advance the total by [dt] seconds without charging any phase. *)
+let advance t dt =
+  assert (dt >= 0.0);
+  t.total <- t.total +. dt
+
 (** Charge [dt] seconds to [phase]. *)
 let tick t ~phase dt =
   assert (dt >= 0.0);

@@ -12,6 +12,18 @@ val reset : t -> unit
 val tick : t -> phase:string -> float -> unit
 (** Charge nonnegative seconds to a named phase. *)
 
+val attribute : t -> phase:string -> float -> unit
+(** Charge nonnegative seconds to a phase's breakdown WITHOUT advancing
+    the total. Used by {!Sched} for overlapped work: per-phase busy
+    seconds keep accumulating while the total only moves by the
+    schedule's critical path. After overlapped charging, the sum of
+    {!breakdown} can exceed {!total} — that surplus is exactly the
+    hidden (overlapped) time. *)
+
+val advance : t -> float -> unit
+(** Advance the total by nonnegative seconds without charging a phase
+    (the critical-path counterpart of {!attribute}). *)
+
 val total : t -> float
 
 val phase : t -> string -> float

@@ -48,10 +48,11 @@ let time_and_bound ?(eff = default_eff) ?lanes_used (d : Device.t)
 
 let time ?eff ?lanes_used d k = fst (time_and_bound ?eff ?lanes_used d k)
 
-let binding ?(eff = default_eff) (d : Device.t) (k : Kernel.t) =
-  let compute_t = k.Kernel.flops /. (d.Device.peak_gflops *. 1e9 *. eff.compute) in
-  let mem_t = k.Kernel.bytes /. (d.Device.mem_bw_gbs *. 1e9 *. eff.bandwidth) in
-  if compute_t >= mem_t then Compute_bound else Bandwidth_bound
+(* Delegates to [time_and_bound] so the two can never disagree: the
+   bound is derived under the same efficiency and lane scaling as the
+   priced time (re-deriving the roofs here once ignored [lanes_used]). *)
+let binding ?eff ?lanes_used (d : Device.t) (k : Kernel.t) =
+  snd (time_and_bound ?eff ?lanes_used d k)
 
 (** Achieved fraction of device peak for a kernel run in time [t]. *)
 let achieved_peak_fraction (d : Device.t) (k : Kernel.t) ~time:t =

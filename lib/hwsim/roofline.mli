@@ -30,7 +30,10 @@ val time_and_bound :
 (** [time] plus which roof bound the kernel under the same scaling; the
     tracer records this per span. *)
 
-val binding : ?eff:efficiency -> Device.t -> Kernel.t -> bound
-(** Which roof binds for this kernel on this device. *)
+val binding :
+  ?eff:efficiency -> ?lanes_used:int -> Device.t -> Kernel.t -> bound
+(** Which roof binds for this kernel on this device. Delegates to
+    {!time_and_bound} (same efficiency and lane scaling), so the two can
+    never disagree. *)
 
 val achieved_peak_fraction : Device.t -> Kernel.t -> time:float -> float

@@ -106,6 +106,24 @@ let charge t ?device ~phase dt =
   sp.stop <- now t;
   add_child t (current t) sp
 
+(* Scheduler charging: a span pinned at an absolute simulated time
+   rather than at the clock's now. Busy seconds go to the clock's phase
+   breakdown and the metrics bridge, but the clock total does NOT move —
+   the scheduler advances it once, by the critical path, via [advance]. *)
+let scheduled_span t ?device ?(flops = 0.0) ?(bytes = 0.0) ?bound ~phase
+    ~start dur =
+  assert (dur >= 0.0);
+  let sp = mk_span ?device ~start phase in
+  sp.stop <- start +. dur;
+  sp.flops <- flops;
+  sp.bytes <- bytes;
+  sp.bound <- bound;
+  Clock.attribute t.clock ~phase dur;
+  Icoe_obs.Metrics.inc ~by:dur (phase_seconds phase);
+  add_child t (current t) sp
+
+let advance t dt = Clock.advance t.clock dt
+
 let register_device t (d : Device.t) =
   if not (List.mem_assoc d.Device.name t.devices) then
     t.devices <- (d.Device.name, d) :: t.devices

@@ -56,6 +56,28 @@ val charge : t -> ?device:string -> phase:string -> float -> unit
     to [phase] on the clock AND record a leaf span of that duration under
     the innermost open span. *)
 
+val scheduled_span :
+  t ->
+  ?device:string ->
+  ?flops:float ->
+  ?bytes:float ->
+  ?bound:Roofline.bound ->
+  phase:string ->
+  start:float ->
+  float ->
+  unit
+(** [scheduled_span t ~phase ~start dur] records a leaf span pinned at
+    absolute simulated time [start .. start +. dur] under the innermost
+    open span, charging [dur] busy seconds to the clock's [phase]
+    breakdown (and the metrics bridge) WITHOUT advancing the clock
+    total. {!Sched} places overlapped work items with this and then
+    {!advance}s the clock once by the schedule's critical path, so the
+    per-phase rollups show busy time while the total shows makespan. *)
+
+val advance : t -> float -> unit
+(** Advance the bound clock's total by nonnegative seconds without
+    charging any phase ({!Clock.advance}). *)
+
 val charge_kernel :
   t ->
   ?eff:Roofline.efficiency ->

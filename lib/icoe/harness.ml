@@ -28,6 +28,17 @@ let record_trace name tr = if !active then current := (name, tr) :: !current
 let record_faults name r =
   if !active then current_faults := (name, r) :: !current_faults
 
+(* Per-harness comm/compute overlap gauge. Harness bodies call this only
+   when the stream scheduler actually overlapped, so ICOE_OVERLAP=0 runs
+   leave the registry exactly as before the scheduler existed. *)
+let record_overlap id eff =
+  Icoe_obs.Metrics.set
+    (Icoe_obs.Metrics.gauge
+       ~help:"Charged over serial-sum modeled seconds (1 = no overlap)"
+       ~labels:[ ("harness", id) ]
+       "overlap_efficiency")
+    eff
+
 let make ~id ~description ?(tags = []) f =
   let run () =
     let saved_traces = !current

@@ -46,6 +46,13 @@ val record_trace : string -> Hwsim.Trace.t -> unit
 (** Attach a named trace to the outcome of the harness currently
     running. Outside a harness body the trace is dropped. *)
 
+val record_overlap : string -> float -> unit
+(** [record_overlap id eff] sets the [overlap_efficiency{harness=id}]
+    gauge in the default metrics registry: the harness's charged over
+    serial-sum modeled seconds, in (0, 1]. Harnesses call it only when
+    {!Hwsim.Sched.overlap_enabled} — under [ICOE_OVERLAP=0] the gauge is
+    never registered, keeping serialized output bit-identical. *)
+
 val record_faults : string -> Icoe_fault.Checkpoint.report -> unit
 (** Attach a named checkpoint/restart report (time-to-solution
     inflation, recovery counts, lost work) to the outcome of the

@@ -41,6 +41,33 @@ let fig3 () =
     (Fmt.str "%smodel needs %.0f GB > 16 GB/GPU: minimum %d GPUs per sample\n"
        (Table.render t) Dlearn.Lbann.model_memory_gb Dlearn.Lbann.min_gpus_per_sample)
 
+(* KAVG's per-round wall clock through the stream scheduler: each
+   layer's allreduce bucket on the "net" stream under backprop. Emitted
+   only when the scheduler overlaps, so ICOE_OVERLAP=0 output is
+   untouched. *)
+let overlap_section sizes =
+  if not (Hwsim.Sched.overlap_enabled ()) then ""
+  else begin
+    let clock = Hwsim.Clock.create () in
+    let tr = Hwsim.Trace.create ~root:"kavg-overlap" clock in
+    let m =
+      Dlearn.Distributed.kavg_round_model ~trace:tr ~learners:8 ~k:8 ~batch:16
+        sizes
+    in
+    Harness.record_trace "kavg-overlap" tr;
+    Harness.record_overlap "kavg" m.Dlearn.Distributed.round_efficiency;
+    Harness.section
+      "Overlap — layer-bucketed weight-average allreduce under backprop \
+       (per KAVG round)"
+      (Fmt.str
+         "serial %.4g s; overlapped %.4g s (%d layer buckets issued as \
+          gradients complete)\noverlap efficiency: %.3f\n"
+         m.Dlearn.Distributed.serial_round_s
+         m.Dlearn.Distributed.overlapped_round_s
+         (List.length (Dlearn.Distributed.layer_params sizes))
+         m.Dlearn.Distributed.round_efficiency)
+  end
+
 let kavg () =
   let sizes = [| 12; 16; 4 |] in
   let task () = Dlearn.Distributed.make_task ~rng:(Rng.create 55) ~spread:1.6 () in
@@ -70,6 +97,7 @@ let kavg () =
     [ ("sync SGD", sync); ("ASGD (staleness 8)", asgd); ("KAVG (K=8)", kv) ];
   Harness.section "Sec 4.5 — KAVG vs ASGD (paper: KAVG scales better; optimal K > 1)"
     (Table.render t)
+  ^ overlap_section sizes
 
 let harnesses =
   [

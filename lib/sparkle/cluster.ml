@@ -61,18 +61,23 @@ let gc_drag t = if t.config.jvm_optimized then 0.07 else 0.28
 
 let charge tr ~phase dt = Hwsim.Trace.charge tr ~device:"cluster" ~phase dt
 
-(** Charge a parallel compute stage of [flops] total work across the
-    cluster's cores, plus GC drag. *)
-let charge_compute t ~flops =
+(* --- the cost model, as pure time functions ---
+
+   The charge_* primitives below and the nonblocking issue_*/wait pairs
+   price work through these same functions, so blocking and overlapped
+   jobs can never disagree on what a stage costs. *)
+
+(** Seconds of a parallel compute stage of [flops] total work across the
+    cluster's cores: ideal time inflated by GC drag, plus task launch. *)
+let compute_seconds t ~flops =
   let per_core = 2.0e9 (* effective scalar JVM flops/s per core *) in
   let ideal = flops /. (float_of_int (total_cores t) *. per_core) in
-  charge t.trace ~phase:"compute" (ideal *. (1.0 +. gc_drag t));
-  charge t.trace ~phase:"compute" (task_overhead t)
+  (ideal *. (1.0 +. gc_drag t)) +. task_overhead t
 
-(** Charge an all-to-all shuffle of [bytes] total. The default sort-based
-    shuffle serializes, spills to disk and re-reads; the adaptive shuffle
-    pipelines in memory. *)
-let charge_shuffle t ~bytes =
+(** Seconds of an all-to-all shuffle of [bytes] total. The default
+    sort-based shuffle serializes, spills to disk and re-reads; the
+    adaptive shuffle pipelines in memory. *)
+let shuffle_seconds t ~bytes =
   let cfg = t.config in
   let n = float_of_int cfg.nodes in
   let wire =
@@ -85,34 +90,78 @@ let charge_shuffle t ~bytes =
       2.0 *. bytes /. (n *. 500e6)
   in
   let tasks = task_overhead t *. 2.0 in
-  charge t.trace ~phase:"shuffle" (wire +. serde +. spill +. tasks)
+  wire +. serde +. spill +. tasks
 
-(** Charge an all-to-one aggregate of [bytes] per node toward the driver.
-    Flat: the driver ingests every node's contribution serially. Tree:
-    log2(nodes) combine rounds, each pairwise and parallel. *)
-let charge_aggregate t ~bytes_per_node =
+(** Seconds of an all-to-one aggregate of [bytes] per node toward the
+    driver. Flat: the driver ingests every node's contribution serially.
+    Tree: log2(nodes) combine rounds, each pairwise and parallel — at
+    least one round even for a single node (clamped like broadcast, so a
+    one-node tree aggregate still pays its combine instead of rounding
+    to zero seconds). *)
+let aggregate_seconds t ~bytes_per_node =
   let cfg = t.config in
   let link_time b = b /. (cfg.fabric.Hwsim.Link.bw_gbs *. 1e9 *. 0.5) in
   let serde b = b /. ser_rate t in
-  let time =
-    if cfg.tree_aggregate then
-      let rounds = Float.ceil (Float.log2 (float_of_int cfg.nodes)) in
-      rounds *. (link_time bytes_per_node +. serde bytes_per_node +. task_overhead t)
-    else
-      float_of_int cfg.nodes
-      *. (link_time bytes_per_node +. serde bytes_per_node)
-      +. task_overhead t
-  in
-  charge t.trace ~phase:"aggregate" time
+  if cfg.tree_aggregate then
+    let rounds = Float.ceil (Float.log2 (float_of_int (max 2 cfg.nodes))) in
+    rounds *. (link_time bytes_per_node +. serde bytes_per_node +. task_overhead t)
+  else
+    float_of_int cfg.nodes
+    *. (link_time bytes_per_node +. serde bytes_per_node)
+    +. task_overhead t
 
-(** Charge a driver-to-all broadcast of [bytes] (tree-shaped both ways). *)
-let charge_broadcast t ~bytes =
+(** Seconds of a driver-to-all broadcast of [bytes] (tree-shaped). *)
+let broadcast_seconds t ~bytes =
   let cfg = t.config in
   let rounds = Float.ceil (Float.log2 (float_of_int (max 2 cfg.nodes))) in
-  let time =
-    rounds *. ((bytes /. (cfg.fabric.Hwsim.Link.bw_gbs *. 1e9 *. 0.5)) +. (bytes /. ser_rate t))
-  in
-  charge t.trace ~phase:"broadcast" time
+  rounds *. ((bytes /. (cfg.fabric.Hwsim.Link.bw_gbs *. 1e9 *. 0.5)) +. (bytes /. ser_rate t))
+
+(* --- blocking charges --- *)
+
+(** Charge a parallel compute stage (two charges — work then launch — so
+    existing per-phase accounting is unchanged). *)
+let charge_compute t ~flops =
+  let per_core = 2.0e9 in
+  let ideal = flops /. (float_of_int (total_cores t) *. per_core) in
+  charge t.trace ~phase:"compute" (ideal *. (1.0 +. gc_drag t));
+  charge t.trace ~phase:"compute" (task_overhead t)
+
+let charge_shuffle t ~bytes =
+  charge t.trace ~phase:"shuffle" (shuffle_seconds t ~bytes)
+
+let charge_aggregate t ~bytes_per_node =
+  charge t.trace ~phase:"aggregate" (aggregate_seconds t ~bytes_per_node)
+
+let charge_broadcast t ~bytes =
+  charge t.trace ~phase:"broadcast" (broadcast_seconds t ~bytes)
+
+(* --- nonblocking issue/wait over the same cost model ---
+
+   An async job is an Hwsim.Sched bound to the cluster's trace: compute
+   stages go on the "cores" stream, collectives on the "fabric" stream,
+   dependencies are explicit, and [wait] advances the cluster clock by
+   the schedule's critical path (or the serial sum under
+   ICOE_OVERLAP=0). *)
+
+let async ?overlap t = Hwsim.Sched.create ?overlap ~trace:t.trace ()
+
+let issue_compute t sched ?(stream = "cores") ?deps ~flops () =
+  Hwsim.Sched.work sched ~stream ?deps ~device:"cluster" ~phase:"compute"
+    (compute_seconds t ~flops)
+
+let issue_shuffle t sched ?(stream = "fabric") ?deps ~bytes () =
+  Hwsim.Sched.work sched ~stream ?deps ~device:"cluster" ~phase:"shuffle"
+    (shuffle_seconds t ~bytes)
+
+let issue_aggregate t sched ?(stream = "fabric") ?deps ~bytes_per_node () =
+  Hwsim.Sched.work sched ~stream ?deps ~device:"cluster" ~phase:"aggregate"
+    (aggregate_seconds t ~bytes_per_node)
+
+let issue_broadcast t sched ?(stream = "fabric") ?deps ~bytes () =
+  Hwsim.Sched.work sched ~stream ?deps ~device:"cluster" ~phase:"broadcast"
+    (broadcast_seconds t ~bytes)
+
+let wait _t sched = Hwsim.Sched.run sched
 
 let elapsed t = Hwsim.Clock.total t.clock
 let breakdown t = Hwsim.Clock.breakdown t.clock

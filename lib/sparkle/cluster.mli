@@ -30,6 +30,23 @@ val ser_rate : t -> float
 val gc_drag : t -> float
 (** Fraction added on top of compute time by garbage collection. *)
 
+(** {2 Cost model, as pure time functions}
+
+    The blocking [charge_*] primitives and the nonblocking [issue_*]
+    pairs below price work through these, so serialized and overlapped
+    jobs can never disagree on what a stage costs. *)
+
+val compute_seconds : t -> flops:float -> float
+val shuffle_seconds : t -> bytes:float -> float
+val aggregate_seconds : t -> bytes_per_node:float -> float
+(** Tree aggregates clamp the round count with [max 2 nodes] (like
+    broadcast) so a one-node tree still pays one combine round instead
+    of [ceil (log2 1) = 0] seconds. *)
+
+val broadcast_seconds : t -> bytes:float -> float
+
+(** {2 Blocking charges} *)
+
 val charge_compute : t -> flops:float -> unit
 val charge_shuffle : t -> bytes:float -> unit
 (** All-to-all; the default sort-based path also spills to disk. *)
@@ -38,6 +55,37 @@ val charge_aggregate : t -> bytes_per_node:float -> unit
 (** All-to-one: flat (driver ingests serially) or log-depth tree. *)
 
 val charge_broadcast : t -> bytes:float -> unit
+
+(** {2 Nonblocking issue/wait}
+
+    An async job is an {!Hwsim.Sched.t} bound to the cluster's trace:
+    compute stages default to the ["cores"] stream, collectives to the
+    ["fabric"] stream, dependencies are explicit, and {!wait} advances
+    the cluster clock by the schedule's critical path — or by the serial
+    sum under [ICOE_OVERLAP=0], bit-identically to the blocking
+    [charge_*] calls. *)
+
+val async : ?overlap:bool -> t -> Hwsim.Sched.t
+
+val issue_compute :
+  t -> Hwsim.Sched.t -> ?stream:string -> ?deps:Hwsim.Sched.item list ->
+  flops:float -> unit -> Hwsim.Sched.item
+
+val issue_shuffle :
+  t -> Hwsim.Sched.t -> ?stream:string -> ?deps:Hwsim.Sched.item list ->
+  bytes:float -> unit -> Hwsim.Sched.item
+
+val issue_aggregate :
+  t -> Hwsim.Sched.t -> ?stream:string -> ?deps:Hwsim.Sched.item list ->
+  bytes_per_node:float -> unit -> Hwsim.Sched.item
+
+val issue_broadcast :
+  t -> Hwsim.Sched.t -> ?stream:string -> ?deps:Hwsim.Sched.item list ->
+  bytes:float -> unit -> Hwsim.Sched.item
+
+val wait : t -> Hwsim.Sched.t -> float
+(** Run the schedule, charge the cluster clock/trace, return the
+    makespan in seconds. Idempotent (see {!Hwsim.Sched.run}). *)
 
 val elapsed : t -> float
 val breakdown : t -> (string * float) list

@@ -135,12 +135,29 @@ let node_throughput (node : Hwsim.Node.t) ~points =
   if node.Hwsim.Node.gpus > 0 then float_of_int node.Hwsim.Node.gpus *. per_gpu
   else float_of_int node.Hwsim.Node.cpu_sockets *. per_cpu
 
-(** The production Hayward run (Sec 4.9): 26 billion grid points, ~10
-    hours on Sierra with 256 nodes, "almost the same time as required on
-    Cori-II". Wall-clock hours of the campaign on [nodes] nodes of a
-    machine, including a surface-to-volume halo exchange per step. *)
-let production_run_hours ?(work_multiplier = 280.0)
-    (machine : Hwsim.Node.machine) ~nodes ~grid_points ~steps =
+(* --- the production campaign model (Sec 4.9) --- *)
+
+type step_model = {
+  point_s : float;
+  halo_s : float;
+  boundary_frac : float;
+  serial_s : float;
+  overlapped_s : float;
+  step_s : float;
+}
+
+(** Per-timestep cost model of the production run on [nodes] nodes: the
+    RHS update of all per-node points ([point_s]) plus a
+    surface-to-volume halo exchange ([halo_s]). With overlap enabled the
+    halo transfer rides a "nic" stream under the interior-point update
+    on the "gpu" stream; only the boundary shell (the [boundary_frac]
+    of points within two layers of a face, capped at half the block)
+    waits for the halo, so [overlapped_s = max interior halo + boundary]
+    — strictly below [serial_s] whenever both compute and halo cost
+    anything. [step_s] is the charged per-step time: [overlapped_s]
+    under overlap, the exact pre-scheduler [serial_s] otherwise. *)
+let production_step_model ?(work_multiplier = 280.0) ?overlap ?trace
+    (machine : Hwsim.Node.machine) ~nodes ~grid_points =
   assert (nodes >= 1 && nodes <= machine.Hwsim.Node.nodes);
   let points_per_node = grid_points /. float_of_int nodes in
   let rate =
@@ -155,16 +172,53 @@ let production_run_hours ?(work_multiplier = 280.0)
   let face = points_per_node ** (2.0 /. 3.0) in
   let halo_bytes = 6.0 *. face *. 8.0 *. 4.0 in
   let halo_t = Hwsim.Link.transfer_time machine.Hwsim.Node.fabric ~bytes:halo_bytes in
-  float_of_int steps *. (point_t +. halo_t) /. 3600.0
+  let serial_s = point_t +. halo_t in
+  (* the 2-deep dependent shell on all 6 faces of the per-node block *)
+  let bf = Float.min 0.5 (12.0 *. face /. points_per_node) in
+  let sched = Hwsim.Sched.create ?overlap ?trace () in
+  let _interior =
+    Hwsim.Sched.work sched ~stream:"gpu" ~device:"gpu" ~phase:"interior"
+      (point_t *. (1.0 -. bf))
+  in
+  let halo =
+    Hwsim.Sched.work sched ~stream:"nic"
+      ~device:machine.Hwsim.Node.fabric.Hwsim.Link.name ~phase:"halo" halo_t
+  in
+  let _boundary =
+    Hwsim.Sched.work sched ~stream:"gpu" ~deps:[ halo ] ~device:"gpu"
+      ~phase:"boundary" (point_t *. bf)
+  in
+  let overlapped_s = Hwsim.Sched.run sched in
+  let step_s = if Hwsim.Sched.overlap sched then overlapped_s else serial_s in
+  {
+    point_s = point_t;
+    halo_s = halo_t;
+    boundary_frac = bf;
+    serial_s;
+    overlapped_s;
+    step_s;
+  }
+
+(** The production Hayward run (Sec 4.9): 26 billion grid points, ~10
+    hours on Sierra with 256 nodes, "almost the same time as required on
+    Cori-II". Wall-clock hours of the campaign on [nodes] nodes of a
+    machine, including a surface-to-volume halo exchange per step
+    (overlapped with interior compute unless [ICOE_OVERLAP=0]). *)
+let production_run_hours ?work_multiplier ?overlap
+    (machine : Hwsim.Node.machine) ~nodes ~grid_points ~steps =
+  let m =
+    production_step_model ?work_multiplier ?overlap machine ~nodes ~grid_points
+  in
+  float_of_int steps *. m.step_s /. 3600.0
 
 (** Nodes of [machine] needed to finish the same campaign in [hours]. *)
-let nodes_for_deadline ?work_multiplier (machine : Hwsim.Node.machine)
+let nodes_for_deadline ?work_multiplier ?overlap (machine : Hwsim.Node.machine)
     ~grid_points ~steps ~hours =
   let rec search lo hi =
     if lo >= hi then lo
     else
       let mid = (lo + hi) / 2 in
-      if production_run_hours ?work_multiplier machine ~nodes:mid ~grid_points ~steps <= hours
+      if production_run_hours ?work_multiplier ?overlap machine ~nodes:mid ~grid_points ~steps <= hours
       then
         search lo mid
       else search (mid + 1) hi

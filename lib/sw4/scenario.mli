@@ -33,15 +33,38 @@ val variant_time_per_step : ?fused:bool -> Grid.t -> variant -> float
 val node_throughput : Hwsim.Node.t -> points:int -> float
 (** Grid-point updates per second per node (GPU-resident on GPU nodes). *)
 
+type step_model = {
+  point_s : float;  (** RHS update of all per-node points, seconds *)
+  halo_s : float;  (** surface-to-volume halo exchange, seconds *)
+  boundary_frac : float;
+      (** fraction of the point update (the 2-deep face shell, capped at
+          0.5) that must wait for the halo *)
+  serial_s : float;  (** [point_s +. halo_s] *)
+  overlapped_s : float;
+      (** [max interior halo + boundary]: halo on the "nic" stream under
+          interior compute on the "gpu" stream *)
+  step_s : float;
+      (** the charged per-step seconds: [overlapped_s] with overlap on,
+          the exact pre-scheduler [serial_s] otherwise *)
+}
+
+val production_step_model :
+  ?work_multiplier:float -> ?overlap:bool -> ?trace:Hwsim.Trace.t ->
+  Hwsim.Node.machine -> nodes:int -> grid_points:float -> step_model
+(** Per-timestep cost model of the production campaign. [overlap]
+    defaults to {!Hwsim.Sched.overlap_enabled}; when a [trace] is given,
+    one step's interior/halo/boundary items are charged into it. *)
+
 val production_run_hours :
-  ?work_multiplier:float -> Hwsim.Node.machine -> nodes:int ->
-  grid_points:float -> steps:int -> float
+  ?work_multiplier:float -> ?overlap:bool -> Hwsim.Node.machine ->
+  nodes:int -> grid_points:float -> steps:int -> float
 (** Wall-clock hours of the 26B-point campaign on a machine partition,
-    including halo exchange. The default multiplier calibrates the 2D
-    model kernel to the 3D production kernel's per-point work so the
-    256-node Sierra run lands at the paper's ~10 h. *)
+    including halo exchange (overlapped with interior compute unless
+    disabled). The default multiplier calibrates the 2D model kernel to
+    the 3D production kernel's per-point work so the 256-node Sierra run
+    lands at the paper's ~10 h. *)
 
 val nodes_for_deadline :
-  ?work_multiplier:float -> Hwsim.Node.machine -> grid_points:float ->
-  steps:int -> hours:float -> int
+  ?work_multiplier:float -> ?overlap:bool -> Hwsim.Node.machine ->
+  grid_points:float -> steps:int -> hours:float -> int
 (** Nodes needed to finish the campaign within a deadline. *)

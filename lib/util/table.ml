@@ -23,7 +23,12 @@ let add_row t row =
   assert (List.length row = List.length t.header);
   t.rows <- row :: t.rows
 
-let addf t fmts = Fmt.kstr (fun s -> add_row t (String.split_on_char '|' s)) fmts
+(* Cell separator for [addf]: the ASCII unit separator, which cannot
+   appear in rendered cell values — a formatted cell containing '|'
+   (e.g. a phase named "comm|halo") must not shift the columns. *)
+let sep = "\x1f"
+
+let addf t fmts = Fmt.kstr (fun s -> add_row t (String.split_on_char '\x1f' s)) fmts
 
 let fcell ?(prec = 3) v = Fmt.str "%.*f" prec v
 

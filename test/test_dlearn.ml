@@ -108,6 +108,49 @@ let test_kavg_beats_asgd () =
   (* same number of gradient evaluations *)
   Alcotest.(check int) "same budget" asgd.Distributed.steps kavg.Distributed.steps
 
+let test_kavg_overlap_model () =
+  let sizes = [| 12; 16; 4 |] in
+  let on = Distributed.kavg_round_model ~overlap:true ~learners:8 ~k:8 ~batch:16 sizes in
+  let off = Distributed.kavg_round_model ~overlap:false ~learners:8 ~k:8 ~batch:16 sizes in
+  Alcotest.(check (float 0.0)) "modes agree on serial cost"
+    off.Distributed.serial_round_s on.Distributed.serial_round_s;
+  (* layer-bucketed allreduce under the last local step's backprop:
+     strictly lower round time *)
+  Alcotest.(check bool)
+    (Fmt.str "overlapped %.3e < serial %.3e" on.Distributed.overlapped_round_s
+       on.Distributed.serial_round_s)
+    true
+    (on.Distributed.overlapped_round_s < on.Distributed.serial_round_s);
+  Alcotest.(check (float 0.0)) "overlap charges overlapped"
+    on.Distributed.overlapped_round_s on.Distributed.round_s;
+  Alcotest.(check (float 0.0)) "serial mode charges serial"
+    off.Distributed.serial_round_s off.Distributed.round_s;
+  Alcotest.(check bool) "efficiency in (0,1)" true
+    (on.Distributed.round_efficiency > 0.0
+    && on.Distributed.round_efficiency < 1.0);
+  Alcotest.(check (float 0.0)) "serial efficiency is 1" 1.0
+    off.Distributed.round_efficiency;
+  (* a full run wires the round model through: overlapped run clocks
+     strictly less simulated time on the same seed and budget *)
+  let run overlap =
+    Distributed.kavg ~rng:(rng ()) ~learners:8 ~rounds:20 ~k:8 ~batch:16
+      ~lr:0.05 ~overlap sizes
+      (Distributed.make_task ~rng:(rng ()) ~spread:1.0 ())
+  in
+  let r_on = run true and r_off = run false in
+  Alcotest.(check bool)
+    (Fmt.str "run %.4f s < %.4f s" r_on.Distributed.simulated_seconds
+       r_off.Distributed.simulated_seconds)
+    true
+    (r_on.Distributed.simulated_seconds < r_off.Distributed.simulated_seconds);
+  Alcotest.(check (float 1e-12)) "run reports the round efficiency"
+    on.Distributed.round_efficiency r_on.Distributed.overlap_efficiency;
+  Alcotest.(check (float 0.0)) "serial run reports 1.0" 1.0
+    r_off.Distributed.overlap_efficiency;
+  (* training outcome is identical — overlap only moves the clock *)
+  Alcotest.(check (float 0.0)) "same final loss" r_off.Distributed.final_loss
+    r_on.Distributed.final_loss
+
 let test_kavg_optimal_k_exceeds_one () =
   (* "the optimal K for convergence is usually greater than one": with
      communication priced in, loss-at-equal-simulated-time favours K > 1 *)
@@ -290,6 +333,7 @@ let () =
           Alcotest.test_case "sync sgd" `Quick test_sync_sgd_converges;
           Alcotest.test_case "kavg beats asgd" `Slow test_kavg_beats_asgd;
           Alcotest.test_case "optimal k > 1" `Slow test_kavg_optimal_k_exceeds_one;
+          Alcotest.test_case "kavg overlap model" `Quick test_kavg_overlap_model;
           Alcotest.test_case "staleness hurts" `Slow test_asgd_staleness_hurts;
         ] );
       ( "modelparallel",

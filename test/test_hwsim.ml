@@ -136,6 +136,212 @@ let test_counters_monotonicity_guard () =
     | () -> false
     | exception Assert_failure _ -> true)
 
+(* --- stream scheduler (comm/compute overlap) --- *)
+
+(* A(gpu, 3) and B(nic, 2) start together; C(gpu, 1) needs B but also
+   waits for A (same stream). Critical path: max(3, 2) + 1 = 4. *)
+let fixed_dag sched =
+  ignore (Sched.work sched ~stream:"gpu" ~phase:"a" 3.0);
+  let b = Sched.work sched ~stream:"nic" ~phase:"b" 2.0 in
+  ignore (Sched.work sched ~stream:"gpu" ~deps:[ b ] ~phase:"c" 1.0)
+
+let test_sched_critical_path () =
+  let sched = Sched.create ~overlap:true () in
+  fixed_dag sched;
+  check_float "overlap = critical path" 4.0 (Sched.run sched);
+  check_float "serial sum" 6.0 (Sched.serial_sum sched);
+  check_float "efficiency" (4.0 /. 6.0) (Sched.overlap_efficiency sched);
+  check_float "memoized" 4.0 (Sched.run sched)
+
+let test_sched_serial_mode () =
+  let sched = Sched.create ~overlap:false () in
+  fixed_dag sched;
+  check_float "serial mode = serial sum" 6.0 (Sched.run sched);
+  check_float "efficiency 1.0" 1.0 (Sched.overlap_efficiency sched)
+
+let test_sched_stream_order () =
+  (* no explicit deps: same-stream items still serialize *)
+  let sched = Sched.create ~overlap:true () in
+  ignore (Sched.work sched ~stream:"gpu" ~phase:"a" 1.0);
+  ignore (Sched.work sched ~stream:"gpu" ~phase:"b" 1.0);
+  check_float "in-order stream" 2.0 (Sched.run sched)
+
+let test_sched_guards () =
+  let sched = Sched.create ~overlap:true () in
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Sched: item duration must be finite and nonnegative")
+    (fun () -> ignore (Sched.work sched ~stream:"s" ~phase:"p" (-1.0)));
+  ignore (Sched.work sched ~stream:"s" ~phase:"p" 1.0);
+  ignore (Sched.run sched);
+  Alcotest.check_raises "enqueue after run"
+    (Invalid_argument "Sched: cannot enqueue after run") (fun () ->
+      ignore (Sched.work sched ~stream:"s" ~phase:"p" 1.0))
+
+let test_sched_empty () =
+  let sched = Sched.create ~overlap:true () in
+  check_float "empty makespan" 0.0 (Sched.run sched);
+  check_float "empty efficiency" 1.0 (Sched.overlap_efficiency sched)
+
+let test_sched_trace_overlap_charging () =
+  (* overlapped charging: clock total advances by the makespan, while
+     the per-phase breakdown keeps full busy seconds — their sum exceeds
+     the total by exactly the hidden time *)
+  let c = Clock.create () in
+  let tr = Trace.create ~root:"t" c in
+  let sched = Sched.create ~overlap:true ~trace:tr () in
+  fixed_dag sched;
+  let makespan = Sched.run sched in
+  check_float "clock total = makespan" makespan (Clock.total c);
+  check_float "phase a busy" 3.0 (Clock.phase c "a");
+  check_float "phase b busy" 2.0 (Clock.phase c "b");
+  check_float "phase c busy" 1.0 (Clock.phase c "c");
+  let breakdown_sum =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 (Clock.breakdown c)
+  in
+  check_float "hidden time = serial - makespan"
+    (Sched.serial_sum sched -. makespan)
+    (breakdown_sum -. Clock.total c)
+
+let test_sched_serial_charging_matches_charge () =
+  (* the ICOE_OVERLAP=0 fallback must charge exactly like Trace.charge *)
+  let c1 = Clock.create () in
+  let t1 = Trace.create ~root:"t" c1 in
+  let sched = Sched.create ~overlap:false ~trace:t1 () in
+  ignore (Sched.work sched ~stream:"gpu" ~device:"gpu" ~phase:"a" 1.5);
+  ignore (Sched.work sched ~stream:"nic" ~device:"nic" ~phase:"b" 0.25);
+  ignore (Sched.run sched);
+  let c2 = Clock.create () in
+  let t2 = Trace.create ~root:"t" c2 in
+  Trace.charge t2 ~device:"gpu" ~phase:"a" 1.5;
+  Trace.charge t2 ~device:"nic" ~phase:"b" 0.25;
+  check_float "totals equal" (Clock.total c2) (Clock.total c1);
+  check_float "phase a equal" (Clock.phase c2 "a") (Clock.phase c1 "a");
+  check_float "phase b equal" (Clock.phase c2 "b") (Clock.phase c1 "b");
+  Alcotest.(check int)
+    "span counts equal" (Trace.span_count t2) (Trace.span_count t1)
+
+let test_sched_kernel_and_transfer_pricing () =
+  (* scheduler items are priced by the same cost model as serialized
+     charging *)
+  let k = Kernel.make ~name:"k" ~flops:1e9 ~bytes:24e9 () in
+  let sched = Sched.create ~overlap:true () in
+  let ki = Sched.kernel sched ~stream:"gpu" Device.v100 k in
+  let ti = Sched.transfer sched ~stream:"nic" Link.nvlink2 ~bytes:1e6 in
+  check_float "kernel priced by roofline" (Roofline.time Device.v100 k)
+    (Sched.duration ki);
+  check_float "transfer priced by link"
+    (Link.transfer_time Link.nvlink2 ~bytes:1e6)
+    (Sched.duration ti)
+
+let test_binding_delegates_to_time_and_bound () =
+  (* regression: binding used to re-derive the roofs itself and did not
+     accept [lanes_used], so it could disagree with the roof that
+     actually priced the time. It must equal [snd time_and_bound] under
+     every efficiency/lane scaling. *)
+  let k = Kernel.make ~name:"k" ~flops:1e9 ~bytes:1e9 () in
+  List.iter
+    (fun (eff, lanes_used) ->
+      Alcotest.(check bool)
+        "binding = snd time_and_bound" true
+        (Roofline.binding ?eff ?lanes_used Device.power9 k
+        = snd (Roofline.time_and_bound ?eff ?lanes_used Device.power9 k)))
+    [
+      (None, None);
+      (Some (Roofline.eff ~compute:0.05 ~bandwidth:1.0 ()), None);
+      (None, Some 1);
+      (Some (Roofline.eff ~compute:1.0 ~bandwidth:0.05 ()), Some 3);
+    ];
+  (* the efficiency surface can flip the roof; both views agree on it *)
+  Alcotest.(check bool)
+    "bandwidth bound at default eff" true
+    (Roofline.binding Device.power9 k = Roofline.Bandwidth_bound);
+  Alcotest.(check bool)
+    "low compute eff flips to compute bound" true
+    (Roofline.binding
+       ~eff:(Roofline.eff ~compute:0.05 ~bandwidth:1.0 ())
+       Device.power9 k
+    = Roofline.Compute_bound)
+
+(* Random DAGs: each item gets a stream, a duration, and possibly a
+   dependency on an earlier item — exactly the shapes engines build. *)
+let sched_case_gen =
+  QCheck.(
+    small_list (triple (int_bound 2) (float_range 0.0 10.0) small_nat))
+
+let build_sched ~overlap case =
+  let sched = Sched.create ~overlap () in
+  let items = Array.make (List.length case) None in
+  List.iteri
+    (fun j (s, d, dep) ->
+      let stream = Printf.sprintf "s%d" s in
+      let deps =
+        if j > 0 && dep mod 2 = 0 then
+          match items.(dep mod j) with Some it -> [ it ] | None -> []
+        else []
+      in
+      items.(j) <- Some (Sched.work sched ~stream ~deps ~phase:stream d))
+    case;
+  sched
+
+let prop_sched_makespan_bounds =
+  QCheck.Test.make ~name:"overlap: busy max <= makespan <= serial sum"
+    ~count:300 sched_case_gen (fun case ->
+      let sched = build_sched ~overlap:true case in
+      let makespan = Sched.run sched in
+      let serial = Sched.serial_sum sched in
+      let busy_max =
+        List.fold_left
+          (fun acc (_, b) -> Float.max acc b)
+          0.0 (Sched.stream_busy sched)
+      in
+      makespan <= serial +. 1e-9 && makespan >= busy_max -. 1e-9)
+
+let prop_sched_critical_path =
+  (* independent recomputation of every finish time: an item starts at
+     the max of its dependencies' and stream predecessor's finishes *)
+  QCheck.Test.make ~name:"overlap: makespan = recomputed critical path"
+    ~count:300 sched_case_gen (fun case ->
+      let sched = build_sched ~overlap:true case in
+      let makespan = Sched.run sched in
+      let expected =
+        let stream_last = Hashtbl.create 8 in
+        List.fold_left
+          (fun acc it ->
+            let ready =
+              Option.value
+                (Hashtbl.find_opt stream_last (Sched.stream_of it))
+                ~default:0.0
+            in
+            let start =
+              List.fold_left
+                (fun acc d -> Float.max acc (Sched.finish_time d))
+                ready (Sched.deps_of it)
+            in
+            let finish = start +. Sched.duration it in
+            Hashtbl.replace stream_last (Sched.stream_of it) finish;
+            Float.max acc finish)
+          0.0 (Sched.items sched)
+      in
+      makespan = expected)
+
+let prop_sched_conservation =
+  QCheck.Test.make
+    ~name:"per-stream busy seconds conserved across scheduling modes"
+    ~count:300 sched_case_gen (fun case ->
+      let ov = build_sched ~overlap:true case in
+      let ser = build_sched ~overlap:false case in
+      ignore (Sched.run ov);
+      ignore (Sched.run ser);
+      Sched.stream_busy ov = Sched.stream_busy ser
+      && Sched.run ser = Sched.serial_sum ov)
+
+let prop_sched_determinism =
+  QCheck.Test.make ~name:"identical rebuild gives identical makespan"
+    ~count:200 sched_case_gen (fun case ->
+      let a = build_sched ~overlap:true case in
+      let b = build_sched ~overlap:true case in
+      Sched.run a = Sched.run b)
+
 let prop_roofline_time_positive =
   QCheck.Test.make ~name:"roofline time positive and monotone in work"
     ~count:200
@@ -169,6 +375,26 @@ let () =
             test_unified_memory_no_link_latency;
         ] );
       ("clock", [ Alcotest.test_case "phases" `Quick test_clock_phases ]);
+      ( "sched",
+        [
+          Alcotest.test_case "critical path" `Quick test_sched_critical_path;
+          Alcotest.test_case "serial mode" `Quick test_sched_serial_mode;
+          Alcotest.test_case "stream order" `Quick test_sched_stream_order;
+          Alcotest.test_case "guards" `Quick test_sched_guards;
+          Alcotest.test_case "empty schedule" `Quick test_sched_empty;
+          Alcotest.test_case "overlapped trace charging" `Quick
+            test_sched_trace_overlap_charging;
+          Alcotest.test_case "serial fallback matches Trace.charge" `Quick
+            test_sched_serial_charging_matches_charge;
+          Alcotest.test_case "cost-model pricing" `Quick
+            test_sched_kernel_and_transfer_pricing;
+          Alcotest.test_case "binding delegates (lanes_used)" `Quick
+            test_binding_delegates_to_time_and_bound;
+          QCheck_alcotest.to_alcotest prop_sched_makespan_bounds;
+          QCheck_alcotest.to_alcotest prop_sched_critical_path;
+          QCheck_alcotest.to_alcotest prop_sched_conservation;
+          QCheck_alcotest.to_alcotest prop_sched_determinism;
+        ] );
       ("node", [ Alcotest.test_case "peaks" `Quick test_node_peaks ]);
       ("kernel", [ Alcotest.test_case "algebra" `Quick test_kernel_algebra ]);
       ( "counters",

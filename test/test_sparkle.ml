@@ -82,6 +82,65 @@ let test_tree_aggregate_scales () =
     (Hwsim.Clock.phase tree.Sparkle.Cluster.clock "aggregate" *. 4.0
     < Hwsim.Clock.phase flat.Sparkle.Cluster.clock "aggregate")
 
+let test_tree_aggregate_single_node () =
+  (* regression: at nodes=1 the tree round count used to be
+     ceil(log2 1) = 0, charging zero seconds; the clamp makes one-node
+     tree and flat aggregates cost the same positive time *)
+  let flat = mk ~nodes:1 () and tree = mk ~optimized:true ~nodes:1 () in
+  let flat_s = Sparkle.Cluster.aggregate_seconds flat ~bytes_per_node:50e6 in
+  let tree_s = Sparkle.Cluster.aggregate_seconds tree ~bytes_per_node:50e6 in
+  Alcotest.(check bool) "tree charges time at nodes=1" true (tree_s > 0.0);
+  (* tree pays one combine round; flat pays one node's ingest — the tree
+     configuration also has the optimized JVM, so it can only be faster,
+     never free *)
+  Sparkle.Cluster.charge_aggregate tree ~bytes_per_node:50e6;
+  Alcotest.(check (float 1e-12)) "charge matches cost function" tree_s
+    (Hwsim.Clock.phase tree.Sparkle.Cluster.clock "aggregate");
+  Alcotest.(check bool) "flat positive too" true (flat_s > 0.0)
+
+let test_async_overlap_bounds () =
+  (* a compute stage overlapping a shuffle: makespan is the critical
+     path, bounded below by the longer stage and above by the sum *)
+  let c = mk ~nodes:8 () in
+  let s = Sparkle.Cluster.async ~overlap:true c in
+  let comp = Sparkle.Cluster.issue_compute c s ~flops:5e12 () in
+  let _sh = Sparkle.Cluster.issue_shuffle c s ~bytes:2e9 () in
+  let _agg =
+    Sparkle.Cluster.issue_aggregate c s ~deps:[ comp ] ~bytes_per_node:10e6 ()
+  in
+  let makespan = Sparkle.Cluster.wait c s in
+  let serial = Hwsim.Sched.serial_sum s in
+  Alcotest.(check bool) "overlapped below serial sum" true (makespan < serial);
+  Alcotest.(check (float 1e-12)) "clock advanced by makespan" makespan
+    (Sparkle.Cluster.elapsed c);
+  (* per-phase attribution still lands in the breakdown *)
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) (phase ^ " attributed") true
+        (Hwsim.Clock.phase c.Sparkle.Cluster.clock phase > 0.0))
+    [ "compute"; "shuffle"; "aggregate" ]
+
+let test_async_serial_matches_blocking () =
+  (* with overlap off, issue/wait charges exactly what the blocking
+     charge_* sequence would *)
+  let a = mk ~nodes:8 () and b = mk ~nodes:8 () in
+  let s = Sparkle.Cluster.async ~overlap:false a in
+  let _ = Sparkle.Cluster.issue_shuffle a s ~bytes:2e9 () in
+  let _ = Sparkle.Cluster.issue_aggregate a s ~bytes_per_node:10e6 () in
+  let makespan = Sparkle.Cluster.wait a s in
+  Sparkle.Cluster.charge_shuffle b ~bytes:2e9;
+  Sparkle.Cluster.charge_aggregate b ~bytes_per_node:10e6;
+  Alcotest.(check (float 0.0)) "same elapsed" (Sparkle.Cluster.elapsed b)
+    (Sparkle.Cluster.elapsed a);
+  Alcotest.(check (float 0.0)) "makespan = serial sum"
+    (Hwsim.Sched.serial_sum s) makespan;
+  List.iter
+    (fun phase ->
+      Alcotest.(check (float 0.0)) (phase ^ " identical")
+        (Hwsim.Clock.phase b.Sparkle.Cluster.clock phase)
+        (Hwsim.Clock.phase a.Sparkle.Cluster.clock phase))
+    [ "shuffle"; "aggregate" ]
+
 let test_jvm_gc_drag () =
   let slow = mk () and fast = mk ~optimized:true () in
   Sparkle.Cluster.charge_compute slow ~flops:1e12;
@@ -251,6 +310,12 @@ let () =
         [
           Alcotest.test_case "adaptive shuffle" `Quick test_adaptive_shuffle_cheaper;
           Alcotest.test_case "tree aggregate" `Quick test_tree_aggregate_scales;
+          Alcotest.test_case "tree aggregate at nodes=1" `Quick
+            test_tree_aggregate_single_node;
+          Alcotest.test_case "async overlap bounds" `Quick
+            test_async_overlap_bounds;
+          Alcotest.test_case "async serial matches blocking" `Quick
+            test_async_serial_matches_blocking;
           Alcotest.test_case "jvm drag" `Quick test_jvm_gc_drag;
         ] );
       ( "databroker",

@@ -274,6 +274,49 @@ let test_production_run_parity () =
   let h512 = Sw4.Scenario.production_run_hours Hwsim.Node.sierra ~nodes:512 ~grid_points:gp ~steps in
   Alcotest.(check bool) "scaling monotone" true (h512 < h)
 
+let test_overlap_step_model () =
+  let gp = 26e9 in
+  let on =
+    Sw4.Scenario.production_step_model ~overlap:true Hwsim.Node.sierra
+      ~nodes:256 ~grid_points:gp
+  in
+  let off =
+    Sw4.Scenario.production_step_model ~overlap:false Hwsim.Node.sierra
+      ~nodes:256 ~grid_points:gp
+  in
+  (* serial decomposition is the pre-scheduler step time *)
+  Alcotest.(check (float 0.0)) "serial = point + halo"
+    (on.Sw4.Scenario.point_s +. on.Sw4.Scenario.halo_s)
+    on.Sw4.Scenario.serial_s;
+  Alcotest.(check (float 0.0)) "modes agree on serial cost"
+    off.Sw4.Scenario.serial_s on.Sw4.Scenario.serial_s;
+  (* halo under the interior stencil: strictly lower step time *)
+  Alcotest.(check bool)
+    (Fmt.str "overlapped %.6f < serial %.6f" on.Sw4.Scenario.overlapped_s
+       on.Sw4.Scenario.serial_s)
+    true
+    (on.Sw4.Scenario.overlapped_s < on.Sw4.Scenario.serial_s);
+  Alcotest.(check (float 0.0)) "overlap charges overlapped"
+    on.Sw4.Scenario.overlapped_s on.Sw4.Scenario.step_s;
+  Alcotest.(check (float 0.0)) "serial mode charges serial"
+    off.Sw4.Scenario.serial_s off.Sw4.Scenario.step_s;
+  (* boundary fraction is a real fraction and the overlapped step never
+     beats the interior-only lower bound *)
+  Alcotest.(check bool) "boundary_frac in (0, 0.5]" true
+    (on.Sw4.Scenario.boundary_frac > 0.0
+    && on.Sw4.Scenario.boundary_frac <= 0.5);
+  let h_on =
+    Sw4.Scenario.production_run_hours ~overlap:true Hwsim.Node.sierra
+      ~nodes:256 ~grid_points:gp ~steps:72_000
+  in
+  let h_off =
+    Sw4.Scenario.production_run_hours ~overlap:false Hwsim.Node.sierra
+      ~nodes:256 ~grid_points:gp ~steps:72_000
+  in
+  Alcotest.(check bool)
+    (Fmt.str "campaign %.2f h < %.2f h" h_on h_off)
+    true (h_on < h_off)
+
 let () =
   Alcotest.run "sw4"
     [
@@ -301,6 +344,7 @@ let () =
           Alcotest.test_case "fused kernels" `Quick test_fused_kernel_faster_small_grid;
           Alcotest.test_case "sierra vs cori" `Quick test_sierra_vs_cori_throughput;
           Alcotest.test_case "production parity" `Quick test_production_run_parity;
+          Alcotest.test_case "overlap step model" `Quick test_overlap_step_model;
         ] );
       ( "elastic3d",
         [

@@ -100,6 +100,24 @@ let test_table_render () =
   Alcotest.(check bool) "has title" true
     (String.length s > 0 && String.sub s 0 4 = "== t")
 
+let test_table_addf_pipe_cells () =
+  (* regression: addf used to split the formatted row on '|', so a cell
+     value containing a pipe shifted every later column and tripped the
+     add_row arity assert; it now splits on the non-printable Table.sep *)
+  let t = Table.create ~title:"pipes" [ "expr"; "n" ] in
+  Table.addf t ("%s" ^^ "\x1f" ^^ "%d") "a|b" 7;
+  Alcotest.(check char) "sep is the unit separator" '\x1f' Table.sep.[0];
+  let s = Table.render t in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "pipe cell survives intact" true (contains "a|b");
+  Alcotest.(check bool) "second column rendered" true (contains "7")
+
 let prop_rng_float_unit =
   QCheck.Test.make ~name:"rng floats in [0,1)" ~count:200
     QCheck.(int_range 0 10_000)
@@ -129,5 +147,9 @@ let () =
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "rel l2" `Quick test_rel_l2;
         ] );
-      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "addf pipe cells" `Quick test_table_addf_pipe_cells;
+        ] );
     ]
