@@ -312,7 +312,31 @@ let overlap_rows () =
     kavg;
   ]
 
-let write_bench_json ~harnesses ~faults ~overlap kernels =
+(* Service-simulation rows for the trajectory: always emitted (also
+   under --micro-only, which CI uses), so every BENCH_<id>.json records
+   the per-policy throughput/latency numbers of the multi-tenant
+   machine-as-a-service study. Deterministic: fixed seed, simulated
+   time, no pool involvement. *)
+let service_rows () =
+  let nodes = 256 in
+  let machine = Icoe_svc.Catalog.machine ~nodes () in
+  let classes = Icoe_svc.Catalog.default machine in
+  let zipf_s = 1.1 in
+  let cap = Icoe_svc.Workload.capacity ~classes ~zipf_s ~nodes in
+  let jobs =
+    Icoe_svc.Workload.generate ~rng:(Icoe_util.Rng.create 77) ~classes ~zipf_s
+      ~arrivals:(Icoe_svc.Workload.Poisson (0.9 *. cap)) ~horizon:8_000.0 ()
+  in
+  List.map
+    (fun pol -> Icoe_svc.Cluster.simulate ~nodes ~classes pol jobs)
+    [
+      Icoe_svc.Cluster.Fcfs;
+      Icoe_svc.Cluster.Easy_backfill;
+      Icoe_svc.Cluster.Sjf_quota 0.5;
+      Icoe_svc.Cluster.Partition 0.5;
+    ]
+
+let write_bench_json ~harnesses ~faults ~overlap ~service kernels =
   let id =
     match Sys.getenv_opt "BENCH_ID" with
     | Some s when s <> "" -> s
@@ -342,6 +366,24 @@ let write_bench_json ~harnesses ~faults ~overlap kernels =
         (json_escape oid) serial_s overlapped_s
         (if serial_s > 0.0 then overlapped_s /. serial_s else 1.0))
     overlap;
+  Buffer.add_string buf "\n  ],\n  \"service\": [\n";
+  List.iteri
+    (fun i (m : Icoe_svc.Cluster.metrics) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Fmt.kstr (Buffer.add_string buf)
+        "    {\"policy\": \"%s\", \"nodes\": %d, \"submitted\": %d, \
+         \"completed\": %d, \"jobs_per_s\": %.17g, \"utilization\": %.17g, \
+         \"wait_p50_s\": %.17g, \"wait_p90_s\": %.17g, \"wait_p99_s\": \
+         %.17g, \"turn_p50_s\": %.17g, \"turn_p90_s\": %.17g, \
+         \"turn_p99_s\": %.17g}"
+        (json_escape m.Icoe_svc.Cluster.policy)
+        m.Icoe_svc.Cluster.nodes m.Icoe_svc.Cluster.submitted
+        m.Icoe_svc.Cluster.completed m.Icoe_svc.Cluster.jobs_per_s
+        m.Icoe_svc.Cluster.utilization m.Icoe_svc.Cluster.wait_p50
+        m.Icoe_svc.Cluster.wait_p90 m.Icoe_svc.Cluster.wait_p99
+        m.Icoe_svc.Cluster.turn_p50 m.Icoe_svc.Cluster.turn_p90
+        m.Icoe_svc.Cluster.turn_p99)
+    service;
   Buffer.add_string buf "\n  ],\n  \"kernels\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -444,4 +486,5 @@ let () =
   let kernels = microbenchmarks () in
   let faults = fault_rows () in
   let overlap = overlap_rows () in
-  write_bench_json ~harnesses ~faults ~overlap kernels
+  let service = service_rows () in
+  write_bench_json ~harnesses ~faults ~overlap ~service kernels

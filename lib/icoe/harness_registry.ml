@@ -22,6 +22,7 @@ let pool =
       Harness_cardioid.harnesses;
       Harness_hypre.harnesses;
       Harness_fault.harnesses;
+      Harness_svc.harnesses;
       Harness_ablations.harnesses;
     ]
 
@@ -29,7 +30,7 @@ let order =
   [
     "table1"; "fig2"; "table2"; "table3"; "fig3"; "fig6"; "fig8"; "table4";
     "table5"; "fig9"; "cretin"; "md"; "sw4"; "opt"; "kavg"; "gpudirect";
-    "cardioid"; "hypre"; "resilience"; "ablations";
+    "cardioid"; "hypre"; "resilience"; "svc"; "ablations";
   ]
 
 let all =

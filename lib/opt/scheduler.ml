@@ -60,14 +60,15 @@ let poisson_workload ~(rng : Icoe_util.Rng.t) ~rate ~horizon () =
 let capacity ~gpus ~mean_duration = float_of_int gpus /. mean_duration
 
 (* event-driven simulation: running jobs as (finish_time, job) *)
-let simulate ?(gpus = 16) policy jobs =
+let simulate_schedule ?(gpus = 16) ?(check = false) policy jobs =
   let queue = ref [] in
-  let pending = ref (List.sort (fun a b -> compare a.arrival b.arrival) jobs) in
+  let pending = ref (List.sort (fun a b -> Float.compare a.arrival b.arrival) jobs) in
   let running = ref [] in
   let free = ref gpus in
   let t = ref 0.0 in
   let busy_area = ref 0.0 in
   let waits = ref [] in
+  let schedule = ref [] in
   let completed = ref 0 in
   let median_duration =
     match jobs with
@@ -97,29 +98,56 @@ let simulate ?(gpus = 16) policy jobs =
     in
     (* EASY backfill: when the head doesn't fit, find its shadow time
        (earliest moment enough GPUs will be free) and let later jobs jump
-       ahead only if they finish by then or fit in the spare capacity *)
-    let easy_backfill head rest =
-      let finishes = List.sort compare (List.map fst !running) in
-      (* walk finish events until the head fits *)
-      let rec shadow free = function
-        | _ when free >= head.gpus -> (!t, free)
+       ahead only if they finish by then or fit in the capacity still
+       spare at the shadow time. Finish times are deduplicated before the
+       walk: [freed] already sums every job finishing at [f], so a
+       duplicate entry would double-count simultaneous finishers and land
+       the shadow too early. *)
+    let shadow_scan ~free ~need running =
+      let finishes = List.sort_uniq Float.compare (List.map fst running) in
+      let rec walk free = function
+        | _ when free >= need -> (!t, free)
         | [] -> (infinity, free)
         | f :: tl ->
             let freed =
               List.fold_left
-                (fun a (f', j) -> if f' = f then a + j.gpus else a)
-                0 !running
+                (fun a (f', j) -> if Float.equal f' f then a + j.gpus else a)
+                0 running
             in
-            if free + freed >= head.gpus then (f, free + freed)
-            else shadow (free + freed) tl
+            if free + freed >= need then (f, free + freed)
+            else walk (free + freed) tl
       in
-      let shadow_t, _ = shadow !free finishes in
-      let spare = !free - head.gpus in
-      List.find_opt
-        (fun j ->
-          j.gpus <= !free
-          && (!t +. j.duration <= shadow_t || (spare >= 0 && j.gpus <= spare)))
-        rest
+      walk free finishes
+    in
+    let easy_backfill head rest =
+      let shadow_t, free_at_shadow = shadow_scan ~free:!free ~need:head.gpus !running in
+      (* GPUs left over at the shadow time once the head has started:
+         a job may run past the shadow only on these *)
+      let spare = free_at_shadow - head.gpus in
+      let candidate =
+        List.find_opt
+          (fun j ->
+            j.gpus <= !free
+            && (!t +. j.duration <= shadow_t || j.gpus <= spare))
+          rest
+      in
+      (if check then
+         match candidate with
+         | None -> ()
+         | Some j ->
+             (* the invariant EASY promises the reserved head: starting
+                the backfilled job must not move the head's shadow *)
+             let running' = (!t +. j.duration, j) :: !running in
+             let shadow_t', _ =
+               shadow_scan ~free:(!free - j.gpus) ~need:head.gpus running'
+             in
+             if shadow_t' > shadow_t +. 1e-9 then
+               invalid_arg
+                 (Fmt.str
+                    "easy_backfill: job %d (%d gpus, %.3f s) delays the \
+                     reserved head %d: shadow %.6f -> %.6f"
+                    j.id j.gpus j.duration head.id shadow_t shadow_t'));
+      candidate
     in
     match policy with
     | Fcfs -> (
@@ -142,7 +170,9 @@ let simulate ?(gpus = 16) policy jobs =
             | None -> None)
         | [] -> None)
     | Sjf | Sjf_quota _ ->
-        let sorted = List.sort (fun a b -> compare a.duration b.duration) !queue in
+        let sorted =
+          List.sort (fun a b -> Float.compare a.duration b.duration) !queue
+        in
         (match List.find_opt fits sorted with
         | None -> None
         | Some j ->
@@ -158,6 +188,7 @@ let simulate ?(gpus = 16) policy jobs =
           free := !free - j.gpus;
           waits := (!t -. j.arrival) :: !waits;
           busy_area := !busy_area +. (float_of_int j.gpus *. j.duration);
+          schedule := (j.id, !t, !t +. j.duration) :: !schedule;
           running := (!t +. j.duration, j) :: !running
     done
   in
@@ -197,10 +228,14 @@ let simulate ?(gpus = 16) policy jobs =
   start_jobs ();
   loop ();
   let waits = Array.of_list !waits in
-  {
-    makespan = !t;
-    utilization = !busy_area /. (float_of_int gpus *. max 1e-9 !t);
-    mean_wait = (if Array.length waits = 0 then 0.0 else Icoe_util.Stats.mean waits);
-    max_wait = (if Array.length waits = 0 then 0.0 else snd (Icoe_util.Stats.min_max waits));
-    completed = !completed;
-  }
+  ( {
+      makespan = !t;
+      utilization = !busy_area /. (float_of_int gpus *. max 1e-9 !t);
+      mean_wait = (if Array.length waits = 0 then 0.0 else Icoe_util.Stats.mean waits);
+      max_wait = (if Array.length waits = 0 then 0.0 else snd (Icoe_util.Stats.min_max waits));
+      completed = !completed;
+    },
+    List.rev !schedule )
+
+let simulate ?gpus ?check policy jobs =
+  fst (simulate_schedule ?gpus ?check policy jobs)

@@ -39,6 +39,15 @@ val poisson_workload :
 val capacity : gpus:int -> mean_duration:float -> float
 (** Mean processing capacity, jobs/s. *)
 
-val simulate : ?gpus:int -> policy -> job list -> metrics
+val simulate : ?gpus:int -> ?check:bool -> policy -> job list -> metrics
 (** Event-driven simulation; jobs wider than the pool are reported as
-    incomplete. *)
+    incomplete. With [check] (default false), every EASY-backfill
+    decision re-derives the blocked head's shadow time with the
+    candidate hypothetically running and raises [Invalid_argument] if
+    the backfill would delay the head's reservation. *)
+
+val simulate_schedule :
+  ?gpus:int -> ?check:bool -> policy -> job list ->
+  metrics * (int * float * float) list
+(** [simulate] plus the realized schedule: one [(job id, start, finish)]
+    per started job, in start order. *)

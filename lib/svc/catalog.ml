@@ -1,0 +1,136 @@
+(* The default job-class catalog: the paper's workloads as tenants of
+   the shared machine, in popularity order (the Zipf skew of the
+   generator makes the first entries dominate the stream, the last ones
+   the rare wide campaigns).
+
+   Every service function prices the job's time-to-solution with the
+   same Hwsim.Sched/roofline cost models the harnesses use — a job's
+   duration is a consequence of its allocation, not a drawn random
+   variable. Overlap is forced on (these are models of well-overlapped
+   production codes), so pricing is independent of the ICOE_OVERLAP
+   setting of the surrounding run. *)
+
+let machine ?(nodes = 256) () =
+  { Hwsim.Node.sierra with Hwsim.Node.nodes }
+
+(* iterative kernels that strong-scale over the allocation: per-step
+   device work split across [nodes * devs_per_node] devices, a per-step
+   neighbor/allreduce exchange on the fabric overlapped against it *)
+let stepped name ~device ~devs_per_node ~fabric ~steps ~flops ~bytes
+    ~comm_bytes ~sizes =
+  let service ~nodes =
+    let shards = float_of_int (nodes * devs_per_node) in
+    let kern =
+      Hwsim.Kernel.make ~name ~flops:(flops /. shards) ~bytes:(bytes /. shards)
+        ()
+    in
+    let compute =
+      Hwsim.Roofline.time ~eff:Hwsim.Roofline.default_eff device kern
+    in
+    let per_step =
+      if nodes = 1 then compute
+      else
+        let rounds = Float.ceil (Float.log2 (float_of_int nodes)) in
+        let exchange =
+          Hwsim.Link.transfer_time fabric ~bytes:(comm_bytes *. rounds)
+        in
+        let sched = Hwsim.Sched.create ~overlap:true () in
+        let _c =
+          Hwsim.Sched.work sched ~stream:"dev"
+            ~device:device.Hwsim.Device.name ~phase:"compute" compute
+        in
+        let _x =
+          Hwsim.Sched.work sched ~stream:"nic"
+            ~device:fabric.Hwsim.Link.name ~phase:"exchange" exchange
+        in
+        Hwsim.Sched.run sched
+    in
+    float_of_int steps *. per_step
+  in
+  { Workload.name; sizes; service }
+
+let default (m : Hwsim.Node.machine) =
+  let node = m.Hwsim.Node.node in
+  let fabric = m.Hwsim.Node.fabric in
+  let gpu =
+    match node.Hwsim.Node.gpu with
+    | Some g -> g
+    | None -> node.Hwsim.Node.cpu
+  in
+  let gpus = max 1 node.Hwsim.Node.gpus in
+  let cpus = max 1 node.Hwsim.Node.cpu_sockets in
+  let sw4 =
+    {
+      Workload.name = "sw4";
+      sizes = [| 32; 64; 128 |];
+      service =
+        (fun ~nodes ->
+          (* a production earthquake campaign slice: the Sec 4.9 step
+             model (halo under interior compute) at a 3.2B-point box *)
+          let step =
+            Sw4.Scenario.production_step_model ~overlap:true m ~nodes
+              ~grid_points:3.2e9
+          in
+          2000.0 *. step.Sw4.Scenario.step_s);
+    }
+  in
+  let md =
+    {
+      Workload.name = "md";
+      sizes = [| 2; 4; 8 |];
+      service =
+        (fun ~nodes ->
+          (* ddcMD's 46-launch step pipeline on each node's 4 GPUs, the
+             domain-decomposition halo on the fabric under it *)
+          let step =
+            Ddcmd.Perf.ddcmd_step_model ~overlap:true
+              ~particles:(2_000_000 / nodes) Ddcmd.Perf.Four_gpu
+          in
+          let halo = Hwsim.Link.transfer_time fabric ~bytes:4.0e6 in
+          let sched = Hwsim.Sched.create ~overlap:true () in
+          let _k =
+            Hwsim.Sched.work sched ~stream:"gpu" ~phase:"md-step"
+              step.Ddcmd.Perf.step_s
+          in
+          let _h = Hwsim.Sched.work sched ~stream:"nic" ~phase:"halo" halo in
+          30_000.0 *. Hwsim.Sched.run sched);
+    }
+  in
+  let kavg =
+    {
+      Workload.name = "kavg";
+      sizes = [| 8; 16; 32 |];
+      service =
+        (fun ~nodes ->
+          (* distributed training: K-step averaging rounds with the
+             per-layer allreduce hidden under backprop *)
+          let round =
+            Dlearn.Distributed.kavg_round_model ~overlap:true
+              ~learners:(nodes * gpus) ~k:8 ~batch:32
+              [| 256; 512; 128; 16 |]
+          in
+          200_000.0 *. round.Dlearn.Distributed.round_s);
+    }
+  in
+  [|
+    (* rank 1: the Opt design-evaluation stream — many small jobs *)
+    stepped "opt" ~device:gpu ~devs_per_node:gpus ~fabric ~steps:400
+      ~flops:2.0e12 ~bytes:1.6e12 ~comm_bytes:4.0e4 ~sizes:[| 1; 2 |];
+    (* rank 2: SparkPlug LDA on the CPU sockets, shuffle on the fabric *)
+    stepped "fig2" ~device:node.Hwsim.Node.cpu ~devs_per_node:cpus ~fabric
+      ~steps:40 ~flops:2.0e13 ~bytes:1.5e13 ~comm_bytes:2.0e8
+      ~sizes:[| 1; 2; 4 |];
+    (* rank 3: HavoqGT BFS sweeps — bandwidth-bound, exchange-heavy *)
+    stepped "table2" ~device:gpu ~devs_per_node:gpus ~fabric ~steps:64
+      ~flops:1.0e12 ~bytes:6.0e13 ~comm_bytes:5.0e8 ~sizes:[| 4; 8; 16 |];
+    md;
+    (* rank 5: Cardioid heartbeat simulation — GPU reaction steps *)
+    stepped "cardioid" ~device:gpu ~devs_per_node:gpus ~fabric ~steps:50_000
+      ~flops:6.0e11 ~bytes:4.0e10 ~comm_bytes:1.0e6 ~sizes:[| 2; 4; 8 |];
+    (* rank 6: hypre AMG solves — bandwidth-bound V-cycles with
+       latency-dominated coarse-grid allreduces *)
+    stepped "hypre" ~device:gpu ~devs_per_node:gpus ~fabric ~steps:800
+      ~flops:2.0e12 ~bytes:4.0e12 ~comm_bytes:1.0e5 ~sizes:[| 4; 8; 16; 32 |];
+    kavg;
+    sw4;
+  |]

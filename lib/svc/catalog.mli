@@ -1,0 +1,18 @@
+(** The default tenant catalog of the service simulation: the paper's
+    workloads as job classes over a machine model, in popularity order
+    (rank 1 first — the Zipf skew makes it dominate the stream).
+
+    Class names are harness-registry ids; service times come from the
+    {!Hwsim.Sched}/roofline cost models (overlap forced on, so pricing
+    does not depend on the [ICOE_OVERLAP] environment). *)
+
+val machine : ?nodes:int -> unit -> Hwsim.Node.machine
+(** A Sierra partition of [nodes] Witherspoon nodes (default 256) on the
+    dual-rail EDR fabric. *)
+
+val default : Hwsim.Node.machine -> Workload.job_class array
+(** Eight classes, most popular first: [opt] (design evaluations),
+    [fig2] (LDA), [table2] (BFS), [md] (ddcMD), [cardioid], [hypre]
+    (AMG), [kavg] (distributed training), [sw4] (earthquake campaign
+    slices, the rare wide gangs). Sizes range from 1 to half the
+    default machine. *)

@@ -1,0 +1,291 @@
+(* The cluster-level scheduler of the service simulation: the policies
+   of Opt.Scheduler (Sec 4.7) generalized from a 16-GPU pool to node
+   allocations on a machine model, plus a partition/gang policy. Service
+   times are not pre-drawn: each dispatched job is priced by its class's
+   Hwsim.Sched/roofline cost model at the requested allocation size
+   (memoized per (class, nodes) — the models are pure). *)
+
+type policy =
+  | Fcfs
+  | Easy_backfill
+  | Sjf_quota of float
+  | Partition of float
+
+let policy_name = function
+  | Fcfs -> "FCFS"
+  | Easy_backfill -> "EASY-backfill"
+  | Sjf_quota q -> Fmt.str "SJF+quota(%.0f%%)" (q *. 100.0)
+  | Partition f -> Fmt.str "partition(%.0f%% wide)" (f *. 100.0)
+
+type metrics = {
+  policy : string;
+  nodes : int;
+  submitted : int;
+  completed : int;
+  makespan : float;
+  utilization : float;
+  jobs_per_s : float;
+  mean_wait : float;
+  max_wait : float;
+  wait_p50 : float;
+  wait_p90 : float;
+  wait_p99 : float;
+  turn_p50 : float;
+  turn_p90 : float;
+  turn_p99 : float;
+  waits : float array;
+  turnarounds : float array;
+}
+
+(* jobs wider than [nodes] can never be placed; filter them out up front
+   so the event loop terminates, and report them as not completed *)
+let placeable nodes (j : Workload.job) = j.nodes <= nodes
+
+let simulate ?(check = false) ~nodes ~(classes : Workload.job_class array)
+    policy jobs =
+  let submitted = List.length jobs in
+  let jobs = List.filter (placeable nodes) jobs in
+  let price =
+    let memo = Hashtbl.create 64 in
+    fun (j : Workload.job) ->
+      match Hashtbl.find_opt memo (j.Workload.klass, j.Workload.nodes) with
+      | Some s -> s
+      | None ->
+          let s = classes.(j.Workload.klass).Workload.service ~nodes:j.Workload.nodes in
+          if not (Float.is_finite s) || s <= 0.0 then
+            invalid_arg
+              (Fmt.str "Cluster.simulate: class %s priced %.17g s at %d nodes"
+                 classes.(j.Workload.klass).Workload.name s j.Workload.nodes);
+          Hashtbl.add memo (j.Workload.klass, j.Workload.nodes) s;
+          s
+  in
+  (* service-time median over the submitted stream splits short from
+     long for the quota policy (the scheduler has exact estimates: the
+     cost model is the runtime) *)
+  let median_service =
+    match jobs with
+    | [] -> 1.0
+    | _ -> Icoe_util.Stats.median (Array.of_list (List.map price jobs))
+  in
+  let is_long j = price j > median_service in
+  (* partition policy geometry: jobs at or above an eighth of the
+     machine are "wide" and run in a reserved side of the pool; each
+     side is FCFS over its own queue *)
+  let wide_cut = max 2 (nodes / 8) in
+  let is_wide (j : Workload.job) = j.Workload.nodes >= wide_cut in
+  let queue = ref [] in
+  let pending =
+    ref
+      (List.sort
+         (fun (a : Workload.job) b -> Float.compare a.Workload.arrival b.Workload.arrival)
+         jobs)
+  in
+  let running = ref [] in
+  let free = ref nodes in
+  let t = ref 0.0 in
+  let busy_area = ref 0.0 in
+  let waits = ref [] in
+  let turnarounds = ref [] in
+  let completed = ref 0 in
+  let long_in_use () =
+    List.fold_left
+      (fun a (_, j) -> if is_long j then a + j.Workload.nodes else a)
+      0 !running
+  in
+  let wide_in_use () =
+    List.fold_left
+      (fun a (_, j) -> if is_wide j then a + j.Workload.nodes else a)
+      0 !running
+  in
+  let shadow_scan ~free ~need running =
+    let finishes = List.sort_uniq Float.compare (List.map fst running) in
+    let rec walk free = function
+      | _ when free >= need -> (!t, free)
+      | [] -> (infinity, free)
+      | f :: tl ->
+          let freed =
+            List.fold_left
+              (fun a (f', j) ->
+                if Float.equal f' f then a + j.Workload.nodes else a)
+              0 running
+          in
+          if free + freed >= need then (f, free + freed) else walk (free + freed) tl
+    in
+    walk free finishes
+  in
+  let pick () =
+    let shorts_waiting () = List.exists (fun j -> not (is_long j)) !queue in
+    let quota_fits q (j : Workload.job) =
+      j.Workload.nodes <= !free
+      && ((not (is_long j))
+         || (not (shorts_waiting ()))
+         || long_in_use () = 0
+         || float_of_int (long_in_use () + j.Workload.nodes)
+            <= q *. float_of_int nodes)
+    in
+    match policy with
+    | Fcfs -> (
+        match !queue with
+        | j :: rest when j.Workload.nodes <= !free ->
+            queue := rest;
+            Some j
+        | _ -> None)
+    | Easy_backfill -> (
+        match !queue with
+        | j :: rest when j.Workload.nodes <= !free ->
+            queue := rest;
+            Some j
+        | head :: rest -> (
+            let shadow_t, free_at_shadow =
+              shadow_scan ~free:!free ~need:head.Workload.nodes !running
+            in
+            let spare = free_at_shadow - head.Workload.nodes in
+            let candidate =
+              List.find_opt
+                (fun (j : Workload.job) ->
+                  j.Workload.nodes <= !free
+                  && (!t +. price j <= shadow_t || j.Workload.nodes <= spare))
+                rest
+            in
+            match candidate with
+            | Some j ->
+                (if check then
+                   let running' = (!t +. price j, j) :: !running in
+                   let shadow_t', _ =
+                     shadow_scan
+                       ~free:(!free - j.Workload.nodes)
+                       ~need:head.Workload.nodes running'
+                   in
+                   if shadow_t' > shadow_t +. 1e-9 then
+                     invalid_arg
+                       (Fmt.str
+                          "Cluster: backfilled job %d delays the head %d \
+                           (shadow %.6f -> %.6f)"
+                          j.Workload.id head.Workload.id shadow_t shadow_t'));
+                queue :=
+                  List.filter (fun (x : Workload.job) -> x.Workload.id <> j.Workload.id) !queue;
+                Some j
+            | None -> None)
+        | [] -> None)
+    | Sjf_quota q -> (
+        let sorted =
+          List.sort (fun a b -> Float.compare (price a) (price b)) !queue
+        in
+        match List.find_opt (quota_fits q) sorted with
+        | None -> None
+        | Some j ->
+            queue :=
+              List.filter (fun (x : Workload.job) -> x.Workload.id <> j.Workload.id) !queue;
+            Some j)
+    | Partition wide_frac ->
+        (* the wide side owns [wide_frac] of the machine; small jobs own
+           the rest. Each side is FCFS over its own sub-queue, so a
+           draining wide gang never blocks the stream of small jobs *)
+        let wide_nodes = int_of_float (wide_frac *. float_of_int nodes) in
+        let small_nodes = nodes - wide_nodes in
+        let fits_partition j =
+          let small_in_use = nodes - !free - wide_in_use () in
+          j.Workload.nodes <= !free
+          &&
+          if is_wide j then wide_in_use () + j.Workload.nodes <= wide_nodes
+          else small_in_use + j.Workload.nodes <= small_nodes
+        in
+        let rec first_fit seen = function
+          | [] -> None
+          | j :: rest ->
+              (* FCFS within each side: skip a job only if the *other*
+                 side's head is ahead of it *)
+              let side_blocked =
+                List.exists (fun s -> is_wide s = is_wide j) seen
+              in
+              if (not side_blocked) && fits_partition j then begin
+                queue :=
+                  List.filter (fun (x : Workload.job) -> x.Workload.id <> j.Workload.id) !queue;
+                Some j
+              end
+              else first_fit (j :: seen) rest
+        in
+        first_fit [] !queue
+  in
+  let start_jobs () =
+    let continue = ref true in
+    while !continue do
+      match pick () with
+      | None -> continue := false
+      | Some j ->
+          let s = price j in
+          free := !free - j.Workload.nodes;
+          waits := (!t -. j.Workload.arrival) :: !waits;
+          busy_area := !busy_area +. (float_of_int j.Workload.nodes *. s);
+          running := (!t +. s, j) :: !running
+    done
+  in
+  let next_event () =
+    let arrival =
+      match !pending with j :: _ -> Some j.Workload.arrival | [] -> None
+    in
+    let finish =
+      match !running with
+      | [] -> None
+      | l -> Some (List.fold_left (fun a (f, _) -> min a f) infinity l)
+    in
+    match (arrival, finish) with
+    | None, None -> None
+    | Some a, None -> Some a
+    | None, Some f -> Some f
+    | Some a, Some f -> Some (min a f)
+  in
+  let rec loop () =
+    match next_event () with
+    | None -> ()
+    | Some te ->
+        t := te;
+        let done_, still =
+          List.partition (fun (f, _) -> f <= !t +. 1e-12) !running
+        in
+        running := still;
+        List.iter
+          (fun (_, j) ->
+            free := !free + j.Workload.nodes;
+            turnarounds := (!t -. j.Workload.arrival) :: !turnarounds;
+            incr completed)
+          done_;
+        let arrived, later =
+          List.partition (fun j -> j.Workload.arrival <= !t +. 1e-12) !pending
+        in
+        pending := later;
+        queue := !queue @ arrived;
+        start_jobs ();
+        loop ()
+  in
+  start_jobs ();
+  loop ();
+  let waits = Array.of_list (List.rev !waits) in
+  let turnarounds = Array.of_list (List.rev !turnarounds) in
+  let sorted_w = Icoe_util.Stats.presort waits in
+  let sorted_tt = Icoe_util.Stats.presort turnarounds in
+  let pct a p =
+    if Array.length a = 0 then 0.0 else Icoe_util.Stats.percentile_sorted a p
+  in
+  {
+    policy = policy_name policy;
+    nodes;
+    submitted;
+    completed = !completed;
+    makespan = !t;
+    utilization = !busy_area /. (float_of_int nodes *. max 1e-9 !t);
+    jobs_per_s = float_of_int !completed /. max 1e-9 !t;
+    mean_wait =
+      (if Array.length waits = 0 then 0.0 else Icoe_util.Stats.mean waits);
+    max_wait =
+      (if Array.length waits = 0 then 0.0
+       else snd (Icoe_util.Stats.min_max waits));
+    wait_p50 = pct sorted_w 0.5;
+    wait_p90 = pct sorted_w 0.9;
+    wait_p99 = pct sorted_w 0.99;
+    turn_p50 = pct sorted_tt 0.5;
+    turn_p90 = pct sorted_tt 0.9;
+    turn_p99 = pct sorted_tt 0.99;
+    waits;
+    turnarounds;
+  }

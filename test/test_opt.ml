@@ -74,6 +74,85 @@ let test_backfill_beats_fcfs () =
   Alcotest.(check bool) "mean wait improves" true
     (bf.Scheduler.mean_wait < fcfs.Scheduler.mean_wait)
 
+let test_backfill_simultaneous_finishes () =
+  (* regression: two running jobs sharing a finish time used to be
+     double-counted in the shadow walk (duplicate finish entries each
+     re-summed every job at that time), landing the shadow too early.
+     Here j0 and j1 both finish at t=2; the correct shadow for the 5-GPU
+     head is t=6, and the 3 s candidate must backfill at t=0. *)
+  let jobs =
+    [
+      { Scheduler.id = 0; arrival = 0.0; duration = 2.0; gpus = 2 };
+      { Scheduler.id = 1; arrival = 0.0; duration = 2.0; gpus = 1 };
+      { Scheduler.id = 2; arrival = 0.0; duration = 6.0; gpus = 1 };
+      { Scheduler.id = 3; arrival = 0.0; duration = 1.0; gpus = 5 };
+      { Scheduler.id = 4; arrival = 0.0; duration = 3.0; gpus = 1 };
+    ]
+  in
+  let m, sched =
+    Scheduler.simulate_schedule ~gpus:5 ~check:true Scheduler.Fcfs_backfill jobs
+  in
+  let start id =
+    match List.find_opt (fun (i, _, _) -> i = id) sched with
+    | Some (_, s, _) -> s
+    | None -> Alcotest.failf "job %d never started" id
+  in
+  Alcotest.(check (float 1e-9)) "candidate backfills immediately" 0.0 (start 4);
+  Alcotest.(check (float 1e-9)) "head starts at its true shadow" 6.0 (start 3);
+  Alcotest.(check (float 1e-9)) "makespan" 7.0 m.Scheduler.makespan;
+  Alcotest.(check int) "all complete" 5 m.Scheduler.completed
+
+let test_backfill_spare_capacity () =
+  (* the spare disjunct was dead code (free-now minus head, always
+     negative when the head is blocked). With spare = free-at-shadow
+     minus head GPUs, a job running past the shadow may use genuinely
+     spare capacity without delaying the head... *)
+  let jobs gpus2 =
+    [
+      { Scheduler.id = 0; arrival = 0.0; duration = 4.0; gpus = 3 };
+      { Scheduler.id = 1; arrival = 0.0; duration = 1.0; gpus = 4 };
+      { Scheduler.id = 2; arrival = 0.0; duration = 10.0; gpus = gpus2 };
+    ]
+  in
+  let start sched id =
+    match List.find_opt (fun (i, _, _) -> i = id) sched with
+    | Some (_, s, _) -> s
+    | None -> Alcotest.failf "job %d never started" id
+  in
+  let m, sched =
+    Scheduler.simulate_schedule ~gpus:5 ~check:true Scheduler.Fcfs_backfill
+      (jobs 1)
+  in
+  Alcotest.(check (float 1e-9)) "1-GPU job uses the spare GPU" 0.0 (start sched 2);
+  Alcotest.(check (float 1e-9)) "head not delayed" 4.0 (start sched 1);
+  Alcotest.(check (float 1e-9)) "makespan" 10.0 m.Scheduler.makespan;
+  (* ...but a 2-GPU job exceeds the spare and must wait for the head *)
+  let _, sched2 =
+    Scheduler.simulate_schedule ~gpus:5 ~check:true Scheduler.Fcfs_backfill
+      (jobs 2)
+  in
+  Alcotest.(check (float 1e-9)) "2-GPU job must not backfill" 5.0 (start sched2 2);
+  Alcotest.(check (float 1e-9)) "head still at its shadow" 4.0 (start sched2 1)
+
+let test_backfill_agrees_with_fcfs_when_impossible () =
+  (* every job needs the whole pool, so nothing can ever backfill: the
+     fixed EASY schedule must match FCFS exactly *)
+  let jobs =
+    List.init 30 (fun i ->
+        {
+          Scheduler.id = i;
+          arrival = float_of_int i *. 0.7;
+          duration = 1.0 +. float_of_int (i * 7 mod 5);
+          gpus = 6;
+        })
+  in
+  let mf, sf = Scheduler.simulate_schedule ~gpus:6 Scheduler.Fcfs jobs in
+  let mb, sb =
+    Scheduler.simulate_schedule ~gpus:6 ~check:true Scheduler.Fcfs_backfill jobs
+  in
+  Alcotest.(check bool) "identical schedules" true (sf = sb);
+  Alcotest.(check bool) "identical metrics" true (mf = mb)
+
 let test_fcfs_order_respected () =
   (* with 1 GPU and 1-GPU jobs, FCFS runs in arrival order: max wait equals
      sum of earlier durations *)
@@ -248,8 +327,8 @@ let test_cpu_fusion_regression () =
     (Paradyn.Interp.gpu_time ~n c_slnsp < Paradyn.Interp.gpu_time ~n c_base)
 
 let prop_scheduler_conservation =
-  QCheck.Test.make ~name:"every policy completes every job" ~count:15
-    QCheck.(pair (int_range 1 3000) (int_range 1 3))
+  QCheck.Test.make ~name:"every policy completes every job" ~count:20
+    QCheck.(pair (int_range 1 3000) (int_range 1 4))
     (fun (seed, pol_idx) ->
       let r = Icoe_util.Rng.create seed in
       let jobs = Scheduler.batch_workload ~rng:r ~n:80 () in
@@ -257,10 +336,83 @@ let prop_scheduler_conservation =
         match pol_idx with
         | 1 -> Scheduler.Fcfs
         | 2 -> Scheduler.Sjf
+        | 3 -> Scheduler.Fcfs_backfill
         | _ -> Scheduler.Sjf_quota 0.5
       in
       let m = Scheduler.simulate ~gpus:10 pol jobs in
       m.Scheduler.completed = 80)
+
+(* staggered arrivals with mixed widths: the adversarial input for
+   backfill (heads block mid-stream, not just at t=0) *)
+let staggered_jobs r n =
+  List.init n (fun id ->
+      let duration = exp (Icoe_util.Rng.normal r ~mu:0.8 ~sigma:0.9) in
+      let gpus = 1 + Icoe_util.Rng.int r 8 in
+      let arrival = Icoe_util.Rng.float r *. 30.0 in
+      { Scheduler.id; arrival; duration; gpus })
+
+let prop_backfill_never_delays_head =
+  (* [~check:true] recomputes the head's shadow with each candidate
+     hypothetically running and raises if it ever moved later *)
+  QCheck.Test.make ~name:"backfill never delays the head past its shadow"
+    ~count:40
+    QCheck.(pair (int_range 1 10_000) (int_range 9 16))
+    (fun (seed, gpus) ->
+      let r = Icoe_util.Rng.create seed in
+      let jobs = staggered_jobs r 70 in
+      let m, _ =
+        Scheduler.simulate_schedule ~gpus ~check:true Scheduler.Fcfs_backfill
+          jobs
+      in
+      m.Scheduler.completed = 70)
+
+let prop_quota_share_bounded =
+  (* reconstruct from the schedule: whenever a long job is started while
+     some short job is waiting, the long jobs then running stay within
+     the quota (one oversized long may run alone — the no-starvation
+     escape hatch) *)
+  QCheck.Test.make ~name:"sjf+quota bounds the long-job share" ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let r = Icoe_util.Rng.create seed in
+      let jobs = staggered_jobs r 60 in
+      let gpus = 12 and q = 0.5 in
+      let _, sched =
+        Scheduler.simulate_schedule ~gpus (Scheduler.Sjf_quota q) jobs
+      in
+      let med =
+        Icoe_util.Stats.median
+          (Array.of_list (List.map (fun j -> j.Scheduler.duration) jobs))
+      in
+      let by_id = Hashtbl.create 64 in
+      List.iter (fun j -> Hashtbl.replace by_id j.Scheduler.id j) jobs;
+      let entries =
+        List.map (fun (id, s, f) -> (Hashtbl.find by_id id, s, f)) sched
+      in
+      List.for_all
+        (fun (j, s, _) ->
+          j.Scheduler.duration <= med
+          ||
+          let shorts_waiting =
+            List.exists
+              (fun (k, sk, _) ->
+                k.Scheduler.duration <= med && k.Scheduler.arrival <= s && sk > s)
+              entries
+          in
+          (not shorts_waiting)
+          ||
+          let running_longs =
+            List.filter
+              (fun (k, sk, fk) -> k.Scheduler.duration > med && sk <= s && fk > s)
+              entries
+          in
+          let usage =
+            List.fold_left (fun a (k, _, _) -> a + k.Scheduler.gpus) 0
+              running_longs
+          in
+          List.length running_longs <= 1
+          || float_of_int usage <= (q *. float_of_int gpus) +. 1e-9)
+        entries)
 
 let () =
   Alcotest.run "opt"
@@ -273,7 +425,15 @@ let () =
           Alcotest.test_case "throttling" `Quick test_throttling_conclusion;
           Alcotest.test_case "fcfs order" `Quick test_fcfs_order_respected;
           Alcotest.test_case "easy backfill" `Quick test_backfill_beats_fcfs;
+          Alcotest.test_case "simultaneous finishes" `Quick
+            test_backfill_simultaneous_finishes;
+          Alcotest.test_case "spare capacity" `Quick
+            test_backfill_spare_capacity;
+          Alcotest.test_case "backfill = fcfs when impossible" `Quick
+            test_backfill_agrees_with_fcfs_when_impossible;
           QCheck_alcotest.to_alcotest prop_scheduler_conservation;
+          QCheck_alcotest.to_alcotest prop_backfill_never_delays_head;
+          QCheck_alcotest.to_alcotest prop_quota_share_bounded;
         ] );
       ( "topopt",
         [
