@@ -312,6 +312,39 @@ let overlap_rows () =
     kavg;
   ]
 
+(* Critical-path blame rows for the trajectory: per-phase makespan
+   attribution of the three overlap-wired models, overlap forced on
+   (same evaluations as [overlap_rows]). Deterministic: pure cost-model
+   arithmetic. Blame seconds sum to each model's overlapped makespan, so
+   any model change that moves where the time goes shows up in the
+   regression gate even when the makespan itself barely moves. *)
+let blame_rows () =
+  let analyze id dag =
+    let a = Icoe_obs.Prof.analyze ~overlap:true dag in
+    List.map
+      (fun (b : Icoe_obs.Prof.blame) -> (id, b.key, b.seconds, b.share))
+      a.Icoe_obs.Prof.phase_blame
+  in
+  let sw4 =
+    let m =
+      Sw4.Scenario.production_step_model ~overlap:true Hwsim.Node.sierra
+        ~nodes:256 ~grid_points:26.0e9
+    in
+    analyze "sw4" m.Sw4.Scenario.dag
+  in
+  let md =
+    let m = Ddcmd.Perf.ddcmd_step_model ~overlap:true Ddcmd.Perf.Four_gpu in
+    analyze "ddcmd-4gpu" m.Ddcmd.Perf.dag
+  in
+  let kavg =
+    let m =
+      Dlearn.Distributed.kavg_round_model ~overlap:true ~learners:8 ~k:8
+        ~batch:16 [| 12; 16; 4 |]
+    in
+    analyze "kavg" m.Dlearn.Distributed.dag
+  in
+  sw4 @ md @ kavg
+
 (* Service-simulation rows for the trajectory: always emitted (also
    under --micro-only, which CI uses), so every BENCH_<id>.json records
    the per-policy throughput/latency numbers of the multi-tenant
@@ -336,7 +369,7 @@ let service_rows () =
       Icoe_svc.Cluster.Partition 0.5;
     ]
 
-let write_bench_json ~harnesses ~faults ~overlap ~service kernels =
+let write_bench_json ~harnesses ~faults ~overlap ~blame ~service kernels =
   let id =
     match Sys.getenv_opt "BENCH_ID" with
     | Some s when s <> "" -> s
@@ -366,6 +399,15 @@ let write_bench_json ~harnesses ~faults ~overlap ~service kernels =
         (json_escape oid) serial_s overlapped_s
         (if serial_s > 0.0 then overlapped_s /. serial_s else 1.0))
     overlap;
+  Buffer.add_string buf "\n  ],\n  \"blame\": [\n";
+  List.iteri
+    (fun i (bid, phase, seconds, share) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Fmt.kstr (Buffer.add_string buf)
+        "    {\"id\": \"%s\", \"phase\": \"%s\", \"seconds\": %.17g, \
+         \"share\": %.17g}"
+        (json_escape bid) (json_escape phase) seconds share)
+    blame;
   Buffer.add_string buf "\n  ],\n  \"service\": [\n";
   List.iteri
     (fun i (m : Icoe_svc.Cluster.metrics) ->
@@ -486,5 +528,6 @@ let () =
   let kernels = microbenchmarks () in
   let faults = fault_rows () in
   let overlap = overlap_rows () in
+  let blame = blame_rows () in
   let service = service_rows () in
-  write_bench_json ~harnesses ~faults ~overlap ~service kernels
+  write_bench_json ~harnesses ~faults ~overlap ~blame ~service kernels

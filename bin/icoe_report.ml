@@ -58,6 +58,23 @@ let faults_arg =
   in
   Arg.(value & opt (some int) None & info [ "faults" ] ~docv:"SEED" ~doc)
 
+let events_arg =
+  let doc =
+    "Write the unified structured event log (JSONL flight recorder: one \
+     JSON object per line over trace spans, metric deltas, fault \
+     injections and service-job lifecycle) to $(docv). Equivalent to \
+     setting ICOE_EVENTS=$(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+let occupancy_arg =
+  let doc =
+    "Write the cluster-occupancy Chrome trace recorded by the svc \
+     experiment (nodes as processes, jobs as spans, queue-depth and \
+     free-node counter tracks) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "occupancy" ] ~docv:"FILE" ~doc)
+
 let write_file file contents =
   match open_out file with
   | oc ->
@@ -105,7 +122,7 @@ let resolve_ids ids =
       Fmt.epr "unknown experiment%s %s; try 'list'@."
         (if List.length unknown = 1 then "" else "s")
         (String.concat ", "
-           (List.map (Fmt.str "%S") (List.sort_uniq compare unknown)));
+           (List.map (Fmt.str "%S") (List.sort_uniq String.compare unknown)));
       exit 1);
   let seen = Hashtbl.create 19 in
   List.filter
@@ -117,13 +134,16 @@ let resolve_ids ids =
       end)
     expanded
 
-let run_ids ids trace_file metrics_file faults_seed =
+let run_ids ids trace_file metrics_file faults_seed events_file occupancy_file =
   let with_faults body =
     match faults_seed with
     | None -> body ()
     | Some seed -> Icoe_fault.Context.with_spec (Icoe_fault.Plan.spec seed) body
   in
   with_faults @@ fun () ->
+  (match events_file with
+  | None -> ()
+  | Some file -> Icoe_obs.Events.to_file file);
   let ids = resolve_ids ids in
   (* start each invocation from a clean registry so the snapshot reflects
      exactly the requested experiments *)
@@ -146,13 +166,33 @@ let run_ids ids trace_file metrics_file faults_seed =
       (Icoe_util.Table.render
          (Icoe_obs.Metrics.render_table ~title:"Engine metrics" ()));
   (match trace_file with None -> () | Some file -> export_trace file traces);
-  match metrics_file with
+  (match metrics_file with
   | None -> ()
   | Some file ->
       write_file file (Icoe_obs.Metrics.to_json ());
       Fmt.pr "metrics: wrote %d samples to %s@."
         (List.length (Icoe_obs.Metrics.snapshot ()))
-        file
+        file);
+  (match occupancy_file with
+  | None -> ()
+  | Some file -> (
+      let artifacts =
+        List.concat_map (fun (o : Icoe.Harness.outcome) -> o.artifacts) outcomes
+      in
+      match List.assoc_opt "svc-occupancy" artifacts with
+      | Some render ->
+          write_file file (render ());
+          Fmt.pr "occupancy: wrote cluster-occupancy Chrome trace to %s@." file
+      | None ->
+          Fmt.epr
+            "occupancy: no occupancy artifact was recorded (run the 'svc' \
+             experiment); skipping write of %s@."
+            file));
+  match events_file with
+  | None -> ()
+  | Some file ->
+      Icoe_obs.Events.close ();
+      Fmt.pr "events: wrote event log to %s@." file
 
 let run_cmd =
   let doc =
@@ -161,14 +201,82 @@ let run_cmd =
   in
   let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_ids $ ids $ trace_arg $ metrics_arg $ faults_arg)
+    Term.(
+      const run_ids $ ids $ trace_arg $ metrics_arg $ faults_arg $ events_arg
+      $ occupancy_arg)
+
+(* --- the differential regression gate ---
+
+   `icoe_report --diff A.json B.json` can't be a cmdliner term on the
+   group: Cmd.group parses the first top-level positional as a
+   subcommand name. The gate is a distinct mode anyway (no experiments
+   run), so it is dispatched by hand before Cmd.eval. *)
+
+let diff_usage () =
+  Fmt.epr
+    "usage: icoe_report --diff BASELINE.json CURRENT.json [--diff-threshold \
+     F] [--wall-threshold F] [--fail-wall] [--all-rows]@.";
+  exit 2
+
+let run_diff args =
+  let sim_threshold = ref None
+  and wall_threshold = ref None
+  and fail_wall = ref false
+  and all = ref false
+  and files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--diff-threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 ->
+            sim_threshold := Some f;
+            parse rest
+        | _ -> diff_usage ())
+    | "--wall-threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 ->
+            wall_threshold := Some f;
+            parse rest
+        | _ -> diff_usage ())
+    | "--fail-wall" :: rest ->
+        fail_wall := true;
+        parse rest
+    | "--all-rows" :: rest ->
+        all := true;
+        parse rest
+    | f :: rest when String.length f > 0 && f.[0] <> '-' ->
+        files := f :: !files;
+        parse rest
+    | _ -> diff_usage ()
+  in
+  parse args;
+  match List.rev !files with
+  | [ base; cur ] -> (
+      match
+        Icoe_obs.Bench_diff.run_files ?sim_threshold:!sim_threshold
+          ?wall_threshold:!wall_threshold ~fail_wall:!fail_wall ~all:!all ~base
+          ~cur ()
+      with
+      | result, report ->
+          print_string report;
+          exit (Icoe_obs.Bench_diff.exit_code result)
+      | exception Failure msg ->
+          Fmt.epr "diff: %s@." msg;
+          exit 2
+      | exception Sys_error msg ->
+          Fmt.epr "diff: %s@." msg;
+          exit 2)
+  | _ -> diff_usage ()
 
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "--diff" :: rest -> run_diff rest
+  | _ -> ());
   let doc = "Reproduced experiments from the SC'19 iCoE paper" in
   let info = Cmd.info "icoe_report" ~version:"1.0" ~doc in
   let default =
     Term.(
-      const (fun tf mf fs -> run_ids [] tf mf fs)
-      $ trace_arg $ metrics_arg $ faults_arg)
+      const (fun tf mf fs ef oc -> run_ids [] tf mf fs ef oc)
+      $ trace_arg $ metrics_arg $ faults_arg $ events_arg $ occupancy_arg)
   in
   exit (Cmd.eval (Cmd.group ~default info [ list_cmd; run_cmd ]))

@@ -25,7 +25,12 @@ let flops_per_particle = 68_000.0
 let v100_dp = Hwsim.Device.v100.Hwsim.Device.peak_gflops *. 1e9 *. 0.6
 let p9_dp = Hwsim.Device.power9.Hwsim.Device.peak_gflops *. 1e9 *. 0.4
 
-type step_model = { serial_s : float; overlapped_s : float; step_s : float }
+type step_model = {
+  serial_s : float;
+  overlapped_s : float;
+  step_s : float;
+  dag : Icoe_obs.Prof.item array;
+}
 
 let kernel_count = 46
 
@@ -81,7 +86,7 @@ let ddcmd_step_model ?(particles = 136_500) ?overlap ?trace scenario =
           ~phase:"halo" halo_s));
   let overlapped_s = Hwsim.Sched.run sched in
   let step_s = if Hwsim.Sched.overlap sched then overlapped_s else serial_s in
-  { serial_s; overlapped_s; step_s }
+  { serial_s; overlapped_s; step_s; dag = Hwsim.Sched.dag sched }
 
 (** (ddcmd_s, gromacs_s) per MD step for [particles] beads. The ddcMD
     side overlaps launches/halo under the kernel pipeline unless

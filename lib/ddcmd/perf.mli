@@ -24,6 +24,9 @@ type step_model = {
           the "gpu" kernel pipeline and the [Four_gpu] halo on a "nic"
           stream — only the first launch stays exposed *)
   step_s : float;  (** the charged time: overlapped or serial *)
+  dag : Icoe_obs.Prof.item array;
+      (** the scheduled launch/kernel/halo DAG, ready for
+          {!Icoe_obs.Prof.analyze} critical-path blame *)
 }
 
 val kernel_count : int

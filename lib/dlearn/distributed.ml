@@ -75,6 +75,7 @@ type round_model = {
   overlapped_round_s : float;
   round_s : float;
   round_efficiency : float;
+  dag : Icoe_obs.Prof.item array;
 }
 
 (** Per-round cost model of KAVG with the weight-average allreduce
@@ -123,7 +124,13 @@ let kavg_round_model ?overlap ?trace ~learners ~k ~batch sizes =
       overlapped_round_s /. serial_round_s
     else 1.0
   in
-  { serial_round_s; overlapped_round_s; round_s; round_efficiency }
+  {
+    serial_round_s;
+    overlapped_round_s;
+    round_s;
+    round_efficiency;
+    dag = Hwsim.Sched.dag sched;
+  }
 
 (** Synchronous data-parallel SGD: every step all learners' gradients are
     averaged (modelled by training on the concatenated batch) and an

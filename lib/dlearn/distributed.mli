@@ -39,6 +39,9 @@ type round_model = {
           stream under the last local step's per-layer backward pass *)
   round_s : float;  (** the charged per-round time: overlapped or serial *)
   round_efficiency : float;  (** [overlapped /. serial] (1.0 when serial) *)
+  dag : Icoe_obs.Prof.item array;
+      (** the scheduled backprop/allreduce DAG, ready for
+          {!Icoe_obs.Prof.analyze} critical-path blame *)
 }
 
 val kavg_round_model :

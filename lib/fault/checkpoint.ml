@@ -94,6 +94,15 @@ let run ~plan ?(start = 0.0) ?(restart_cost_s = 0.0) ?trace ~step_cost_s
         let partial = Float.max 0.0 (f.Plan.at -. !t) in
         incr injected;
         Metrics.inc m_injected;
+        if Icoe_obs.Events.enabled () then
+          Icoe_obs.Events.(
+            emit ~t_s:f.Plan.at ~kind:"fault" ~source:"fault/checkpoint"
+              [
+                ("fault", S "node-failure");
+                ("lost_steps", I (!completed - !ck_step));
+                ("downtime_s", F f.Plan.downtime);
+                ("restart_s", F restart_cost_s);
+              ]);
         flush ();
         charge "fault:lost-step" partial;
         charge "fault:downtime" f.Plan.downtime;
@@ -127,7 +136,15 @@ let run ~plan ?(start = 0.0) ?(restart_cost_s = 0.0) ?trace ~step_cost_s
           ck_state := snapshot ();
           ck_step := !completed;
           incr checkpoints;
-          Metrics.inc m_checkpoints
+          Metrics.inc m_checkpoints;
+          if Icoe_obs.Events.enabled () then
+            Icoe_obs.Events.(
+              emit ~t_s:!t ~kind:"fault" ~source:"fault/checkpoint"
+                [
+                  ("fault", S "checkpoint");
+                  ("at_step", I !completed);
+                  ("cost_s", F checkpoint_cost_s);
+                ])
         end
   done;
   flush ();

@@ -53,13 +53,23 @@ let kernel_time_with_faults plan ~now ?eff ?lanes_used device kernel =
   if faults > 0 then Metrics.inc ~by:(float_of_int faults) m_reexec;
   (total, faults)
 
+(* Flight-recorder bridge: one "fault" event per injected cost (the
+   extra seconds a fault added on top of the clean price). *)
+let emit_fault_event ~t_s ~fault ~phase extra_s =
+  if Icoe_obs.Events.enabled () then
+    Icoe_obs.Events.(
+      emit ~t_s ~kind:"fault" ~source:"fault/inject"
+        [ ("fault", S fault); ("phase", S phase); ("extra_s", F extra_s) ])
+
 let charge_transfer plan trace ?device ~phase l ~bytes =
   let now = Trace.now trace in
   let clean = Link.transfer_time l ~bytes in
   let total = transfer_time plan ~now l ~bytes in
   Trace.charge trace ?device ~phase clean;
-  if total > clean then
+  if total > clean then begin
     Trace.charge trace ?device ~phase:"fault:degraded-link" (total -. clean);
+    emit_fault_event ~t_s:now ~fault:"degraded-link" ~phase (total -. clean)
+  end;
   total
 
 let charge_kernel plan trace ?eff ?lanes_used ?phase device kernel =
@@ -71,8 +81,12 @@ let charge_kernel plan trace ?eff ?lanes_used ?phase device kernel =
   let phase = match phase with Some p -> p | None -> kernel.Hwsim.Kernel.name in
   let device = device.Hwsim.Device.name in
   Trace.charge trace ~device ~phase clean;
-  if stretched > clean then
+  if stretched > clean then begin
     Trace.charge trace ~device ~phase:"fault:straggler" (stretched -. clean);
-  if total > stretched then
+    emit_fault_event ~t_s:now ~fault:"straggler" ~phase (stretched -. clean)
+  end;
+  if total > stretched then begin
     Trace.charge trace ~device ~phase:"fault:rework" (total -. stretched);
+    emit_fault_event ~t_s:now ~fault:"rework" ~phase (total -. stretched)
+  end;
   total

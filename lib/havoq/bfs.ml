@@ -167,7 +167,7 @@ let connected_components (g : Graph.t) =
 
 (** Number of distinct components. *)
 let num_components labels =
-  List.length (List.sort_uniq compare (Array.to_list labels))
+  List.length (List.sort_uniq Int.compare (Array.to_list labels))
 
 (** Validate a parent array: every reached vertex's parent edge exists and
     levels are consistent (parent level = child level - 1). *)

@@ -179,6 +179,21 @@ let makespan t =
 let start_time it = it.start_s
 let finish_time it = it.finish_s
 
+let dag t =
+  items t
+  |> List.map (fun it ->
+         {
+           Icoe_obs.Prof.idx = it.id;
+           stream = it.stream;
+           phase = it.phase;
+           device = it.device;
+           dur = it.dur;
+           deps = List.map (fun d -> d.id) it.deps;
+         })
+  |> Array.of_list
+
+let profile t = Icoe_obs.Prof.analyze ~overlap:t.overlap (dag t)
+
 (** Critical-path over serial-sum modeled time, in (0, 1]: 1.0 means no
     overlap was found (or nothing was enqueued); smaller is better. *)
 let overlap_efficiency t =

@@ -105,3 +105,15 @@ val start_time : item -> float
 (** Schedule-relative start seconds; valid after {!run}. *)
 
 val finish_time : item -> float
+
+(** {1 Profiling} *)
+
+val dag : t -> Icoe_obs.Prof.item array
+(** The scheduled DAG in {!Icoe_obs.Prof} form: one entry per item in
+    enqueue order, deps as indices of earlier items. Valid before or
+    after {!run} (durations are fixed at enqueue time). *)
+
+val profile : t -> Icoe_obs.Prof.analysis
+(** [Icoe_obs.Prof.analyze ~overlap:(overlap t) (dag t)] — critical
+    path, per-item slack, per-phase/per-stream blame and what-if
+    sensitivity for this schedule. *)

@@ -99,11 +99,33 @@ let phase_seconds phase =
       Hashtbl.add phase_counters phase c;
       c
 
+(* Flight-recorder bridge: every charge/span leaf also lands in the
+   unified event log when a sink is installed (ICOE_EVENTS=path). The
+   [enabled] check keeps the disabled path to one branch. *)
+let emit_span_event ?device ?(flops = 0.0) ?(bytes = 0.0) ~phase ~start dur =
+  if Icoe_obs.Events.enabled () then begin
+    let open Icoe_obs.Events in
+    let fields = [ ("phase", S phase); ("dur_s", F dur) ] in
+    let fields =
+      match device with
+      | Some d -> ("device", S d) :: fields
+      | None -> fields
+    in
+    let fields =
+      if flops > 0.0 then fields @ [ ("flops", F flops) ] else fields
+    in
+    let fields =
+      if bytes > 0.0 then fields @ [ ("bytes", F bytes) ] else fields
+    in
+    emit ~t_s:start ~kind:"span" ~source:"hwsim/trace" fields
+  end
+
 let charge t ?device ~phase dt =
   let sp = mk_span ?device ~start:(now t) phase in
   Clock.tick t.clock ~phase dt;
   Icoe_obs.Metrics.inc ~by:(max 0.0 dt) (phase_seconds phase);
   sp.stop <- now t;
+  emit_span_event ?device ~phase ~start:sp.start dt;
   add_child t (current t) sp
 
 (* Scheduler charging: a span pinned at an absolute simulated time
@@ -120,6 +142,7 @@ let scheduled_span t ?device ?(flops = 0.0) ?(bytes = 0.0) ?bound ~phase
   sp.bound <- bound;
   Clock.attribute t.clock ~phase dur;
   Icoe_obs.Metrics.inc ~by:dur (phase_seconds phase);
+  emit_span_event ?device ~flops ~bytes ~phase ~start dur;
   add_child t (current t) sp
 
 let advance t dt = Clock.advance t.clock dt
@@ -139,6 +162,8 @@ let charge_kernel t ?eff ?lanes_used ?phase (d : Device.t) (k : Kernel.t) =
   sp.flops <- k.Kernel.flops;
   sp.bytes <- k.Kernel.bytes;
   sp.bound <- Some bound;
+  emit_span_event ~device:d.Device.name ~flops:k.Kernel.flops
+    ~bytes:k.Kernel.bytes ~phase ~start:sp.start dt;
   add_child t (current t) sp;
   dt
 

@@ -5,6 +5,7 @@ type outcome = {
   traces : (string * Hwsim.Trace.t) list;
   metrics : Icoe_obs.Metrics.sample list;
   faults : (string * Icoe_fault.Checkpoint.report) list;
+  artifacts : (string * (unit -> string)) list;
 }
 
 type t = {
@@ -21,12 +22,16 @@ let section title body = Fmt.str "### %s\n%s\n" title body
    code), so a single scoped ref suffices. *)
 let current : (string * Hwsim.Trace.t) list ref = ref []
 let current_faults : (string * Icoe_fault.Checkpoint.report) list ref = ref []
+let current_artifacts : (string * (unit -> string)) list ref = ref []
 let active = ref false
 
 let record_trace name tr = if !active then current := (name, tr) :: !current
 
 let record_faults name r =
   if !active then current_faults := (name, r) :: !current_faults
+
+let record_artifact name render =
+  if !active then current_artifacts := (name, render) :: !current_artifacts
 
 (* Per-harness comm/compute overlap gauge. Harness bodies call this only
    when the stream scheduler actually overlapped, so ICOE_OVERLAP=0 runs
@@ -39,28 +44,62 @@ let record_overlap id eff =
        "overlap_efficiency")
     eff
 
+(* Critical-path blame gauges (the prof_ family), same gating contract
+   as [record_overlap]: harness bodies call this only from overlap-gated
+   sections so ICOE_OVERLAP=0 runs never register blame metrics. *)
+let record_blame id analysis = Icoe_obs.Prof.record_metrics ~harness:id analysis
+
+(* Flight-recorder bridge: one "metric" event per changed sample in the
+   harness's registry diff. *)
+let emit_metric_events id samples =
+  if Icoe_obs.Events.enabled () then
+    List.iter
+      (fun (s : Icoe_obs.Metrics.sample) ->
+        let open Icoe_obs.Events in
+        let value, mtype =
+          match s.Icoe_obs.Metrics.value with
+          | Icoe_obs.Metrics.Counter v -> (v, "counter")
+          | Icoe_obs.Metrics.Gauge v -> (v, "gauge")
+          | Icoe_obs.Metrics.Histogram h ->
+              (h.Icoe_obs.Metrics.sum, "histogram")
+        in
+        let label_fields =
+          List.map (fun (k, v) -> ("label_" ^ k, S v)) s.Icoe_obs.Metrics.labels
+        in
+        emit ~kind:"metric" ~source:("harness/" ^ id)
+          ([ ("name", S s.Icoe_obs.Metrics.name); ("mtype", S mtype);
+             ("value", F value) ]
+          @ label_fields))
+      samples
+
 let make ~id ~description ?(tags = []) f =
   let run () =
     let saved_traces = !current
     and saved_faults = !current_faults
+    and saved_artifacts = !current_artifacts
     and saved_active = !active in
     current := [];
     current_faults := [];
+    current_artifacts := [];
     active := true;
     let restore () =
       current := saved_traces;
       current_faults := saved_faults;
+      current_artifacts := saved_artifacts;
       active := saved_active
     in
     Fun.protect ~finally:restore (fun () ->
         let before = Icoe_obs.Metrics.snapshot () in
         let report = f () in
         let after = Icoe_obs.Metrics.snapshot () in
+        let metrics = Icoe_obs.Metrics.diff ~before ~after in
+        emit_metric_events id metrics;
         {
           report;
           traces = List.rev !current;
-          metrics = Icoe_obs.Metrics.diff ~before ~after;
+          metrics;
           faults = List.rev !current_faults;
+          artifacts = List.rev !current_artifacts;
         })
   in
   { id; description; tags; run }

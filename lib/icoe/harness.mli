@@ -24,6 +24,11 @@ type outcome = {
       (** checkpoint/restart reports recorded via {!record_faults}
           during the run — nonempty only when the harness ran under a
           fault plan (see {!Icoe_fault.Context}) *)
+  artifacts : (string * (unit -> string)) list;
+      (** named renderable artifacts (e.g. a cluster-occupancy Chrome
+          trace) recorded via {!record_artifact}; kept as thunks so a
+          potentially large document is only built when a caller
+          actually writes it out *)
 }
 
 type t = {
@@ -52,6 +57,19 @@ val record_overlap : string -> float -> unit
     serial-sum modeled seconds, in (0, 1]. Harnesses call it only when
     {!Hwsim.Sched.overlap_enabled} — under [ICOE_OVERLAP=0] the gauge is
     never registered, keeping serialized output bit-identical. *)
+
+val record_blame : string -> Icoe_obs.Prof.analysis -> unit
+(** [record_blame id a] sets the [prof_makespan_seconds],
+    [prof_blame_seconds{phase}] and [prof_sensitivity_seconds{phase}]
+    gauges for harness [id] ({!Icoe_obs.Prof.record_metrics}). Same
+    gating contract as {!record_overlap}: call it only from
+    overlap-gated sections so [ICOE_OVERLAP=0] runs never register
+    [prof_*] metrics. *)
+
+val record_artifact : string -> (unit -> string) -> unit
+(** Attach a named artifact thunk to the outcome of the harness
+    currently running. The thunk is forced only when a caller writes
+    the artifact out. Outside a harness body it is dropped. *)
 
 val record_faults : string -> Icoe_fault.Checkpoint.report -> unit
 (** Attach a named checkpoint/restart report (time-to-solution

@@ -15,6 +15,8 @@ let overlap_section () =
     Harness.record_trace "md-overlap" tr;
     let eff = m.Ddcmd.Perf.overlapped_s /. m.Ddcmd.Perf.serial_s in
     Harness.record_overlap "md" eff;
+    let blame = Icoe_obs.Prof.analyze ~overlap:true m.Ddcmd.Perf.dag in
+    Harness.record_blame "md" blame;
     Harness.section
       "Overlap — launches and inter-GPU halo hidden under the kernel pipeline \
        (4-GPU step)"
@@ -26,6 +28,9 @@ let overlap_section () =
          Ddcmd.Perf.kernel_count
          (m.Ddcmd.Perf.overlapped_s *. 1e3)
          eff)
+    ^ Harness.section
+        "Critical-path blame — what the per-step makespan is waiting on"
+        (Icoe_obs.Prof.report_section blame)
   end
 
 let md () =

@@ -56,6 +56,8 @@ let overlap_section sizes =
     in
     Harness.record_trace "kavg-overlap" tr;
     Harness.record_overlap "kavg" m.Dlearn.Distributed.round_efficiency;
+    let blame = Icoe_obs.Prof.analyze ~overlap:true m.Dlearn.Distributed.dag in
+    Harness.record_blame "kavg" blame;
     Harness.section
       "Overlap — layer-bucketed weight-average allreduce under backprop \
        (per KAVG round)"
@@ -66,6 +68,9 @@ let overlap_section sizes =
          m.Dlearn.Distributed.overlapped_round_s
          (List.length (Dlearn.Distributed.layer_params sizes))
          m.Dlearn.Distributed.round_efficiency)
+    ^ Harness.section
+        "Critical-path blame — what the per-round makespan is waiting on"
+        (Icoe_obs.Prof.report_section blame)
   end
 
 let kavg () =

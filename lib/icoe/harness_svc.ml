@@ -118,6 +118,11 @@ let svc () =
     Svc.Cluster.simulate ~nodes ~classes Svc.Cluster.Easy_backfill bursty_jobs
   in
   let easy = List.nth results 1 (* the Easy_backfill row above *) in
+  (* occupancy Chrome trace of the 90%-capacity EASY run (nodes as
+     pids, jobs as spans); a thunk so the multi-MB document is only
+     built when icoe_report --occupancy asks for it *)
+  Harness.record_artifact "svc-occupancy" (fun () ->
+      Svc.Cluster.occupancy_chrome_json easy);
   Harness.section
     "Machine-as-a-service — multi-tenant job streams (Sec 4.7 at machine \
      scale)"

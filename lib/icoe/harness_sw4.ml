@@ -19,6 +19,8 @@ let overlap_section () =
     Harness.record_trace "sw4-overlap" tr;
     let eff = m.Sw4.Scenario.overlapped_s /. m.Sw4.Scenario.serial_s in
     Harness.record_overlap "sw4" eff;
+    let blame = Icoe_obs.Prof.analyze ~overlap:true m.Sw4.Scenario.dag in
+    Harness.record_blame "sw4" blame;
     Harness.section
       "Overlap — halo exchange hidden under interior compute (per step, 256 \
        Sierra nodes)"
@@ -32,6 +34,9 @@ let overlap_section () =
          (m.Sw4.Scenario.overlapped_s *. 1e3)
          (100.0 *. m.Sw4.Scenario.boundary_frac)
          eff)
+    ^ Harness.section
+        "Critical-path blame — what the per-step makespan is waiting on"
+        (Icoe_obs.Prof.report_section blame)
   end
 
 let sw4 () =

@@ -57,7 +57,12 @@ let generate ?(ndocs = 200) ?(languages = 2) ?(vocab_per_lang = 120)
           Hashtbl.replace counts w (1 + Option.value ~default:0 (Hashtbl.find_opt counts w))
         done;
         let pairs = Hashtbl.fold (fun w c acc -> (w, c) :: acc) counts [] in
-        let pairs = List.sort compare pairs in
+        let pairs =
+          List.sort
+            (fun (w1, c1) (w2, c2) ->
+              match Int.compare w1 w2 with 0 -> Int.compare c1 c2 | n -> n)
+            pairs
+        in
         {
           words = Array.of_list (List.map fst pairs);
           counts = Array.of_list (List.map snd pairs);

@@ -169,7 +169,7 @@ let matmul a b =
         acc.(j) <- acc.(j) +. (av *. b.values.(kb))
       done
     done;
-    let cs = List.sort compare !cols in
+    let cs = List.sort Int.compare !cols in
     let row = List.map (fun j -> (j, acc.(j))) cs in
     total := !total + List.length row;
     rows := row :: !rows

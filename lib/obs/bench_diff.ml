@@ -1,0 +1,293 @@
+(** Differential regression gate over two [BENCH_<id>.json] files.
+
+    The bench harness has emitted a machine-readable perf trajectory
+    since PR 2; this module turns it from a write-only artifact into an
+    enforced contract. Both files are flattened into comparable rows
+    (one per harness/kernel/overlap/fault/service/blame measurement),
+    each row's relative delta is judged against a threshold, and the
+    result is a verdict table plus an exit decision.
+
+    Two classes of measurement get different treatment: {e simulated}
+    values (model seconds — deterministic, so any drift is a real model
+    change) fail hard at a tight threshold, while {e wall-clock} values
+    (host-dependent ns timings) only warn by default at a loose
+    threshold, because CI machines are noisy. *)
+
+type klass = Sim | Wall
+
+type verdict = Ok | Improved | Warn | Regression | Added | Removed
+
+type row = {
+  section : string;  (** harness / kernel / overlap / fault / service / blame *)
+  name : string;  (** row id within the section, e.g. "sw4/interior" *)
+  klass : klass;
+  base : float option;  (** [None]: missing in the baseline *)
+  cur : float option;  (** [None]: missing in the current file *)
+  delta : float;  (** relative delta, [cur/base - 1]; 0 when undefined *)
+  verdict : verdict;
+}
+
+type result = {
+  rows : row list;
+  regressions : int;
+  warnings : int;
+  improved : int;
+}
+
+let verdict_name = function
+  | Ok -> "ok"
+  | Improved -> "improved"
+  | Warn -> "WARN"
+  | Regression -> "REGRESSION"
+  | Added -> "added"
+  | Removed -> "removed"
+
+(* A measurement: section, row name, class, lower-is-better?, value.
+   Almost everything is a time (lower is better); service throughput
+   rows flip the sign. *)
+type meas = {
+  m_section : string;
+  m_name : string;
+  m_klass : klass;
+  m_higher_better : bool;
+  m_value : float;
+}
+
+let meas ?(higher_better = false) ~section ~klass name value =
+  {
+    m_section = section;
+    m_name = name;
+    m_klass = klass;
+    m_higher_better = higher_better;
+    m_value = value;
+  }
+
+(* Flatten one parsed BENCH document into measurements. Sections absent
+   from a file (older baselines predate overlap/service/faults/blame)
+   simply contribute nothing — the pairing step turns one-sided rows
+   into Added/Removed, never failures. *)
+let flatten (j : Icoe_util.Json.t) =
+  let open Icoe_util.Json in
+  let acc = ref [] in
+  let push m = acc := m :: !acc in
+  let each section f =
+    match list_member section j with
+    | Some rows -> List.iter f rows
+    | None -> ()
+  in
+  each "harnesses" (fun r ->
+      match string_member "id" r with
+      | None -> ()
+      | Some id ->
+          Option.iter
+            (fun v -> push (meas ~section:"harness" ~klass:Sim (id ^ "/simulated_s") v))
+            (float_member "simulated_s" r);
+          Option.iter
+            (fun v -> push (meas ~section:"harness" ~klass:Wall (id ^ "/wall_ns") v))
+            (float_member "wall_ns" r));
+  each "kernels" (fun r ->
+      match string_member "name" r with
+      | None -> ()
+      | Some name ->
+          (* ns_per_run is null for kernels skipped under --micro-only *)
+          Option.iter
+            (fun v -> push (meas ~section:"kernel" ~klass:Wall name v))
+            (float_member "ns_per_run" r));
+  each "overlap" (fun r ->
+      match string_member "id" r with
+      | None -> ()
+      | Some id ->
+          Option.iter
+            (fun v -> push (meas ~section:"overlap" ~klass:Sim (id ^ "/serial_s") v))
+            (float_member "serial_s" r);
+          Option.iter
+            (fun v ->
+              push (meas ~section:"overlap" ~klass:Sim (id ^ "/overlapped_s") v))
+            (float_member "overlapped_s" r));
+  each "faults" (fun r ->
+      match string_member "id" r with
+      | None -> ()
+      | Some id ->
+          Option.iter
+            (fun v -> push (meas ~section:"fault" ~klass:Sim (id ^ "/achieved_s") v))
+            (float_member "achieved_s" r));
+  each "service" (fun r ->
+      match string_member "policy" r with
+      | None -> ()
+      | Some policy ->
+          Option.iter
+            (fun v ->
+              push
+                (meas ~higher_better:true ~section:"service" ~klass:Sim
+                   (policy ^ "/jobs_per_s") v))
+            (float_member "jobs_per_s" r);
+          Option.iter
+            (fun v ->
+              push (meas ~section:"service" ~klass:Sim (policy ^ "/wait_p99_s") v))
+            (float_member "wait_p99_s" r));
+  each "blame" (fun r ->
+      match (string_member "id" r, string_member "phase" r) with
+      | Some id, Some phase ->
+          Option.iter
+            (fun v ->
+              push (meas ~section:"blame" ~klass:Sim (id ^ "/" ^ phase) v))
+            (float_member "seconds" r)
+      | _ -> ());
+  List.rev !acc
+
+let key m = m.m_section ^ "\x00" ^ m.m_name
+
+(* Judge one paired row. [delta] is the relative change in the
+   worse-direction sense: positive means worse. *)
+let judge ~sim_threshold ~wall_threshold m_base m_cur =
+  let threshold = function Sim -> sim_threshold | Wall -> wall_threshold in
+  match (m_base, m_cur) with
+  | None, None -> assert false
+  | None, Some m ->
+      {
+        section = m.m_section;
+        name = m.m_name;
+        klass = m.m_klass;
+        base = None;
+        cur = Some m.m_value;
+        delta = 0.0;
+        verdict = Added;
+      }
+  | Some m, None ->
+      {
+        section = m.m_section;
+        name = m.m_name;
+        klass = m.m_klass;
+        base = Some m.m_value;
+        cur = None;
+        delta = 0.0;
+        verdict = Removed;
+      }
+  | Some b, Some c ->
+      let worse =
+        (* signed relative delta in the "worse" direction *)
+        if b.m_value = 0.0 then 0.0
+        else begin
+          let d = (c.m_value -. b.m_value) /. Float.abs b.m_value in
+          if b.m_higher_better then -.d else d
+        end
+      in
+      let th = threshold b.m_klass in
+      let verdict =
+        if b.m_value = 0.0 && c.m_value = 0.0 then Ok
+        else if b.m_value = 0.0 then
+          (* a signal appeared where the baseline had none: surface it,
+             but a zero baseline gives no meaningful relative delta *)
+          Warn
+        else if worse > th then
+          match b.m_klass with Sim -> Regression | Wall -> Warn
+        else if worse < -.th then Improved
+        else Ok
+      in
+      {
+        section = b.m_section;
+        name = b.m_name;
+        klass = b.m_klass;
+        base = Some b.m_value;
+        cur = Some c.m_value;
+        delta = worse;
+        verdict;
+      }
+
+let diff ?(sim_threshold = 0.05) ?(wall_threshold = 0.5) ?(fail_wall = false)
+    ~base ~cur () =
+  let base_ms = flatten base and cur_ms = flatten cur in
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace base_tbl (key m) m) base_ms;
+  let cur_tbl = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace cur_tbl (key m) m) cur_ms;
+  let seen = Hashtbl.create 64 in
+  let rows = ref [] in
+  let consider m other_tbl ~base_side =
+    let k = key m in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      let other = Hashtbl.find_opt other_tbl k in
+      let b, c = if base_side then (Some m, other) else (other, Some m) in
+      rows := judge ~sim_threshold ~wall_threshold b c :: !rows
+    end
+  in
+  List.iter (fun m -> consider m cur_tbl ~base_side:true) base_ms;
+  List.iter (fun m -> consider m base_tbl ~base_side:false) cur_ms;
+  let rows = List.rev !rows in
+  let rows =
+    if fail_wall then
+      List.map
+        (fun r ->
+          if r.klass = Wall && r.verdict = Warn && r.base <> None && r.cur <> None
+          then { r with verdict = Regression }
+          else r)
+        rows
+    else rows
+  in
+  let count v = List.length (List.filter (fun r -> r.verdict = v) rows) in
+  {
+    rows;
+    regressions = count Regression;
+    warnings = count Warn;
+    improved = count Improved;
+  }
+
+let opt_str = function Some v -> Fmt.str "%.6g" v | None -> "-"
+
+let table ?(all = false) result =
+  let open Icoe_util in
+  let t =
+    Table.create ~title:"bench diff"
+      ~aligns:[| Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+                 Table.Left |]
+      [ "section"; "row"; "base"; "current"; "delta"; "verdict" ]
+  in
+  let interesting r =
+    match r.verdict with
+    | Ok -> all
+    | Improved | Warn | Regression | Added | Removed -> true
+  in
+  List.iter
+    (fun r ->
+      if interesting r then
+        Table.add_row t
+          [
+            r.section;
+            r.name;
+            opt_str r.base;
+            opt_str r.cur;
+            (match (r.base, r.cur) with
+            | Some _, Some _ -> Fmt.str "%+.1f%%" (100.0 *. r.delta)
+            | _ -> "-");
+            verdict_name r.verdict;
+          ])
+    result.rows;
+  t
+
+let summary result =
+  Fmt.str "%d rows: %d regression(s), %d warning(s), %d improved, %d ok/other"
+    (List.length result.rows)
+    result.regressions result.warnings result.improved
+    (List.length result.rows - result.regressions - result.warnings
+   - result.improved)
+
+let exit_code result = if result.regressions > 0 then 3 else 0
+
+let run_files ?sim_threshold ?wall_threshold ?fail_wall ?(all = false) ~base
+    ~cur () =
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let parse path =
+    match Icoe_util.Json.parse (read path) with
+    | Ok j -> j
+    | Error msg -> failwith (Fmt.str "%s: JSON parse error %s" path msg)
+  in
+  let base_j = parse base and cur_j = parse cur in
+  let result = diff ?sim_threshold ?wall_threshold ?fail_wall ~base:base_j ~cur:cur_j () in
+  let rendered = Icoe_util.Table.render (table ~all result) in
+  (result, rendered ^ summary result ^ "\n")

@@ -1,0 +1,69 @@
+(** Differential regression gate over two [BENCH_<id>.json] files.
+
+    Flattens both perf trajectories into comparable rows (per
+    harness/kernel/overlap/fault/service/blame measurement), judges each
+    relative delta against a threshold, and renders a verdict table.
+    Simulated-time rows (deterministic model seconds) regress hard at a
+    tight threshold; wall-clock rows (host ns timings) warn at a loose
+    one unless [fail_wall] promotes them. Rows present on only one side
+    are reported as added/removed, never failed — older baselines
+    legitimately predate newer sections. *)
+
+type klass = Sim  (** deterministic simulated/model value *)
+           | Wall  (** host wall-clock measurement *)
+
+type verdict = Ok | Improved | Warn | Regression | Added | Removed
+
+type row = {
+  section : string;
+  name : string;
+  klass : klass;
+  base : float option;  (** [None]: missing in the baseline *)
+  cur : float option;  (** [None]: missing in the current file *)
+  delta : float;
+      (** signed relative delta in the worse direction (positive =
+          worse); 0 when one side is missing or the base is 0 *)
+  verdict : verdict;
+}
+
+type result = {
+  rows : row list;
+  regressions : int;
+  warnings : int;
+  improved : int;
+}
+
+val diff :
+  ?sim_threshold:float ->
+  ?wall_threshold:float ->
+  ?fail_wall:bool ->
+  base:Icoe_util.Json.t ->
+  cur:Icoe_util.Json.t ->
+  unit ->
+  result
+(** Compare two parsed BENCH documents. Defaults: [sim_threshold]
+    0.05, [wall_threshold] 0.5, [fail_wall] false. *)
+
+val table : ?all:bool -> result -> Icoe_util.Table.t
+(** Verdict table; hides plain [Ok] rows unless [all]. *)
+
+val summary : result -> string
+(** One-line count summary. *)
+
+val exit_code : result -> int
+(** 0 when [regressions = 0], 3 otherwise. *)
+
+val run_files :
+  ?sim_threshold:float ->
+  ?wall_threshold:float ->
+  ?fail_wall:bool ->
+  ?all:bool ->
+  base:string ->
+  cur:string ->
+  unit ->
+  result * string
+(** Read, parse and diff two files; returns the result and the rendered
+    report (table + summary). Raises [Failure] on unreadable or invalid
+    JSON. *)
+
+val verdict_name : verdict -> string

@@ -50,7 +50,7 @@ let slnsp (p : program) =
             | Some a when read_later a rest -> a :: collect rest
             | _ -> collect rest)
       in
-      let intermediates = List.sort_uniq compare (collect body) in
+      let intermediates = List.sort_uniq String.compare (collect body) in
       let body =
         List.map
           (fun st ->
@@ -91,7 +91,7 @@ let slnsp (p : program) =
             let e = match st with Store (_, e) | Def (_, e) -> e in
             (* cache any array this statement loads that isn't cached yet *)
             let fresh =
-              List.sort_uniq compare
+              List.sort_uniq String.compare
                 (List.filter (fun a -> not (Hashtbl.mem cached a)) (fst (expr_reads e)))
             in
             let prefix =

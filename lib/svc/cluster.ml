@@ -17,6 +17,13 @@ let policy_name = function
   | Sjf_quota q -> Fmt.str "SJF+quota(%.0f%%)" (q *. 100.0)
   | Partition f -> Fmt.str "partition(%.0f%% wide)" (f *. 100.0)
 
+type job_record = {
+  job : Workload.job;
+  dispatched : float;
+  finished : float;
+  placed : int list;
+}
+
 type metrics = {
   policy : string;
   nodes : int;
@@ -35,6 +42,8 @@ type metrics = {
   turn_p99 : float;
   waits : float array;
   turnarounds : float array;
+  log : job_record list;
+  samples : (float * int * int) list;
 }
 
 (* jobs wider than [nodes] can never be placed; filter them out up front
@@ -83,6 +92,34 @@ let simulate ?(check = false) ~nodes ~(classes : Workload.job_class array)
   let running = ref [] in
   let free = ref nodes in
   let t = ref 0.0 in
+  (* lifecycle bookkeeping: concrete node ids (lowest-first placement)
+     so the occupancy export can draw jobs onto stable per-node rows,
+     plus queue-depth/free-node samples at every event time *)
+  let source = "svc/" ^ policy_name policy in
+  let free_ids = ref (List.init nodes Fun.id) in
+  let live : (int, float * int list) Hashtbl.t = Hashtbl.create 64 in
+  let log = ref [] in
+  let samples = ref [] in
+  let emit_job ev ~t_s (j : Workload.job) fields =
+    if Icoe_obs.Events.enabled () then
+      Icoe_obs.Events.(
+        emit ~t_s ~kind:"job" ~source
+          ([
+             ("ev", S ev);
+             ("job", I j.Workload.id);
+             ("class", S classes.(j.Workload.klass).Workload.name);
+             ("nodes", I j.Workload.nodes);
+           ]
+          @ fields))
+  in
+  let sample () =
+    let depth = List.length !queue in
+    samples := (!t, depth, !free) :: !samples;
+    if Icoe_obs.Events.enabled () then
+      Icoe_obs.Events.(
+        emit ~t_s:!t ~kind:"queue" ~source
+          [ ("depth", I depth); ("free_nodes", I !free) ])
+  in
   let busy_area = ref 0.0 in
   let waits = ref [] in
   let turnarounds = ref [] in
@@ -215,6 +252,18 @@ let simulate ?(check = false) ~nodes ~(classes : Workload.job_class array)
       | Some j ->
           let s = price j in
           free := !free - j.Workload.nodes;
+          let rec take n acc rest =
+            if n = 0 then (List.rev acc, rest)
+            else
+              match rest with
+              | x :: tl -> take (n - 1) (x :: acc) tl
+              | [] -> (List.rev acc, [])
+          in
+          let placed, rest_ids = take j.Workload.nodes [] !free_ids in
+          free_ids := rest_ids;
+          Hashtbl.replace live j.Workload.id (!t, placed);
+          emit_job "dispatch" ~t_s:!t j
+            [ ("wait_s", F (!t -. j.Workload.arrival)); ("service_s", F s) ];
           waits := (!t -. j.Workload.arrival) :: !waits;
           busy_area := !busy_area +. (float_of_int j.Workload.nodes *. s);
           running := (!t +. s, j) :: !running
@@ -247,6 +296,16 @@ let simulate ?(check = false) ~nodes ~(classes : Workload.job_class array)
         List.iter
           (fun (_, j) ->
             free := !free + j.Workload.nodes;
+            let dispatched, placed =
+              Option.value
+                (Hashtbl.find_opt live j.Workload.id)
+                ~default:(0.0, [])
+            in
+            Hashtbl.remove live j.Workload.id;
+            free_ids := List.merge Int.compare placed !free_ids;
+            log := { job = j; dispatched; finished = !t; placed } :: !log;
+            emit_job "finish" ~t_s:!t j
+              [ ("turnaround_s", F (!t -. j.Workload.arrival)) ];
             turnarounds := (!t -. j.Workload.arrival) :: !turnarounds;
             incr completed)
           done_;
@@ -254,11 +313,17 @@ let simulate ?(check = false) ~nodes ~(classes : Workload.job_class array)
           List.partition (fun j -> j.Workload.arrival <= !t +. 1e-12) !pending
         in
         pending := later;
+        List.iter
+          (fun (j : Workload.job) ->
+            emit_job "submit" ~t_s:j.Workload.arrival j [])
+          arrived;
         queue := !queue @ arrived;
         start_jobs ();
+        sample ();
         loop ()
   in
   start_jobs ();
+  sample ();
   loop ();
   let waits = Array.of_list (List.rev !waits) in
   let turnarounds = Array.of_list (List.rev !turnarounds) in
@@ -288,4 +353,76 @@ let simulate ?(check = false) ~nodes ~(classes : Workload.job_class array)
     turn_p99 = pct sorted_tt 0.99;
     waits;
     turnarounds;
+    log = List.rev !log;
+    samples = List.rev !samples;
   }
+
+(* --- cluster-occupancy Chrome trace: nodes as pids, jobs as spans --- *)
+
+let occupancy_chrome_json (m : metrics) =
+  let esc = Hwsim.Trace.json_escape in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  let first = ref true in
+  let push line =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    Buffer.add_string buf line
+  in
+  (* name each node process once, in id order *)
+  let named = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun node ->
+          if not (Hashtbl.mem named node) then Hashtbl.add named node ())
+        r.placed)
+    m.log;
+  let nodes_used = List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) named []) in
+  List.iter
+    (fun node ->
+      push
+        (Fmt.str
+           "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \
+            \"args\": {\"name\": \"node%03d\"}}"
+           node node))
+    nodes_used;
+  push
+    (Fmt.str
+       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \"args\": \
+        {\"name\": \"scheduler (%s)\"}}"
+       m.nodes (esc m.policy));
+  (* one complete-span per (job, node) row *)
+  List.iter
+    (fun r ->
+      let name =
+        Fmt.str "job %d (%dn)" r.job.Workload.id r.job.Workload.nodes
+      in
+      let ts = r.dispatched *. 1e6
+      and dur = Float.max 0.0 (r.finished -. r.dispatched) *. 1e6 in
+      List.iter
+        (fun node ->
+          push
+            (Fmt.str
+               "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": %d, \"tid\": 0, \
+                \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"wait_s\": %.6g}}"
+               (esc name) node ts dur
+               (r.dispatched -. r.job.Workload.arrival)))
+        r.placed)
+    m.log;
+  (* queue-depth / free-node counter tracks on the scheduler process *)
+  List.iter
+    (fun (t, depth, fr) ->
+      push
+        (Fmt.str
+           "{\"name\": \"queue depth\", \"ph\": \"C\", \"pid\": %d, \"ts\": \
+            %.3f, \"args\": {\"jobs\": %d}}"
+           m.nodes (t *. 1e6) depth);
+      push
+        (Fmt.str
+           "{\"name\": \"free nodes\", \"ph\": \"C\", \"pid\": %d, \"ts\": \
+            %.3f, \"args\": {\"nodes\": %d}}"
+           m.nodes (t *. 1e6) fr))
+    m.samples;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

@@ -22,6 +22,13 @@ type policy =
 
 val policy_name : policy -> string
 
+type job_record = {
+  job : Workload.job;
+  dispatched : float;
+  finished : float;
+  placed : int list;  (** concrete node ids held, lowest-first placement *)
+}
+
 type metrics = {
   policy : string;
   nodes : int;
@@ -40,6 +47,10 @@ type metrics = {
   turn_p99 : float;
   waits : float array;  (** per started job, in start order *)
   turnarounds : float array;  (** per completed job, in finish order *)
+  log : job_record list;  (** completed jobs, in finish order *)
+  samples : (float * int * int) list;
+      (** (time, queue depth, free nodes) at every event time, in
+          chronological order *)
 }
 
 val simulate :
@@ -49,4 +60,15 @@ val simulate :
     With [check] (default false) every EASY-backfill decision re-derives
     the head's shadow with the candidate running and raises
     [Invalid_argument] if the reservation would move. Deterministic:
-    equal inputs give equal metrics (no wall clock, no hidden state). *)
+    equal inputs give equal metrics (no wall clock, no hidden state).
+
+    When the {!Icoe_obs.Events} flight recorder is enabled, the
+    simulation emits ["job"] lifecycle events (submit/dispatch/finish)
+    and ["queue"] depth/free-node samples, sourced ["svc/<policy>"]. *)
+
+val occupancy_chrome_json : metrics -> string
+(** Chrome trace-event export of the cluster occupancy: one process per
+    node (jobs as complete spans on the nodes they held, lowest-first
+    placement) plus a scheduler process carrying queue-depth and
+    free-node counter tracks. Loadable in [chrome://tracing] /
+    Perfetto; timestamps are simulated microseconds. *)

@@ -144,6 +144,7 @@ type step_model = {
   serial_s : float;
   overlapped_s : float;
   step_s : float;
+  dag : Icoe_obs.Prof.item array;
 }
 
 (** Per-timestep cost model of the production run on [nodes] nodes: the
@@ -197,6 +198,7 @@ let production_step_model ?(work_multiplier = 280.0) ?overlap ?trace
     serial_s;
     overlapped_s;
     step_s;
+    dag = Hwsim.Sched.dag sched;
   }
 
 (** The production Hayward run (Sec 4.9): 26 billion grid points, ~10

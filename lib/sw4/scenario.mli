@@ -46,6 +46,9 @@ type step_model = {
   step_s : float;
       (** the charged per-step seconds: [overlapped_s] with overlap on,
           the exact pre-scheduler [serial_s] otherwise *)
+  dag : Icoe_obs.Prof.item array;
+      (** the scheduled interior/halo/boundary DAG, ready for
+          {!Icoe_obs.Prof.analyze} critical-path blame *)
 }
 
 val production_step_model :

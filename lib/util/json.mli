@@ -1,0 +1,35 @@
+(** A minimal strict JSON reader (no external deps).
+
+    Exists so the repo can read back its own machine-readable artifacts:
+    {!Icoe_obs.Bench_diff} parses [BENCH_<id>.json] perf trajectories
+    for the regression gate, and tests validate JSONL event-log lines.
+    The full grammar is supported; all numbers land in [float] (which is
+    how the writers emitted them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an
+    error. *)
+
+val parse_exn : string -> t
+(** Like {!parse}; raises {!Parse_error}. *)
+
+(** {1 Accessors} — [None] on a type mismatch or missing key. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_string : t -> string option
+val to_bool : t -> bool option
+val float_member : string -> t -> float option
+val string_member : string -> t -> string option
+val list_member : string -> t -> t list option
