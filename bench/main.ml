@@ -369,7 +369,38 @@ let service_rows () =
       Icoe_svc.Cluster.Partition 0.5;
     ]
 
-let write_bench_json ~harnesses ~faults ~overlap ~blame ~service kernels =
+(* Topology rows for the trajectory: the KAVG round re-priced across the
+   machine zoo's interconnects, contiguous vs scattered placement
+   (mirrors the topo harness). Always emitted; deterministic: pure
+   cost-model arithmetic, no RNG. On flat Sierra both placements price
+   identically; on the hierarchical machines a scattered 512+-node gang
+   is strictly slower — CI asserts both from the JSON. *)
+let topology_rows () =
+  let sizes = [| 256; 512; 128; 16 |] in
+  List.concat_map
+    (fun (m : Hwsim.Node.machine) ->
+      let topo = m.Hwsim.Node.topology in
+      List.map
+        (fun nodes ->
+          let round p =
+            (Dlearn.Distributed.kavg_round_model ~overlap:true ~topology:topo
+               ~placement:p ~learners:nodes ~k:8 ~batch:32 sizes)
+              .Dlearn.Distributed.round_s
+          in
+          let c = round Hwsim.Topology.Contiguous
+          and r = round Hwsim.Topology.Random_spread in
+          let hops =
+            Hwsim.Topology.hops topo
+              ~level:
+                (Hwsim.Topology.crossing topo ~nodes
+                   Hwsim.Topology.Random_spread)
+          in
+          (m.Hwsim.Node.node.Hwsim.Node.name, nodes, c, r, r /. c, hops))
+        [ 64; 512; 4096 ])
+    [ Hwsim.Node.sierra; Hwsim.Node.frontier; Hwsim.Node.grace_hopper ]
+
+let write_bench_json ~harnesses ~faults ~overlap ~blame ~service ~topology
+    kernels =
   let id =
     match Sys.getenv_opt "BENCH_ID" with
     | Some s when s <> "" -> s
@@ -426,6 +457,15 @@ let write_bench_json ~harnesses ~faults ~overlap ~blame ~service kernels =
         m.Icoe_svc.Cluster.turn_p50 m.Icoe_svc.Cluster.turn_p90
         m.Icoe_svc.Cluster.turn_p99)
     service;
+  Buffer.add_string buf "\n  ],\n  \"topology\": [\n";
+  List.iteri
+    (fun i (machine, nodes, contig_s, random_s, penalty, hops) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Fmt.kstr (Buffer.add_string buf)
+        "    {\"machine\": \"%s\", \"nodes\": %d, \"contiguous_step_s\": \
+         %.17g, \"random_step_s\": %.17g, \"penalty\": %.17g, \"hops\": %d}"
+        (json_escape machine) nodes contig_s random_s penalty hops)
+    topology;
   Buffer.add_string buf "\n  ],\n  \"kernels\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -530,4 +570,6 @@ let () =
   let overlap = overlap_rows () in
   let blame = blame_rows () in
   let service = service_rows () in
-  write_bench_json ~harnesses ~faults ~overlap ~blame ~service kernels
+  let topology = topology_rows () in
+  write_bench_json ~harnesses ~faults ~overlap ~blame ~service ~topology
+    kernels

@@ -38,11 +38,19 @@ let minibatch ~(rng : Icoe_util.Rng.t) ~batch (d : dataset) =
   (Array.map (fun i -> d.xs.(i)) idx, Array.map (fun i -> d.labels.(i)) idx)
 
 (* communication model: allreduce of p parameters across l learners over
-   NVLink/IB, and a parameter-server round trip *)
-let allreduce_time ~params ~learners =
+   NVLink/IB, and a parameter-server round trip. Without a [topology]
+   the flat dual-rail EDR expression is kept verbatim; with one, the
+   recursive-doubling rounds are priced at the switch levels their pair
+   distances cross under the given placement. *)
+let allreduce_time ?topology ?(placement = Hwsim.Topology.Contiguous) ~params
+    ~learners () =
   let bytes = 8.0 *. float_of_int params in
-  let rounds = Float.ceil (Float.log2 (float_of_int (max 2 learners))) in
-  rounds *. Hwsim.Link.transfer_time Hwsim.Link.ib_dual_edr ~bytes
+  match topology with
+  | None ->
+      let rounds = Float.ceil (Float.log2 (float_of_int (max 2 learners))) in
+      rounds *. Hwsim.Link.transfer_time Hwsim.Link.ib_dual_edr ~bytes
+  | Some topo ->
+      Hwsim.Topology.allreduce_time topo ~nodes:learners ~placement ~bytes
 
 let ps_roundtrip_time ~params =
   2.0 *. Hwsim.Link.transfer_time Hwsim.Link.ib_dual_edr ~bytes:(8.0 *. float_of_int params)
@@ -88,11 +96,17 @@ type round_model = {
     bucketing adds no extra latency) goes on the "net" stream as soon as
     that layer's gradients exist. [serial_round_s] is the exact
     pre-scheduler round expression [k * compute + allreduce]. *)
-let kavg_round_model ?overlap ?trace ~learners ~k ~batch sizes =
+let kavg_round_model ?overlap ?trace ?topology ?placement ~learners ~k ~batch
+    sizes =
   let lps = layer_params sizes in
   let params = List.fold_left ( + ) 0 lps in
   let compute = compute_time_per_batch ~params ~batch in
-  let ar = allreduce_time ~params ~learners in
+  let ar = allreduce_time ?topology ?placement ~params ~learners () in
+  let net_device =
+    match topology with
+    | None -> Hwsim.Link.ib_dual_edr.Hwsim.Link.name
+    | Some topo -> (Hwsim.Topology.leaf_link topo).Hwsim.Link.name
+  in
   let serial_round_s = (float_of_int k *. compute) +. ar in
   let sched = Hwsim.Sched.create ?overlap ?trace () in
   let head =
@@ -110,9 +124,8 @@ let kavg_round_model ?overlap ?trace ~learners ~k ~batch sizes =
           (2.0 /. 3.0 *. compute *. frac)
       in
       ignore
-        (Hwsim.Sched.work sched ~stream:"net" ~deps:[ b ]
-           ~device:Hwsim.Link.ib_dual_edr.Hwsim.Link.name ~phase:"allreduce"
-           (ar *. frac));
+        (Hwsim.Sched.work sched ~stream:"net" ~deps:[ b ] ~device:net_device
+           ~phase:"allreduce" (ar *. frac));
       prev := b)
     (List.rev lps);
   let overlapped_round_s = Hwsim.Sched.run sched in
@@ -144,7 +157,7 @@ let sync_sgd ~(rng : Icoe_util.Rng.t) ~learners ~steps ~batch ~lr sizes data =
     let xs, ls = minibatch ~rng ~batch:(batch * learners) data in
     ignore (Mlp.train_batch m ~lr xs ls);
     t := !t +. compute_time_per_batch ~params ~batch
-         +. allreduce_time ~params ~learners
+         +. allreduce_time ~params ~learners ()
   done;
   {
     final_loss = Mlp.eval_loss m data.xs data.labels;
@@ -243,7 +256,7 @@ let easgd ~(rng : Icoe_util.Rng.t) ~learners ~rounds ~k ~batch ~lr
     Mlp.set_params center c;
     t := !t
          +. (float_of_int k *. compute_time_per_batch ~params ~batch)
-         +. allreduce_time ~params ~learners
+         +. allreduce_time ~params ~learners ()
   done;
   {
     final_loss = Mlp.eval_loss center data.xs data.labels;
@@ -290,7 +303,7 @@ let kavg ~(rng : Icoe_util.Rng.t) ~learners ~rounds ~k ~batch ~lr ?overlap
     else
       t := !t
            +. (float_of_int k *. compute_time_per_batch ~params ~batch)
-           +. allreduce_time ~params ~learners
+           +. allreduce_time ~params ~learners ()
   done;
   {
     final_loss = Mlp.eval_loss center data.xs data.labels;

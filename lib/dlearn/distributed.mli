@@ -13,7 +13,14 @@ val make_task :
 val shard : learners:int -> dataset -> dataset array
 val minibatch : rng:Icoe_util.Rng.t -> batch:int -> dataset -> float array array * int array
 
-val allreduce_time : params:int -> learners:int -> float
+val allreduce_time :
+  ?topology:Hwsim.Topology.t -> ?placement:Hwsim.Topology.placement ->
+  params:int -> learners:int -> unit -> float
+(** Recursive-doubling allreduce of the parameter buffer. Without a
+    [topology] the flat dual-rail EDR pricing is kept verbatim; with
+    one, each round is priced at the switch level its pair distance
+    crosses under [placement] (default [Contiguous]). *)
+
 val ps_roundtrip_time : params:int -> float
 val compute_time_per_batch : params:int -> batch:int -> float
 
@@ -45,13 +52,16 @@ type round_model = {
 }
 
 val kavg_round_model :
-  ?overlap:bool -> ?trace:Hwsim.Trace.t -> learners:int -> k:int ->
+  ?overlap:bool -> ?trace:Hwsim.Trace.t -> ?topology:Hwsim.Topology.t ->
+  ?placement:Hwsim.Topology.placement -> learners:int -> k:int ->
   batch:int -> int array -> round_model
 (** Per-round KAVG cost model: the round's allreduce is bucketed per
     layer (proportional to parameter share, no extra per-bucket latency)
     and issued as soon as that layer's gradients exist. [overlap]
     defaults to {!Hwsim.Sched.overlap_enabled}; a bound [trace] receives
-    one round's items. *)
+    one round's items. [topology]/[placement] price the allreduce across
+    switch levels (see {!allreduce_time}); omitting them keeps the flat
+    dual-rail EDR model bit-identically. *)
 
 val sync_sgd :
   rng:Icoe_util.Rng.t -> learners:int -> steps:int -> batch:int -> lr:float ->

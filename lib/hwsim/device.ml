@@ -105,6 +105,34 @@ let bgq =
     cache_mb = 32.0;
   }
 
+(** AMD EPYC 7A53 "Trento", the Frontier host socket (64 Zen3 cores,
+    optimized I/O die for Infinity Fabric coherence). *)
+let trento =
+  {
+    name = "Trento";
+    kind = Cpu;
+    peak_gflops = 2000.0;
+    mem_bw_gbs = 205.0;
+    mem_gb = 512.0;
+    lanes = 64;
+    launch_overhead_s = 2e-6;
+    cache_mb = 256.0;
+  }
+
+(** NVIDIA Grace, the Arm host of the Grace-Hopper superchip (72
+    Neoverse-V2 cores on LPDDR5X). *)
+let grace =
+  {
+    name = "Grace";
+    kind = Cpu;
+    peak_gflops = 3450.0;
+    mem_bw_gbs = 500.0;
+    mem_gb = 480.0;
+    lanes = 72;
+    launch_overhead_s = 2e-6;
+    cache_mb = 117.0;
+  }
+
 (* --- GPUs --- *)
 
 (** Kepler K40 on the visualization cluster. *)
@@ -158,6 +186,34 @@ let v100 =
     lanes = 80;
     launch_overhead_s = 7e-6;
     cache_mb = 16.0;
+  }
+
+(** AMD MI250X on Frontier (Bauman et al. 2023): two GCDs per module,
+    47.9 TF FP64 vector, 3.2 TB/s aggregate HBM2e. *)
+let mi250x =
+  {
+    name = "MI250X";
+    kind = Gpu;
+    peak_gflops = 47900.0;
+    mem_bw_gbs = 3276.0;
+    mem_gb = 128.0;
+    lanes = 220;
+    launch_overhead_s = 4e-6;
+    cache_mb = 16.0;
+  }
+
+(** NVIDIA H100 (SXM) of the Grace-Hopper superchip (Elwasif et al.
+    2022 Arm+GPU testbed lineage): 34 TF FP64 vector, HBM3. *)
+let h100 =
+  {
+    name = "H100";
+    kind = Gpu;
+    peak_gflops = 34000.0;
+    mem_bw_gbs = 3350.0;
+    mem_gb = 96.0;
+    lanes = 132;
+    launch_overhead_s = 5e-6;
+    cache_mb = 50.0;
   }
 
 (** Peak-fraction utility: achieved gflops / peak. *)

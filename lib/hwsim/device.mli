@@ -40,6 +40,12 @@ val knl : t
 val bgq : t
 (** Blue Gene/Q node chip (historical Table 2 machines). *)
 
+val trento : t
+(** AMD EPYC 7A53 "Trento", the Frontier host socket. *)
+
+val grace : t
+(** NVIDIA Grace, the Arm host of the Grace-Hopper superchip. *)
+
 (** {1 GPUs} *)
 
 val k40 : t
@@ -51,5 +57,11 @@ val p100 : t
 val v100 : t
 (** Volta, on Sierra — including the enlarged caches that made Opt's
     texture-memory trick moot. *)
+
+val mi250x : t
+(** AMD MI250X, the Frontier GPU module (two GCDs). *)
+
+val h100 : t
+(** NVIDIA H100, the Grace-Hopper superchip GPU. *)
 
 val fraction_of_peak : t -> achieved_gflops:float -> float

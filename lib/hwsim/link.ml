@@ -13,6 +13,21 @@ type t = {
 
 let pp ppf l = Fmt.pf ppf "%s(%.1fus, %.0f GB/s)" l.name (l.latency_s *. 1e6) l.bw_gbs
 
+(** Validating constructor: a link with negative latency or non-positive
+    bandwidth would price transfers in negative seconds, which then
+    propagates silently through every cost model above. A miswritten
+    machine model should fail at construction, not in a report. *)
+let make ~name ~latency_s ~bw_gbs =
+  if not (Float.is_finite latency_s) || latency_s < 0.0 then
+    invalid_arg
+      (Fmt.str "Link.make %s: latency %.17g s (must be finite and >= 0)" name
+         latency_s);
+  if not (Float.is_finite bw_gbs) || bw_gbs <= 0.0 then
+    invalid_arg
+      (Fmt.str "Link.make %s: bandwidth %.17g GB/s (must be finite and > 0)"
+         name bw_gbs);
+  { name; latency_s; bw_gbs }
+
 (** Time to move [bytes] across the link; an empty transfer costs
     nothing (no message, no latency). *)
 let transfer_time l ~bytes =
@@ -60,3 +75,27 @@ let ib_qdr = { name = "IB-QDR"; latency_s = 1.6e-6; bw_gbs = 4.0 }
 
 (** NVMe burst tier on Sierra nodes (HavoqGT out-of-core runs). *)
 let nvme = { name = "NVMe"; latency_s = 90e-6; bw_gbs = 5.5 }
+
+(* --- exascale-generation links (ROADMAP item 3; Bauman et al. 2023,
+   Elwasif et al. 2022). Built through [make] so a typo in a machine
+   model fails at module init, not in a report. --- *)
+
+(** Frontier node injection: 4 Slingshot-11 NICs, one per MI250X (the
+    "4-plane" dragonfly), 25 GB/s each, aggregated. *)
+let slingshot_4plane = make ~name:"Slingshot11x4" ~latency_s:1.8e-6 ~bw_gbs:100.0
+
+(** One Slingshot-11 plane: intra-group electrical all-to-all. *)
+let slingshot = make ~name:"Slingshot11" ~latency_s:1.8e-6 ~bw_gbs:25.0
+
+(** Slingshot global optical links between dragonfly groups (per-node
+    share of the group's global ports; tapered). *)
+let slingshot_optical = make ~name:"Slingshot11-opt" ~latency_s:2.2e-6 ~bw_gbs:25.0
+
+(** InfiniBand NDR (400 Gb/s ports) on the Grace-Hopper generation. *)
+let ib_ndr = make ~name:"IB-NDR" ~latency_s:1.3e-6 ~bw_gbs:50.0
+
+(** NVLink-C2C: Grace CPU <-> Hopper GPU coherent host link. *)
+let nvlink_c2c = make ~name:"NVLink-C2C" ~latency_s:0.9e-6 ~bw_gbs:450.0
+
+(** Infinity Fabric: Trento CPU <-> MI250X host link on Frontier. *)
+let infinity_fabric = make ~name:"InfinityFabric" ~latency_s:1.5e-6 ~bw_gbs:36.0

@@ -12,6 +12,12 @@ type t = {
 
 val pp : Format.formatter -> t -> unit
 
+val make : name:string -> latency_s:float -> bw_gbs:float -> t
+(** Validating constructor: raises [Invalid_argument] on a negative or
+    non-finite latency, or a non-positive or non-finite bandwidth — a
+    miswritten machine model fails loudly at construction instead of
+    pricing transfers in negative seconds. *)
+
 val transfer_time : t -> bytes:float -> float
 (** Time to move [bytes] across the link (latency + bytes/bandwidth).
     An empty transfer costs 0: no message is sent, so no latency is
@@ -42,3 +48,23 @@ val ib_dual_edr : t
 val ib_qdr : t
 val nvme : t
 (** Node-local burst tier (HavoqGT out-of-core runs). *)
+
+(** {1 Exascale-generation links} *)
+
+val slingshot_4plane : t
+(** Frontier node injection: 4 Slingshot-11 NICs aggregated. *)
+
+val slingshot : t
+(** One Slingshot-11 plane (intra-group electrical). *)
+
+val slingshot_optical : t
+(** Slingshot global optical links between dragonfly groups. *)
+
+val ib_ndr : t
+(** InfiniBand NDR, the Grace-Hopper generation fabric. *)
+
+val nvlink_c2c : t
+(** Grace CPU <-> Hopper GPU coherent host link. *)
+
+val infinity_fabric : t
+(** Trento CPU <-> MI250X host link on Frontier. *)

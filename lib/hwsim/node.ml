@@ -15,7 +15,11 @@ type t = {
   nvme_gb : float;  (** node-local burst tier capacity; 0 when absent *)
 }
 
-type machine = { node : t; nodes : int; fabric : Link.t }
+type machine = { node : t; nodes : int; topology : Topology.t }
+
+(** The machine's injection link — for the paper-era machines (all on
+    {!Topology.flat} topologies) exactly the old flat [fabric] field. *)
+let fabric m = Topology.leaf_link m.topology
 
 let cpu_peak_gflops n = float_of_int n.cpu_sockets *. n.cpu.Device.peak_gflops
 
@@ -100,13 +104,79 @@ let catalyst_node =
     nvme_gb = 800.0;
   }
 
-let sierra = { node = witherspoon; nodes = 4320; fabric = Link.ib_dual_edr }
-let ea_system = { node = minsky; nodes = 36; fabric = Link.ib_edr }
-let cori = { node = cori_ii; nodes = 9688; fabric = Link.ib_edr }
-let catalyst = { node = catalyst_node; nodes = 300; fabric = Link.ib_qdr }
+(* --- exascale-generation nodes (ROADMAP item 3) --- *)
+
+(** Frontier node (Bauman et al. 2023): 1x Trento + 4x MI250X over
+    Infinity Fabric, 2x 1.9 TB node-local NVMe. *)
+let frontier_node =
+  {
+    name = "Frontier";
+    cpu = Device.trento;
+    cpu_sockets = 1;
+    gpu = Some Device.mi250x;
+    gpus = 4;
+    host_link = Link.infinity_fabric;
+    nvme_gb = 3800.0;
+  }
+
+(** Grace-Hopper superchip node (Elwasif et al. 2022 lineage): 1x Grace
+    + 1x H100, coherent NVLink-C2C. *)
+let grace_hopper_node =
+  {
+    name = "GraceHopper";
+    cpu = Device.grace;
+    cpu_sockets = 1;
+    gpu = Some Device.h100;
+    gpus = 1;
+    host_link = Link.nvlink_c2c;
+    nvme_gb = 0.0;
+  }
+
+(* The paper-era machines keep their flat fabrics (degenerate one-level
+   topologies), so everything priced against them is bit-identical to
+   the pre-topology model. *)
+let sierra =
+  { node = witherspoon; nodes = 4320; topology = Topology.flat Link.ib_dual_edr }
+
+let ea_system =
+  { node = minsky; nodes = 36; topology = Topology.flat Link.ib_edr }
+
+let cori = { node = cori_ii; nodes = 9688; topology = Topology.flat Link.ib_edr }
+
+let catalyst =
+  { node = catalyst_node; nodes = 300; topology = Topology.flat Link.ib_qdr }
+
+(** Frontier: 9408 nodes on a 4-plane Slingshot dragonfly — 128-node
+    electrical groups, tapered global optics. *)
+let frontier =
+  {
+    node = frontier_node;
+    nodes = 9408;
+    topology =
+      Topology.dragonfly ~name:"slingshot-dragonfly"
+        ~local:Link.slingshot_4plane ~global:Link.slingshot_optical
+        ~group_radix:128 ~global_contention:3.0 ();
+  }
+
+(** Grace-Hopper system: 4608 superchip nodes on an NDR fat tree with a
+    2:1 tapered core. *)
+let grace_hopper =
+  {
+    node = grace_hopper_node;
+    nodes = 4608;
+    topology =
+      Topology.fat_tree ~name:"ndr-fat-tree" ~leaf:Link.ib_ndr
+        ~spine:Link.ib_ndr ~leaf_radix:32 ~pod_radix:16 ~core_contention:2.0
+        ();
+  }
 
 let pp ppf n =
   Fmt.pf ppf "%s: %dx %a%s" n.name n.cpu_sockets Device.pp n.cpu
     (match n.gpu with
     | None -> ""
     | Some g -> Fmt.str " + %dx %a via %a" n.gpus Device.pp g Link.pp n.host_link)
+
+(** Machine printer: node composition plus the network parameters the
+    plain {!pp} omits — scale, per-level links, radixes, contention. *)
+let pp_machine ppf m =
+  Fmt.pf ppf "%a; %d nodes on %a" pp m.node m.nodes Topology.pp m.topology

@@ -13,7 +13,14 @@ type t = {
   nvme_gb : float;  (** node-local burst-tier capacity; 0 when absent *)
 }
 
-type machine = { node : t; nodes : int; fabric : Link.t }
+type machine = { node : t; nodes : int; topology : Topology.t }
+(** [nodes] identical nodes joined by a hierarchical network. The
+    paper-era machines all carry {!Topology.flat} topologies, which
+    price transfers bit-identically to the old flat [fabric] field. *)
+
+val fabric : machine -> Link.t
+(** The machine's injection (level-0) link — for flat topologies exactly
+    the old [fabric] field. *)
 
 val cpu_peak_gflops : t -> float
 val gpu_peak_gflops : t -> float
@@ -32,9 +39,27 @@ val viz_node : t
 val dev_node : t
 val catalyst_node : t
 
+val frontier_node : t
+(** Frontier node: 1x Trento + 4x MI250X on Infinity Fabric (Bauman et
+    al. 2023). *)
+
+val grace_hopper_node : t
+(** Grace-Hopper superchip: 1x Grace + 1x H100 on NVLink-C2C. *)
+
 val sierra : machine
 val ea_system : machine
 val cori : machine
 val catalyst : machine
 
+val frontier : machine
+(** 9408 nodes on a 4-plane Slingshot dragonfly (128-node groups,
+    3:1-tapered global optics). *)
+
+val grace_hopper : machine
+(** 4608 superchip nodes on an NDR fat tree with a 2:1 tapered core. *)
+
 val pp : Format.formatter -> t -> unit
+
+val pp_machine : Format.formatter -> machine -> unit
+(** Node composition plus the network parameters {!pp} omits: machine
+    scale and the topology's per-level links, radixes and contention. *)

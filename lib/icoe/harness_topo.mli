@@ -1,0 +1,7 @@
+(** Cross-generation topology study: SW4, ddcMD and KAVG re-priced on
+    the hierarchical exascale interconnects (Frontier dragonfly,
+    Grace-Hopper fat tree) against the flat Sierra baseline, contiguous
+    vs scattered placement. *)
+
+val harnesses : Harness.t list
+(** The ["topo"] study. *)

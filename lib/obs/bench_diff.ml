@@ -3,7 +3,8 @@
     The bench harness has emitted a machine-readable perf trajectory
     since PR 2; this module turns it from a write-only artifact into an
     enforced contract. Both files are flattened into comparable rows
-    (one per harness/kernel/overlap/fault/service/blame measurement),
+    (one per harness/kernel/overlap/fault/service/blame/topology
+    measurement),
     each row's relative delta is judged against a threshold, and the
     result is a verdict table plus an exit decision.
 
@@ -18,7 +19,8 @@ type klass = Sim | Wall
 type verdict = Ok | Improved | Warn | Regression | Added | Removed
 
 type row = {
-  section : string;  (** harness / kernel / overlap / fault / service / blame *)
+  section : string;
+      (** harness / kernel / overlap / fault / service / blame / topology *)
   name : string;  (** row id within the section, e.g. "sw4/interior" *)
   klass : klass;
   base : float option;  (** [None]: missing in the baseline *)
@@ -133,6 +135,25 @@ let flatten (j : Icoe_util.Json.t) =
               push (meas ~section:"blame" ~klass:Sim (id ^ "/" ^ phase) v))
             (float_member "seconds" r)
       | _ -> ());
+  each "topology" (fun r ->
+      match string_member "machine" r with
+      | None -> ()
+      | Some machine ->
+          let nodes =
+            match float_member "nodes" r with
+            | Some n -> string_of_int (int_of_float n)
+            | None -> "?"
+          in
+          let field f =
+            Option.iter
+              (fun v ->
+                push
+                  (meas ~section:"topology" ~klass:Sim
+                     (machine ^ "/" ^ nodes ^ "n/" ^ f) v))
+              (float_member f r)
+          in
+          field "contiguous_step_s";
+          field "random_step_s");
   List.rev !acc
 
 let key m = m.m_section ^ "\x00" ^ m.m_name

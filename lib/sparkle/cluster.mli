@@ -12,11 +12,20 @@ type config = {
   jvm_optimized : bool;
   adaptive_shuffle : bool;
   tree_aggregate : bool;
-  fabric : Hwsim.Link.t;
+  topology : Hwsim.Topology.t;
+      (** the interconnect under the collectives. The default
+          [Topology.flat Link.ib_dual_edr] prices every collective
+          bit-identically to the old flat [fabric : Link.t] model;
+          hierarchical topologies charge per-level hop and contention
+          costs (tree rounds climb switch levels, the shuffle is
+          throttled by the most contended crossed level). *)
 }
 
-val default_config : ?nodes:int -> unit -> config
-val optimized_config : ?nodes:int -> unit -> config
+val default_config :
+  ?nodes:int -> ?topology:Hwsim.Topology.t -> unit -> config
+
+val optimized_config :
+  ?nodes:int -> ?topology:Hwsim.Topology.t -> unit -> config
 
 type t = { config : config; clock : Hwsim.Clock.t; trace : Hwsim.Trace.t }
 
@@ -35,6 +44,11 @@ val gc_drag : t -> float
     The blocking [charge_*] primitives and the nonblocking [issue_*]
     pairs below price work through these, so serialized and overlapped
     jobs can never disagree on what a stage costs. *)
+
+val alltoall_gbs : t -> float
+(** Effective per-node all-to-all bandwidth of the configured gang:
+    the fabric bandwidth itself on flat topologies, the most contended
+    crossed level's derated bandwidth on hierarchical ones. *)
 
 val compute_seconds : t -> flops:float -> float
 val shuffle_seconds : t -> bytes:float -> float

@@ -51,7 +51,7 @@ let shuffle_cost t ~bytes ~tuples =
   let n = float_of_int t.cluster.Cluster.config.Cluster.nodes in
   let wire =
     2.0 *. bytes
-    /. (n *. t.cluster.Cluster.config.Cluster.fabric.Hwsim.Link.bw_gbs *. 1e9 *. 0.5)
+    /. (n *. Cluster.alltoall_gbs t.cluster *. 1e9 *. 0.5)
   in
   (2.0 *. float_of_int tuples *. t.put_cost_s /. n)
   +. (2.0 *. bytes /. (n *. t.native_rate))

@@ -15,9 +15,12 @@ let machine ?(nodes = 256) () =
 
 (* iterative kernels that strong-scale over the allocation: per-step
    device work split across [nodes * devs_per_node] devices, a per-step
-   neighbor/allreduce exchange on the fabric overlapped against it *)
-let stepped name ~device ~devs_per_node ~fabric ~steps ~flops ~bytes
+   neighbor/allreduce exchange on the fabric overlapped against it. The
+   exchange is priced at the topology level a contiguous gang of [nodes]
+   crosses — on flat machines, exactly the old single-fabric transfer *)
+let stepped name ~device ~devs_per_node ~topology ~steps ~flops ~bytes
     ~comm_bytes ~sizes =
+  let nic = Hwsim.Topology.leaf_link topology in
   let service ~nodes =
     let shards = float_of_int (nodes * devs_per_node) in
     let kern =
@@ -32,7 +35,8 @@ let stepped name ~device ~devs_per_node ~fabric ~steps ~flops ~bytes
       else
         let rounds = Float.ceil (Float.log2 (float_of_int nodes)) in
         let exchange =
-          Hwsim.Link.transfer_time fabric ~bytes:(comm_bytes *. rounds)
+          Hwsim.Topology.gang_transfer_time topology ~nodes
+            ~placement:Hwsim.Topology.Contiguous ~bytes:(comm_bytes *. rounds)
         in
         let sched = Hwsim.Sched.create ~overlap:true () in
         let _c =
@@ -41,7 +45,7 @@ let stepped name ~device ~devs_per_node ~fabric ~steps ~flops ~bytes
         in
         let _x =
           Hwsim.Sched.work sched ~stream:"nic"
-            ~device:fabric.Hwsim.Link.name ~phase:"exchange" exchange
+            ~device:nic.Hwsim.Link.name ~phase:"exchange" exchange
         in
         Hwsim.Sched.run sched
     in
@@ -51,7 +55,7 @@ let stepped name ~device ~devs_per_node ~fabric ~steps ~flops ~bytes
 
 let default (m : Hwsim.Node.machine) =
   let node = m.Hwsim.Node.node in
-  let fabric = m.Hwsim.Node.fabric in
+  let topology = m.Hwsim.Node.topology in
   let gpu =
     match node.Hwsim.Node.gpu with
     | Some g -> g
@@ -86,7 +90,10 @@ let default (m : Hwsim.Node.machine) =
             Ddcmd.Perf.ddcmd_step_model ~overlap:true
               ~particles:(2_000_000 / nodes) Ddcmd.Perf.Four_gpu
           in
-          let halo = Hwsim.Link.transfer_time fabric ~bytes:4.0e6 in
+          let halo =
+            Hwsim.Topology.gang_transfer_time topology ~nodes
+              ~placement:Hwsim.Topology.Contiguous ~bytes:4.0e6
+          in
           let sched = Hwsim.Sched.create ~overlap:true () in
           let _k =
             Hwsim.Sched.work sched ~stream:"gpu" ~phase:"md-step"
@@ -105,7 +112,7 @@ let default (m : Hwsim.Node.machine) =
           (* distributed training: K-step averaging rounds with the
              per-layer allreduce hidden under backprop *)
           let round =
-            Dlearn.Distributed.kavg_round_model ~overlap:true
+            Dlearn.Distributed.kavg_round_model ~overlap:true ~topology
               ~learners:(nodes * gpus) ~k:8 ~batch:32
               [| 256; 512; 128; 16 |]
           in
@@ -114,22 +121,22 @@ let default (m : Hwsim.Node.machine) =
   in
   [|
     (* rank 1: the Opt design-evaluation stream — many small jobs *)
-    stepped "opt" ~device:gpu ~devs_per_node:gpus ~fabric ~steps:400
+    stepped "opt" ~device:gpu ~devs_per_node:gpus ~topology ~steps:400
       ~flops:2.0e12 ~bytes:1.6e12 ~comm_bytes:4.0e4 ~sizes:[| 1; 2 |];
     (* rank 2: SparkPlug LDA on the CPU sockets, shuffle on the fabric *)
-    stepped "fig2" ~device:node.Hwsim.Node.cpu ~devs_per_node:cpus ~fabric
+    stepped "fig2" ~device:node.Hwsim.Node.cpu ~devs_per_node:cpus ~topology
       ~steps:40 ~flops:2.0e13 ~bytes:1.5e13 ~comm_bytes:2.0e8
       ~sizes:[| 1; 2; 4 |];
     (* rank 3: HavoqGT BFS sweeps — bandwidth-bound, exchange-heavy *)
-    stepped "table2" ~device:gpu ~devs_per_node:gpus ~fabric ~steps:64
+    stepped "table2" ~device:gpu ~devs_per_node:gpus ~topology ~steps:64
       ~flops:1.0e12 ~bytes:6.0e13 ~comm_bytes:5.0e8 ~sizes:[| 4; 8; 16 |];
     md;
     (* rank 5: Cardioid heartbeat simulation — GPU reaction steps *)
-    stepped "cardioid" ~device:gpu ~devs_per_node:gpus ~fabric ~steps:50_000
+    stepped "cardioid" ~device:gpu ~devs_per_node:gpus ~topology ~steps:50_000
       ~flops:6.0e11 ~bytes:4.0e10 ~comm_bytes:1.0e6 ~sizes:[| 2; 4; 8 |];
     (* rank 6: hypre AMG solves — bandwidth-bound V-cycles with
        latency-dominated coarse-grid allreduces *)
-    stepped "hypre" ~device:gpu ~devs_per_node:gpus ~fabric ~steps:800
+    stepped "hypre" ~device:gpu ~devs_per_node:gpus ~topology ~steps:800
       ~flops:2.0e12 ~bytes:4.0e12 ~comm_bytes:1.0e5 ~sizes:[| 4; 8; 16; 32 |];
     kavg;
     sw4;

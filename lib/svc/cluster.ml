@@ -50,8 +50,8 @@ type metrics = {
    so the event loop terminates, and report them as not completed *)
 let placeable nodes (j : Workload.job) = j.nodes <= nodes
 
-let simulate ?(check = false) ~nodes ~(classes : Workload.job_class array)
-    policy jobs =
+let simulate ?(check = false) ?topology ?(comm_fraction = 0.2) ~nodes
+    ~(classes : Workload.job_class array) policy jobs =
   let submitted = List.length jobs in
   let jobs = List.filter (placeable nodes) jobs in
   let price =
@@ -261,6 +261,21 @@ let simulate ?(check = false) ~nodes ~(classes : Workload.job_class array)
           in
           let placed, rest_ids = take j.Workload.nodes [] !free_ids in
           free_ids := rest_ids;
+          (* placement-aware pricing: a fragmented gang's communication
+             climbs higher switch levels than the contiguous-best one,
+             stretching the comm share of its service time. Without a
+             topology the model-priced [s] is charged unchanged. *)
+          let s =
+            match topology with
+            | None -> s
+            | Some topo ->
+                let pen =
+                  Hwsim.Topology.placement_penalty topo ~nodes:j.Workload.nodes
+                    ~level:(Hwsim.Topology.crossing_of_ids topo placed)
+                in
+                if pen = 1.0 then s
+                else s *. (1.0 +. (comm_fraction *. (pen -. 1.0)))
+          in
           Hashtbl.replace live j.Workload.id (!t, placed);
           emit_job "dispatch" ~t_s:!t j
             [ ("wait_s", F (!t -. j.Workload.arrival)); ("service_s", F s) ];

@@ -54,13 +54,22 @@ type metrics = {
 }
 
 val simulate :
-  ?check:bool -> nodes:int -> classes:Workload.job_class array -> policy ->
+  ?check:bool -> ?topology:Hwsim.Topology.t -> ?comm_fraction:float ->
+  nodes:int -> classes:Workload.job_class array -> policy ->
   Workload.job list -> metrics
 (** Event-driven simulation of the stream on an [nodes]-node machine.
     With [check] (default false) every EASY-backfill decision re-derives
     the head's shadow with the candidate running and raises
     [Invalid_argument] if the reservation would move. Deterministic:
     equal inputs give equal metrics (no wall clock, no hidden state).
+
+    With a [topology], dispatch is placement-aware: the concrete node
+    ids a gang receives are mapped to the switch level they span
+    ({!Hwsim.Topology.crossing_of_ids}); a fragmented gang whose span
+    exceeds the contiguous-best level has the communication share
+    ([comm_fraction], default 0.2) of its service time stretched by the
+    {!Hwsim.Topology.placement_penalty} path-cost ratio. Omitting
+    [topology] leaves every service time exactly as priced.
 
     When the {!Icoe_obs.Events} flight recorder is enabled, the
     simulation emits ["job"] lifecycle events (submit/dispatch/finish)

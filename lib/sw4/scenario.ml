@@ -158,7 +158,8 @@ type step_model = {
     anything. [step_s] is the charged per-step time: [overlapped_s]
     under overlap, the exact pre-scheduler [serial_s] otherwise. *)
 let production_step_model ?(work_multiplier = 280.0) ?overlap ?trace
-    (machine : Hwsim.Node.machine) ~nodes ~grid_points =
+    ?(placement = Hwsim.Topology.Contiguous) (machine : Hwsim.Node.machine)
+    ~nodes ~grid_points =
   assert (nodes >= 1 && nodes <= machine.Hwsim.Node.nodes);
   let points_per_node = grid_points /. float_of_int nodes in
   let rate =
@@ -169,10 +170,15 @@ let production_step_model ?(work_multiplier = 280.0) ?overlap ?trace
      attenuation and imaging does ~280x the work per point of the 2D model
      kernel (calibrated once so the Sierra run lands at the paper's ~10 h) *)
   let point_t = work_multiplier *. points_per_node /. rate in
-  (* halo: 6 faces of the per-node block, displacement + material fields *)
+  (* halo: 6 faces of the per-node block, displacement + material fields,
+     priced at the topology level the allocation's placement crosses
+     (flat machines: exactly the old single-fabric transfer) *)
   let face = points_per_node ** (2.0 /. 3.0) in
   let halo_bytes = 6.0 *. face *. 8.0 *. 4.0 in
-  let halo_t = Hwsim.Link.transfer_time machine.Hwsim.Node.fabric ~bytes:halo_bytes in
+  let halo_t =
+    Hwsim.Topology.gang_transfer_time machine.Hwsim.Node.topology ~nodes
+      ~placement ~bytes:halo_bytes
+  in
   let serial_s = point_t +. halo_t in
   (* the 2-deep dependent shell on all 6 faces of the per-node block *)
   let bf = Float.min 0.5 (12.0 *. face /. points_per_node) in
@@ -183,7 +189,7 @@ let production_step_model ?(work_multiplier = 280.0) ?overlap ?trace
   in
   let halo =
     Hwsim.Sched.work sched ~stream:"nic"
-      ~device:machine.Hwsim.Node.fabric.Hwsim.Link.name ~phase:"halo" halo_t
+      ~device:(Hwsim.Node.fabric machine).Hwsim.Link.name ~phase:"halo" halo_t
   in
   let _boundary =
     Hwsim.Sched.work sched ~stream:"gpu" ~deps:[ halo ] ~device:"gpu"
@@ -206,21 +212,22 @@ let production_step_model ?(work_multiplier = 280.0) ?overlap ?trace
     Cori-II". Wall-clock hours of the campaign on [nodes] nodes of a
     machine, including a surface-to-volume halo exchange per step
     (overlapped with interior compute unless [ICOE_OVERLAP=0]). *)
-let production_run_hours ?work_multiplier ?overlap
+let production_run_hours ?work_multiplier ?overlap ?placement
     (machine : Hwsim.Node.machine) ~nodes ~grid_points ~steps =
   let m =
-    production_step_model ?work_multiplier ?overlap machine ~nodes ~grid_points
+    production_step_model ?work_multiplier ?overlap ?placement machine ~nodes
+      ~grid_points
   in
   float_of_int steps *. m.step_s /. 3600.0
 
 (** Nodes of [machine] needed to finish the same campaign in [hours]. *)
-let nodes_for_deadline ?work_multiplier ?overlap (machine : Hwsim.Node.machine)
-    ~grid_points ~steps ~hours =
+let nodes_for_deadline ?work_multiplier ?overlap ?placement
+    (machine : Hwsim.Node.machine) ~grid_points ~steps ~hours =
   let rec search lo hi =
     if lo >= hi then lo
     else
       let mid = (lo + hi) / 2 in
-      if production_run_hours ?work_multiplier ?overlap machine ~nodes:mid ~grid_points ~steps <= hours
+      if production_run_hours ?work_multiplier ?overlap ?placement machine ~nodes:mid ~grid_points ~steps <= hours
       then
         search lo mid
       else search (mid + 1) hi

@@ -53,13 +53,18 @@ type step_model = {
 
 val production_step_model :
   ?work_multiplier:float -> ?overlap:bool -> ?trace:Hwsim.Trace.t ->
+  ?placement:Hwsim.Topology.placement ->
   Hwsim.Node.machine -> nodes:int -> grid_points:float -> step_model
 (** Per-timestep cost model of the production campaign. [overlap]
     defaults to {!Hwsim.Sched.overlap_enabled}; when a [trace] is given,
-    one step's interior/halo/boundary items are charged into it. *)
+    one step's interior/halo/boundary items are charged into it. The
+    halo is priced at the topology level the allocation's [placement]
+    (default [Contiguous]) crosses — on flat machines, exactly the old
+    single-fabric transfer. *)
 
 val production_run_hours :
-  ?work_multiplier:float -> ?overlap:bool -> Hwsim.Node.machine ->
+  ?work_multiplier:float -> ?overlap:bool ->
+  ?placement:Hwsim.Topology.placement -> Hwsim.Node.machine ->
   nodes:int -> grid_points:float -> steps:int -> float
 (** Wall-clock hours of the 26B-point campaign on a machine partition,
     including halo exchange (overlapped with interior compute unless
@@ -68,6 +73,7 @@ val production_run_hours :
     lands at the paper's ~10 h. *)
 
 val nodes_for_deadline :
-  ?work_multiplier:float -> ?overlap:bool -> Hwsim.Node.machine ->
+  ?work_multiplier:float -> ?overlap:bool ->
+  ?placement:Hwsim.Topology.placement -> Hwsim.Node.machine ->
   grid_points:float -> steps:int -> hours:float -> int
 (** Nodes needed to finish the campaign within a deadline. *)
