@@ -399,8 +399,15 @@ let topology_rows () =
         [ 64; 512; 4096 ])
     [ Hwsim.Node.sierra; Hwsim.Node.frontier; Hwsim.Node.grace_hopper ]
 
+(* Tuner rows for the trajectory: one exhaustive work-split tuning per
+   machine x kernel over the default lattice (mirrors the tune
+   harness). Always emitted; deterministic: pure cost-model search, the
+   only RNG mode is not used here. CI asserts tuned <= default and
+   speedup >= 1 on every row from the JSON. *)
+let tuner_rows () = Icoe.Harness_tune.bench_rows ()
+
 let write_bench_json ~harnesses ~faults ~overlap ~blame ~service ~topology
-    kernels =
+    ~tuner kernels =
   let id =
     match Sys.getenv_opt "BENCH_ID" with
     | Some s when s <> "" -> s
@@ -466,6 +473,22 @@ let write_bench_json ~harnesses ~faults ~overlap ~blame ~service ~topology
          %.17g, \"random_step_s\": %.17g, \"penalty\": %.17g, \"hops\": %d}"
         (json_escape machine) nodes contig_s random_s penalty hops)
     topology;
+  Buffer.add_string buf "\n  ],\n  \"tuner\": [\n";
+  List.iteri
+    (fun i (r : Icoe.Harness_tune.row) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Fmt.kstr (Buffer.add_string buf)
+        "    {\"kernel\": \"%s\", \"machine\": \"%s\", \"default_s\": %.17g, \
+         \"tuned_s\": %.17g, \"split\": %.17g, \"comm\": \"%s\", \
+         \"speedup\": %.17g, \"evaluations\": %d, \"mode\": \"%s\"}"
+        (json_escape r.Icoe.Harness_tune.kernel)
+        (json_escape r.Icoe.Harness_tune.machine)
+        r.Icoe.Harness_tune.default_s r.Icoe.Harness_tune.tuned_s
+        r.Icoe.Harness_tune.split
+        (json_escape r.Icoe.Harness_tune.comm)
+        r.Icoe.Harness_tune.speedup r.Icoe.Harness_tune.evaluations
+        (json_escape r.Icoe.Harness_tune.mode))
+    tuner;
   Buffer.add_string buf "\n  ],\n  \"kernels\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -571,5 +594,6 @@ let () =
   let blame = blame_rows () in
   let service = service_rows () in
   let topology = topology_rows () in
-  write_bench_json ~harnesses ~faults ~overlap ~blame ~service ~topology
+  let tuner = tuner_rows () in
+  write_bench_json ~harnesses ~faults ~overlap ~blame ~service ~topology ~tuner
     kernels

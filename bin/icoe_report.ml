@@ -4,7 +4,9 @@
      dune exec bin/icoe_report.exe -- list
      dune exec bin/icoe_report.exe -- run fig8 table4
      dune exec bin/icoe_report.exe -- run all
+     dune exec bin/icoe_report.exe -- run tune       # work-split auto-tuner
      dune exec bin/icoe_report.exe -- --trace /tmp/t.json
+     dune exec bin/icoe_report.exe -- --diff BASE.json CUR.json
 
    Experiments are Icoe.Harness values resolved through
    Icoe.Harness_registry; each run returns a structured outcome carrying

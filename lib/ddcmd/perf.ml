@@ -44,46 +44,77 @@ let kernel_count = 46
     expression ([compute + 46 launches], with the 0.85 scaling factor
     folded into compute for [Four_gpu]); the schedule's item durations
     sum to the same cost. *)
-let ddcmd_step_model ?(particles = 136_500) ?overlap ?trace scenario =
+let ddcmd_step_model ?(particles = 136_500) ?overlap ?trace ?node
+    ?(gpu_frac = 1.0) ?(comm = Hwsim.Split.Dedicated) scenario =
+  Hwsim.Split.validate gpu_frac;
   let n = float_of_int particles in
   let work_dp = n *. flops_per_particle in
-  let l1 = Hwsim.Device.v100.Hwsim.Device.launch_overhead_s in
+  (* without a [node] the calibrated Sierra constants are used verbatim;
+     with one, the same 60%-of-peak GPU / 40%-of-peak CPU efficiencies
+     are applied to that node's devices *)
+  let gpu_dp, host_dp, l1, halo_device =
+    match node with
+    | None ->
+        ( v100_dp,
+          2.0 *. p9_dp,
+          Hwsim.Device.v100.Hwsim.Device.launch_overhead_s,
+          "nvlink2" )
+    | Some (nd : Hwsim.Node.t) -> (
+        match nd.Hwsim.Node.gpu with
+        | None -> invalid_arg "ddcmd_step_model: node has no GPU"
+        | Some g ->
+            ( g.Hwsim.Device.peak_gflops *. 1e9 *. 0.6,
+              float_of_int nd.Hwsim.Node.cpu_sockets
+              *. nd.Hwsim.Node.cpu.Hwsim.Device.peak_gflops *. 1e9 *. 0.4,
+              g.Hwsim.Device.launch_overhead_s,
+              nd.Hwsim.Node.host_link.Hwsim.Link.name ))
+  in
   let launch k = float_of_int k *. l1 in
-  let serial_s =
+  let compute_serial =
     match scenario with
-    | One_gpu | Mummi -> (work_dp /. v100_dp) +. launch kernel_count
-    | Four_gpu -> (work_dp /. v100_dp /. (4.0 *. 0.85)) +. launch kernel_count
+    | One_gpu | Mummi -> work_dp /. gpu_dp
+    | Four_gpu -> work_dp /. gpu_dp /. (4.0 *. 0.85)
+  in
+  (* full-step cost if the host sockets ran the whole force loop; the
+     split charges (1 - gpu_frac) of it on a "host" stream *)
+  let host_full = work_dp /. host_dp in
+  let serial_s =
+    (gpu_frac *. compute_serial)
+    +. ((1.0 -. gpu_frac) *. host_full)
+    +. launch kernel_count
   in
   let compute_total =
     match scenario with
-    | One_gpu | Mummi -> work_dp /. v100_dp
-    | Four_gpu -> work_dp /. v100_dp /. 4.0
+    | One_gpu | Mummi -> work_dp /. gpu_dp
+    | Four_gpu -> work_dp /. gpu_dp /. 4.0
   in
   let halo_s =
     match scenario with
     | One_gpu | Mummi -> 0.0
     | Four_gpu ->
         (* the 85% scaling efficiency, modeled as inter-GPU halo traffic *)
-        work_dp /. v100_dp *. ((1.0 /. (4.0 *. 0.85)) -. (1.0 /. 4.0))
+        work_dp /. gpu_dp *. ((1.0 /. (4.0 *. 0.85)) -. (1.0 /. 4.0))
   in
   let sched = Hwsim.Sched.create ?overlap ?trace () in
   let kdur = compute_total /. float_of_int kernel_count in
-  let mid = ref None in
+  let hdur = host_full /. float_of_int kernel_count in
+  let mid = ref [] in
   for i = 0 to kernel_count - 1 do
     let la =
       Hwsim.Sched.work sched ~stream:"cpu" ~device:"cpu" ~phase:"launch" l1
     in
-    let k =
-      Hwsim.Sched.work sched ~stream:"gpu" ~deps:[ la ] ~device:"gpu"
-        ~phase:"kernels" kdur
+    let ks =
+      Hwsim.Split.co_work sched ~gpu_stream:"gpu" ~cpu_stream:"host"
+        ~deps:[ la ] ~phase:"kernels" ~gpu_s:kdur ~cpu_s:hdur gpu_frac
     in
-    if i = (kernel_count / 2) - 1 then mid := Some k
+    if i = (kernel_count / 2) - 1 then mid := ks
   done;
   (if halo_s > 0.0 then
-     let deps = match !mid with Some k -> [ k ] | None -> [] in
      ignore
-       (Hwsim.Sched.work sched ~stream:"nic" ~deps ~device:"nvlink2"
-          ~phase:"halo" halo_s));
+       (Hwsim.Sched.work sched
+          ~stream:
+            (match comm with Hwsim.Split.Dedicated -> "nic" | Inline -> "gpu")
+          ~deps:!mid ~device:halo_device ~phase:"halo" halo_s));
   let overlapped_s = Hwsim.Sched.run sched in
   let step_s = if Hwsim.Sched.overlap sched then overlapped_s else serial_s in
   { serial_s; overlapped_s; step_s; dag = Hwsim.Sched.dag sched }

@@ -33,11 +33,22 @@ val kernel_count : int
 (** The 46 fused double-precision kernels of one ddcMD step. *)
 
 val ddcmd_step_model :
-  ?particles:int -> ?overlap:bool -> ?trace:Hwsim.Trace.t -> scenario ->
-  step_model
+  ?particles:int -> ?overlap:bool -> ?trace:Hwsim.Trace.t ->
+  ?node:Hwsim.Node.t -> ?gpu_frac:float -> ?comm:Hwsim.Split.comm ->
+  scenario -> step_model
 (** Per-step launch/kernel/halo pipeline model for the ddcMD side.
     [overlap] defaults to {!Hwsim.Sched.overlap_enabled}; a bound
-    [trace] receives one step's items. *)
+    [trace] receives one step's items.
+
+    Without a [node] the calibrated Sierra constants (V100 at 60% DP
+    peak, 2x P9 at 40%) are used verbatim; with one, the same
+    efficiencies are applied to that node's devices (raises
+    [Invalid_argument] on a GPU-less node). [gpu_frac] (default 1.0)
+    splits each fused kernel between the "gpu" stream and a "host"
+    stream of co-executing CPU slices; [comm] keeps the [Four_gpu] halo
+    on its own "nic" stream ([Dedicated], the default) or issues it
+    inline on the compute stream. At the defaults the model is
+    bit-identical to the pre-split one. *)
 
 val step_times : ?particles:int -> ?overlap:bool -> scenario -> float * float
 (** (ddcmd_seconds, gromacs_seconds) per MD step. The ddcMD side uses

@@ -55,10 +55,21 @@ let allreduce_time ?topology ?(placement = Hwsim.Topology.Contiguous) ~params
 let ps_roundtrip_time ~params =
   2.0 *. Hwsim.Link.transfer_time Hwsim.Link.ib_dual_edr ~bytes:(8.0 *. float_of_int params)
 
-let compute_time_per_batch ~params ~batch =
-  (* forward+backward ~ 6 flops per parameter per example on a V100 *)
+let device_compute_time_per_batch (device : Hwsim.Device.t) ~params ~batch =
+  (* forward+backward ~ 6 flops per parameter per example, at 30% of the
+     accelerator's peak *)
   6.0 *. float_of_int (params * batch)
-  /. (Hwsim.Device.v100.Hwsim.Device.peak_gflops *. 1e9 *. 0.3)
+  /. (device.Hwsim.Device.peak_gflops *. 1e9 *. 0.3)
+
+let compute_time_per_batch ~params ~batch =
+  device_compute_time_per_batch Hwsim.Device.v100 ~params ~batch
+
+let host_compute_time_per_batch (node : Hwsim.Node.t) ~params ~batch =
+  (* same flop volume at the node's host sockets — the CPU side of a
+     heterogeneous work split *)
+  6.0 *. float_of_int (params * batch)
+  /. (float_of_int node.Hwsim.Node.cpu_sockets
+     *. node.Hwsim.Node.cpu.Hwsim.Device.peak_gflops *. 1e9 *. 0.3)
 
 type run = {
   final_loss : float;
@@ -96,22 +107,40 @@ type round_model = {
     bucketing adds no extra latency) goes on the "net" stream as soon as
     that layer's gradients exist. [serial_round_s] is the exact
     pre-scheduler round expression [k * compute + allreduce]. *)
-let kavg_round_model ?overlap ?trace ?topology ?placement ~learners ~k ~batch
+let kavg_round_model ?overlap ?trace ?topology ?placement ?node
+    ?(gpu_frac = 1.0) ?(comm = Hwsim.Split.Dedicated) ~learners ~k ~batch
     sizes =
+  Hwsim.Split.validate gpu_frac;
   let lps = layer_params sizes in
   let params = List.fold_left ( + ) 0 lps in
-  let compute = compute_time_per_batch ~params ~batch in
+  let compute =
+    match Option.bind node (fun (n : Hwsim.Node.t) -> n.Hwsim.Node.gpu) with
+    | Some device -> device_compute_time_per_batch device ~params ~batch
+    | None -> compute_time_per_batch ~params ~batch
+  in
+  let host_compute =
+    host_compute_time_per_batch
+      (Option.value node ~default:Hwsim.Node.witherspoon)
+      ~params ~batch
+  in
   let ar = allreduce_time ?topology ?placement ~params ~learners () in
   let net_device =
     match topology with
     | None -> Hwsim.Link.ib_dual_edr.Hwsim.Link.name
     | Some topo -> (Hwsim.Topology.leaf_link topo).Hwsim.Link.name
   in
-  let serial_round_s = (float_of_int k *. compute) +. ar in
+  let serial_round_s =
+    (gpu_frac *. (float_of_int k *. compute))
+    +. ((1.0 -. gpu_frac) *. (float_of_int k *. host_compute))
+    +. ar
+  in
   let sched = Hwsim.Sched.create ?overlap ?trace () in
   let head =
-    Hwsim.Sched.work sched ~stream:"gpu" ~device:"gpu" ~phase:"local-sgd"
-      ((float_of_int (k - 1) *. compute) +. (compute /. 3.0))
+    Hwsim.Split.co_work sched ~gpu_stream:"gpu" ~cpu_stream:"cpu"
+      ~phase:"local-sgd"
+      ~gpu_s:((float_of_int (k - 1) *. compute) +. (compute /. 3.0))
+      ~cpu_s:((float_of_int (k - 1) *. host_compute) +. (host_compute /. 3.0))
+      gpu_frac
   in
   let pf = float_of_int params in
   let prev = ref head in
@@ -119,13 +148,17 @@ let kavg_round_model ?overlap ?trace ?topology ?placement ~learners ~k ~batch
     (fun p ->
       let frac = float_of_int p /. pf in
       let b =
-        Hwsim.Sched.work sched ~stream:"gpu" ~deps:[ !prev ] ~device:"gpu"
-          ~phase:"backprop"
-          (2.0 /. 3.0 *. compute *. frac)
+        Hwsim.Split.co_work sched ~gpu_stream:"gpu" ~cpu_stream:"cpu"
+          ~deps:!prev ~phase:"backprop"
+          ~gpu_s:(2.0 /. 3.0 *. compute *. frac)
+          ~cpu_s:(2.0 /. 3.0 *. host_compute *. frac)
+          gpu_frac
       in
       ignore
-        (Hwsim.Sched.work sched ~stream:"net" ~deps:[ b ] ~device:net_device
-           ~phase:"allreduce" (ar *. frac));
+        (Hwsim.Sched.work sched
+           ~stream:
+             (match comm with Hwsim.Split.Dedicated -> "net" | Inline -> "gpu")
+           ~deps:b ~device:net_device ~phase:"allreduce" (ar *. frac));
       prev := b)
     (List.rev lps);
   let overlapped_round_s = Hwsim.Sched.run sched in

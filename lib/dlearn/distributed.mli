@@ -22,7 +22,19 @@ val allreduce_time :
     crosses under [placement] (default [Contiguous]). *)
 
 val ps_roundtrip_time : params:int -> float
+
+val device_compute_time_per_batch :
+  Hwsim.Device.t -> params:int -> batch:int -> float
+(** Forward+backward at ~6 flops per parameter per example, at 30% of
+    the given accelerator's peak. *)
+
 val compute_time_per_batch : params:int -> batch:int -> float
+(** [device_compute_time_per_batch Hwsim.Device.v100]. *)
+
+val host_compute_time_per_batch :
+  Hwsim.Node.t -> params:int -> batch:int -> float
+(** The same batch priced at the node's host sockets — the CPU side of
+    a heterogeneous work split ({!Hwsim.Split}). *)
 
 type run = {
   final_loss : float;
@@ -53,7 +65,8 @@ type round_model = {
 
 val kavg_round_model :
   ?overlap:bool -> ?trace:Hwsim.Trace.t -> ?topology:Hwsim.Topology.t ->
-  ?placement:Hwsim.Topology.placement -> learners:int -> k:int ->
+  ?placement:Hwsim.Topology.placement -> ?node:Hwsim.Node.t ->
+  ?gpu_frac:float -> ?comm:Hwsim.Split.comm -> learners:int -> k:int ->
   batch:int -> int array -> round_model
 (** Per-round KAVG cost model: the round's allreduce is bucketed per
     layer (proportional to parameter share, no extra per-bucket latency)
@@ -61,7 +74,15 @@ val kavg_round_model :
     defaults to {!Hwsim.Sched.overlap_enabled}; a bound [trace] receives
     one round's items. [topology]/[placement] price the allreduce across
     switch levels (see {!allreduce_time}); omitting them keeps the flat
-    dual-rail EDR model bit-identically. *)
+    dual-rail EDR model bit-identically.
+
+    [node] prices compute at that node's GPU (V100 when absent or
+    GPU-less) and host sockets; [gpu_frac] (default 1.0) splits the
+    local-SGD head and each per-layer backprop slice between the "gpu"
+    stream and a co-executing "cpu" stream; [comm] keeps the allreduce
+    slices on their own "net" stream ([Dedicated], the default) or
+    issues them inline on the compute stream. At the defaults the model
+    is bit-identical to the pre-split one. *)
 
 val sync_sgd :
   rng:Icoe_util.Rng.t -> learners:int -> steps:int -> batch:int -> lr:float ->

@@ -24,6 +24,7 @@ let pool =
       Harness_fault.harnesses;
       Harness_svc.harnesses;
       Harness_topo.harnesses;
+      Harness_tune.harnesses;
       Harness_ablations.harnesses;
     ]
 
@@ -31,7 +32,7 @@ let order =
   [
     "table1"; "fig2"; "table2"; "table3"; "fig3"; "fig6"; "fig8"; "table4";
     "table5"; "fig9"; "cretin"; "md"; "sw4"; "opt"; "kavg"; "gpudirect";
-    "cardioid"; "hypre"; "resilience"; "svc"; "topo"; "ablations";
+    "cardioid"; "hypre"; "resilience"; "svc"; "topo"; "tune"; "ablations";
   ]
 
 let all =

@@ -46,7 +46,7 @@ let of_triplets ~m ~n triplets =
     out_ptr.(i) <- !pos;
     let s = row_ptr.(i) and e = row_ptr.(i + 1) in
     let row = Array.init (e - s) (fun t -> (col_idx.(s + t), values.(s + t))) in
-    Array.sort (fun (a, _) (b, _) -> compare a b) row;
+    Array.sort (fun (a, _) (b, _) -> Int.compare a b) row;
     Array.iter
       (fun (j, v) ->
         if !pos > out_ptr.(i) && out_cols.(!pos - 1) = j then

@@ -62,7 +62,7 @@ let gauss_lobatto n =
     done;
     pts.(n - 1 - i) <- !x
   done;
-  Array.sort compare pts;
+  Array.sort Float.compare pts;
   for i = 0 to n - 1 do
     let p, _ = legendre m pts.(i) in
     wts.(i) <- 2.0 /. (float_of_int (m * (m + 1)) *. p *. p)

@@ -3,7 +3,7 @@
     The bench harness has emitted a machine-readable perf trajectory
     since PR 2; this module turns it from a write-only artifact into an
     enforced contract. Both files are flattened into comparable rows
-    (one per harness/kernel/overlap/fault/service/blame/topology
+    (one per harness/kernel/overlap/fault/service/blame/topology/tuner
     measurement),
     each row's relative delta is judged against a threshold, and the
     result is a verdict table plus an exit decision.
@@ -20,7 +20,8 @@ type verdict = Ok | Improved | Warn | Regression | Added | Removed
 
 type row = {
   section : string;
-      (** harness / kernel / overlap / fault / service / blame / topology *)
+      (** harness / kernel / overlap / fault / service / blame /
+          topology / tuner *)
   name : string;  (** row id within the section, e.g. "sw4/interior" *)
   klass : klass;
   base : float option;  (** [None]: missing in the baseline *)
@@ -154,6 +155,20 @@ let flatten (j : Icoe_util.Json.t) =
           in
           field "contiguous_step_s";
           field "random_step_s");
+  each "tuner" (fun r ->
+      match (string_member "kernel" r, string_member "machine" r) with
+      | Some kernel, Some machine ->
+          let field f =
+            Option.iter
+              (fun v ->
+                push
+                  (meas ~section:"tuner" ~klass:Sim
+                     (kernel ^ "/" ^ machine ^ "/" ^ f) v))
+              (float_member f r)
+          in
+          field "default_s";
+          field "tuned_s"
+      | _ -> ());
   List.rev !acc
 
 let key m = m.m_section ^ "\x00" ^ m.m_name

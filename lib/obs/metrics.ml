@@ -294,7 +294,17 @@ let snapshot ?(registry = default) () =
     registry.tbl []
   |> List.sort (fun a b ->
          match String.compare a.name b.name with
-         | 0 -> compare a.labels b.labels
+         | 0 ->
+             (* typed tie-break on the label pairs: the polymorphic
+                [compare] walked runtime representations and would
+                break the moment a label value is anything but a
+                string; this can't *)
+             List.compare
+               (fun (ka, va) (kb, vb) ->
+                 match String.compare ka kb with
+                 | 0 -> String.compare va vb
+                 | c -> c)
+               a.labels b.labels
          | c -> c)
 
 (* Samples that changed between two snapshots, keyed by name+labels.

@@ -109,31 +109,62 @@ let variant_time_per_step ?(fused = false) (g : Grid.t) v =
   in
   launch +. Hwsim.Roofline.time ~eff device { w with Hwsim.Kernel.launches = 0 }
 
+(* The rates are pure functions of (node, points), but pricing them
+   walks a throwaway [Grid.t] whose arrays reach hundreds of MB at the
+   production per-node point count — fine once per study, ruinous when
+   the autotuner re-prices the step model for every split candidate. So
+   both throughput views share one memo table. *)
+let rate_cache : (Hwsim.Node.t * int, float * float) Hashtbl.t =
+  Hashtbl.create 8
+
+let node_rates (node : Hwsim.Node.t) ~points =
+  match Hashtbl.find_opt rate_cache (node, points) with
+  | Some r -> r
+  | None ->
+      let g =
+        Grid.create
+          ~nx:(max 9 (int_of_float (sqrt (float_of_int points))))
+          ~ny:(max 9 (int_of_float (sqrt (float_of_int points))))
+          ~h:100.0
+      in
+      let w = Elastic.work g in
+      let per_gpu =
+        match node.Hwsim.Node.gpu with
+        | Some gpu ->
+            let eff = Prog.Policy.efficiency Prog.Policy.Cuda gpu in
+            let t = Hwsim.Roofline.time ~eff gpu w in
+            float_of_int (g.Grid.nx * g.Grid.ny) /. t
+        | None -> 0.0
+      in
+      let cpu_eff =
+        Prog.Policy.efficiency
+          (Prog.Policy.Openmp node.Hwsim.Node.cpu.Hwsim.Device.lanes)
+          node.Hwsim.Node.cpu
+      in
+      let t_cpu = Hwsim.Roofline.time ~eff:cpu_eff node.Hwsim.Node.cpu w in
+      let per_cpu = float_of_int (g.Grid.nx * g.Grid.ny) /. t_cpu in
+      let node_rate =
+        if node.Hwsim.Node.gpus > 0 then
+          float_of_int node.Hwsim.Node.gpus *. per_gpu
+        else float_of_int node.Hwsim.Node.cpu_sockets *. per_cpu
+      in
+      let cpu_rate = float_of_int node.Hwsim.Node.cpu_sockets *. per_cpu in
+      let r = (node_rate, cpu_rate) in
+      Hashtbl.replace rate_cache (node, points) r;
+      r
+
 (** Grid-point updates per second per node for the full solver on a
     machine, used for the Sierra-vs-Cori throughput comparison. A Sierra
     node runs 4 GPU-resident solvers; a Cori node runs the KNL OpenMP
     code. *)
 let node_throughput (node : Hwsim.Node.t) ~points =
-  let g = Grid.create ~nx:(max 9 (int_of_float (sqrt (float_of_int points))))
-      ~ny:(max 9 (int_of_float (sqrt (float_of_int points)))) ~h:100.0 in
-  let w = Elastic.work g in
-  let per_gpu =
-    match node.Hwsim.Node.gpu with
-    | Some gpu ->
-        let eff = Prog.Policy.efficiency Prog.Policy.Cuda gpu in
-        let t = Hwsim.Roofline.time ~eff gpu w in
-        float_of_int (g.Grid.nx * g.Grid.ny) /. t
-    | None -> 0.0
-  in
-  let cpu_eff =
-    Prog.Policy.efficiency
-      (Prog.Policy.Openmp node.Hwsim.Node.cpu.Hwsim.Device.lanes)
-      node.Hwsim.Node.cpu
-  in
-  let t_cpu = Hwsim.Roofline.time ~eff:cpu_eff node.Hwsim.Node.cpu w in
-  let per_cpu = float_of_int (g.Grid.nx * g.Grid.ny) /. t_cpu in
-  if node.Hwsim.Node.gpus > 0 then float_of_int node.Hwsim.Node.gpus *. per_gpu
-  else float_of_int node.Hwsim.Node.cpu_sockets *. per_cpu
+  fst (node_rates node ~points)
+
+(** Grid-point updates per second of the node's host sockets alone —
+    the CPU side of a heterogeneous work split. On a CPU-only node this
+    equals {!node_throughput}. *)
+let node_cpu_throughput (node : Hwsim.Node.t) ~points =
+  snd (node_rates node ~points)
 
 (* --- the production campaign model (Sec 4.9) --- *)
 
@@ -158,18 +189,30 @@ type step_model = {
     anything. [step_s] is the charged per-step time: [overlapped_s]
     under overlap, the exact pre-scheduler [serial_s] otherwise. *)
 let production_step_model ?(work_multiplier = 280.0) ?overlap ?trace
-    ?(placement = Hwsim.Topology.Contiguous) (machine : Hwsim.Node.machine)
-    ~nodes ~grid_points =
+    ?(placement = Hwsim.Topology.Contiguous) ?(gpu_frac = 1.0)
+    ?(comm = Hwsim.Split.Dedicated) (machine : Hwsim.Node.machine) ~nodes
+    ~grid_points =
   assert (nodes >= 1 && nodes <= machine.Hwsim.Node.nodes);
-  let points_per_node = grid_points /. float_of_int nodes in
-  let rate =
-    node_throughput machine.Hwsim.Node.node
-      ~points:(int_of_float (min points_per_node 16_000_000.0))
+  Hwsim.Split.validate gpu_frac;
+  (* a CPU-only node has no accelerator to split against *)
+  let split =
+    if machine.Hwsim.Node.node.Hwsim.Node.gpus = 0 then 1.0 else gpu_frac
   in
+  let points_per_node = grid_points /. float_of_int nodes in
+  let rate_points = int_of_float (min points_per_node 16_000_000.0) in
+  let rate = node_throughput machine.Hwsim.Node.node ~points:rate_points in
   (* the production 3D curvilinear elastic kernel with supergrid layers,
      attenuation and imaging does ~280x the work per point of the 2D model
      kernel (calibrated once so the Sierra run lands at the paper's ~10 h) *)
   let point_t = work_multiplier *. points_per_node /. rate in
+  (* full-step cost if the host sockets ran every point; the split's CPU
+     side charges (1 - split) of this *)
+  let cpu_point_t =
+    if split >= 1.0 then 0.0
+    else
+      work_multiplier *. points_per_node
+      /. node_cpu_throughput machine.Hwsim.Node.node ~points:rate_points
+  in
   (* halo: 6 faces of the per-node block, displacement + material fields,
      priced at the topology level the allocation's placement crosses
      (flat machines: exactly the old single-fabric transfer) *)
@@ -179,21 +222,26 @@ let production_step_model ?(work_multiplier = 280.0) ?overlap ?trace
     Hwsim.Topology.gang_transfer_time machine.Hwsim.Node.topology ~nodes
       ~placement ~bytes:halo_bytes
   in
-  let serial_s = point_t +. halo_t in
+  let serial_s =
+    (split *. point_t) +. ((1.0 -. split) *. cpu_point_t) +. halo_t
+  in
   (* the 2-deep dependent shell on all 6 faces of the per-node block *)
   let bf = Float.min 0.5 (12.0 *. face /. points_per_node) in
   let sched = Hwsim.Sched.create ?overlap ?trace () in
   let _interior =
-    Hwsim.Sched.work sched ~stream:"gpu" ~device:"gpu" ~phase:"interior"
-      (point_t *. (1.0 -. bf))
+    Hwsim.Split.co_work sched ~gpu_stream:"gpu" ~cpu_stream:"cpu"
+      ~phase:"interior" ~gpu_s:(point_t *. (1.0 -. bf))
+      ~cpu_s:(cpu_point_t *. (1.0 -. bf)) split
   in
   let halo =
-    Hwsim.Sched.work sched ~stream:"nic"
+    Hwsim.Sched.work sched
+      ~stream:(match comm with Hwsim.Split.Dedicated -> "nic" | Inline -> "gpu")
       ~device:(Hwsim.Node.fabric machine).Hwsim.Link.name ~phase:"halo" halo_t
   in
   let _boundary =
-    Hwsim.Sched.work sched ~stream:"gpu" ~deps:[ halo ] ~device:"gpu"
-      ~phase:"boundary" (point_t *. bf)
+    Hwsim.Split.co_work sched ~gpu_stream:"gpu" ~cpu_stream:"cpu"
+      ~deps:[ halo ] ~phase:"boundary" ~gpu_s:(point_t *. bf)
+      ~cpu_s:(cpu_point_t *. bf) split
   in
   let overlapped_s = Hwsim.Sched.run sched in
   let step_s = if Hwsim.Sched.overlap sched then overlapped_s else serial_s in

@@ -31,7 +31,14 @@ val variant_time_per_step : ?fused:bool -> Grid.t -> variant -> float
     optimization). *)
 
 val node_throughput : Hwsim.Node.t -> points:int -> float
-(** Grid-point updates per second per node (GPU-resident on GPU nodes). *)
+(** Grid-point updates per second per node (GPU-resident on GPU nodes).
+    Memoized per (node, points) — pricing walks a throwaway grid whose
+    arrays are large at production point counts. *)
+
+val node_cpu_throughput : Hwsim.Node.t -> points:int -> float
+(** Grid-point updates per second of the node's host sockets alone —
+    the CPU side of a heterogeneous work split ({!Hwsim.Split}). Equals
+    {!node_throughput} on CPU-only nodes. Memoized alongside it. *)
 
 type step_model = {
   point_s : float;  (** RHS update of all per-node points, seconds *)
@@ -53,14 +60,24 @@ type step_model = {
 
 val production_step_model :
   ?work_multiplier:float -> ?overlap:bool -> ?trace:Hwsim.Trace.t ->
-  ?placement:Hwsim.Topology.placement ->
+  ?placement:Hwsim.Topology.placement -> ?gpu_frac:float ->
+  ?comm:Hwsim.Split.comm ->
   Hwsim.Node.machine -> nodes:int -> grid_points:float -> step_model
 (** Per-timestep cost model of the production campaign. [overlap]
     defaults to {!Hwsim.Sched.overlap_enabled}; when a [trace] is given,
     one step's interior/halo/boundary items are charged into it. The
     halo is priced at the topology level the allocation's [placement]
     (default [Contiguous]) crosses — on flat machines, exactly the old
-    single-fabric transfer. *)
+    single-fabric transfer.
+
+    [gpu_frac] (default 1.0) is the accelerator's share of the point
+    update; the host sockets co-execute the rest on a "cpu" stream at
+    {!node_cpu_throughput} ([point_s] stays the all-GPU cost;
+    [serial_s] blends the two sides).
+    [comm] places the halo on its own "nic" stream ([Dedicated], the
+    default) or inline on the compute stream. At the defaults the model
+    is bit-identical to the pre-split one; CPU-only nodes ignore the
+    split. *)
 
 val production_run_hours :
   ?work_multiplier:float -> ?overlap:bool ->

@@ -361,6 +361,45 @@ let test_overlap_step_model () =
     true
     (e Perf.Four_gpu < e Perf.One_gpu)
 
+let test_split_default_bit_identical () =
+  (* the tuner contract: gpu_frac = 1.0 with the dedicated halo stream
+     reproduces the unsplit kernel pipeline bitwise, in both modes and
+     all three scenarios *)
+  let bits = Int64.bits_of_float in
+  List.iter
+    (fun (name, scen) ->
+      List.iter
+        (fun overlap ->
+          let a = Perf.ddcmd_step_model ~overlap scen in
+          let b =
+            Perf.ddcmd_step_model ~overlap ~gpu_frac:1.0
+              ~comm:Hwsim.Split.Dedicated scen
+          in
+          let who = Fmt.str "%s/%s" name (if overlap then "on" else "off") in
+          Alcotest.(check int64) (who ^ ": serial_s bitwise")
+            (bits a.Perf.serial_s) (bits b.Perf.serial_s);
+          Alcotest.(check int64) (who ^ ": overlapped_s bitwise")
+            (bits a.Perf.overlapped_s) (bits b.Perf.overlapped_s);
+          Alcotest.(check int64) (who ^ ": step_s bitwise")
+            (bits a.Perf.step_s) (bits b.Perf.step_s);
+          Alcotest.(check int) (who ^ ": same DAG size")
+            (Array.length a.Perf.dag) (Array.length b.Perf.dag))
+        [ true; false ])
+    [ ("1gpu", Perf.One_gpu); ("4gpu", Perf.Four_gpu); ("mummi", Perf.Mummi) ]
+
+let test_split_partial_co_executes () =
+  let d = Perf.ddcmd_step_model ~overlap:true Perf.Four_gpu in
+  let m = Perf.ddcmd_step_model ~overlap:true ~gpu_frac:0.5 Perf.Four_gpu in
+  (* every kernel gains a host-side sibling *)
+  Alcotest.(check int) "one CPU item per kernel"
+    (Array.length d.Perf.dag + Perf.kernel_count)
+    (Array.length m.Perf.dag);
+  Alcotest.(check bool)
+    (Fmt.str "half-split serial %.3e > all-GPU %.3e" m.Perf.serial_s
+       d.Perf.serial_s)
+    true
+    (m.Perf.serial_s > d.Perf.serial_s)
+
 let prop_lj_forces_finite =
   QCheck.Test.make ~name:"LJ eval finite for r2 in (0.5, 10)" ~count:200
     QCheck.(float_range 0.5 10.0)
@@ -413,5 +452,9 @@ let () =
         [
           Alcotest.test_case "gromacs comparison" `Quick test_gromacs_comparison_shape;
           Alcotest.test_case "overlap step model" `Quick test_overlap_step_model;
+          Alcotest.test_case "split default bit-identical" `Quick
+            test_split_default_bit_identical;
+          Alcotest.test_case "split co-executes" `Quick
+            test_split_partial_co_executes;
         ] );
     ]

@@ -151,6 +151,56 @@ let test_kavg_overlap_model () =
   Alcotest.(check (float 0.0)) "same final loss" r_off.Distributed.final_loss
     r_on.Distributed.final_loss
 
+let test_split_default_bit_identical () =
+  (* the tuner contract: gpu_frac = 1.0 with the allreduce on its own
+     "net" stream reproduces the unsplit round model bitwise *)
+  let sizes = [| 12; 16; 4 |] in
+  let bits = Int64.bits_of_float in
+  List.iter
+    (fun overlap ->
+      let a =
+        Distributed.kavg_round_model ~overlap ~learners:8 ~k:8 ~batch:16 sizes
+      in
+      let b =
+        Distributed.kavg_round_model ~overlap ~gpu_frac:1.0
+          ~comm:Hwsim.Split.Dedicated ~learners:8 ~k:8 ~batch:16 sizes
+      in
+      let who = if overlap then "overlap" else "serial" in
+      Alcotest.(check int64) (who ^ ": serial_round_s bitwise")
+        (bits a.Distributed.serial_round_s)
+        (bits b.Distributed.serial_round_s);
+      Alcotest.(check int64) (who ^ ": overlapped_round_s bitwise")
+        (bits a.Distributed.overlapped_round_s)
+        (bits b.Distributed.overlapped_round_s);
+      Alcotest.(check int64) (who ^ ": round_s bitwise")
+        (bits a.Distributed.round_s) (bits b.Distributed.round_s);
+      Alcotest.(check int64) (who ^ ": efficiency bitwise")
+        (bits a.Distributed.round_efficiency)
+        (bits b.Distributed.round_efficiency);
+      Alcotest.(check int) (who ^ ": same DAG size")
+        (Array.length a.Distributed.dag)
+        (Array.length b.Distributed.dag))
+    [ true; false ]
+
+let test_split_partial_co_executes () =
+  let sizes = [| 12; 16; 4 |] in
+  let d =
+    Distributed.kavg_round_model ~overlap:true ~learners:8 ~k:8 ~batch:16 sizes
+  in
+  let m =
+    Distributed.kavg_round_model ~overlap:true ~gpu_frac:0.5 ~learners:8 ~k:8
+      ~batch:16 sizes
+  in
+  (* host co-execution items join the DAG and, with the host side far
+     slower than the V100, the blended serial round costs more *)
+  Alcotest.(check bool) "CPU items enqueued" true
+    (Array.length m.Distributed.dag > Array.length d.Distributed.dag);
+  Alcotest.(check bool)
+    (Fmt.str "half-split serial %.3e > all-GPU %.3e"
+       m.Distributed.serial_round_s d.Distributed.serial_round_s)
+    true
+    (m.Distributed.serial_round_s > d.Distributed.serial_round_s)
+
 let test_kavg_optimal_k_exceeds_one () =
   (* "the optimal K for convergence is usually greater than one": with
      communication priced in, loss-at-equal-simulated-time favours K > 1 *)
@@ -334,6 +384,10 @@ let () =
           Alcotest.test_case "kavg beats asgd" `Slow test_kavg_beats_asgd;
           Alcotest.test_case "optimal k > 1" `Slow test_kavg_optimal_k_exceeds_one;
           Alcotest.test_case "kavg overlap model" `Quick test_kavg_overlap_model;
+          Alcotest.test_case "split default bit-identical" `Quick
+            test_split_default_bit_identical;
+          Alcotest.test_case "split co-executes" `Quick
+            test_split_partial_co_executes;
           Alcotest.test_case "staleness hurts" `Slow test_asgd_staleness_hurts;
         ] );
       ( "modelparallel",

@@ -96,6 +96,29 @@ let test_outcome_metrics_delta () =
         Alcotest.(check bool) "md run produced metric deltas" true
           (o.Icoe.Harness.metrics <> [])
 
+let test_tuner_rows () =
+  (* the "tuner" bench block: one exhaustive tuning per machine x kernel,
+     with the structural never-worse guarantee holding on every cell *)
+  let rows = Icoe.Harness_tune.bench_rows () in
+  Alcotest.(check int) "3 machines x 3 kernels" 9 (List.length rows);
+  List.iter
+    (fun (r : Icoe.Harness_tune.row) ->
+      let who = r.machine ^ "/" ^ r.kernel in
+      Alcotest.(check bool) (who ^ ": tuned <= default") true
+        (r.tuned_s <= r.default_s && r.tuned_s > 0.0);
+      Alcotest.(check bool) (who ^ ": split in [0,1]") true
+        (r.split >= 0.0 && r.split <= 1.0);
+      Alcotest.(check bool) (who ^ ": speedup >= 1") true (r.speedup >= 1.0);
+      Alcotest.(check string) (who ^ ": exhaustive mode") "exhaustive" r.mode)
+    rows;
+  (* at least one cell genuinely improves on the paper placement *)
+  Alcotest.(check bool) "tuning finds a real win somewhere" true
+    (List.exists
+       (fun (r : Icoe.Harness_tune.row) -> r.tuned_s < r.default_s)
+       rows);
+  Alcotest.(check bool) "tune harness registered" true
+    (Option.is_some (Icoe.Harness_registry.find "tune"))
+
 let test_run_all_mentions_every_result () =
   let out = Icoe.Harness_registry.run_all () in
   List.iter
@@ -120,6 +143,7 @@ let () =
           Alcotest.test_case "fast harnesses" `Quick test_fast_harnesses_produce_output;
           Alcotest.test_case "traced outcome" `Quick test_traced_harness_outcome;
           Alcotest.test_case "metrics delta" `Quick test_outcome_metrics_delta;
+          Alcotest.test_case "tuner rows" `Quick test_tuner_rows;
           Alcotest.test_case "run all" `Slow test_run_all_mentions_every_result;
         ] );
     ]

@@ -88,6 +88,26 @@ let test_csr_triplets_duplicates_summed () =
   check_float "single" 5.0 (Dense.get d 1 1);
   Alcotest.(check int) "nnz" 2 (Csr.nnz s)
 
+let test_csr_triplets_column_order () =
+  (* regression for the typed column sort in of_triplets: the row comes
+     back in column order even when the float payloads would mislead a
+     polymorphic tuple compare (NaN, infinities, signed zeros) *)
+  let nan = Float.nan in
+  let s =
+    Csr.of_triplets ~m:1 ~n:5
+      [ (0, 3, nan); (0, 1, infinity); (0, 4, -0.0); (0, 0, -1.0); (0, 2, 0.5) ]
+  in
+  Alcotest.(check (array int)) "columns sorted" [| 0; 1; 2; 3; 4 |] s.Csr.col_idx;
+  Alcotest.(check bool) "NaN payload kept at its column" true
+    (Float.is_nan s.Csr.values.(3));
+  check_float "payload follows its column" 0.5 s.Csr.values.(2);
+  (* duplicates on the same column still collapse into one summed entry *)
+  let d =
+    Csr.of_triplets ~m:1 ~n:3 [ (0, 2, 4.0); (0, 0, 1.0); (0, 2, -1.5) ]
+  in
+  Alcotest.(check int) "nnz after collapse" 2 (Csr.nnz d);
+  check_float "dup sum" 2.5 (Dense.get (Csr.to_dense d) 0 2)
+
 let test_csr_transpose () =
   let s = Csr.of_triplets ~m:2 ~n:3 [ (0, 1, 2.0); (1, 0, 3.0); (1, 2, 4.0) ] in
   let st = Csr.transpose s in
@@ -270,6 +290,8 @@ let () =
         [
           Alcotest.test_case "spmv vs dense" `Quick test_csr_spmv_matches_dense;
           Alcotest.test_case "triplets dedupe" `Quick test_csr_triplets_duplicates_summed;
+          Alcotest.test_case "triplets column order" `Quick
+            test_csr_triplets_column_order;
           Alcotest.test_case "transpose" `Quick test_csr_transpose;
           Alcotest.test_case "matmul vs dense" `Quick test_csr_matmul_matches_dense;
           Alcotest.test_case "laplacian rows" `Quick test_laplacian_row_sums;

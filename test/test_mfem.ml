@@ -39,6 +39,35 @@ let test_gauss_lobatto_endpoints_and_exactness () =
     Alcotest.(check (float 1e-11)) (Fmt.str "x^%d" k) (exact k) (integrate k)
   done
 
+let test_quadrature_points_sorted () =
+  (* regression for the typed float sort in gauss_lobatto: node arrays
+     come back strictly ascending, symmetric, and with positive weights
+     at every order *)
+  List.iter
+    (fun (name, rule, lo) ->
+      for n = lo to 12 do
+        let pts, wts = rule n in
+        for i = 1 to n - 1 do
+          Alcotest.(check bool)
+            (Fmt.str "%s n=%d ascending at %d" name n i)
+            true
+            (pts.(i - 1) < pts.(i))
+        done;
+        for i = 0 to n - 1 do
+          Alcotest.(check (float 1e-10))
+            (Fmt.str "%s n=%d symmetric at %d" name n i)
+            (-.pts.(i))
+            pts.(n - 1 - i);
+          Alcotest.(check bool)
+            (Fmt.str "%s n=%d weight %d positive" name n i)
+            true (wts.(i) > 0.0)
+        done
+      done)
+    [
+      ("gauss", Mfem.Quadrature.gauss_legendre, 1);
+      ("lobatto", Mfem.Quadrature.gauss_lobatto, 2);
+    ]
+
 let test_weights_sum_to_two () =
   for n = 2 to 8 do
     let _, wgl = Mfem.Quadrature.gauss_legendre n in
@@ -468,6 +497,7 @@ let () =
         [
           Alcotest.test_case "gauss exactness" `Quick test_gauss_legendre_exactness;
           Alcotest.test_case "lobatto" `Quick test_gauss_lobatto_endpoints_and_exactness;
+          Alcotest.test_case "points sorted" `Quick test_quadrature_points_sorted;
           Alcotest.test_case "weights sum" `Quick test_weights_sum_to_two;
         ] );
       ( "basis",

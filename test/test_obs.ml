@@ -90,6 +90,27 @@ let test_label_order_irrelevant () =
         s.M.labels
   | l -> Alcotest.failf "expected one sample, got %d" (List.length l)
 
+let test_family_snapshot_order () =
+  (* regression for the typed label comparator in the snapshot sort: a
+     family's members come back in lexicographic (key, value) order,
+     with a member whose label list is a strict prefix sorting first *)
+  let r = M.create () in
+  List.iter
+    (fun labels -> M.set (M.gauge ~registry:r ~labels "fam") 1.0)
+    [
+      [ ("host", "b") ];
+      [ ("host", "a"); ("rank", "x") ];
+      [ ("host", "a") ];
+    ];
+  Alcotest.(check (list (list (pair string string))))
+    "members sorted by labels"
+    [
+      [ ("host", "a") ];
+      [ ("host", "a"); ("rank", "x") ];
+      [ ("host", "b") ];
+    ]
+    (List.map (fun s -> s.M.labels) (M.snapshot ~registry:r ()))
+
 (* --- enable/disable --- *)
 
 let test_disabled_registry_is_noop () =
@@ -321,7 +342,11 @@ let () =
             test_bucket_index_matches_upper;
         ] );
       ( "labels",
-        [ Alcotest.test_case "order irrelevant" `Quick test_label_order_irrelevant ] );
+        [
+          Alcotest.test_case "order irrelevant" `Quick test_label_order_irrelevant;
+          Alcotest.test_case "family snapshot order" `Quick
+            test_family_snapshot_order;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "disable" `Quick test_disabled_registry_is_noop;

@@ -414,6 +414,140 @@ let prop_quota_share_bounded =
           || float_of_int usage <= (q *. float_of_int gpus) +. 1e-9)
         entries)
 
+(* --- autotune --- *)
+
+let comm_str c = Hwsim.Split.comm_name c
+
+(* A deterministic synthetic objective: one splitmix64 draw keyed on the
+   candidate's bits gives an arbitrary-looking but exactly reproducible
+   landscape, so search properties can be checked without the cost of
+   the real step models. *)
+let synth_obj seed (c : Autotune.candidate) =
+  let comm_bit =
+    match c.Autotune.comm with Hwsim.Split.Dedicated -> 0 | Inline -> 1
+  in
+  let key =
+    seed
+    lxor Int64.to_int (Int64.bits_of_float c.Autotune.split)
+    lxor (comm_bit * 0x9E3779B9)
+  in
+  1.0 +. Icoe_util.Rng.float (Icoe_util.Rng.create key)
+
+let test_autotune_exhaustive_minimum () =
+  (* a quasi-convex landscape whose optimum sits on a lattice point *)
+  let obj (c : Autotune.candidate) =
+    Float.abs (c.Autotune.split -. 0.35)
+    +.
+    match c.Autotune.comm with
+    | Hwsim.Split.Dedicated -> 0.01
+    | Inline -> 0.0
+  in
+  let r = Autotune.exhaustive obj in
+  Alcotest.(check (float 0.0)) "optimal split" 0.35
+    r.Autotune.best.Autotune.cand.Autotune.split;
+  Alcotest.(check string) "optimal placement" "inline"
+    (comm_str r.Autotune.best.Autotune.cand.Autotune.comm);
+  Alcotest.(check int) "whole space priced (memoized)" r.Autotune.space
+    r.Autotune.evaluations;
+  Alcotest.(check int) "space = 21 points x 2 placements" 42 r.Autotune.space;
+  Alcotest.(check (float 0.0)) "default is all-GPU" 1.0
+    r.Autotune.default.Autotune.cand.Autotune.split;
+  Alcotest.(check string) "default is dedicated" "dedicated"
+    (comm_str r.Autotune.default.Autotune.cand.Autotune.comm)
+
+let test_autotune_ties_keep_default () =
+  (* a flat landscape: nothing strictly beats the paper default, so the
+     tuner must return it unchanged *)
+  let r = Autotune.exhaustive (fun _ -> 7.0) in
+  Alcotest.(check (float 0.0)) "split stays 1.0" 1.0
+    r.Autotune.best.Autotune.cand.Autotune.split;
+  Alcotest.(check string) "comm stays dedicated" "dedicated"
+    (comm_str r.Autotune.best.Autotune.cand.Autotune.comm);
+  Alcotest.(check (float 0.0)) "makespan reported" 7.0
+    r.Autotune.best.Autotune.makespan
+
+let test_autotune_rejects_bad_input () =
+  let raises f =
+    match f () with
+    | (_ : Autotune.result) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty lattice" true
+    (raises (fun () -> Autotune.exhaustive ~splits:[||] (fun _ -> 1.0)));
+  Alcotest.(check bool) "empty placement list" true
+    (raises (fun () -> Autotune.exhaustive ~comms:[] (fun _ -> 1.0)));
+  Alcotest.(check bool) "out-of-range split" true
+    (raises (fun () -> Autotune.exhaustive ~splits:[| 1.5 |] (fun _ -> 1.0)));
+  Alcotest.(check bool) "NaN objective" true
+    (raises (fun () -> Autotune.exhaustive (fun _ -> Float.nan)));
+  Alcotest.(check bool) "negative budget" true
+    (raises (fun () -> Autotune.anneal ~iters:(-1) (fun _ -> 1.0)))
+
+let prop_autotune_modes_agree =
+  (* when the whole space fits in the budget, annealing falls back to
+     the exhaustive sweep and the two modes agree exactly *)
+  QCheck.Test.make ~count:60
+    ~name:"autotune: annealing with budget >= space equals exhaustive"
+    QCheck.(pair (int_bound 10_000) (list_of_size Gen.(1 -- 6) (int_bound 10)))
+    (fun (seed, idxs) ->
+      let splits =
+        Array.of_list (List.map (fun i -> float_of_int i /. 10.0) idxs)
+      in
+      let obj = synth_obj seed in
+      let ex = Autotune.exhaustive ~splits obj in
+      let an = Autotune.anneal ~seed ~iters:100 ~splits obj in
+      Float.equal ex.Autotune.best.Autotune.makespan
+        an.Autotune.best.Autotune.makespan
+      && Float.equal ex.Autotune.best.Autotune.cand.Autotune.split
+           an.Autotune.best.Autotune.cand.Autotune.split
+      && String.equal
+           (comm_str ex.Autotune.best.Autotune.cand.Autotune.comm)
+           (comm_str an.Autotune.best.Autotune.cand.Autotune.comm)
+      && ex.Autotune.evaluations = an.Autotune.evaluations
+      && Astring.String.is_suffix ~affix:"exhaustive" an.Autotune.mode)
+
+let prop_autotune_never_worse_and_deterministic =
+  (* the real annealing path (space > budget): the tuned makespan never
+     loses to the paper default, and a fixed seed pins the whole result *)
+  QCheck.Test.make ~count:40
+    ~name:"autotune: anneal <= default and deterministic under a seed"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let splits = Hwsim.Split.lattice ~steps:60 () in
+      let obj = synth_obj seed in
+      let r1 = Autotune.anneal ~seed ~iters:40 ~splits obj in
+      let r2 = Autotune.anneal ~seed ~iters:40 ~splits obj in
+      r1.Autotune.best.Autotune.makespan
+      <= r1.Autotune.default.Autotune.makespan
+      && Float.equal r1.Autotune.default.Autotune.makespan
+           (obj Autotune.default_candidate)
+      && Float.equal r1.Autotune.best.Autotune.makespan
+           r2.Autotune.best.Autotune.makespan
+      && Float.equal r1.Autotune.best.Autotune.cand.Autotune.split
+           r2.Autotune.best.Autotune.cand.Autotune.split
+      && String.equal
+           (comm_str r1.Autotune.best.Autotune.cand.Autotune.comm)
+           (comm_str r2.Autotune.best.Autotune.cand.Autotune.comm)
+      && r1.Autotune.evaluations = r2.Autotune.evaluations
+      && r1.Autotune.evaluations <= r1.Autotune.space)
+
+let prop_autotune_exhaustive_bounds_anneal =
+  (* exhaustive search is the ground truth: annealing on the same
+     lattice can match it but never beat it, and never loses to the
+     default either *)
+  QCheck.Test.make ~count:40
+    ~name:"autotune: exhaustive is a lower bound for annealing"
+    QCheck.(pair (int_bound 100_000) (int_bound 50))
+    (fun (seed, iters) ->
+      let splits = Hwsim.Split.lattice ~steps:40 () in
+      let obj = synth_obj seed in
+      let ex = Autotune.exhaustive ~splits obj in
+      let an = Autotune.anneal ~seed:(seed + 1) ~iters ~splits obj in
+      ex.Autotune.best.Autotune.makespan
+      <= an.Autotune.best.Autotune.makespan
+      && an.Autotune.best.Autotune.makespan
+         <= an.Autotune.default.Autotune.makespan)
+
 let () =
   Alcotest.run "opt"
     [
@@ -448,5 +582,17 @@ let () =
           Alcotest.test_case "fig6 shape" `Quick test_fig6_shape;
           Alcotest.test_case "dse keeps outputs" `Quick test_dse_keeps_outputs;
           Alcotest.test_case "cpu fusion regression" `Quick test_cpu_fusion_regression;
+        ] );
+      ( "autotune",
+        [
+          Alcotest.test_case "exhaustive minimum" `Quick
+            test_autotune_exhaustive_minimum;
+          Alcotest.test_case "ties keep default" `Quick
+            test_autotune_ties_keep_default;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_autotune_rejects_bad_input;
+          QCheck_alcotest.to_alcotest prop_autotune_modes_agree;
+          QCheck_alcotest.to_alcotest prop_autotune_never_worse_and_deterministic;
+          QCheck_alcotest.to_alcotest prop_autotune_exhaustive_bounds_anneal;
         ] );
     ]

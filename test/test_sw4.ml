@@ -317,6 +317,70 @@ let test_overlap_step_model () =
     (Fmt.str "campaign %.2f h < %.2f h" h_on h_off)
     true (h_on < h_off)
 
+let test_split_default_bit_identical () =
+  (* the tuner contract: gpu_frac = 1.0 with a dedicated halo stream is
+     the paper default and must reproduce the unsplit model bitwise *)
+  let gp = 26e9 in
+  let bits = Int64.bits_of_float in
+  List.iter
+    (fun overlap ->
+      let a =
+        Sw4.Scenario.production_step_model ~overlap Hwsim.Node.sierra
+          ~nodes:256 ~grid_points:gp
+      in
+      let b =
+        Sw4.Scenario.production_step_model ~overlap ~gpu_frac:1.0
+          ~comm:Hwsim.Split.Dedicated Hwsim.Node.sierra ~nodes:256
+          ~grid_points:gp
+      in
+      let who = if overlap then "overlap" else "serial" in
+      List.iter
+        (fun (f, get) ->
+          Alcotest.(check int64)
+            (Fmt.str "%s: %s bitwise" who f)
+            (bits (get a)) (bits (get b)))
+        [
+          ("point_s", fun m -> m.Sw4.Scenario.point_s);
+          ("halo_s", fun m -> m.Sw4.Scenario.halo_s);
+          ("serial_s", fun m -> m.Sw4.Scenario.serial_s);
+          ("overlapped_s", fun m -> m.Sw4.Scenario.overlapped_s);
+          ("step_s", fun m -> m.Sw4.Scenario.step_s);
+        ];
+      Alcotest.(check int) (who ^ ": same DAG size")
+        (Array.length a.Sw4.Scenario.dag)
+        (Array.length b.Sw4.Scenario.dag))
+    [ true; false ]
+
+let test_split_partial_co_executes () =
+  let gp = 26e9 in
+  let d =
+    Sw4.Scenario.production_step_model ~overlap:true Hwsim.Node.sierra
+      ~nodes:256 ~grid_points:gp
+  in
+  let m =
+    Sw4.Scenario.production_step_model ~overlap:true ~gpu_frac:0.5
+      Hwsim.Node.sierra ~nodes:256 ~grid_points:gp
+  in
+  (* host co-execution items join the DAG, and handing half the stencil
+     to the slower CPU side makes the serial decomposition worse *)
+  Alcotest.(check bool) "CPU items enqueued" true
+    (Array.length m.Sw4.Scenario.dag > Array.length d.Sw4.Scenario.dag);
+  Alcotest.(check bool)
+    (Fmt.str "half-split serial %.4f > all-GPU %.4f" m.Sw4.Scenario.serial_s
+       d.Sw4.Scenario.serial_s)
+    true
+    (m.Sw4.Scenario.serial_s > d.Sw4.Scenario.serial_s);
+  (* inline halo placement serializes communication with compute *)
+  let inl =
+    Sw4.Scenario.production_step_model ~overlap:true
+      ~comm:Hwsim.Split.Inline Hwsim.Node.sierra ~nodes:256 ~grid_points:gp
+  in
+  Alcotest.(check int64) "inline halo leaves serial cost alone"
+    (Int64.bits_of_float d.Sw4.Scenario.serial_s)
+    (Int64.bits_of_float inl.Sw4.Scenario.serial_s);
+  Alcotest.(check bool) "inline halo can't overlap" true
+    (inl.Sw4.Scenario.overlapped_s >= d.Sw4.Scenario.overlapped_s)
+
 let () =
   Alcotest.run "sw4"
     [
@@ -345,6 +409,10 @@ let () =
           Alcotest.test_case "sierra vs cori" `Quick test_sierra_vs_cori_throughput;
           Alcotest.test_case "production parity" `Quick test_production_run_parity;
           Alcotest.test_case "overlap step model" `Quick test_overlap_step_model;
+          Alcotest.test_case "split default bit-identical" `Quick
+            test_split_default_bit_identical;
+          Alcotest.test_case "split co-executes" `Quick
+            test_split_partial_co_executes;
         ] );
       ( "elastic3d",
         [
