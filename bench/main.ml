@@ -12,11 +12,15 @@
    results plus a metrics-registry snapshot to BENCH_<id>.json, so
    successive commits leave a machine-readable perf trajectory behind.
 
-   Flags: --micro-only skips part 1 (the CI smoke run). The id comes from
+   Flags: --micro-only skips part 1 (the CI smoke run); --alloc-smoke
+   runs only the allocation-budget check (Gc.minor_words delta per
+   steady-state iteration of each zero-alloc kernel against fixed word
+   budgets, exit 1 over budget) and exits. The id comes from
    the BENCH_ID environment variable when set (CI passes the commit sha),
    otherwise the Unix timestamp. ICOE_DOMAINS sets the pool size (recorded
    in the JSON payload); ICOE_METRICS=0 disables the metrics registry for
-   overhead comparisons. *)
+   overhead comparisons; ICOE_GC_MINOR_HEAP / ICOE_GC_SPACE_OVERHEAD
+   feed Gc.set at startup (echoed in the header). *)
 
 open Bechamel
 open Toolkit
@@ -66,9 +70,19 @@ let bench_md_forces =
   Test.make ~name:"md/forces-125" (Staged.stage (fun () -> Ddcmd.Engine.compute_forces e))
 
 let bench_reaction_kernel =
-  let deriv = Cardioid.Ionic.compile_variant Cardioid.Ionic.Rational_folded in
-  let env = Cardioid.Ionic.initial_state () in
-  Test.make ~name:"cardioid/reaction-cell" (Staged.stage (fun () -> ignore (deriv env)))
+  (* the zero-alloc stack-program form of the ionic derivative — what
+     Monodomain.reaction_step runs per cell *)
+  let module Fbuf = Icoe_util.Fbuf in
+  let kernel = Cardioid.Ionic.compile_kernel Cardioid.Ionic.Rational_folded in
+  let env = Fbuf.of_array (Cardioid.Ionic.initial_state ()) in
+  let out = Fbuf.create Cardioid.Ionic.n_state in
+  let stack = Fbuf.create kernel.Cardioid.Ionic.depth in
+  Test.make ~name:"cardioid/reaction-cell"
+    (Staged.stage (fun () ->
+         for d = 0 to Cardioid.Ionic.n_state - 1 do
+           Cardioid.Melodee.exec_program_into kernel.Cardioid.Ionic.progs.(d)
+             ~env ~env_off:0 ~stack ~stack_off:0 ~out ~out_off:d
+         done))
 
 let bench_fft =
   let rng = Icoe_util.Rng.create 4 in
@@ -84,10 +98,10 @@ let bench_lda_estep =
   let rng = Icoe_util.Rng.create 6 in
   let corpus = Lda.Corpus.generate ~ndocs:10 ~rng () in
   let m = Lda.Vem.init ~rng ~k:6 ~vocab:corpus.Lda.Corpus.vocab () in
-  let stats = Array.make_matrix 6 corpus.Lda.Corpus.vocab 0.0 in
+  let stats = Icoe_util.Fbuf.create (6 * corpus.Lda.Corpus.vocab) in
+  let elogb = Lda.Vem.elog_beta m in
   Test.make ~name:"fig2/lda-estep-doc"
     (Staged.stage (fun () ->
-         let elogb = Lda.Vem.elog_beta m in
          ignore (Lda.Vem.e_step_doc m elogb corpus.Lda.Corpus.docs.(0) stats)))
 
 let bench_rate_matrix =
@@ -166,9 +180,10 @@ let bench_par_lda_estep =
   let corpus = Lda.Corpus.generate ~ndocs:32 ~rng () in
   let m = Lda.Vem.init ~rng ~k:6 ~vocab:corpus.Lda.Corpus.vocab () in
   let elogb = Lda.Vem.elog_beta m in
+  let stats = Icoe_util.Fbuf.create (6 * corpus.Lda.Corpus.vocab) in
   Test.make ~name:"par/lda-estep-32docs"
     (Staged.stage (fun () ->
-         let stats = Array.make_matrix 6 corpus.Lda.Corpus.vocab 0.0 in
+         Icoe_util.Fbuf.fill stats 0.0;
          ignore (Lda.Vem.e_step_docs m elogb corpus.Lda.Corpus.docs stats)))
 
 (* fault/* benchmarks: the resilience layer's hot paths — drawing a full
@@ -575,9 +590,100 @@ let run_harnesses () =
     rows;
   rows
 
+(* --alloc-smoke: the zero-allocation budget gate. After a short warmup
+   (scratch arenas sized, cell lists built, stack programs compiled), one
+   steady-state iteration of each migrated SoA kernel must allocate
+   (nearly) nothing on the minor heap. The serial paths execute the exact
+   pooled chunk bodies, so they bound the kernel-body allocation with a
+   tight budget; the pooled paths add only bounded task-dispatch
+   overhead and get a looser one. Exits non-zero on any violation. *)
+let alloc_smoke () =
+  let failures = ref 0 in
+  let measure name ~budget f =
+    for _ = 1 to 3 do
+      f ()
+    done;
+    let iters = 10 in
+    let before = Gc.minor_words () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let per = (Gc.minor_words () -. before) /. float_of_int iters in
+    let ok = per <= budget in
+    if not ok then incr failures;
+    Fmt.pr "alloc-smoke %-26s %10.1f words/iter (budget %7.0f) %s@." name per
+      budget
+      (if ok then "ok" else "FAIL")
+  in
+  let seq_budget = 64.0 and par_budget = 32768.0 in
+  (* sw4 stencil *)
+  let g = Sw4.Grid.create ~nx:64 ~ny:64 ~h:100.0 in
+  Sw4.Grid.homogeneous g ~rho:2500.0 ~vp:5000.0 ~vs:2500.0;
+  let scr = Sw4.Elastic.make_scratch g in
+  let n = 64 * 64 in
+  let ux = Icoe_util.Fbuf.init n (fun i -> 1e-4 *. sin (float_of_int i)) in
+  let uy = Icoe_util.Fbuf.init n (fun i -> 1e-4 *. cos (float_of_int i)) in
+  let ax = Icoe_util.Fbuf.create n and ay = Icoe_util.Fbuf.create n in
+  measure "sw4/acceleration-seq" ~budget:seq_budget (fun () ->
+      Sw4.Elastic.acceleration_seq g scr ~ux ~uy ~ax ~ay);
+  measure "sw4/acceleration-par" ~budget:par_budget (fun () ->
+      Sw4.Elastic.acceleration g scr ~ux ~uy ~ax ~ay);
+  (* ddcMD forces *)
+  let rng = Icoe_util.Rng.create 3 in
+  let p = Ddcmd.Particles.create ~n:1000 ~box:10.5 in
+  Ddcmd.Particles.lattice_init p;
+  Ddcmd.Particles.thermalize p ~rng ~temp:0.7;
+  let e =
+    Ddcmd.Engine.create ~dt:0.004
+      ~potential:(Ddcmd.Potential.lennard_jones ()) p
+  in
+  measure "md/compute-forces-seq" ~budget:seq_budget (fun () ->
+      Ddcmd.Engine.compute_forces_seq e);
+  measure "md/compute-forces-par" ~budget:par_budget (fun () ->
+      Ddcmd.Engine.compute_forces e);
+  (* Cardioid reaction *)
+  let m = Cardioid.Monodomain.create ~nx:64 ~ny:64 () in
+  Cardioid.Monodomain.stimulate m ~ilo:0 ~ihi:3 ~jlo:0 ~jhi:63 ~amplitude:60.0;
+  measure "cardioid/reaction-seq" ~budget:seq_budget (fun () ->
+      Cardioid.Monodomain.reaction_step_seq m);
+  measure "cardioid/reaction-par" ~budget:par_budget (fun () ->
+      Cardioid.Monodomain.reaction_step m);
+  (* CSR SpMV *)
+  let a = Linalg.Csr.laplacian_2d 64 64 in
+  let x = Array.init 4096 (fun i -> float_of_int (i mod 7)) in
+  let y = Array.make 4096 0.0 in
+  measure "linalg/spmv-seq" ~budget:seq_budget (fun () ->
+      Linalg.Csr.spmv_seq_into a x y);
+  measure "linalg/spmv-par" ~budget:par_budget (fun () ->
+      Linalg.Csr.spmv_into a x y);
+  (* LDA E-step *)
+  let rng = Icoe_util.Rng.create 6 in
+  let corpus = Lda.Corpus.generate ~ndocs:16 ~rng () in
+  let lm = Lda.Vem.init ~rng ~k:6 ~vocab:corpus.Lda.Corpus.vocab () in
+  let elogb = Lda.Vem.elog_beta lm in
+  let stats = Icoe_util.Fbuf.create (6 * corpus.Lda.Corpus.vocab) in
+  measure "lda/e-step-doc" ~budget:seq_budget (fun () ->
+      ignore (Lda.Vem.e_step_doc lm elogb corpus.Lda.Corpus.docs.(0) stats));
+  measure "lda/e-step-docs-par" ~budget:par_budget (fun () ->
+      ignore (Lda.Vem.e_step_docs lm elogb corpus.Lda.Corpus.docs stats));
+  if !failures > 0 then begin
+    Fmt.pr "alloc-smoke: %d kernel(s) over budget@." !failures;
+    exit 1
+  end;
+  Fmt.pr "alloc-smoke: all kernels within budget@."
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = List.mem "--micro-only" args in
+  (* GC tuning knobs (ICOE_GC_MINOR_HEAP / ICOE_GC_SPACE_OVERHEAD):
+     applied before any benchmark runs, reported in the header so a
+     BENCH trajectory row can be traced back to its GC configuration. *)
+  let gc = Icoe_util.Gctune.apply_env () in
+  Fmt.pr "bench: gc %s@." (Icoe_util.Gctune.describe gc);
+  if List.mem "--alloc-smoke" args then begin
+    alloc_smoke ();
+    exit 0
+  end;
   let harnesses =
     if micro_only then []
     else begin

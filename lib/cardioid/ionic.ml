@@ -114,6 +114,19 @@ let compile_variant variant =
   let fns = Array.of_list (List.map compile (variant_exprs variant)) in
   fun env -> Array.map (fun f -> f env) fns
 
+(** The zero-alloc kernel form: one stack program per derivative
+    component, plus the widest stack any of them needs. *)
+type kernel = { progs : Melodee.program array; depth : int }
+
+let compile_kernel variant =
+  let progs =
+    Array.of_list (List.map Melodee.compile_program (variant_exprs variant))
+  in
+  let depth =
+    Array.fold_left (fun m p -> max m (Melodee.program_depth p)) 1 progs
+  in
+  { progs; depth }
+
 (** Per-cell per-step flop cost of a variant. [expensive_flops] models the
     price of a double-precision exp on the target. *)
 let variant_flops ?(expensive_flops = 50.0) variant =

@@ -33,7 +33,18 @@ val variant_exprs : variant -> Melodee.expr list
 (** Melodee trees for [dv; dh; dn; dw]. *)
 
 val compile_variant : variant -> float array -> float array
-(** Compiled derivative function over the state+input vector. *)
+(** Compiled derivative function over the state+input vector (boxed
+    closure-tree form — allocates per call; retained as the correctness
+    oracle for {!compile_kernel}). *)
+
+type kernel = {
+  progs : Melodee.program array;  (** one program per state derivative *)
+  depth : int;  (** widest stack any program needs *)
+}
+
+val compile_kernel : variant -> kernel
+(** The zero-alloc form of {!compile_variant}: stack programs executed
+    over preallocated buffers, bit-identical to the closure tree. *)
 
 val variant_flops : ?expensive_flops:float -> variant -> float
 val variant_loads : variant -> int

@@ -209,3 +209,157 @@ let rec load_count ?(folded = false) = function
 let fit_function ~lo ~hi ?(np = 6) ?(nq = 6) f arg =
   let p, q = rational_fit ~lo ~hi ~np ~nq f in
   Ratpoly (p, q, arg)
+
+(* --- zero-alloc program compilation --------------------------------- *)
+
+(* Opcodes for the postfix program form. *)
+let op_const = 0
+let op_var = 1
+let op_add = 2
+let op_sub = 3
+let op_mul = 4
+let op_div = 5
+let op_neg = 6
+let op_exp = 7
+let op_log = 8
+let op_ratpoly = 9
+
+type program = {
+  ops : int array;  (** opcode per instruction *)
+  opargs : int array;  (** operand per instruction (const/var/ratpoly index) *)
+  consts : float array;
+  ratp : float array array;  (** numerator coefficients per ratpoly *)
+  ratq : float array array;  (** denominator coefficients per ratpoly *)
+  depth : int;  (** maximum operand-stack depth *)
+}
+
+let program_depth p = p.depth
+
+(** Compile the tree to a postfix program evaluated over a preallocated
+    stack buffer. The instruction order is a postorder walk — operand
+    [a] before operand [b] before the operation — which performs exactly
+    the floating-point operations of the {!compile} closure tree in the
+    same order, so the two evaluation strategies are bit-identical. The
+    payoff is allocation: the closure tree boxes a float per node per
+    call, the program form writes every intermediate into the caller's
+    stack buffer and allocates nothing. *)
+let compile_program e =
+  let ops = ref [] and opargs = ref [] in
+  let consts = ref [] and nconsts = ref 0 in
+  let ratp = ref [] and ratq = ref [] and nrat = ref 0 in
+  let emit op arg =
+    ops := op :: !ops;
+    opargs := arg :: !opargs
+  in
+  let intern_const c =
+    let i = !nconsts in
+    consts := c :: !consts;
+    incr nconsts;
+    i
+  in
+  let rec go = function
+    | Const c ->
+        emit op_const (intern_const c);
+        1
+    | Var i ->
+        emit op_var i;
+        1
+    | Add (a, b) -> binop op_add a b
+    | Sub (a, b) -> binop op_sub a b
+    | Mul (a, b) -> binop op_mul a b
+    | Div (a, b) -> binop op_div a b
+    | Neg a -> unop op_neg a
+    | Exp a -> unop op_exp a
+    | Log a -> unop op_log a
+    | Ratpoly (p, q, a) ->
+        let d = go a in
+        let i = !nrat in
+        ratp := p :: !ratp;
+        ratq := q :: !ratq;
+        incr nrat;
+        emit op_ratpoly i;
+        d
+  and binop op a b =
+    let da = go a in
+    let db = go b in
+    emit op 0;
+    max da (db + 1)
+  and unop op a =
+    let d = go a in
+    emit op 0;
+    d
+  in
+  let depth = go e in
+  {
+    ops = Array.of_list (List.rev !ops);
+    opargs = Array.of_list (List.rev !opargs);
+    consts = Array.of_list (List.rev !consts);
+    ratp = Array.of_list (List.rev !ratp);
+    ratq = Array.of_list (List.rev !ratq);
+    depth;
+  }
+
+(* The interpreter core: runs the opcode loop and leaves the result at
+   [stack_off]. Returns unit so that neither entry point below pays a
+   boxed-float return on the per-op work. *)
+let exec_core p ~(env : Icoe_util.Fbuf.t) ~env_off
+    ~(stack : Icoe_util.Fbuf.t) ~stack_off =
+  let module Fbuf = Icoe_util.Fbuf in
+  let ops = p.ops and opargs = p.opargs and consts = p.consts in
+  let sp = ref stack_off in
+  for pc = 0 to Array.length ops - 1 do
+    let arg = Array.unsafe_get opargs pc in
+    match Array.unsafe_get ops pc with
+    | 0 (* const *) ->
+        Fbuf.set stack !sp (Array.unsafe_get consts arg);
+        incr sp
+    | 1 (* var *) ->
+        Fbuf.set stack !sp (Fbuf.get env (env_off + arg));
+        incr sp
+    | 6 (* neg *) -> Fbuf.set stack (!sp - 1) (-.Fbuf.get stack (!sp - 1))
+    | 7 (* exp *) -> Fbuf.set stack (!sp - 1) (exp (Fbuf.get stack (!sp - 1)))
+    | 8 (* log *) -> Fbuf.set stack (!sp - 1) (log (Fbuf.get stack (!sp - 1)))
+    | 9 (* ratpoly *) ->
+        (* Horner for p then q, written as two flat loops: a local
+           [horner] closure here would be allocated (and box x) on every
+           ratpoly op *)
+        let x = Fbuf.get stack (!sp - 1) in
+        let pc = Array.unsafe_get p.ratp arg in
+        let accp = ref 0.0 in
+        for i = Array.length pc - 1 downto 0 do
+          accp := (!accp *. x) +. Array.unsafe_get pc i
+        done;
+        let qc = Array.unsafe_get p.ratq arg in
+        let accq = ref 0.0 in
+        for i = Array.length qc - 1 downto 0 do
+          accq := (!accq *. x) +. Array.unsafe_get qc i
+        done;
+        Fbuf.set stack (!sp - 1) (!accp /. !accq)
+    | op (* binary *) ->
+        let b = Fbuf.get stack (!sp - 1) in
+        let a = Fbuf.get stack (!sp - 2) in
+        decr sp;
+        Fbuf.set stack (!sp - 1)
+          (match op with
+          | 2 -> a +. b
+          | 3 -> a -. b
+          | 4 -> a *. b
+          | _ -> a /. b)
+  done
+
+(** Execute a compiled program. [env]/[stack] are flat buffers with base
+    offsets, so one shared buffer can hold a slot per pool chunk; the
+    stack slot must be at least [program_depth] wide. Allocation-free
+    except for the boxed return — hot loops want {!exec_program_into}. *)
+let exec_program p ~env ~env_off ~stack ~stack_off =
+  exec_core p ~env ~env_off ~stack ~stack_off;
+  Icoe_util.Fbuf.get stack stack_off
+
+(** Like {!exec_program}, but the result is written to [out.(out_off)]
+    instead of returned: a float returned across a module boundary is
+    boxed (no cross-module inlining without flambda), which at one call
+    per cell per derivative is most of a reaction sweep's garbage. *)
+let exec_program_into p ~env ~env_off ~stack ~stack_off
+    ~(out : Icoe_util.Fbuf.t) ~out_off =
+  exec_core p ~env ~env_off ~stack ~stack_off;
+  Icoe_util.Fbuf.set out out_off (Icoe_util.Fbuf.get stack stack_off)

@@ -55,3 +55,45 @@ val fit_function :
 (** Fit an arbitrary bounded function and return the replacement applied
     to an argument expression — the DSL's core move (Cardioid fits whole
     rate expressions, which are bounded and smooth). *)
+
+(** {2 Zero-alloc program form}
+
+    {!compile} returns a closure tree whose evaluation boxes a float per
+    node per call — fine for single-cell traces, fatal for a per-cell
+    hot loop. {!compile_program} lowers the same tree to a postfix
+    instruction array executed over a caller-provided stack buffer: the
+    same floating-point operations in the same order (bit-identical
+    results), with zero allocation per evaluation. *)
+
+type program = {
+  ops : int array;
+  opargs : int array;
+  consts : float array;
+  ratp : float array array;
+  ratq : float array array;
+  depth : int;
+}
+
+val compile_program : expr -> program
+
+val program_depth : program -> int
+(** Maximum operand-stack depth one evaluation needs. *)
+
+val exec_program :
+  program -> env:Icoe_util.Fbuf.t -> env_off:int ->
+  stack:Icoe_util.Fbuf.t -> stack_off:int -> float
+(** Evaluate over flat buffers with base offsets ([Var i] reads
+    [env.{env_off + i}]; intermediates live in
+    [stack.{stack_off ...}], at least {!program_depth} slots).
+    Bit-identical to evaluating the {!compile} closure of the same
+    expression. The interpreter allocates nothing, but the returned
+    float is boxed at the call site — hot loops want
+    {!exec_program_into}. *)
+
+val exec_program_into :
+  program -> env:Icoe_util.Fbuf.t -> env_off:int ->
+  stack:Icoe_util.Fbuf.t -> stack_off:int ->
+  out:Icoe_util.Fbuf.t -> out_off:int -> unit
+(** {!exec_program} with the result written to [out.{out_off}] instead
+    of returned: no boxed-float return, so a steady-state caller
+    allocates nothing at all. *)

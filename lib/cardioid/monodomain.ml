@@ -2,10 +2,23 @@
     with operator splitting. Diffusion is the memory-bound 5-point stencil;
     reaction is the compute-bound per-cell ionic update.
 
+    Hot state is SoA: the per-cell ionic state lives in one flat
+    component-major {!Icoe_util.Fbuf} (plane [c] at [c*n + k]), the
+    voltage field in another, and the reaction kernel evaluates the
+    stack-program form of the ionic model ({!Ionic.compile_kernel})
+    over per-chunk scratch slots drawn from a {!Prog.Scratch} arena —
+    so a steady-state step allocates nothing. The arithmetic is
+    unchanged from the boxed row-per-cell layout, so results are
+    bit-identical to the retained closure-tree reference
+    ({!reaction_step_ref}).
+
     The placement study of Sec 4.1 is first-class: [All_gpu] keeps both
     kernels device-side; [Split_cpu_gpu] runs diffusion on the CPU and
     reaction on the GPU, paying a full voltage-field transfer both ways
     every step — the configuration the team measured and rejected. *)
+
+module Fbuf = Icoe_util.Fbuf
+module Pool = Icoe_par.Pool
 
 type placement = All_gpu | All_cpu | Split_cpu_gpu
 
@@ -14,72 +27,167 @@ let placement_name = function
   | All_cpu -> "all-cpu"
   | Split_cpu_gpu -> "diffusion-cpu/reaction-gpu"
 
+(* planes per cell in [state]: the n_state ionic variables plus the
+   stimulus current *)
+let n_planes = Ionic.n_state + 1
+
 type t = {
   nx : int;
   ny : int;
+  n : int;  (** nx * ny *)
   dx : float;
   sigma : float;  (** tissue conductivity (isotropic) *)
   dt : float;
-  state : float array array;  (** per-cell ionic state (n_state + 1) *)
-  v : float array;  (** voltage field, the diffusing variable *)
-  scratch : float array;
+  state : Fbuf.t;
+      (** component-major ionic state, [n_planes] planes of [n]: plane
+          [c] holds variable [c] for every cell, so the per-cell update
+          streams each plane contiguously *)
+  v : Fbuf.t;  (** voltage field, the diffusing variable *)
+  scratch : Fbuf.t;
+  kernel : Ionic.kernel;  (** stack-program derivative, the hot path *)
   deriv : float array -> float array;
+      (** boxed closure-tree derivative, retained as the correctness
+          oracle ({!reaction_step_ref}) *)
+  arena : Prog.Scratch.t;  (** per-chunk reaction scratch slots *)
 }
 
 let create ?(nx = 32) ?(ny = 32) ?(dx = 0.02) ?(sigma = 0.001) ?(dt = 0.02)
     ?(variant = Ionic.Rational) () =
   let n = nx * ny in
-  let deriv = Ionic.compile_variant variant in
-  let state = Array.init n (fun _ -> Ionic.initial_state ()) in
-  let v = Array.make n Ionic.v_rest in
-  { nx; ny; dx; sigma; dt; state; v; scratch = Array.make n 0.0; deriv }
+  let state = Fbuf.create (n_planes * n) in
+  let init = Ionic.initial_state () in
+  for c = 0 to n_planes - 1 do
+    for k = 0 to n - 1 do
+      Fbuf.set state ((c * n) + k) init.(c)
+    done
+  done;
+  let v = Fbuf.create n in
+  Fbuf.fill v Ionic.v_rest;
+  {
+    nx;
+    ny;
+    n;
+    dx;
+    sigma;
+    dt;
+    state;
+    v;
+    scratch = Fbuf.create n;
+    kernel = Ionic.compile_kernel variant;
+    deriv = Ionic.compile_variant variant;
+    arena = Prog.Scratch.create "cardioid-reaction";
+  }
 
 let idx t i j = i + (t.nx * j)
 
 (** Stimulate a rectangular region (sets a strong inward current for the
     next [reaction_step] calls while active). *)
 let stimulate t ~ilo ~ihi ~jlo ~jhi ~amplitude =
+  let base = Ionic.istim_idx * t.n in
   for j = jlo to jhi do
     for i = ilo to ihi do
-      t.state.(idx t i j).(Ionic.istim_idx) <- amplitude
+      Fbuf.set t.state (base + idx t i j) amplitude
     done
   done
 
 let clear_stimulus t =
-  Array.iter (fun s -> s.(Ionic.istim_idx) <- 0.0) t.state
+  let base = Ionic.istim_idx * t.n in
+  for k = 0 to t.n - 1 do
+    Fbuf.set t.state (base + k) 0.0
+  done
 
-let react_cell t k =
-  let s = t.state.(k) in
-  s.(Ionic.iv) <- t.v.(k);
-  let d = t.deriv s in
-  for c = 0 to Ionic.n_state - 1 do
-    s.(c) <- s.(c) +. (t.dt *. d.(c))
-  done;
-  t.v.(k) <- s.(Ionic.iv)
+(* The chunk body of the reaction half-step. Chunk [k]'s scratch slots
+   live at fixed offsets in the shared [env]/[out]/[stack] buffers, so
+   concurrent chunks never touch the same slot. Per cell: gather the
+   state planes into the env slot, evaluate the four derivative
+   programs, apply the explicit-Euler update back into the planes.
+   Allocation-free. *)
+let react_cells t ~env ~out ~stack k clo chi =
+  let n = t.n in
+  let progs = t.kernel.Ionic.progs in
+  let eoff = k * n_planes in
+  let ooff = k * Ionic.n_state in
+  let soff = k * t.kernel.Ionic.depth in
+  for c = clo to chi - 1 do
+    Fbuf.set env eoff (Fbuf.get t.v c);
+    for p = 1 to n_planes - 1 do
+      Fbuf.set env (eoff + p) (Fbuf.get t.state ((p * n) + c))
+    done;
+    for d = 0 to Ionic.n_state - 1 do
+      Melodee.exec_program_into
+        (Array.unsafe_get progs d)
+        ~env ~env_off:eoff ~stack ~stack_off:soff ~out ~out_off:(ooff + d)
+    done;
+    for p = 0 to Ionic.n_state - 1 do
+      Fbuf.set t.state ((p * n) + c)
+        (Fbuf.get env (eoff + p) +. (t.dt *. Fbuf.get out (ooff + p)))
+    done;
+    Fbuf.set t.v c (Fbuf.get t.state c)
+  done
 
-(** Reaction half-step: per-cell ionic update, cell-parallel on the
-    domain pool. Every cell touches only its own state row and voltage
-    entry, so the result is bit-identical to {!reaction_step_seq} for
-    any pool size. *)
+(* Scratch slots are acquired before entering the pooled region (the
+   arena is not thread-safe) and sized by the pool's chunk count, so a
+   steady-state step reuses the same buffers: zero allocation. *)
+let reaction_scratch t =
+  let nchunks = Pool.num_chunks ~lo:0 ~hi:t.n () in
+  let env = Prog.Scratch.get t.arena "react-env" (nchunks * n_planes) in
+  let out = Prog.Scratch.get t.arena "react-out" (nchunks * Ionic.n_state) in
+  let stack =
+    Prog.Scratch.get t.arena "react-stack" (nchunks * t.kernel.Ionic.depth)
+  in
+  (env, out, stack)
+
+(** Reaction half-step: per-cell ionic update, chunk-parallel on the
+    domain pool. Every cell touches only its own state columns, voltage
+    entry and its chunk's scratch slots, so the result is bit-identical
+    to {!reaction_step_seq} for any pool size. *)
 let reaction_step t =
-  Icoe_par.Pool.parallel_for ~lo:0 ~hi:(Array.length t.state) (react_cell t)
+  let env, out, stack = reaction_scratch t in
+  Pool.parallel_for_chunks_i ~lo:0 ~hi:t.n (fun k clo chi ->
+      react_cells t ~env ~out ~stack k clo chi)
 
-(** Serial reference path for the reaction half-step. *)
+(** Serial reference path for the reaction half-step: the same chunk
+    layout, walked in order in the calling domain. *)
 let reaction_step_seq t =
-  for k = 0 to Array.length t.state - 1 do
-    react_cell t k
+  let env, out, stack = reaction_scratch t in
+  let csize = Pool.default_chunk t.n in
+  let nchunks = Pool.num_chunks ~lo:0 ~hi:t.n () in
+  for k = 0 to nchunks - 1 do
+    let clo = k * csize in
+    react_cells t ~env ~out ~stack k clo (min t.n (clo + csize))
+  done
+
+(** Boxed closure-tree reference for the reaction half-step, retained
+    from the row-per-cell layout: per-cell env arrays through
+    {!Ionic.compile_variant}. Allocates per cell — correctness oracle
+    only; the agreement tests pin {!reaction_step} to this bit-for-bit. *)
+let reaction_step_ref t =
+  let n = t.n in
+  let env = Array.make n_planes 0.0 in
+  for c = 0 to n - 1 do
+    env.(Ionic.iv) <- Fbuf.get t.v c;
+    for p = 1 to n_planes - 1 do
+      env.(p) <- Fbuf.get t.state ((p * n) + c)
+    done;
+    let d = t.deriv env in
+    for p = 0 to Ionic.n_state - 1 do
+      Fbuf.set t.state ((p * n) + c) (env.(p) +. (t.dt *. d.(p)))
+    done;
+    Fbuf.set t.v c (Fbuf.get t.state c)
   done
 
 let diffuse_rows t alpha jlo jhi =
+  let v = t.v and scratch = t.scratch in
+  let nx = t.nx and ny = t.ny in
   for j = jlo to jhi - 1 do
-    for i = 0 to t.nx - 1 do
-      let k = idx t i j in
-      let c = t.v.(k) in
-      let vx0 = if i > 0 then t.v.(k - 1) else c in
-      let vx1 = if i < t.nx - 1 then t.v.(k + 1) else c in
-      let vy0 = if j > 0 then t.v.(k - t.nx) else c in
-      let vy1 = if j < t.ny - 1 then t.v.(k + t.nx) else c in
-      t.scratch.(k) <- c +. (alpha *. (vx0 +. vx1 +. vy0 +. vy1 -. (4.0 *. c)))
+    for i = 0 to nx - 1 do
+      let k = i + (nx * j) in
+      let c = Fbuf.get v k in
+      let vx0 = if i > 0 then Fbuf.get v (k - 1) else c in
+      let vx1 = if i < nx - 1 then Fbuf.get v (k + 1) else c in
+      let vy0 = if j > 0 then Fbuf.get v (k - nx) else c in
+      let vy1 = if j < ny - 1 then Fbuf.get v (k + nx) else c in
+      Fbuf.set scratch k (c +. (alpha *. (vx0 +. vx1 +. vy0 +. vy1 -. (4.0 *. c))))
     done
   done
 
@@ -88,9 +196,9 @@ let diffuse_rows t alpha jlo jhi =
     disjoint, so any pool size gives the serial answer). *)
 let diffusion_step t =
   let alpha = t.sigma *. t.dt /. (t.dx *. t.dx) in
-  Icoe_par.Pool.parallel_for_chunks ~chunk:8 ~lo:0 ~hi:t.ny (fun jlo jhi ->
+  Pool.parallel_for_chunks ~chunk:8 ~lo:0 ~hi:t.ny (fun jlo jhi ->
       diffuse_rows t alpha jlo jhi);
-  Array.blit t.scratch 0 t.v 0 (Array.length t.v)
+  Fbuf.blit ~src:t.scratch ~dst:t.v
 
 let m_steps =
   Icoe_obs.Metrics.counter ~help:"Operator-split steps" "cardioid_steps_total"
@@ -110,22 +218,19 @@ let run t ~steps =
 
 (* --- checkpoint/restart support (Icoe_fault.Checkpoint) --- *)
 
-(** Full tissue state: every cell's ionic state row plus the voltage
-    field. [scratch] is rewritten by each diffusion half-step before
-    being read, so it is not part of the state. *)
-type snapshot = { c_state : float array array; c_v : float array }
+(** Full tissue state: the ionic state planes plus the voltage field.
+    [scratch] is rewritten by each diffusion half-step before being
+    read, so it is not part of the state. *)
+type snapshot = { c_state : Fbuf.t; c_v : Fbuf.t }
 
-let snapshot t =
-  { c_state = Array.map Array.copy t.state; c_v = Array.copy t.v }
+let snapshot t = { c_state = Fbuf.copy t.state; c_v = Fbuf.copy t.v }
 
 let restore t s =
-  Array.iteri
-    (fun k row -> Array.blit s.c_state.(k) 0 row 0 (Array.length row))
-    t.state;
-  Array.blit s.c_v 0 t.v 0 (Array.length t.v)
+  Fbuf.blit ~src:s.c_state ~dst:t.state;
+  Fbuf.blit ~src:s.c_v ~dst:t.v
 
 (** Has the excitation wave reached cell (i, j)? (voltage above -20 mV) *)
-let activated t ~i ~j = t.v.(idx t i j) > -20.0
+let activated t ~i ~j = Fbuf.get t.v (idx t i j) > -20.0
 
 (* --- placement cost model (Sec 4.1) --- *)
 

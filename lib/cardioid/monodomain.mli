@@ -1,7 +1,14 @@
 (** The Cardioid monodomain solver: reaction-diffusion on a 2D tissue
     grid with operator splitting. Diffusion is the memory-bound 5-point
     stencil; reaction is the compute-bound per-cell ionic update. The
-    Sec 4.1 placement study is first-class. *)
+    Sec 4.1 placement study is first-class.
+
+    Hot state is SoA: the ionic state lives in one flat component-major
+    {!Icoe_util.Fbuf} (plane [c] at [c*n + k]), the voltage field in
+    another, and the reaction evaluates the stack-program kernel over
+    per-chunk scratch slots from a {!Prog.Scratch} arena — steady-state
+    steps allocate nothing, and results are bit-identical to the
+    retained closure-tree reference. *)
 
 type placement =
   | All_gpu
@@ -13,16 +20,25 @@ type placement =
 
 val placement_name : placement -> string
 
+val n_planes : int
+(** State planes per cell: the {!Ionic.n_state} ionic variables plus
+    the stimulus current. *)
+
 type t = {
   nx : int;
   ny : int;
+  n : int;  (** nx * ny *)
   dx : float;
   sigma : float;
   dt : float;
-  state : float array array;
-  v : float array;
-  scratch : float array;
+  state : Icoe_util.Fbuf.t;
+      (** component-major ionic state: plane [c] at [c*n + k] *)
+  v : Icoe_util.Fbuf.t;
+  scratch : Icoe_util.Fbuf.t;
+  kernel : Ionic.kernel;
   deriv : float array -> float array;
+      (** boxed closure-tree derivative, the correctness oracle *)
+  arena : Prog.Scratch.t;
 }
 
 val create :
@@ -35,11 +51,18 @@ val stimulate : t -> ilo:int -> ihi:int -> jlo:int -> jhi:int -> amplitude:float
 val clear_stimulus : t -> unit
 
 val reaction_step : t -> unit
-(** Cell-parallel on the {!Icoe_par.Pool}; bit-identical to
-    {!reaction_step_seq} for any pool size (disjoint per-cell writes). *)
+(** Chunk-parallel on the {!Icoe_par.Pool}; allocation-free in steady
+    state and bit-identical to {!reaction_step_seq} and
+    {!reaction_step_ref} for any pool size (disjoint per-cell writes,
+    per-chunk scratch slots). *)
 
 val reaction_step_seq : t -> unit
-(** Serial reference path for the reaction half-step. *)
+(** Serial reference path: the same chunk layout walked in order in the
+    calling domain. *)
+
+val reaction_step_ref : t -> unit
+(** Boxed closure-tree reference retained from the row-per-cell layout;
+    allocates per cell — correctness oracle only. *)
 
 val diffusion_step : t -> unit
 (** Row-parallel stencil into the scratch field, then a blit back. *)
@@ -48,7 +71,7 @@ val step : t -> unit
 val run : t -> steps:int -> unit
 
 type snapshot
-(** Full tissue state: per-cell ionic state plus the voltage field. *)
+(** Full tissue state: the ionic state planes plus the voltage field. *)
 
 val snapshot : t -> snapshot
 (** Deep copy of the mutable state, for checkpoint/restart

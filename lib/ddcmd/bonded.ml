@@ -5,22 +5,24 @@ type bond = { bi : int; bj : int; k : float; r0 : float }
 type angle = { ai : int; aj : int; ak : int; ka : float; theta0 : float }
 
 (** Accumulate bond forces and return the bond potential energy. *)
+module Fbuf = Icoe_util.Fbuf
+
 let bond_forces (p : Particles.t) bonds =
   List.fold_left
     (fun acc { bi; bj; k; r0 } ->
-      let dx = Particles.min_image p (p.Particles.x.(bi) -. p.Particles.x.(bj)) in
-      let dy = Particles.min_image p (p.Particles.y.(bi) -. p.Particles.y.(bj)) in
-      let dz = Particles.min_image p (p.Particles.z.(bi) -. p.Particles.z.(bj)) in
+      let dx = Particles.min_image p ((Fbuf.get p.Particles.x bi) -. (Fbuf.get p.Particles.x bj)) in
+      let dy = Particles.min_image p ((Fbuf.get p.Particles.y bi) -. (Fbuf.get p.Particles.y bj)) in
+      let dz = Particles.min_image p ((Fbuf.get p.Particles.z bi) -. (Fbuf.get p.Particles.z bj)) in
       let r = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
       let dr = r -. r0 in
       (* F_i = -k (r - r0) * rhat *)
       let fmag = -.k *. dr /. max r 1e-12 in
-      p.Particles.fx.(bi) <- p.Particles.fx.(bi) +. (fmag *. dx);
-      p.Particles.fy.(bi) <- p.Particles.fy.(bi) +. (fmag *. dy);
-      p.Particles.fz.(bi) <- p.Particles.fz.(bi) +. (fmag *. dz);
-      p.Particles.fx.(bj) <- p.Particles.fx.(bj) -. (fmag *. dx);
-      p.Particles.fy.(bj) <- p.Particles.fy.(bj) -. (fmag *. dy);
-      p.Particles.fz.(bj) <- p.Particles.fz.(bj) -. (fmag *. dz);
+      Fbuf.set p.Particles.fx bi ((Fbuf.get p.Particles.fx bi) +. (fmag *. dx));
+      Fbuf.set p.Particles.fy bi ((Fbuf.get p.Particles.fy bi) +. (fmag *. dy));
+      Fbuf.set p.Particles.fz bi ((Fbuf.get p.Particles.fz bi) +. (fmag *. dz));
+      Fbuf.set p.Particles.fx bj ((Fbuf.get p.Particles.fx bj) -. (fmag *. dx));
+      Fbuf.set p.Particles.fy bj ((Fbuf.get p.Particles.fy bj) -. (fmag *. dy));
+      Fbuf.set p.Particles.fz bj ((Fbuf.get p.Particles.fz bj) -. (fmag *. dz));
       acc +. (0.5 *. k *. dr *. dr))
     0.0 bonds
 
@@ -29,12 +31,12 @@ let angle_forces (p : Particles.t) angles =
   List.fold_left
     (fun acc { ai; aj; ak = akk; ka; theta0 } ->
       (* vectors from the central atom j *)
-      let x1 = Particles.min_image p (p.Particles.x.(ai) -. p.Particles.x.(aj)) in
-      let y1 = Particles.min_image p (p.Particles.y.(ai) -. p.Particles.y.(aj)) in
-      let z1 = Particles.min_image p (p.Particles.z.(ai) -. p.Particles.z.(aj)) in
-      let x2 = Particles.min_image p (p.Particles.x.(akk) -. p.Particles.x.(aj)) in
-      let y2 = Particles.min_image p (p.Particles.y.(akk) -. p.Particles.y.(aj)) in
-      let z2 = Particles.min_image p (p.Particles.z.(akk) -. p.Particles.z.(aj)) in
+      let x1 = Particles.min_image p ((Fbuf.get p.Particles.x ai) -. (Fbuf.get p.Particles.x aj)) in
+      let y1 = Particles.min_image p ((Fbuf.get p.Particles.y ai) -. (Fbuf.get p.Particles.y aj)) in
+      let z1 = Particles.min_image p ((Fbuf.get p.Particles.z ai) -. (Fbuf.get p.Particles.z aj)) in
+      let x2 = Particles.min_image p ((Fbuf.get p.Particles.x akk) -. (Fbuf.get p.Particles.x aj)) in
+      let y2 = Particles.min_image p ((Fbuf.get p.Particles.y akk) -. (Fbuf.get p.Particles.y aj)) in
+      let z2 = Particles.min_image p ((Fbuf.get p.Particles.z akk) -. (Fbuf.get p.Particles.z aj)) in
       let r1 = sqrt ((x1 ** 2.0) +. (y1 ** 2.0) +. (z1 ** 2.0)) in
       let r2 = sqrt ((x2 ** 2.0) +. (y2 ** 2.0) +. (z2 ** 2.0)) in
       let d = ((x1 *. x2) +. (y1 *. y2) +. (z1 *. z2)) /. (r1 *. r2) in
@@ -53,14 +55,14 @@ let angle_forces (p : Particles.t) angles =
       let fi = (-.de_dcos *. gx1, -.de_dcos *. gy1, -.de_dcos *. gz1) in
       let fk = (-.de_dcos *. gx2, -.de_dcos *. gy2, -.de_dcos *. gz2) in
       let fix, fiy, fiz = fi and fkx, fky, fkz = fk in
-      p.Particles.fx.(ai) <- p.Particles.fx.(ai) +. fix;
-      p.Particles.fy.(ai) <- p.Particles.fy.(ai) +. fiy;
-      p.Particles.fz.(ai) <- p.Particles.fz.(ai) +. fiz;
-      p.Particles.fx.(akk) <- p.Particles.fx.(akk) +. fkx;
-      p.Particles.fy.(akk) <- p.Particles.fy.(akk) +. fky;
-      p.Particles.fz.(akk) <- p.Particles.fz.(akk) +. fkz;
-      p.Particles.fx.(aj) <- p.Particles.fx.(aj) -. fix -. fkx;
-      p.Particles.fy.(aj) <- p.Particles.fy.(aj) -. fiy -. fky;
-      p.Particles.fz.(aj) <- p.Particles.fz.(aj) -. fiz -. fkz;
+      Fbuf.set p.Particles.fx ai ((Fbuf.get p.Particles.fx ai) +. fix);
+      Fbuf.set p.Particles.fy ai ((Fbuf.get p.Particles.fy ai) +. fiy);
+      Fbuf.set p.Particles.fz ai ((Fbuf.get p.Particles.fz ai) +. fiz);
+      Fbuf.set p.Particles.fx akk ((Fbuf.get p.Particles.fx akk) +. fkx);
+      Fbuf.set p.Particles.fy akk ((Fbuf.get p.Particles.fy akk) +. fky);
+      Fbuf.set p.Particles.fz akk ((Fbuf.get p.Particles.fz akk) +. fkz);
+      Fbuf.set p.Particles.fx aj ((Fbuf.get p.Particles.fx aj) -. fix -. fkx);
+      Fbuf.set p.Particles.fy aj ((Fbuf.get p.Particles.fy aj) -. fiy -. fky);
+      Fbuf.set p.Particles.fz aj ((Fbuf.get p.Particles.fz aj) -. fiz -. fkz);
       acc +. (0.5 *. ka *. dtheta *. dtheta))
     0.0 angles

@@ -1,6 +1,8 @@
 (** Linked-cell neighbour search: O(N) pair enumeration for short-range
     potentials under periodic boundaries. *)
 
+module Fbuf = Icoe_util.Fbuf
+
 type t = {
   ncell : int;  (** cells per dimension *)
   cell_size : float;
@@ -8,22 +10,44 @@ type t = {
   next : int array;  (** next particle in same cell, -1 terminates *)
 }
 
-let build (p : Particles.t) ~cutoff =
+(* Coordinate -> cell index along one axis. Clamped on BOTH ends:
+   [min] catches v = box (Float.rem can return the box edge for a tiny
+   negative input), [max 0] catches unwrapped slightly-negative
+   coordinates — without it a caller that writes positions directly and
+   bins before wrapping indexes head.(-1). *)
+(* [@inline always]: a float argument to a non-inlined call is boxed
+   without flambda, and build calls this three times per particle *)
+let[@inline always] cell_coord ~ncell ~cell_size v =
+  min (ncell - 1) (max 0 (int_of_float (v /. cell_size)))
+
+let build ?prev (p : Particles.t) ~cutoff =
   (* finer than ~cbrt(n) cells per side only adds empty-cell overhead *)
   let cap =
     max 3 (int_of_float (Float.ceil (float_of_int p.Particles.n ** (1.0 /. 3.0))))
   in
   let ncell = max 1 (min cap (int_of_float (p.Particles.box /. cutoff))) in
   let cell_size = p.Particles.box /. float_of_int ncell in
-  let head = Array.make (ncell * ncell * ncell) (-1) in
-  let next = Array.make p.Particles.n (-1) in
-  let cell_of i =
-    let c v = min (ncell - 1) (int_of_float (v /. cell_size)) in
-    let cx = c p.Particles.x.(i) and cy = c p.Particles.y.(i) and cz = c p.Particles.z.(i) in
-    cx + (ncell * (cy + (ncell * cz)))
+  (* reuse the previous build's arrays when the geometry still matches:
+     steady-state rebuilds (every force call) then allocate nothing but
+     this record *)
+  let head, next =
+    match prev with
+    | Some t
+      when t.ncell = ncell
+           && Array.length t.next = p.Particles.n ->
+        Array.fill t.head 0 (Array.length t.head) (-1);
+        (t.head, t.next)
+    | _ -> (Array.make (ncell * ncell * ncell) (-1), Array.make p.Particles.n (-1))
   in
+  (* flat loop, no helper closures: a per-particle closure (or a
+     non-inlined call taking the coordinate) allocates in what must be a
+     steady-state-free rebuild *)
+  let xb = p.Particles.x and yb = p.Particles.y and zb = p.Particles.z in
   for i = 0 to p.Particles.n - 1 do
-    let c = cell_of i in
+    let cx = cell_coord ~ncell ~cell_size (Fbuf.get xb i)
+    and cy = cell_coord ~ncell ~cell_size (Fbuf.get yb i)
+    and cz = cell_coord ~ncell ~cell_size (Fbuf.get zb i) in
+    let c = cx + (ncell * (cy + (ncell * cz))) in
     next.(i) <- head.(c);
     head.(c) <- i
   done;
@@ -36,7 +60,11 @@ let build (p : Particles.t) ~cutoff =
     parallel with disjoint writes. Falls back to an all-particles scan
     when the box is under 3 cells per side (where wrapped cell offsets
     would alias). Enumeration order depends only on the particle
-    insertion order, never on who runs it. *)
+    insertion order, never on who runs it.
+
+    The engine's force kernel inlines this walk (a closure per particle
+    would allocate); this closure form remains for observables and
+    tests, and must enumerate in exactly the same order. *)
 let iter_neighbors t (p : Particles.t) ~cutoff i f =
   let c2 = cutoff *. cutoff in
   if t.ncell < 3 then
@@ -46,10 +74,10 @@ let iter_neighbors t (p : Particles.t) ~cutoff i f =
   else begin
     let nc = t.ncell in
     let wrap c = ((c mod nc) + nc) mod nc in
-    let cofs v = min (nc - 1) (int_of_float (v /. t.cell_size)) in
-    let cx = cofs p.Particles.x.(i)
-    and cy = cofs p.Particles.y.(i)
-    and cz = cofs p.Particles.z.(i) in
+    let cofs v = cell_coord ~ncell:nc ~cell_size:t.cell_size v in
+    let cx = cofs (Fbuf.get p.Particles.x i)
+    and cy = cofs (Fbuf.get p.Particles.y i)
+    and cz = cofs (Fbuf.get p.Particles.z i) in
     for dz = -1 to 1 do
       for dy = -1 to 1 do
         for dx = -1 to 1 do

@@ -8,9 +8,16 @@ type t = {
   next : int array;
 }
 
-val build : Particles.t -> cutoff:float -> t
+val cell_coord : ncell:int -> cell_size:float -> float -> int
+(** Coordinate to cell index along one axis, clamped into
+    [0, ncell-1] on both ends — unwrapped slightly-negative coordinates
+    bin to cell 0 rather than indexing out of bounds. *)
+
+val build : ?prev:t -> Particles.t -> cutoff:float -> t
 (** Cell size >= cutoff; the per-side count is capped near cbrt(n) so
-    sparse systems don't pay for empty cells. *)
+    sparse systems don't pay for empty cells. Pass the previous build
+    as [?prev] to reuse its arrays when the geometry is unchanged —
+    steady-state rebuilds then allocate nothing but the record. *)
 
 val iter_pairs : t -> Particles.t -> cutoff:float -> (int -> int -> unit) -> unit
 (** Each unordered pair within the cutoff exactly once (half-shell
@@ -22,4 +29,6 @@ val iter_neighbors :
     within the cutoff of particle [i] (full 27-cell shell; each pair is
     seen from both ends). The particle-parallel dual of {!iter_pairs}:
     per-particle force accumulation needs no synchronization, which is
-    how the pooled force kernel keeps disjoint writes. *)
+    how the pooled force kernel keeps disjoint writes. The engine
+    inlines this walk in its chunk body (same enumeration order); this
+    closure form serves observables and tests. *)

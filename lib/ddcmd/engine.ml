@@ -1,7 +1,19 @@
 (** The ddcMD engine: the full MD loop the paper moved onto the GPU —
     nonbonded (generic pair infrastructure over linked cells), bonded
     terms, velocity Verlet, Langevin thermostat, Berendsen barostat, and
-    SHAKE-style bond constraints. *)
+    SHAKE-style bond constraints.
+
+    The force kernel is allocation-free in steady state: particle
+    components live in {!Icoe_util.Fbuf} Bigarrays, the neighbour walk
+    is inlined into the chunk body (a closure per particle would box
+    the force accumulators), pair evaluations write into per-chunk
+    scratch slots ({!Potential.eval_into}), energy/virial partials land
+    in a preallocated slot per chunk, and the cell lists are rebuilt in
+    place. The arithmetic is unchanged, so results are bit-identical to
+    the boxed layout it replaced. *)
+
+module Fbuf = Icoe_util.Fbuf
+module Pool = Icoe_par.Pool
 
 type t = {
   p : Particles.t;
@@ -14,6 +26,8 @@ type t = {
   mutable virial : float;
   mutable steps : int;
   mutable pair_count : int;  (** pairs evaluated last force call *)
+  mutable cells : Cells.t option;  (** last build, reused in place *)
+  arena : Prog.Scratch.t;  (** per-chunk force-kernel scratch *)
 }
 
 let m_force_evals =
@@ -44,44 +58,157 @@ let create ?(bonds = []) ?(angles = []) ?(constraints = []) ~dt ~potential p =
     virial = 0.0;
     steps = 0;
     pair_count = 0;
+    cells = None;
+    arena = Prog.Scratch.create "md-forces";
   }
 
 (* Nonbonded forces on particles [lo, hi): the per-particle full-shell
    enumeration (each pair seen from both ends, so every particle's force
    sum is written by exactly one iteration — no synchronization, and the
-   same summation order whoever runs the chunk). Returns the chunk's
-   (2*epot, 2*virial, evaluations): pair-shared terms are halved once,
-   after the deterministic chunk-ordered reduction. *)
-let nonbonded_chunk t cl lo hi =
+   same summation order whoever runs the chunk). The 27-cell walk of
+   Cells.iter_neighbors is inlined — same enumeration order, but the
+   force accumulators stay in registers instead of escaping into a
+   closure. Chunk [k]'s (2*epot, 2*virial, evaluations) partials land in
+   its slot of [partials]; pair evaluations go through its 3-wide slot
+   of [pairbuf] (r2 in, energy/f_over_r out). Allocation-free. *)
+let nonbonded_chunk t cl partials pairbuf k lo hi =
   let p = t.p in
   let cutoff = t.potential.Potential.cutoff in
+  let eval_into = t.potential.Potential.eval_into in
+  let species = p.Particles.species in
+  let c2 = cutoff *. cutoff in
+  let poff = 3 * k in
   let epot2 = ref 0.0 and virial2 = ref 0.0 and evals = ref 0 in
+  let { Cells.ncell = nc; cell_size; head; next } = cl in
+  (* separation and squared distance computed in place: calling
+     Particles.dist2/min_image per candidate pair would box a float
+     return per call (no cross-module inlining without flambda). The
+     branch structure matches Particles.min_image exactly — [-.half] is
+     [-.box /. 2.0] to the bit — so r2 and the force updates are
+     unchanged. *)
+  let xb = p.Particles.x and yb = p.Particles.y and zb = p.Particles.z in
+  let box = p.Particles.box in
+  let half = box /. 2.0 in
+  (* the per-pair body appears twice (all-particles fallback and cell
+     walk) rather than as a local function: a closure here would be
+     allocated per particle and box the force accumulators *)
   for i = lo to hi - 1 do
     let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
-    Cells.iter_neighbors cl p ~cutoff i (fun j ->
-        incr evals;
-        let r2 = Particles.dist2 p i j in
-        let e, f_over_r =
-          t.potential.Potential.eval ~si:p.Particles.species.(i)
-            ~sj:p.Particles.species.(j) ~r2
-        in
-        if f_over_r <> 0.0 || e <> 0.0 then begin
-          epot2 := !epot2 +. e;
-          virial2 := !virial2 +. (f_over_r *. r2);
-          let dx = Particles.min_image p (p.Particles.x.(i) -. p.Particles.x.(j)) in
-          let dy = Particles.min_image p (p.Particles.y.(i) -. p.Particles.y.(j)) in
-          let dz = Particles.min_image p (p.Particles.z.(i) -. p.Particles.z.(j)) in
-          fx := !fx +. (f_over_r *. dx);
-          fy := !fy +. (f_over_r *. dy);
-          fz := !fz +. (f_over_r *. dz)
-        end);
-    p.Particles.fx.(i) <- !fx;
-    p.Particles.fy.(i) <- !fy;
-    p.Particles.fz.(i) <- !fz
+    let si = Array.unsafe_get species i in
+    (if nc < 3 then
+       for j = 0 to p.Particles.n - 1 do
+         if j <> i then begin
+           let dx0 = Fbuf.get xb i -. Fbuf.get xb j in
+           let dx =
+             if dx0 > half then dx0 -. box
+             else if dx0 < -.half then dx0 +. box
+             else dx0
+           in
+           let dy0 = Fbuf.get yb i -. Fbuf.get yb j in
+           let dy =
+             if dy0 > half then dy0 -. box
+             else if dy0 < -.half then dy0 +. box
+             else dy0
+           in
+           let dz0 = Fbuf.get zb i -. Fbuf.get zb j in
+           let dz =
+             if dz0 > half then dz0 -. box
+             else if dz0 < -.half then dz0 +. box
+             else dz0
+           in
+           let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+           if r2 <= c2 then begin
+             incr evals;
+             Fbuf.set pairbuf poff r2;
+             eval_into ~si ~sj:(Array.unsafe_get species j) pairbuf poff;
+             let e = Fbuf.get pairbuf (poff + 1)
+             and f_over_r = Fbuf.get pairbuf (poff + 2) in
+             if f_over_r <> 0.0 || e <> 0.0 then begin
+               epot2 := !epot2 +. e;
+               virial2 := !virial2 +. (f_over_r *. r2);
+               fx := !fx +. (f_over_r *. dx);
+               fy := !fy +. (f_over_r *. dy);
+               fz := !fz +. (f_over_r *. dz)
+             end
+           end
+         end
+       done
+     else begin
+       (* Cells.cell_coord computed in place (same expression, both-ends
+          clamp): the cross-module call would box its float arguments on
+          every particle *)
+       let cx =
+         min (nc - 1) (max 0 (int_of_float (Fbuf.get xb i /. cell_size)))
+       and cy =
+         min (nc - 1) (max 0 (int_of_float (Fbuf.get yb i /. cell_size)))
+       and cz =
+         min (nc - 1) (max 0 (int_of_float (Fbuf.get zb i /. cell_size)))
+       in
+       for ddz = -1 to 1 do
+         for ddy = -1 to 1 do
+           for ddx = -1 to 1 do
+             (* Cells.iter_neighbors' [wrap] written out — even a
+                chunk-level closure shows up at 60+ chunks per call *)
+             let wx = (((cx + ddx) mod nc) + nc) mod nc
+             and wy = (((cy + ddy) mod nc) + nc) mod nc
+             and wz = (((cz + ddz) mod nc) + nc) mod nc in
+             let c' = wx + (nc * (wy + (nc * wz))) in
+             let jr = ref (Array.unsafe_get head c') in
+             while !jr >= 0 do
+               let j = !jr in
+               if j <> i then begin
+                 let dx0 = Fbuf.get xb i -. Fbuf.get xb j in
+                 let dx =
+                   if dx0 > half then dx0 -. box
+                   else if dx0 < -.half then dx0 +. box
+                   else dx0
+                 in
+                 let dy0 = Fbuf.get yb i -. Fbuf.get yb j in
+                 let dy =
+                   if dy0 > half then dy0 -. box
+                   else if dy0 < -.half then dy0 +. box
+                   else dy0
+                 in
+                 let dz0 = Fbuf.get zb i -. Fbuf.get zb j in
+                 let dz =
+                   if dz0 > half then dz0 -. box
+                   else if dz0 < -.half then dz0 +. box
+                   else dz0
+                 in
+                 let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+                 if r2 <= c2 then begin
+                   incr evals;
+                   Fbuf.set pairbuf poff r2;
+                   eval_into ~si
+                     ~sj:(Array.unsafe_get species j)
+                     pairbuf poff;
+                   let e = Fbuf.get pairbuf (poff + 1)
+                   and f_over_r = Fbuf.get pairbuf (poff + 2) in
+                   if f_over_r <> 0.0 || e <> 0.0 then begin
+                     epot2 := !epot2 +. e;
+                     virial2 := !virial2 +. (f_over_r *. r2);
+                     fx := !fx +. (f_over_r *. dx);
+                     fy := !fy +. (f_over_r *. dy);
+                     fz := !fz +. (f_over_r *. dz)
+                   end
+                 end
+               end;
+               jr := Array.unsafe_get next j
+             done
+           done
+         done
+       done
+     end);
+    Fbuf.set p.Particles.fx i !fx;
+    Fbuf.set p.Particles.fy i !fy;
+    Fbuf.set p.Particles.fz i !fz
   done;
-  (!epot2, !virial2, !evals)
+  Fbuf.set partials (3 * k) !epot2;
+  Fbuf.set partials ((3 * k) + 1) !virial2;
+  (* exact below 2^53 — chunk pair counts are nowhere near that *)
+  Fbuf.set partials ((3 * k) + 2) (float_of_int !evals)
 
-let finish_forces t (epot2, virial2, evals) =
+let finish_forces t ~epot2 ~virial2 ~evals =
   let p = t.p in
   let epot = ref (0.5 *. epot2) in
   epot := !epot +. Bonded.bond_forces p t.bonds;
@@ -92,7 +219,29 @@ let finish_forces t (epot2, virial2, evals) =
   Icoe_obs.Metrics.inc m_force_evals;
   Icoe_obs.Metrics.inc ~by:(float_of_int t.pair_count) m_pairs
 
-let combine_chunks (ea, va, na) (eb, vb, nb) = (ea +. eb, va +. vb, na + nb)
+(* Shared prologue: rebuild the cell list in place and hand back the
+   per-chunk scratch slots (acquired before any pooled region — the
+   arena is not thread-safe). *)
+let force_scratch t =
+  let p = t.p in
+  let cl = Cells.build ?prev:t.cells p ~cutoff:t.potential.Potential.cutoff in
+  t.cells <- Some cl;
+  let nchunks = Pool.num_chunks ~lo:0 ~hi:p.Particles.n () in
+  let partials = Prog.Scratch.get t.arena "nb-partials" (3 * nchunks) in
+  let pairbuf = Prog.Scratch.get t.arena "nb-pairbuf" (3 * nchunks) in
+  (cl, nchunks, partials, pairbuf)
+
+(* Ascending-chunk reduction of the partial slots: the same association
+   as the Array.fold_left over chunk results it replaces, so the sums
+   are bit-identical for any pool size. *)
+let reduce_partials partials nchunks =
+  let epot2 = ref 0.0 and virial2 = ref 0.0 and evals = ref 0 in
+  for k = 0 to nchunks - 1 do
+    epot2 := !epot2 +. Fbuf.get partials (3 * k);
+    virial2 := !virial2 +. Fbuf.get partials ((3 * k) + 1);
+    evals := !evals + int_of_float (Fbuf.get partials ((3 * k) + 2))
+  done;
+  (!epot2, !virial2, !evals)
 
 (** Recompute all forces; updates [pot_energy] and [virial].
     Particle-parallel on the {!Icoe_par.Pool}: per-particle full-shell
@@ -101,53 +250,51 @@ let combine_chunks (ea, va, na) (eb, vb, nb) = (ea +. eb, va +. vb, na + nb)
     {!compute_forces_seq} for any pool size. Bonded terms stay serial
     (they are a small fraction of the work). *)
 let compute_forces t =
-  let p = t.p in
-  let cl = Cells.build p ~cutoff:t.potential.Potential.cutoff in
-  finish_forces t
-    (Icoe_par.Pool.map_reduce ~lo:0 ~hi:p.Particles.n
-       ~combine:combine_chunks ~init:(0.0, 0.0, 0)
-       (fun lo hi -> nonbonded_chunk t cl lo hi))
+  let cl, nchunks, partials, pairbuf = force_scratch t in
+  Pool.parallel_for_chunks_i ~lo:0 ~hi:t.p.Particles.n (fun k lo hi ->
+      nonbonded_chunk t cl partials pairbuf k lo hi);
+  let epot2, virial2, evals = reduce_partials partials nchunks in
+  finish_forces t ~epot2 ~virial2 ~evals
 
 (** Serial reference path: the same per-particle algorithm and chunk
     layout run entirely in the calling domain. *)
 let compute_forces_seq t =
-  let p = t.p in
-  let cl = Cells.build p ~cutoff:t.potential.Potential.cutoff in
-  let n = p.Particles.n in
-  let csize = Icoe_par.Pool.default_chunk n in
-  let acc = ref (0.0, 0.0, 0) in
-  let lo = ref 0 in
-  while !lo < n do
-    let hi = min n (!lo + csize) in
-    acc := combine_chunks !acc (nonbonded_chunk t cl !lo hi);
-    lo := hi
+  let cl, nchunks, partials, pairbuf = force_scratch t in
+  let csize = Pool.default_chunk t.p.Particles.n in
+  for k = 0 to nchunks - 1 do
+    let lo = k * csize in
+    nonbonded_chunk t cl partials pairbuf k lo
+      (min t.p.Particles.n (lo + csize))
   done;
-  finish_forces t !acc
+  let epot2, virial2, evals = reduce_partials partials nchunks in
+  finish_forces t ~epot2 ~virial2 ~evals
 
 (* SHAKE: iteratively project positions back onto the constraint manifold *)
 let shake ?(iters = 50) ?(tol = 1e-8) t =
   let p = t.p in
+  let px = p.Particles.x and py = p.Particles.y and pz = p.Particles.z in
   let rec loop k =
     if k >= iters then ()
     else begin
       let worst = ref 0.0 in
       List.iter
         (fun (i, j, d0) ->
-          let dx = Particles.min_image p (p.Particles.x.(i) -. p.Particles.x.(j)) in
-          let dy = Particles.min_image p (p.Particles.y.(i) -. p.Particles.y.(j)) in
-          let dz = Particles.min_image p (p.Particles.z.(i) -. p.Particles.z.(j)) in
+          let dx = Particles.min_image p (Fbuf.get px i -. Fbuf.get px j) in
+          let dy = Particles.min_image p (Fbuf.get py i -. Fbuf.get py j) in
+          let dz = Particles.min_image p (Fbuf.get pz i -. Fbuf.get pz j) in
           let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
           let diff = r2 -. (d0 *. d0) in
           worst := max !worst (Float.abs diff /. (d0 *. d0));
-          let mi = p.Particles.mass.(i) and mj = p.Particles.mass.(j) in
+          let mi = Fbuf.get p.Particles.mass i
+          and mj = Fbuf.get p.Particles.mass j in
           (* first-order correction along the bond *)
           let g = diff /. (2.0 *. r2 *. ((1.0 /. mi) +. (1.0 /. mj))) in
-          p.Particles.x.(i) <- p.Particles.x.(i) -. (g *. dx /. mi);
-          p.Particles.y.(i) <- p.Particles.y.(i) -. (g *. dy /. mi);
-          p.Particles.z.(i) <- p.Particles.z.(i) -. (g *. dz /. mi);
-          p.Particles.x.(j) <- p.Particles.x.(j) +. (g *. dx /. mj);
-          p.Particles.y.(j) <- p.Particles.y.(j) +. (g *. dy /. mj);
-          p.Particles.z.(j) <- p.Particles.z.(j) +. (g *. dz /. mj))
+          Fbuf.set px i (Fbuf.get px i -. (g *. dx /. mi));
+          Fbuf.set py i (Fbuf.get py i -. (g *. dy /. mi));
+          Fbuf.set pz i (Fbuf.get pz i -. (g *. dz /. mi));
+          Fbuf.set px j (Fbuf.get px j +. (g *. dx /. mj));
+          Fbuf.set py j (Fbuf.get py j +. (g *. dy /. mj));
+          Fbuf.set pz j (Fbuf.get pz j +. (g *. dz /. mj)))
         t.constraints;
       if !worst > tol then loop (k + 1)
     end
@@ -163,23 +310,32 @@ let step ?langevin ?berendsen t =
   let n = p.Particles.n in
   (* half kick + drift *)
   for i = 0 to n - 1 do
-    let im = 0.5 *. dt /. p.Particles.mass.(i) in
-    p.Particles.vx.(i) <- p.Particles.vx.(i) +. (im *. p.Particles.fx.(i));
-    p.Particles.vy.(i) <- p.Particles.vy.(i) +. (im *. p.Particles.fy.(i));
-    p.Particles.vz.(i) <- p.Particles.vz.(i) +. (im *. p.Particles.fz.(i));
-    p.Particles.x.(i) <- p.Particles.x.(i) +. (dt *. p.Particles.vx.(i));
-    p.Particles.y.(i) <- p.Particles.y.(i) +. (dt *. p.Particles.vy.(i));
-    p.Particles.z.(i) <- p.Particles.z.(i) +. (dt *. p.Particles.vz.(i))
+    let im = 0.5 *. dt /. Fbuf.get p.Particles.mass i in
+    Fbuf.set p.Particles.vx i
+      (Fbuf.get p.Particles.vx i +. (im *. Fbuf.get p.Particles.fx i));
+    Fbuf.set p.Particles.vy i
+      (Fbuf.get p.Particles.vy i +. (im *. Fbuf.get p.Particles.fy i));
+    Fbuf.set p.Particles.vz i
+      (Fbuf.get p.Particles.vz i +. (im *. Fbuf.get p.Particles.fz i));
+    Fbuf.set p.Particles.x i
+      (Fbuf.get p.Particles.x i +. (dt *. Fbuf.get p.Particles.vx i));
+    Fbuf.set p.Particles.y i
+      (Fbuf.get p.Particles.y i +. (dt *. Fbuf.get p.Particles.vy i));
+    Fbuf.set p.Particles.z i
+      (Fbuf.get p.Particles.z i +. (dt *. Fbuf.get p.Particles.vz i))
   done;
   shake t;
   Particles.wrap_all p;
   compute_forces t;
   (* second half kick *)
   for i = 0 to n - 1 do
-    let im = 0.5 *. dt /. p.Particles.mass.(i) in
-    p.Particles.vx.(i) <- p.Particles.vx.(i) +. (im *. p.Particles.fx.(i));
-    p.Particles.vy.(i) <- p.Particles.vy.(i) +. (im *. p.Particles.fy.(i));
-    p.Particles.vz.(i) <- p.Particles.vz.(i) +. (im *. p.Particles.fz.(i))
+    let im = 0.5 *. dt /. Fbuf.get p.Particles.mass i in
+    Fbuf.set p.Particles.vx i
+      (Fbuf.get p.Particles.vx i +. (im *. Fbuf.get p.Particles.fx i));
+    Fbuf.set p.Particles.vy i
+      (Fbuf.get p.Particles.vy i +. (im *. Fbuf.get p.Particles.fy i));
+    Fbuf.set p.Particles.vz i
+      (Fbuf.get p.Particles.vz i +. (im *. Fbuf.get p.Particles.fz i))
   done;
   (* Langevin thermostat: BBK-style friction + noise on the velocities *)
   (match langevin with
@@ -188,14 +344,17 @@ let step ?langevin ?berendsen t =
       let c1 = exp (-.gamma *. dt) in
       for i = 0 to n - 1 do
         let sigma =
-          sqrt (temp /. p.Particles.mass.(i) *. (1.0 -. (c1 *. c1)))
+          sqrt (temp /. Fbuf.get p.Particles.mass i *. (1.0 -. (c1 *. c1)))
         in
-        p.Particles.vx.(i) <-
-          (c1 *. p.Particles.vx.(i)) +. (sigma *. Icoe_util.Rng.gaussian rng);
-        p.Particles.vy.(i) <-
-          (c1 *. p.Particles.vy.(i)) +. (sigma *. Icoe_util.Rng.gaussian rng);
-        p.Particles.vz.(i) <-
-          (c1 *. p.Particles.vz.(i)) +. (sigma *. Icoe_util.Rng.gaussian rng)
+        Fbuf.set p.Particles.vx i
+          ((c1 *. Fbuf.get p.Particles.vx i)
+          +. (sigma *. Icoe_util.Rng.gaussian rng));
+        Fbuf.set p.Particles.vy i
+          ((c1 *. Fbuf.get p.Particles.vy i)
+          +. (sigma *. Icoe_util.Rng.gaussian rng));
+        Fbuf.set p.Particles.vz i
+          ((c1 *. Fbuf.get p.Particles.vz i)
+          +. (sigma *. Icoe_util.Rng.gaussian rng))
       done);
   (* Berendsen barostat: weak box rescaling toward target pressure *)
   (match berendsen with
@@ -209,9 +368,9 @@ let step ?langevin ?berendsen t =
       let mu = max 0.99 (min 1.01 mu) in
       p.Particles.box <- p.Particles.box *. mu;
       for i = 0 to n - 1 do
-        p.Particles.x.(i) <- p.Particles.x.(i) *. mu;
-        p.Particles.y.(i) <- p.Particles.y.(i) *. mu;
-        p.Particles.z.(i) <- p.Particles.z.(i) *. mu
+        Fbuf.set p.Particles.x i (Fbuf.get p.Particles.x i *. mu);
+        Fbuf.set p.Particles.y i (Fbuf.get p.Particles.y i *. mu);
+        Fbuf.set p.Particles.z i (Fbuf.get p.Particles.z i *. mu)
       done);
   t.steps <- t.steps + 1;
   Icoe_obs.Metrics.inc m_steps
@@ -270,9 +429,9 @@ let vacf ?langevin ?(samples = 40) ?(stride = 5) t =
       Array.init (3 * n) (fun k ->
           let i = k / 3 in
           match k mod 3 with
-          | 0 -> t.p.Particles.vx.(i)
-          | 1 -> t.p.Particles.vy.(i)
-          | _ -> t.p.Particles.vz.(i))
+          | 0 -> Fbuf.get t.p.Particles.vx i
+          | 1 -> Fbuf.get t.p.Particles.vy i
+          | _ -> Fbuf.get t.p.Particles.vz i)
   done;
   let dot a b = Linalg.Vec.dot a b /. float_of_int n in
   let c0 = dot snaps.(0) snaps.(0) in
@@ -296,15 +455,15 @@ let diffusion_coefficient ~vacf ~c0 ~dt_sample =
     are not part of the state. *)
 type snapshot = {
   s_box : float;
-  s_x : float array;
-  s_y : float array;
-  s_z : float array;
-  s_vx : float array;
-  s_vy : float array;
-  s_vz : float array;
-  s_fx : float array;
-  s_fy : float array;
-  s_fz : float array;
+  s_x : Fbuf.t;
+  s_y : Fbuf.t;
+  s_z : Fbuf.t;
+  s_vx : Fbuf.t;
+  s_vy : Fbuf.t;
+  s_vz : Fbuf.t;
+  s_fx : Fbuf.t;
+  s_fy : Fbuf.t;
+  s_fz : Fbuf.t;
   s_pot_energy : float;
   s_virial : float;
   s_steps : int;
@@ -315,15 +474,15 @@ let snapshot t =
   let p = t.p in
   {
     s_box = p.Particles.box;
-    s_x = Array.copy p.Particles.x;
-    s_y = Array.copy p.Particles.y;
-    s_z = Array.copy p.Particles.z;
-    s_vx = Array.copy p.Particles.vx;
-    s_vy = Array.copy p.Particles.vy;
-    s_vz = Array.copy p.Particles.vz;
-    s_fx = Array.copy p.Particles.fx;
-    s_fy = Array.copy p.Particles.fy;
-    s_fz = Array.copy p.Particles.fz;
+    s_x = Fbuf.copy p.Particles.x;
+    s_y = Fbuf.copy p.Particles.y;
+    s_z = Fbuf.copy p.Particles.z;
+    s_vx = Fbuf.copy p.Particles.vx;
+    s_vy = Fbuf.copy p.Particles.vy;
+    s_vz = Fbuf.copy p.Particles.vz;
+    s_fx = Fbuf.copy p.Particles.fx;
+    s_fy = Fbuf.copy p.Particles.fy;
+    s_fz = Fbuf.copy p.Particles.fz;
     s_pot_energy = t.pot_energy;
     s_virial = t.virial;
     s_steps = t.steps;
@@ -332,17 +491,16 @@ let snapshot t =
 
 let restore t s =
   let p = t.p in
-  let blit src dst = Array.blit src 0 dst 0 (Array.length dst) in
   p.Particles.box <- s.s_box;
-  blit s.s_x p.Particles.x;
-  blit s.s_y p.Particles.y;
-  blit s.s_z p.Particles.z;
-  blit s.s_vx p.Particles.vx;
-  blit s.s_vy p.Particles.vy;
-  blit s.s_vz p.Particles.vz;
-  blit s.s_fx p.Particles.fx;
-  blit s.s_fy p.Particles.fy;
-  blit s.s_fz p.Particles.fz;
+  Fbuf.blit ~src:s.s_x ~dst:p.Particles.x;
+  Fbuf.blit ~src:s.s_y ~dst:p.Particles.y;
+  Fbuf.blit ~src:s.s_z ~dst:p.Particles.z;
+  Fbuf.blit ~src:s.s_vx ~dst:p.Particles.vx;
+  Fbuf.blit ~src:s.s_vy ~dst:p.Particles.vy;
+  Fbuf.blit ~src:s.s_vz ~dst:p.Particles.vz;
+  Fbuf.blit ~src:s.s_fx ~dst:p.Particles.fx;
+  Fbuf.blit ~src:s.s_fy ~dst:p.Particles.fy;
+  Fbuf.blit ~src:s.s_fz ~dst:p.Particles.fz;
   t.pot_energy <- s.s_pot_energy;
   t.virial <- s.s_virial;
   t.steps <- s.s_steps;

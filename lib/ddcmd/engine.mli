@@ -14,6 +14,9 @@ type t = {
   mutable virial : float;
   mutable steps : int;
   mutable pair_count : int;
+  mutable cells : Cells.t option;
+      (** last cell-list build, reused in place by the next force call *)
+  arena : Prog.Scratch.t;  (** per-chunk force-kernel scratch slots *)
 }
 
 val create :

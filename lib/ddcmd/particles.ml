@@ -2,39 +2,46 @@
 
     The paper's ddcMD port "converted the array of structs to a struct of
     arrays" for locality; we keep that layout so per-array streaming costs
-    are explicit. Positions are wrapped into [0, box). *)
+    are explicit. Each component lives in a flat float64
+    {!Icoe_util.Fbuf} Bigarray: the force loop reads and writes them with
+    unchecked single-load access and the GC never scans or moves them.
+    Positions are wrapped into [0, box). *)
+
+module Fbuf = Icoe_util.Fbuf
 
 type t = {
   n : int;
   mutable box : float;  (** cubic box edge length *)
-  x : float array;
-  y : float array;
-  z : float array;
-  vx : float array;
-  vy : float array;
-  vz : float array;
-  fx : float array;
-  fy : float array;
-  fz : float array;
-  mass : float array;
+  x : Fbuf.t;
+  y : Fbuf.t;
+  z : Fbuf.t;
+  vx : Fbuf.t;
+  vy : Fbuf.t;
+  vz : Fbuf.t;
+  fx : Fbuf.t;
+  fy : Fbuf.t;
+  fz : Fbuf.t;
+  mass : Fbuf.t;
   species : int array;
 }
 
 let create ~n ~box =
   assert (n > 0 && box > 0.0);
+  let mass = Fbuf.create n in
+  Fbuf.fill mass 1.0;
   {
     n;
     box;
-    x = Array.make n 0.0;
-    y = Array.make n 0.0;
-    z = Array.make n 0.0;
-    vx = Array.make n 0.0;
-    vy = Array.make n 0.0;
-    vz = Array.make n 0.0;
-    fx = Array.make n 0.0;
-    fy = Array.make n 0.0;
-    fz = Array.make n 0.0;
-    mass = Array.make n 1.0;
+    x = Fbuf.create n;
+    y = Fbuf.create n;
+    z = Fbuf.create n;
+    vx = Fbuf.create n;
+    vy = Fbuf.create n;
+    vz = Fbuf.create n;
+    fx = Fbuf.create n;
+    fy = Fbuf.create n;
+    fz = Fbuf.create n;
+    mass;
     species = Array.make n 0;
   }
 
@@ -45,9 +52,9 @@ let wrap t v =
 
 let wrap_all t =
   for i = 0 to t.n - 1 do
-    t.x.(i) <- wrap t t.x.(i);
-    t.y.(i) <- wrap t t.y.(i);
-    t.z.(i) <- wrap t t.z.(i)
+    Fbuf.set t.x i (wrap t (Fbuf.get t.x i));
+    Fbuf.set t.y i (wrap t (Fbuf.get t.y i));
+    Fbuf.set t.z i (wrap t (Fbuf.get t.z i))
   done
 
 (** Minimum-image displacement component. *)
@@ -57,9 +64,9 @@ let min_image t d =
 
 (** Squared minimum-image distance between particles i and j. *)
 let dist2 t i j =
-  let dx = min_image t (t.x.(i) -. t.x.(j)) in
-  let dy = min_image t (t.y.(i) -. t.y.(j)) in
-  let dz = min_image t (t.z.(i) -. t.z.(j)) in
+  let dx = min_image t (Fbuf.get t.x i -. Fbuf.get t.x j) in
+  let dy = min_image t (Fbuf.get t.y i -. Fbuf.get t.y j) in
+  let dz = min_image t (Fbuf.get t.z i -. Fbuf.get t.z j) in
   (dx *. dx) +. (dy *. dy) +. (dz *. dz)
 
 (** Place particles on a cubic lattice (stable non-overlapping start). *)
@@ -70,32 +77,33 @@ let lattice_init t =
     let ix = i mod per_side in
     let iy = i / per_side mod per_side in
     let iz = i / (per_side * per_side) in
-    t.x.(i) <- (float_of_int ix +. 0.5) *. spacing;
-    t.y.(i) <- (float_of_int iy +. 0.5) *. spacing;
-    t.z.(i) <- (float_of_int iz +. 0.5) *. spacing
+    Fbuf.set t.x i ((float_of_int ix +. 0.5) *. spacing);
+    Fbuf.set t.y i ((float_of_int iy +. 0.5) *. spacing);
+    Fbuf.set t.z i ((float_of_int iz +. 0.5) *. spacing)
   done
 
 (** Maxwell-Boltzmann velocities at temperature [temp] (kB = 1 units),
     with the centre-of-mass drift removed. *)
 let thermalize t ~(rng : Icoe_util.Rng.t) ~temp =
   for i = 0 to t.n - 1 do
-    let s = sqrt (temp /. t.mass.(i)) in
-    t.vx.(i) <- s *. Icoe_util.Rng.gaussian rng;
-    t.vy.(i) <- s *. Icoe_util.Rng.gaussian rng;
-    t.vz.(i) <- s *. Icoe_util.Rng.gaussian rng
+    let s = sqrt (temp /. Fbuf.get t.mass i) in
+    Fbuf.set t.vx i (s *. Icoe_util.Rng.gaussian rng);
+    Fbuf.set t.vy i (s *. Icoe_util.Rng.gaussian rng);
+    Fbuf.set t.vz i (s *. Icoe_util.Rng.gaussian rng)
   done;
   (* remove COM drift *)
   let mx = ref 0.0 and my = ref 0.0 and mz = ref 0.0 and mt = ref 0.0 in
   for i = 0 to t.n - 1 do
-    mx := !mx +. (t.mass.(i) *. t.vx.(i));
-    my := !my +. (t.mass.(i) *. t.vy.(i));
-    mz := !mz +. (t.mass.(i) *. t.vz.(i));
-    mt := !mt +. t.mass.(i)
+    let m = Fbuf.get t.mass i in
+    mx := !mx +. (m *. Fbuf.get t.vx i);
+    my := !my +. (m *. Fbuf.get t.vy i);
+    mz := !mz +. (m *. Fbuf.get t.vz i);
+    mt := !mt +. m
   done;
   for i = 0 to t.n - 1 do
-    t.vx.(i) <- t.vx.(i) -. (!mx /. !mt);
-    t.vy.(i) <- t.vy.(i) -. (!my /. !mt);
-    t.vz.(i) <- t.vz.(i) -. (!mz /. !mt)
+    Fbuf.set t.vx i (Fbuf.get t.vx i -. (!mx /. !mt));
+    Fbuf.set t.vy i (Fbuf.get t.vy i -. (!my /. !mt));
+    Fbuf.set t.vz i (Fbuf.get t.vz i -. (!mz /. !mt))
   done
 
 let kinetic_energy t =
@@ -103,8 +111,9 @@ let kinetic_energy t =
   for i = 0 to t.n - 1 do
     e :=
       !e
-      +. (0.5 *. t.mass.(i)
-         *. ((t.vx.(i) ** 2.0) +. (t.vy.(i) ** 2.0) +. (t.vz.(i) ** 2.0)))
+      +. (0.5 *. Fbuf.get t.mass i
+         *. ((Fbuf.get t.vx i ** 2.0) +. (Fbuf.get t.vy i ** 2.0)
+            +. (Fbuf.get t.vz i ** 2.0)))
   done;
   !e
 
@@ -114,13 +123,14 @@ let temperature t = 2.0 *. kinetic_energy t /. (3.0 *. float_of_int t.n)
 let total_momentum t =
   let mx = ref 0.0 and my = ref 0.0 and mz = ref 0.0 in
   for i = 0 to t.n - 1 do
-    mx := !mx +. (t.mass.(i) *. t.vx.(i));
-    my := !my +. (t.mass.(i) *. t.vy.(i));
-    mz := !mz +. (t.mass.(i) *. t.vz.(i))
+    let m = Fbuf.get t.mass i in
+    mx := !mx +. (m *. Fbuf.get t.vx i);
+    my := !my +. (m *. Fbuf.get t.vy i);
+    mz := !mz +. (m *. Fbuf.get t.vz i)
   done;
   (!mx, !my, !mz)
 
 let zero_forces t =
-  Array.fill t.fx 0 t.n 0.0;
-  Array.fill t.fy 0 t.n 0.0;
-  Array.fill t.fz 0 t.n 0.0
+  Fbuf.fill t.fx 0.0;
+  Fbuf.fill t.fy 0.0;
+  Fbuf.fill t.fz 0.0

@@ -1,20 +1,22 @@
 (** Particle store in struct-of-arrays layout with a periodic cubic box
-    (the locality layout the ddcMD port converted to). Positions are
+    (the locality layout the ddcMD port converted to). Components are
+    flat float64 {!Icoe_util.Fbuf} Bigarrays, read and written with
+    unchecked single-load access in the hot loops. Positions are
     wrapped into [0, box). *)
 
 type t = {
   n : int;
   mutable box : float;
-  x : float array;
-  y : float array;
-  z : float array;
-  vx : float array;
-  vy : float array;
-  vz : float array;
-  fx : float array;
-  fy : float array;
-  fz : float array;
-  mass : float array;
+  x : Icoe_util.Fbuf.t;
+  y : Icoe_util.Fbuf.t;
+  z : Icoe_util.Fbuf.t;
+  vx : Icoe_util.Fbuf.t;
+  vy : Icoe_util.Fbuf.t;
+  vz : Icoe_util.Fbuf.t;
+  fx : Icoe_util.Fbuf.t;
+  fy : Icoe_util.Fbuf.t;
+  fz : Icoe_util.Fbuf.t;
+  mass : Icoe_util.Fbuf.t;
   species : int array;
 }
 

@@ -3,15 +3,35 @@
     implement a diverse set of potential forms".
 
     A potential is a record of closures over (species_i, species_j, r^2):
-    the force loop is written once, any functional form plugs in. Energies
-    are shifted to zero at the cutoff so they are continuous. *)
+    the force loop is written once, any functional form plugs in. The
+    primitive is [eval_into], which works over a 3-wide slot of a
+    caller-provided buffer: r^2 is READ from [off], energy and f_over_r
+    are WRITTEN to [off + 1] and [off + 2]. Passing r^2 through the slot
+    rather than as a float argument matters: [eval_into] is an indirect
+    call through a record field, and without flambda every float passed
+    to an unknown function is boxed — two words per pair, the dominant
+    allocation of the whole force loop. The force kernel hands it a
+    per-chunk scratch slot, so evaluating a pair allocates nothing. The
+    tuple-returning {!eval} wrapper remains for tests and observables.
+    Energies are shifted to zero at the cutoff so they are continuous. *)
+
+module Fbuf = Icoe_util.Fbuf
 
 type t = {
   name : string;
   cutoff : float;
-  (* (energy, f_over_r): force vector on i is f_over_r * (ri - rj) *)
-  eval : si:int -> sj:int -> r2:float -> float * float;
+  eval_into : si:int -> sj:int -> Fbuf.t -> int -> unit;
+      (** reads r^2 from [off]; writes energy at [off + 1], f_over_r at
+          [off + 2]; force vector on i is f_over_r * (ri - rj) *)
 }
+
+(** Tuple-returning convenience wrapper (allocates; tests and
+    single-pair probes only — the force loop uses [eval_into]). *)
+let eval t ~si ~sj ~r2 =
+  let slot = Fbuf.create 3 in
+  Fbuf.set slot 0 r2;
+  t.eval_into ~si ~sj slot 0;
+  (Fbuf.get slot 1, Fbuf.get slot 2)
 
 (** Lennard-Jones 12-6 with energy shifted to 0 at the cutoff. *)
 let lennard_jones ?(epsilon = 1.0) ?(sigma = 1.0) ?(cutoff = 2.5) () =
@@ -23,16 +43,21 @@ let lennard_jones ?(epsilon = 1.0) ?(sigma = 1.0) ?(cutoff = 2.5) () =
   {
     name = "lj";
     cutoff = cutoff *. sigma;
-    eval =
-      (fun ~si:_ ~sj:_ ~r2 ->
-        if r2 >= c2 then (0.0, 0.0)
-        else
+    eval_into =
+      (fun ~si:_ ~sj:_ out off ->
+        let r2 = Fbuf.get out off in
+        if r2 >= c2 then begin
+          Fbuf.set out (off + 1) 0.0;
+          Fbuf.set out (off + 2) 0.0
+        end
+        else begin
           let inv_r2 = sigma *. sigma /. r2 in
           let sr6 = inv_r2 ** 3.0 in
           let sr12 = sr6 *. sr6 in
-          let e = (4.0 *. epsilon *. (sr12 -. sr6)) -. shift in
-          let f_over_r = 24.0 *. epsilon *. ((2.0 *. sr12) -. sr6) /. r2 in
-          (e, f_over_r));
+          Fbuf.set out (off + 1) ((4.0 *. epsilon *. (sr12 -. sr6)) -. shift);
+          Fbuf.set out (off + 2)
+            (24.0 *. epsilon *. ((2.0 *. sr12) -. sr6) /. r2)
+        end);
   }
 
 (** Buckingham exp-6: A exp(-r/rho) - C / r^6. Below [inner] the r^-6 term
@@ -42,20 +67,26 @@ let exp6 ?(a = 1000.0) ?(rho = 0.3) ?(c = 1.0) ?(cutoff = 2.5) ?(inner = 0.8) ()
   {
     name = "exp6";
     cutoff;
-    eval =
-      (fun ~si:_ ~sj:_ ~r2 ->
-        if r2 >= cutoff *. cutoff then (0.0, 0.0)
-        else if r2 < inner *. inner then
+    eval_into =
+      (fun ~si:_ ~sj:_ out off ->
+        let r2 = Fbuf.get out off in
+        if r2 >= cutoff *. cutoff then begin
+          Fbuf.set out (off + 1) 0.0;
+          Fbuf.set out (off + 2) 0.0
+        end
+        else if r2 < inner *. inner then begin
           (* capped core: strong repulsion pushing outward *)
           let r = sqrt (max r2 1e-6) in
-          (a, a /. rho /. r)
-        else
+          Fbuf.set out (off + 1) a;
+          Fbuf.set out (off + 2) (a /. rho /. r)
+        end
+        else begin
           let r = sqrt r2 in
           let erep = a *. exp (-.r /. rho) in
           let edisp = c /. (r2 *. r2 *. r2) in
-          let e = erep -. edisp in
-          let f_over_r = ((erep /. rho) -. (6.0 *. edisp /. r)) /. r in
-          (e, f_over_r));
+          Fbuf.set out (off + 1) (erep -. edisp);
+          Fbuf.set out (off + 2) (((erep /. rho) -. (6.0 *. edisp /. r)) /. r)
+        end);
   }
 
 (** Martini-style coarse-grained LJ: per-species-pair epsilon/sigma matrix
@@ -66,17 +97,21 @@ let martini ~(epsilon : float array array) ~(sigma : float array array)
   {
     name = "martini";
     cutoff;
-    eval =
-      (fun ~si ~sj ~r2 ->
-        if r2 >= cutoff *. cutoff then (0.0, 0.0)
-        else
+    eval_into =
+      (fun ~si ~sj out off ->
+        let r2 = Fbuf.get out off in
+        if r2 >= cutoff *. cutoff then begin
+          Fbuf.set out (off + 1) 0.0;
+          Fbuf.set out (off + 2) 0.0
+        end
+        else begin
           let eps = epsilon.(si).(sj) and sg = sigma.(si).(sj) in
           let inv_r2 = sg *. sg /. r2 in
           let sr6 = inv_r2 ** 3.0 in
           let sr12 = sr6 *. sr6 in
-          let e = 4.0 *. eps *. (sr12 -. sr6) in
-          let f_over_r = 24.0 *. eps *. ((2.0 *. sr12) -. sr6) /. r2 in
-          (e, f_over_r));
+          Fbuf.set out (off + 1) (4.0 *. eps *. (sr12 -. sr6));
+          Fbuf.set out (off + 2) (24.0 *. eps *. ((2.0 *. sr12) -. sr6) /. r2)
+        end);
   }
 
 (** Purely repulsive soft sphere (for fast smoke tests). *)
@@ -84,13 +119,17 @@ let soft_sphere ?(epsilon = 1.0) ?(sigma = 1.0) () =
   {
     name = "soft";
     cutoff = sigma;
-    eval =
-      (fun ~si:_ ~sj:_ ~r2 ->
-        if r2 >= sigma *. sigma then (0.0, 0.0)
-        else
+    eval_into =
+      (fun ~si:_ ~sj:_ out off ->
+        let r2 = Fbuf.get out off in
+        if r2 >= sigma *. sigma then begin
+          Fbuf.set out (off + 1) 0.0;
+          Fbuf.set out (off + 2) 0.0
+        end
+        else begin
           let r = sqrt r2 in
           let overlap = 1.0 -. (r /. sigma) in
-          let e = epsilon *. overlap *. overlap in
-          let f_over_r = 2.0 *. epsilon *. overlap /. (sigma *. r) in
-          (e, f_over_r));
+          Fbuf.set out (off + 1) (epsilon *. overlap *. overlap);
+          Fbuf.set out (off + 2) (2.0 *. epsilon *. overlap /. (sigma *. r))
+        end);
   }

@@ -7,9 +7,19 @@
 type t = {
   name : string;
   cutoff : float;
-  eval : si:int -> sj:int -> r2:float -> float * float;
-      (** (energy, f_over_r): the force on i is f_over_r * (r_i - r_j) *)
+  eval_into : si:int -> sj:int -> Icoe_util.Fbuf.t -> int -> unit;
+      (** 3-wide slot protocol: reads r^2 from [off], writes energy at
+          [off + 1] and f_over_r at [off + 2]; the force on i is
+          f_over_r * (r_i - r_j). r^2 travels through the slot rather
+          than as an argument because this is an indirect call — without
+          flambda a float argument to an unknown function is boxed on
+          every pair. The force kernel hands each chunk its own slot, so
+          a pair evaluation allocates nothing. *)
 }
+
+val eval : t -> si:int -> sj:int -> r2:float -> float * float
+(** Tuple-returning wrapper over [eval_into] (allocates; tests and
+    single-pair probes only). *)
 
 val lennard_jones :
   ?epsilon:float -> ?sigma:float -> ?cutoff:float -> unit -> t

@@ -4,13 +4,15 @@
     grid and reused until any particle has moved half the skin, when the
     list must be rebuilt. *)
 
+module Fbuf = Icoe_util.Fbuf
+
 type t = {
   cutoff : float;
   skin : float;
   pairs : (int * int) array;  (** all pairs within cutoff + skin at build *)
-  x0 : float array;  (** positions at build time *)
-  y0 : float array;
-  z0 : float array;
+  x0 : Fbuf.t;  (** positions at build time *)
+  y0 : Fbuf.t;
+  z0 : Fbuf.t;
   mutable rebuilds : int;
 }
 
@@ -23,9 +25,9 @@ let build ?(skin = 0.4) (p : Particles.t) ~cutoff =
     cutoff;
     skin;
     pairs = Array.of_list !acc;
-    x0 = Array.copy p.Particles.x;
-    y0 = Array.copy p.Particles.y;
-    z0 = Array.copy p.Particles.z;
+    x0 = Fbuf.copy p.Particles.x;
+    y0 = Fbuf.copy p.Particles.y;
+    z0 = Fbuf.copy p.Particles.z;
     rebuilds = 1;
   }
 
@@ -38,9 +40,9 @@ let needs_rebuild t (p : Particles.t) =
   let rec go i =
     if i >= n then false
     else
-      let dx = Particles.min_image p (p.Particles.x.(i) -. t.x0.(i)) in
-      let dy = Particles.min_image p (p.Particles.y.(i) -. t.y0.(i)) in
-      let dz = Particles.min_image p (p.Particles.z.(i) -. t.z0.(i)) in
+      let dx = Particles.min_image p ((Fbuf.get p.Particles.x i) -. (Fbuf.get t.x0 i)) in
+      let dy = Particles.min_image p ((Fbuf.get p.Particles.y i) -. (Fbuf.get t.y0 i)) in
+      let dz = Particles.min_image p ((Fbuf.get p.Particles.z i) -. (Fbuf.get t.z0 i)) in
       if (dx *. dx) +. (dy *. dy) +. (dz *. dz) > limit2 then true
       else go (i + 1)
   in

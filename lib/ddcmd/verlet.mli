@@ -6,9 +6,9 @@ type t = {
   cutoff : float;
   skin : float;
   pairs : (int * int) array;
-  x0 : float array;
-  y0 : float array;
-  z0 : float array;
+  x0 : Icoe_util.Fbuf.t;
+  y0 : Icoe_util.Fbuf.t;
+  z0 : Icoe_util.Fbuf.t;
   mutable rebuilds : int;
 }
 

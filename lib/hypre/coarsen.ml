@@ -15,12 +15,13 @@ let strength ?(theta = 0.25) (a : Linalg.Csr.t) =
     (* max negative off-diagonal magnitude *)
     let maxneg = ref 0.0 in
     for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-      if a.col_idx.(k) <> i then maxneg := max !maxneg (-.a.values.(k))
+      if a.col_idx.(k) <> i then
+        maxneg := max !maxneg (-.Icoe_util.Fbuf.get a.values k)
     done;
     if !maxneg > 0.0 then
       for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
         let j = a.col_idx.(k) in
-        if j <> i && -.a.values.(k) >= theta *. !maxneg then
+        if j <> i && -.Icoe_util.Fbuf.get a.values k >= theta *. !maxneg then
           triplets := (i, j, 1.0) :: !triplets
       done
   done;
@@ -129,7 +130,7 @@ let direct_interpolation (a : Linalg.Csr.t) (s : Linalg.Csr.t) cf =
         let aii = ref 0.0 in
         let sum_all = ref 0.0 and sum_c = ref 0.0 in
         for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-          let j = a.col_idx.(k) and v = a.values.(k) in
+          let j = a.col_idx.(k) and v = Icoe_util.Fbuf.get a.values k in
           if j = i then aii := v
           else begin
             if v < 0.0 then sum_all := !sum_all +. v;
@@ -146,7 +147,7 @@ let direct_interpolation (a : Linalg.Csr.t) (s : Linalg.Csr.t) cf =
               (* a_ij for this j *)
               let aij = ref 0.0 in
               for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-                if a.col_idx.(k) = j then aij := a.values.(k)
+                if a.col_idx.(k) = j then aij := Icoe_util.Fbuf.get a.values k
               done;
               if !aij < 0.0 then
                 triplets := (i, cmap.(j), -.alpha *. !aij /. !aii) :: !triplets)

@@ -29,7 +29,7 @@ let sweep kind (a : Linalg.Csr.t) b x =
       for i = 0 to n - 1 do
         let l1 = ref 0.0 in
         for k = a.Linalg.Csr.row_ptr.(i) to a.Linalg.Csr.row_ptr.(i + 1) - 1 do
-          l1 := !l1 +. Float.abs a.Linalg.Csr.values.(k)
+          l1 := !l1 +. Float.abs (Icoe_util.Fbuf.get a.Linalg.Csr.values k)
         done;
         if !l1 > 0.0 then x.(i) <- x.(i) +. (r.(i) /. !l1)
       done
@@ -39,8 +39,8 @@ let sweep kind (a : Linalg.Csr.t) b x =
         let d = ref 0.0 in
         for k = a.Linalg.Csr.row_ptr.(i) to a.Linalg.Csr.row_ptr.(i + 1) - 1 do
           let j = a.Linalg.Csr.col_idx.(k) in
-          if j = i then d := a.Linalg.Csr.values.(k)
-          else s := !s -. (a.Linalg.Csr.values.(k) *. x.(j))
+          if j = i then d := Icoe_util.Fbuf.get a.Linalg.Csr.values k
+          else s := !s -. (Icoe_util.Fbuf.get a.Linalg.Csr.values k *. x.(j))
         done;
         if !d <> 0.0 then x.(i) <- !s /. !d
       done

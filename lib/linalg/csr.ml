@@ -5,17 +5,20 @@
     matrix-matrix product (for the Galerkin RAP), transpose and triplet
     assembly. *)
 
+module Fbuf = Icoe_util.Fbuf
+
 type t = {
   m : int;
   n : int;
   row_ptr : int array;  (** length m+1 *)
   col_idx : int array;
-  values : float array;
+  values : Fbuf.t;  (** flat float64 Bigarray, one slot per stored entry *)
 }
 
 let nnz t = t.row_ptr.(t.m)
 
-let create_empty m n = { m; n; row_ptr = Array.make (m + 1) 0; col_idx = [||]; values = [||] }
+let create_empty m n =
+  { m; n; row_ptr = Array.make (m + 1) 0; col_idx = [||]; values = Fbuf.create 0 }
 
 (** Build from (row, col, value) triplets; duplicates are summed. *)
 let of_triplets ~m ~n triplets =
@@ -64,7 +67,7 @@ let of_triplets ~m ~n triplets =
     n;
     row_ptr = out_ptr;
     col_idx = Array.sub out_cols 0 !pos;
-    values = Array.sub out_vals 0 !pos;
+    values = Fbuf.of_array (Array.sub out_vals 0 !pos);
   }
 
 let of_dense (d : Dense.t) =
@@ -81,18 +84,29 @@ let to_dense t =
   let d = Dense.create t.m t.n in
   for i = 0 to t.m - 1 do
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      Dense.update d i t.col_idx.(k) (fun v -> v +. t.values.(k))
+      Dense.update d i t.col_idx.(k) (fun v -> v +. Fbuf.get t.values k)
     done
   done;
   d
 
+(* The SpMV inner loop: Bigarray values + unchecked index loads. The
+   [s] accumulator is a non-escaping ref the compiler keeps in a
+   register, and every access below compiles to a single load/store —
+   this loop allocates nothing. Summation order per row is the storage
+   order, identical on every path. *)
 let spmv_rows t x y lo hi =
+  let row_ptr = t.row_ptr and col_idx = t.col_idx and values = t.values in
   for i = lo to hi - 1 do
     let s = ref 0.0 in
-    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      s := !s +. (t.values.(k) *. x.(t.col_idx.(k)))
+    let k0 = Array.unsafe_get row_ptr i
+    and k1 = Array.unsafe_get row_ptr (i + 1) in
+    for k = k0 to k1 - 1 do
+      s :=
+        !s
+        +. (Fbuf.get values k
+            *. Array.unsafe_get x (Array.unsafe_get col_idx k))
     done;
-    y.(i) <- !s
+    Array.unsafe_set y i !s
   done
 
 (** y <- A x, strictly in the calling domain (the reference path). *)
@@ -125,7 +139,7 @@ let diag t =
   let d = Array.make t.m 0.0 in
   for i = 0 to t.m - 1 do
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      if t.col_idx.(k) = i then d.(i) <- t.values.(k)
+      if t.col_idx.(k) = i then d.(i) <- Fbuf.get t.values k
     done
   done;
   d
@@ -137,12 +151,12 @@ let transpose t =
     cnt.(j + 1) <- cnt.(j + 1) + cnt.(j)
   done;
   let row_ptr = Array.copy cnt in
-  let col_idx = Array.make (nnz t) 0 and values = Array.make (nnz t) 0.0 in
+  let col_idx = Array.make (nnz t) 0 and values = Fbuf.create (nnz t) in
   for i = 0 to t.m - 1 do
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
       let j = t.col_idx.(k) in
       col_idx.(cnt.(j)) <- i;
-      values.(cnt.(j)) <- t.values.(k);
+      Fbuf.set values cnt.(j) (Fbuf.get t.values k);
       cnt.(j) <- cnt.(j) + 1
     done
   done;
@@ -158,7 +172,7 @@ let matmul a b =
   for i = 0 to a.m - 1 do
     let cols = ref [] in
     for ka = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
-      let k = a.col_idx.(ka) and av = a.values.(ka) in
+      let k = a.col_idx.(ka) and av = Fbuf.get a.values ka in
       for kb = b.row_ptr.(k) to b.row_ptr.(k + 1) - 1 do
         let j = b.col_idx.(kb) in
         if mark.(j) <> i then begin
@@ -166,7 +180,7 @@ let matmul a b =
           acc.(j) <- 0.0;
           cols := j :: !cols
         end;
-        acc.(j) <- acc.(j) +. (av *. b.values.(kb))
+        acc.(j) <- acc.(j) +. (av *. Fbuf.get b.values kb)
       done
     done;
     let cs = List.sort Int.compare !cols in
@@ -176,14 +190,14 @@ let matmul a b =
   done;
   let rows = Array.of_list (List.rev !rows) in
   let row_ptr = Array.make (a.m + 1) 0 in
-  let col_idx = Array.make !total 0 and values = Array.make !total 0.0 in
+  let col_idx = Array.make !total 0 and values = Fbuf.create !total in
   let pos = ref 0 in
   for i = 0 to a.m - 1 do
     row_ptr.(i) <- !pos;
     List.iter
       (fun (j, v) ->
         col_idx.(!pos) <- j;
-        values.(!pos) <- v;
+        Fbuf.set values !pos v;
         incr pos)
       rows.(i);
   done;
@@ -193,10 +207,10 @@ let matmul a b =
 (** Scale: A <- diag(d) * A, in place on a copy. *)
 let scale_rows t d =
   assert (Array.length d = t.m);
-  let values = Array.copy t.values in
+  let values = Fbuf.copy t.values in
   for i = 0 to t.m - 1 do
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      values.(k) <- values.(k) *. d.(i)
+      Fbuf.set values k (Fbuf.get values k *. d.(i))
     done
   done;
   { t with values }

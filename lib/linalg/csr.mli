@@ -8,7 +8,10 @@ type t = {
   n : int;
   row_ptr : int array;  (** length m+1 *)
   col_idx : int array;
-  values : float array;
+  values : Icoe_util.Fbuf.t;
+      (** stored entries as a flat float64 Bigarray (SoA layout): the
+          SpMV inner loop reads it with unchecked single-load access and
+          the GC never scans or moves it *)
 }
 
 val nnz : t -> int

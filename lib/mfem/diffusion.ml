@@ -85,7 +85,8 @@ let eliminate_dirichlet (a : Linalg.Csr.t) bdofs =
     else
       for k = a.Linalg.Csr.row_ptr.(i) to a.Linalg.Csr.row_ptr.(i + 1) - 1 do
         let j = a.Linalg.Csr.col_idx.(k) in
-        if not isb.(j) then triplets := (i, j, a.Linalg.Csr.values.(k)) :: !triplets
+        if not isb.(j) then
+          triplets := (i, j, Icoe_util.Fbuf.get a.Linalg.Csr.values k) :: !triplets
       done
   done;
   Linalg.Csr.of_triplets ~m:a.Linalg.Csr.m ~n:a.Linalg.Csr.n !triplets

@@ -70,7 +70,7 @@ let run ?(n = 8) ?(p = 2) ?(tf = 0.01) ?(rtol = 1e-5) ?(atol = 1e-8)
         for kk = k_lor.row_ptr.(i) to k_lor.row_ptr.(i + 1) - 1 do
           let j = k_lor.col_idx.(kk) in
           if not bdof.(j) then
-            triplets := (i, j, gamma0 *. k_lor.values.(kk)) :: !triplets
+            triplets := (i, j, gamma0 *. Icoe_util.Fbuf.get k_lor.values kk) :: !triplets
         done
       end
     done;

@@ -185,12 +185,21 @@ let chunk_layout ?chunk ~lo ~hi () =
   in
   (csize, if n <= 0 then 0 else (n + csize - 1) / csize)
 
+let num_chunks ?chunk ~lo ~hi () = snd (chunk_layout ?chunk ~lo ~hi ())
+
 let parallel_for_chunks ?pool ?chunk ~lo ~hi f =
   let t = match pool with Some p -> p | None -> get () in
   let csize, nchunks = chunk_layout ?chunk ~lo ~hi () in
   run_chunked t ~nchunks (fun k ->
       let clo = lo + (k * csize) in
       f clo (min hi (clo + csize)))
+
+let parallel_for_chunks_i ?pool ?chunk ~lo ~hi f =
+  let t = match pool with Some p -> p | None -> get () in
+  let csize, nchunks = chunk_layout ?chunk ~lo ~hi () in
+  run_chunked t ~nchunks (fun k ->
+      let clo = lo + (k * csize) in
+      f k clo (min hi (clo + csize)))
 
 let parallel_for ?pool ?chunk ~lo ~hi f =
   parallel_for_chunks ?pool ?chunk ~lo ~hi (fun clo chi ->

@@ -83,6 +83,21 @@ val parallel_for_chunks :
     [\[clo, chi)]. Lower per-iteration overhead than {!parallel_for} for
     row-blocked kernels. *)
 
+val num_chunks : ?chunk:int -> lo:int -> hi:int -> unit -> int
+(** The number of chunks {!parallel_for_chunks} (and friends) will split
+    [\[lo, hi)] into — a function of the range and chunk size only,
+    never of the pool. Zero-alloc kernels use it to size per-chunk
+    partial slots before entering the pooled region. *)
+
+val parallel_for_chunks_i :
+  ?pool:t -> ?chunk:int -> lo:int -> hi:int -> (int -> int -> int -> unit) -> unit
+(** [parallel_for_chunks_i ~lo ~hi f] is {!parallel_for_chunks} with the
+    chunk index: [f k clo chi] for the [k]-th chunk ([0 <= k <]
+    {!num_chunks}). The index lets allocation-free kernels write their
+    partials into a preallocated slot per chunk instead of returning
+    values (which would box floats); callers reduce the slots in
+    ascending [k] afterwards to keep the deterministic combine order. *)
+
 val map_reduce :
   ?pool:t -> ?chunk:int -> lo:int -> hi:int ->
   combine:('a -> 'a -> 'a) -> init:'a -> (int -> int -> 'a) -> 'a

@@ -6,29 +6,39 @@
     Stresses are evaluated at every grid point from 4th-order first
     derivatives of displacement, then the stress divergence is taken with
     the same stencil. This is the sw4lite kernel shape: wide stencils,
-    bandwidth-heavy, the paper's shared-memory optimization target. *)
+    bandwidth-heavy, the paper's shared-memory optimization target.
+
+    All fields live in {!Icoe_util.Fbuf} buffers (flat float64
+    Bigarrays): the stencil loops below are single unchecked loads and
+    stores, allocate nothing, and the arithmetic is operation-for-
+    operation the same as the boxed layout it replaced — so results are
+    bit-identical. *)
+
+module Fbuf = Icoe_util.Fbuf
 
 (* 4th-order first derivative along x of field f at (i,j) *)
-let d1x (g : Grid.t) f i j =
+let[@inline always] d1x (g : Grid.t) (f : Fbuf.t) i j =
   let k = Grid.idx g i j in
-  (8.0 *. (f.(k + 1) -. f.(k - 1)) -. (f.(k + 2) -. f.(k - 2)))
+  (8.0 *. (Fbuf.get f (k + 1) -. Fbuf.get f (k - 1))
+  -. (Fbuf.get f (k + 2) -. Fbuf.get f (k - 2)))
   /. (12.0 *. g.Grid.h)
 
-let d1y (g : Grid.t) f i j =
+let[@inline always] d1y (g : Grid.t) (f : Fbuf.t) i j =
   let k = Grid.idx g i j in
   let nx = g.Grid.nx in
-  (8.0 *. (f.(k + nx) -. f.(k - nx)) -. (f.(k + (2 * nx)) -. f.(k - (2 * nx))))
+  (8.0 *. (Fbuf.get f (k + nx) -. Fbuf.get f (k - nx))
+  -. (Fbuf.get f (k + (2 * nx)) -. Fbuf.get f (k - (2 * nx))))
   /. (12.0 *. g.Grid.h)
 
 type scratch = {
-  sxx : float array;
-  syy : float array;
-  sxy : float array;
+  sxx : Fbuf.t;
+  syy : Fbuf.t;
+  sxy : Fbuf.t;
 }
 
 let make_scratch (g : Grid.t) =
   let n = g.Grid.nx * g.Grid.ny in
-  { sxx = Array.make n 0.0; syy = Array.make n 0.0; sxy = Array.make n 0.0 }
+  { sxx = Fbuf.create n; syy = Fbuf.create n; sxy = Fbuf.create n }
 
 (** Margin of cells near the boundary where the wide stencil can't reach;
     displacements there are held fixed (supergrid damping handles
@@ -36,31 +46,33 @@ let make_scratch (g : Grid.t) =
 let margin = 4
 
 (** Compute accelerations (ax, ay) from displacements (ux, uy).
-    All arrays are full-grid; only the interior beyond [margin] is
+    All buffers are full-grid; only the interior beyond [margin] is
     written. *)
 let stress_rows (g : Grid.t) s ~ux ~uy jlo jhi =
   let nx = g.Grid.nx in
+  let lambda = g.Grid.lambda and mu_a = g.Grid.mu in
   for j = jlo to jhi - 1 do
     for i = 2 to nx - 3 do
       let k = Grid.idx g i j in
       let dux_dx = d1x g ux i j and dux_dy = d1y g ux i j in
       let duy_dx = d1x g uy i j and duy_dy = d1y g uy i j in
-      let lam = g.Grid.lambda.(k) and mu = g.Grid.mu.(k) in
-      s.sxx.(k) <- (lam *. (dux_dx +. duy_dy)) +. (2.0 *. mu *. dux_dx);
-      s.syy.(k) <- (lam *. (dux_dx +. duy_dy)) +. (2.0 *. mu *. duy_dy);
-      s.sxy.(k) <- mu *. (dux_dy +. duy_dx)
+      let lam = Array.unsafe_get lambda k and mu = Array.unsafe_get mu_a k in
+      Fbuf.set s.sxx k ((lam *. (dux_dx +. duy_dy)) +. (2.0 *. mu *. dux_dx));
+      Fbuf.set s.syy k ((lam *. (dux_dx +. duy_dy)) +. (2.0 *. mu *. duy_dy));
+      Fbuf.set s.sxy k (mu *. (dux_dy +. duy_dx))
     done
   done
 
 let divergence_rows (g : Grid.t) s ~ax ~ay jlo jhi =
   let nx = g.Grid.nx in
+  let rho = g.Grid.rho in
   for j = jlo to jhi - 1 do
     for i = margin to nx - 1 - margin do
       let k = Grid.idx g i j in
       let fx = d1x g s.sxx i j +. d1y g s.sxy i j in
       let fy = d1x g s.sxy i j +. d1y g s.syy i j in
-      ax.(k) <- fx /. g.Grid.rho.(k);
-      ay.(k) <- fy /. g.Grid.rho.(k)
+      Fbuf.set ax k (fx /. Array.unsafe_get rho k);
+      Fbuf.set ay k (fy /. Array.unsafe_get rho k)
     done
   done
 

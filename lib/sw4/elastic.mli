@@ -1,14 +1,23 @@
 (** The 2D plane-strain elastic-wave spatial operator: 4th-order central
     differences on the displacement formulation — the sw4lite kernel
     shape: wide stencils, bandwidth-heavy, the paper's shared-memory
-    optimization target. *)
+    optimization target.
 
-val d1x : Grid.t -> float array -> int -> int -> float
+    Fields are {!Icoe_util.Fbuf} buffers (flat float64 Bigarrays) read
+    and written with unchecked single-load access; the stencil sweeps
+    allocate nothing. The arithmetic is unchanged from the boxed
+    layout, so results are bit-identical to the PR 3 kernels. *)
+
+val d1x : Grid.t -> Icoe_util.Fbuf.t -> int -> int -> float
 (** 4th-order first derivative along x at (i, j); needs a 2-point halo. *)
 
-val d1y : Grid.t -> float array -> int -> int -> float
+val d1y : Grid.t -> Icoe_util.Fbuf.t -> int -> int -> float
 
-type scratch = { sxx : float array; syy : float array; sxy : float array }
+type scratch = {
+  sxx : Icoe_util.Fbuf.t;
+  syy : Icoe_util.Fbuf.t;
+  sxy : Icoe_util.Fbuf.t;
+}
 
 val make_scratch : Grid.t -> scratch
 
@@ -20,16 +29,16 @@ val row_chunk : int
     deterministic for any pool size. *)
 
 val acceleration :
-  Grid.t -> scratch -> ux:float array -> uy:float array -> ax:float array ->
-  ay:float array -> unit
+  Grid.t -> scratch -> ux:Icoe_util.Fbuf.t -> uy:Icoe_util.Fbuf.t ->
+  ax:Icoe_util.Fbuf.t -> ay:Icoe_util.Fbuf.t -> unit
 (** Stress pass then divergence pass; writes the interior beyond
     [margin]. Both passes are row-parallel on the {!Icoe_par.Pool} with
     a barrier in between; writes are row-disjoint, so the result is
     bit-identical to {!acceleration_seq} for any pool size. *)
 
 val acceleration_seq :
-  Grid.t -> scratch -> ux:float array -> uy:float array -> ax:float array ->
-  ay:float array -> unit
+  Grid.t -> scratch -> ux:Icoe_util.Fbuf.t -> uy:Icoe_util.Fbuf.t ->
+  ax:Icoe_util.Fbuf.t -> ay:Icoe_util.Fbuf.t -> unit
 (** Serial reference evaluation of the same operator. *)
 
 val work : Grid.t -> Hwsim.Kernel.t

@@ -10,6 +10,8 @@
     scenarios and tests; this module is the production-shaped kernel whose
     per-point work justifies the campaign model in {!Scenario}. *)
 
+module Fbuf = Icoe_util.Fbuf
+
 type grid = {
   nx : int;
   ny : int;
@@ -53,20 +55,26 @@ let max_p_speed g =
 
 let stable_dt ?(cfl = 0.4) g = cfl *. g.h /. max_p_speed g
 
-(* 4th-order first derivatives at (i,j,k) with precomputed strides *)
-let d1 g f k stride =
-  (8.0 *. (f.(k + stride) -. f.(k - stride))
-  -. (f.(k + (2 * stride)) -. f.(k - (2 * stride))))
+(* 4th-order first derivative of the flat field [f] at index [k] (a
+   component base offset already added) with a precomputed stride *)
+let d1 g (f : Fbuf.t) k stride =
+  (8.0 *. (Fbuf.get f (k + stride) -. Fbuf.get f (k - stride))
+  -. (Fbuf.get f (k + (2 * stride)) -. Fbuf.get f (k - (2 * stride))))
   /. (12.0 *. g.h)
 
+(* Hot state is flattened onto single Bigarray buffers, component-major:
+   component [c] of grid point [p] lives at [c*n + p]. One buffer for
+   the three displacement components (and its leapfrog history), one for
+   the accelerations, one for the six stress components — the SoA layout
+   the real SW4 RAJA port uses, replacing the array-of-arrays records. *)
 type state = {
   grid : grid;
   dt : float;
-  u : float array array;  (** 3 displacement components *)
-  u_prev : float array array;
-  a : float array array;  (** accelerations *)
-  (* six stress components: xx yy zz xy xz yz *)
-  s : float array array;
+  n : int;  (** grid points per component *)
+  u : Fbuf.t;  (** 3n: displacement components x|y|z, component-major *)
+  u_prev : Fbuf.t;  (** 3n *)
+  a : Fbuf.t;  (** 3n: accelerations *)
+  s : Fbuf.t;  (** 6n: stress components xx|yy|zz|xy|xz|yz *)
 }
 
 let margin = 4
@@ -76,33 +84,52 @@ let create ?(cfl = 0.4) grid =
   {
     grid;
     dt = stable_dt ~cfl grid;
-    u = Array.init 3 (fun _ -> Array.make n 0.0);
-    u_prev = Array.init 3 (fun _ -> Array.make n 0.0);
-    a = Array.init 3 (fun _ -> Array.make n 0.0);
-    s = Array.init 6 (fun _ -> Array.make n 0.0);
+    n;
+    u = Fbuf.create (3 * n);
+    u_prev = Fbuf.create (3 * n);
+    a = Fbuf.create (3 * n);
+    s = Fbuf.create (6 * n);
   }
 
-(** Compute stresses then accelerations over the interior. *)
+let get_u st ~c ~p = Fbuf.get st.u ((c * st.n) + p)
+let set_u st ~c ~p v = Fbuf.set st.u ((c * st.n) + p) v
+let get_a st ~c ~p = Fbuf.get st.a ((c * st.n) + p)
+
+(** Compute stresses then accelerations over the interior. The six
+    stress planes and three acceleration planes are disjoint slices of
+    the flat buffers, addressed by base offset + point index; every
+    access is one unchecked load/store and the loop allocates nothing. *)
 let acceleration st =
   let g = st.grid in
+  let n = st.n in
   let sx = 1 and sy = g.nx and sz = g.nx * g.ny in
-  let ux = st.u.(0) and uy = st.u.(1) and uz = st.u.(2) in
+  let u = st.u and s = st.s and a = st.a in
+  let ox = 0 and oy = n and oz = 2 * n in
+  let oxx = 0 and oyy = n and ozz = 2 * n in
+  let oxy = 3 * n and oxz = 4 * n and oyz = 5 * n in
+  let lambda = g.lambda and mu_a = g.mu and rho = g.rho in
   (* stress pass *)
   for k = 2 to g.nz - 3 do
     for j = 2 to g.ny - 3 do
       for i = 2 to g.nx - 3 do
         let p = idx g i j k in
-        let dux_dx = d1 g ux p sx and dux_dy = d1 g ux p sy and dux_dz = d1 g ux p sz in
-        let duy_dx = d1 g uy p sx and duy_dy = d1 g uy p sy and duy_dz = d1 g uy p sz in
-        let duz_dx = d1 g uz p sx and duz_dy = d1 g uz p sy and duz_dz = d1 g uz p sz in
-        let lam = g.lambda.(p) and mu = g.mu.(p) in
+        let dux_dx = d1 g u (ox + p) sx
+        and dux_dy = d1 g u (ox + p) sy
+        and dux_dz = d1 g u (ox + p) sz in
+        let duy_dx = d1 g u (oy + p) sx
+        and duy_dy = d1 g u (oy + p) sy
+        and duy_dz = d1 g u (oy + p) sz in
+        let duz_dx = d1 g u (oz + p) sx
+        and duz_dy = d1 g u (oz + p) sy
+        and duz_dz = d1 g u (oz + p) sz in
+        let lam = Array.unsafe_get lambda p and mu = Array.unsafe_get mu_a p in
         let div = dux_dx +. duy_dy +. duz_dz in
-        st.s.(0).(p) <- (lam *. div) +. (2.0 *. mu *. dux_dx);
-        st.s.(1).(p) <- (lam *. div) +. (2.0 *. mu *. duy_dy);
-        st.s.(2).(p) <- (lam *. div) +. (2.0 *. mu *. duz_dz);
-        st.s.(3).(p) <- mu *. (dux_dy +. duy_dx);
-        st.s.(4).(p) <- mu *. (dux_dz +. duz_dx);
-        st.s.(5).(p) <- mu *. (duy_dz +. duz_dy)
+        Fbuf.set s (oxx + p) ((lam *. div) +. (2.0 *. mu *. dux_dx));
+        Fbuf.set s (oyy + p) ((lam *. div) +. (2.0 *. mu *. duy_dy));
+        Fbuf.set s (ozz + p) ((lam *. div) +. (2.0 *. mu *. duz_dz));
+        Fbuf.set s (oxy + p) (mu *. (dux_dy +. duy_dx));
+        Fbuf.set s (oxz + p) (mu *. (dux_dz +. duz_dx));
+        Fbuf.set s (oyz + p) (mu *. (duy_dz +. duz_dy))
       done
     done
   done;
@@ -111,16 +138,16 @@ let acceleration st =
     for j = margin to g.ny - 1 - margin do
       for i = margin to g.nx - 1 - margin do
         let p = idx g i j k in
-        let inv_rho = 1.0 /. g.rho.(p) in
-        st.a.(0).(p) <-
-          (d1 g st.s.(0) p sx +. d1 g st.s.(3) p sy +. d1 g st.s.(4) p sz)
-          *. inv_rho;
-        st.a.(1).(p) <-
-          (d1 g st.s.(3) p sx +. d1 g st.s.(1) p sy +. d1 g st.s.(5) p sz)
-          *. inv_rho;
-        st.a.(2).(p) <-
-          (d1 g st.s.(4) p sx +. d1 g st.s.(5) p sy +. d1 g st.s.(2) p sz)
-          *. inv_rho
+        let inv_rho = 1.0 /. Array.unsafe_get rho p in
+        Fbuf.set a (ox + p)
+          ((d1 g s (oxx + p) sx +. d1 g s (oxy + p) sy +. d1 g s (oxz + p) sz)
+          *. inv_rho);
+        Fbuf.set a (oy + p)
+          ((d1 g s (oxy + p) sx +. d1 g s (oyy + p) sy +. d1 g s (oyz + p) sz)
+          *. inv_rho);
+        Fbuf.set a (oz + p)
+          ((d1 g s (oxz + p) sx +. d1 g s (oyz + p) sy +. d1 g s (ozz + p) sz)
+          *. inv_rho)
       done
     done
   done
@@ -132,21 +159,24 @@ let step ?force st ~time =
   | Some (i, j, k, fx, fy, fz, stf) ->
       let p = idx st.grid i j k in
       let amp = stf time /. st.grid.rho.(p) in
-      st.a.(0).(p) <- st.a.(0).(p) +. (fx *. amp);
-      st.a.(1).(p) <- st.a.(1).(p) +. (fy *. amp);
-      st.a.(2).(p) <- st.a.(2).(p) +. (fz *. amp)
+      Fbuf.set st.a p (Fbuf.get st.a p +. (fx *. amp));
+      Fbuf.set st.a (st.n + p) (Fbuf.get st.a (st.n + p) +. (fy *. amp));
+      Fbuf.set st.a ((2 * st.n) + p)
+        (Fbuf.get st.a ((2 * st.n) + p) +. (fz *. amp))
   | None -> ());
   let g = st.grid in
   let dt2 = st.dt *. st.dt in
+  let u = st.u and up = st.u_prev and a = st.a in
   for c = 0 to 2 do
-    let u = st.u.(c) and up = st.u_prev.(c) and a = st.a.(c) in
+    let o = c * st.n in
     for k = margin to g.nz - 1 - margin do
       for j = margin to g.ny - 1 - margin do
         for i = margin to g.nx - 1 - margin do
-          let p = idx g i j k in
-          let unew = (2.0 *. u.(p)) -. up.(p) +. (dt2 *. a.(p)) in
-          up.(p) <- u.(p);
-          u.(p) <- unew
+          let p = o + idx g i j k in
+          let uc = Fbuf.get u p in
+          let unew = (2.0 *. uc) -. Fbuf.get up p +. (dt2 *. Fbuf.get a p) in
+          Fbuf.set up p uc;
+          Fbuf.set u p unew
         done
       done
     done
@@ -157,11 +187,11 @@ let energy_proxy st =
   let g = st.grid in
   let e = ref 0.0 in
   for c = 0 to 2 do
-    Array.iteri
-      (fun p u ->
-        let v = (u -. st.u_prev.(c).(p)) /. st.dt in
-        e := !e +. (0.5 *. g.rho.(p) *. v *. v))
-      st.u.(c)
+    let o = c * st.n in
+    for p = 0 to st.n - 1 do
+      let v = (Fbuf.get st.u (o + p) -. Fbuf.get st.u_prev (o + p)) /. st.dt in
+      e := !e +. (0.5 *. g.rho.(p) *. v *. v)
+    done
   done;
   !e
 

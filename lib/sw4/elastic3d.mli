@@ -26,15 +26,24 @@ val stable_dt : ?cfl:float -> grid -> float
 type state = {
   grid : grid;
   dt : float;
-  u : float array array;  (** 3 displacement components *)
-  u_prev : float array array;
-  a : float array array;
-  s : float array array;  (** 6 stress components: xx yy zz xy xz yz *)
+  n : int;  (** grid points per component *)
+  u : Icoe_util.Fbuf.t;
+      (** [3n]: displacement components x|y|z, component-major SoA —
+          component [c] of point [p] at [c*n + p] *)
+  u_prev : Icoe_util.Fbuf.t;  (** [3n]: leapfrog history *)
+  a : Icoe_util.Fbuf.t;  (** [3n]: accelerations *)
+  s : Icoe_util.Fbuf.t;  (** [6n]: stress components xx|yy|zz|xy|xz|yz *)
 }
 
 val margin : int
 
 val create : ?cfl:float -> grid -> state
+
+val get_u : state -> c:int -> p:int -> float
+(** Displacement component [c] (0..2) at flat point index [p]. *)
+
+val set_u : state -> c:int -> p:int -> float -> unit
+val get_a : state -> c:int -> p:int -> float
 
 val acceleration : state -> unit
 (** Stress pass then divergence pass over the interior. *)

@@ -42,19 +42,20 @@ let run_hayward ?(nx = 160) ?(ny = 96) ?(h = 100.0) ?(steps = 600) () =
   in
   let solver = Solver.create ~sources:[ src ] grid in
   let pgv = Array.make nx 0.0 in
-  let uxp = Array.copy solver.Solver.ux and uyp = Array.copy solver.Solver.uy in
+  let module Fbuf = Icoe_util.Fbuf in
+  let uxp = Fbuf.copy solver.Solver.ux and uyp = Fbuf.copy solver.Solver.uy in
   let jsurf = Elastic.margin in
   for _ = 1 to steps do
     Solver.step solver;
     for i = 0 to nx - 1 do
       let k = Grid.idx grid i jsurf in
-      let vx = (solver.Solver.ux.(k) -. uxp.(k)) /. solver.Solver.dt in
-      let vy = (solver.Solver.uy.(k) -. uyp.(k)) /. solver.Solver.dt in
+      let vx = (Fbuf.get solver.Solver.ux k -. Fbuf.get uxp k) /. solver.Solver.dt in
+      let vy = (Fbuf.get solver.Solver.uy k -. Fbuf.get uyp k) /. solver.Solver.dt in
       let v = sqrt ((vx *. vx) +. (vy *. vy)) in
       if v > pgv.(i) then pgv.(i) <- v
     done;
-    Array.blit solver.Solver.ux 0 uxp 0 (Array.length uxp);
-    Array.blit solver.Solver.uy 0 uyp 0 (Array.length uyp)
+    Fbuf.blit ~src:solver.Solver.ux ~dst:uxp;
+    Fbuf.blit ~src:solver.Solver.uy ~dst:uyp
   done;
   (* mirrored surface bands at equal distance from the epicentre: left band
      over the basin, right band over bedrock *)

@@ -2,6 +2,8 @@
     damping layers near the boundaries (SW4's treatment of artificial
     boundaries), plus receiver (seismogram) recording. *)
 
+module Fbuf = Icoe_util.Fbuf
+
 type receiver = { ri : int; rj : int; mutable trace : (float * float * float) list }
 
 let m_steps =
@@ -23,14 +25,14 @@ type t = {
   dt : float;
   mutable time : float;
   mutable steps : int;
-  ux : float array;
-  uy : float array;
-  ux_prev : float array;
-  uy_prev : float array;
-  ax : float array;
-  ay : float array;
+  ux : Fbuf.t;
+  uy : Fbuf.t;
+  ux_prev : Fbuf.t;
+  uy_prev : Fbuf.t;
+  ax : Fbuf.t;
+  ay : Fbuf.t;
   scratch : Elastic.scratch;
-  damping : float array;  (** supergrid taper, 1 in the interior *)
+  damping : Fbuf.t;  (** supergrid taper, 1 in the interior *)
   sources : Source.t list;
   receivers : receiver list;
 }
@@ -38,7 +40,8 @@ type t = {
 (* supergrid damping profile: smooth taper from 1 (interior) toward
    [strength] < 1 within [width] points of each boundary *)
 let damping_profile (g : Grid.t) ~width ~strength =
-  let d = Array.make (g.Grid.nx * g.Grid.ny) 1.0 in
+  let d = Fbuf.create (g.Grid.nx * g.Grid.ny) in
+  Fbuf.fill d 1.0;
   for j = 0 to g.Grid.ny - 1 do
     for i = 0 to g.Grid.nx - 1 do
       let dist =
@@ -50,7 +53,7 @@ let damping_profile (g : Grid.t) ~width ~strength =
         let x = float_of_int dist /. float_of_int width in
         (* smooth ramp: strength at the wall, 1 inside *)
         let taper = strength +. ((1.0 -. strength) *. (x *. x *. (3.0 -. (2.0 *. x)))) in
-        d.(Grid.idx g i j) <- taper
+        Fbuf.set d (Grid.idx g i j) taper
       end
     done
   done;
@@ -64,12 +67,12 @@ let create ?(cfl = 0.5) ?(damping_width = 12) ?(damping_strength = 0.92)
     dt = Grid.stable_dt ~cfl grid;
     time = 0.0;
     steps = 0;
-    ux = Array.make n 0.0;
-    uy = Array.make n 0.0;
-    ux_prev = Array.make n 0.0;
-    uy_prev = Array.make n 0.0;
-    ax = Array.make n 0.0;
-    ay = Array.make n 0.0;
+    ux = Fbuf.create n;
+    uy = Fbuf.create n;
+    ux_prev = Fbuf.create n;
+    uy_prev = Fbuf.create n;
+    ax = Fbuf.create n;
+    ay = Fbuf.create n;
     scratch = Elastic.make_scratch grid;
     damping = damping_profile grid ~width:damping_width ~strength:damping_strength;
     sources;
@@ -92,18 +95,19 @@ let step t =
       for j = jlo to jhi - 1 do
         for i = m to g.Grid.nx - 1 - m do
           let k = Grid.idx g i j in
-          let d = t.damping.(k) in
+          let d = Fbuf.get t.damping k in
+          let ux = Fbuf.get t.ux k and uy = Fbuf.get t.uy k in
           (* damped leapfrog: the taper bleeds energy out of the velocity *)
           let unew =
-            t.ux.(k) +. (d *. (t.ux.(k) -. t.ux_prev.(k))) +. (dt2 *. t.ax.(k))
+            ux +. (d *. (ux -. Fbuf.get t.ux_prev k)) +. (dt2 *. Fbuf.get t.ax k)
           in
           let vnew =
-            t.uy.(k) +. (d *. (t.uy.(k) -. t.uy_prev.(k))) +. (dt2 *. t.ay.(k))
+            uy +. (d *. (uy -. Fbuf.get t.uy_prev k)) +. (dt2 *. Fbuf.get t.ay k)
           in
-          t.ux_prev.(k) <- t.ux.(k);
-          t.uy_prev.(k) <- t.uy.(k);
-          t.ux.(k) <- unew;
-          t.uy.(k) <- vnew
+          Fbuf.set t.ux_prev k ux;
+          Fbuf.set t.uy_prev k uy;
+          Fbuf.set t.ux k unew;
+          Fbuf.set t.uy k vnew
         done
       done);
   t.time <- t.time +. t.dt;
@@ -115,7 +119,7 @@ let step t =
   List.iter
     (fun r ->
       let k = Grid.idx g r.ri r.rj in
-      r.trace <- (t.time, t.ux.(k), t.uy.(k)) :: r.trace)
+      r.trace <- (t.time, Fbuf.get t.ux k, Fbuf.get t.uy k) :: r.trace)
     t.receivers
 
 let run t ~steps =
@@ -140,12 +144,12 @@ let run t ~steps =
 type snapshot = {
   s_time : float;
   s_steps : int;
-  s_ux : float array;
-  s_uy : float array;
-  s_ux_prev : float array;
-  s_uy_prev : float array;
-  s_ax : float array;
-  s_ay : float array;
+  s_ux : Fbuf.t;
+  s_uy : Fbuf.t;
+  s_ux_prev : Fbuf.t;
+  s_uy_prev : Fbuf.t;
+  s_ax : Fbuf.t;
+  s_ay : Fbuf.t;
   s_traces : (float * float * float) list array;
 }
 
@@ -153,41 +157,40 @@ let snapshot t =
   {
     s_time = t.time;
     s_steps = t.steps;
-    s_ux = Array.copy t.ux;
-    s_uy = Array.copy t.uy;
-    s_ux_prev = Array.copy t.ux_prev;
-    s_uy_prev = Array.copy t.uy_prev;
-    s_ax = Array.copy t.ax;
-    s_ay = Array.copy t.ay;
+    s_ux = Fbuf.copy t.ux;
+    s_uy = Fbuf.copy t.uy;
+    s_ux_prev = Fbuf.copy t.ux_prev;
+    s_uy_prev = Fbuf.copy t.uy_prev;
+    s_ax = Fbuf.copy t.ax;
+    s_ay = Fbuf.copy t.ay;
     s_traces = Array.of_list (List.map (fun r -> r.trace) t.receivers);
   }
 
 let restore t s =
   t.time <- s.s_time;
   t.steps <- s.s_steps;
-  let blit src dst = Array.blit src 0 dst 0 (Array.length dst) in
-  blit s.s_ux t.ux;
-  blit s.s_uy t.uy;
-  blit s.s_ux_prev t.ux_prev;
-  blit s.s_uy_prev t.uy_prev;
-  blit s.s_ax t.ax;
-  blit s.s_ay t.ay;
+  Fbuf.blit ~src:s.s_ux ~dst:t.ux;
+  Fbuf.blit ~src:s.s_uy ~dst:t.uy;
+  Fbuf.blit ~src:s.s_ux_prev ~dst:t.ux_prev;
+  Fbuf.blit ~src:s.s_uy_prev ~dst:t.uy_prev;
+  Fbuf.blit ~src:s.s_ax ~dst:t.ax;
+  Fbuf.blit ~src:s.s_ay ~dst:t.ay;
   List.iteri (fun i r -> r.trace <- s.s_traces.(i)) t.receivers
 
 (** Displacement magnitude field (for shake-map style outputs). *)
 let magnitude t =
   Array.init
-    (Array.length t.ux)
-    (fun k -> sqrt ((t.ux.(k) ** 2.0) +. (t.uy.(k) ** 2.0)))
+    (Fbuf.length t.ux)
+    (fun k -> sqrt ((Fbuf.get t.ux k ** 2.0) +. (Fbuf.get t.uy k ** 2.0)))
 
 (** Discrete elastic energy proxy: kinetic + strain ~ sum of u and velocity
     squares (bounded for a stable scheme). *)
 let energy_proxy t =
   let e = ref 0.0 in
-  let n = Array.length t.ux in
+  let n = Fbuf.length t.ux in
   for k = 0 to n - 1 do
-    let vx = (t.ux.(k) -. t.ux_prev.(k)) /. t.dt in
-    let vy = (t.uy.(k) -. t.uy_prev.(k)) /. t.dt in
+    let vx = (Fbuf.get t.ux k -. Fbuf.get t.ux_prev k) /. t.dt in
+    let vy = (Fbuf.get t.uy k -. Fbuf.get t.uy_prev k) /. t.dt in
     e := !e +. (0.5 *. t.grid.Grid.rho.(k) *. ((vx *. vx) +. (vy *. vy)))
   done;
   !e
@@ -195,9 +198,8 @@ let energy_proxy t =
 (** Peak |u| over the whole run history is approximated by current max. *)
 let max_displacement t =
   let m = ref 0.0 in
-  Array.iteri
-    (fun k _ ->
-      let v = sqrt ((t.ux.(k) ** 2.0) +. (t.uy.(k) ** 2.0)) in
-      if v > !m then m := v)
-    t.ux;
+  for k = 0 to Fbuf.length t.ux - 1 do
+    let v = sqrt ((Fbuf.get t.ux k ** 2.0) +. (Fbuf.get t.uy k ** 2.0)) in
+    if v > !m then m := v
+  done;
   !m

@@ -15,19 +15,19 @@ type t = {
   dt : float;
   mutable time : float;
   mutable steps : int;
-  ux : float array;
-  uy : float array;
-  ux_prev : float array;
-  uy_prev : float array;
-  ax : float array;
-  ay : float array;
+  ux : Icoe_util.Fbuf.t;
+  uy : Icoe_util.Fbuf.t;
+  ux_prev : Icoe_util.Fbuf.t;
+  uy_prev : Icoe_util.Fbuf.t;
+  ax : Icoe_util.Fbuf.t;
+  ay : Icoe_util.Fbuf.t;
   scratch : Elastic.scratch;
-  damping : float array;  (** supergrid taper, 1 in the interior *)
+  damping : Icoe_util.Fbuf.t;  (** supergrid taper, 1 in the interior *)
   sources : Source.t list;
   receivers : receiver list;
 }
 
-val damping_profile : Grid.t -> width:int -> strength:float -> float array
+val damping_profile : Grid.t -> width:int -> strength:float -> Icoe_util.Fbuf.t
 
 val create :
   ?cfl:float -> ?damping_width:int -> ?damping_strength:float ->

@@ -23,7 +23,8 @@ let point_force ~i ~j ~fx ~fy ~stf = { i; j; fx; fy; stf }
 (** Add the source contribution at time [t] into the acceleration fields
     (force divided by the local density). *)
 let inject (g : Grid.t) src ~t ~ax ~ay =
+  let module Fbuf = Icoe_util.Fbuf in
   let k = Grid.idx g src.i src.j in
   let amp = src.stf t /. g.Grid.rho.(k) in
-  ax.(k) <- ax.(k) +. (src.fx *. amp);
-  ay.(k) <- ay.(k) +. (src.fy *. amp)
+  Fbuf.set ax k (Fbuf.get ax k +. (src.fx *. amp));
+  Fbuf.set ay k (Fbuf.get ay k +. (src.fy *. amp))

@@ -16,5 +16,6 @@ type t = {
 val point_force :
   i:int -> j:int -> fx:float -> fy:float -> stf:(float -> float) -> t
 
-val inject : Grid.t -> t -> t:float -> ax:float array -> ay:float array -> unit
+val inject :
+  Grid.t -> t -> t:float -> ax:Icoe_util.Fbuf.t -> ay:Icoe_util.Fbuf.t -> unit
 (** Add the source contribution at time [t] into the accelerations. *)

@@ -54,8 +54,12 @@ let total_power t = Icoe_util.Stats.sum (fluence t)
     (max - min) / mean. The Fig 9 ripple metric. *)
 let center_contrast ?(frac = 0.4) t =
   let f = fluence t in
-  let lo = int_of_float (float_of_int t.n *. (0.5 -. (frac /. 2.0))) in
-  let hi = int_of_float (float_of_int t.n *. (0.5 +. (frac /. 2.0))) in
+  (* round (don't truncate) the window edge, and mirror it for the upper
+     edge, so [lo, hi) is symmetric about the grid centre: the ripple
+     metric of a mirror-symmetric fluence map must not depend on which
+     side of the aperture a feature sits *)
+  let lo = int_of_float (Float.round (float_of_int t.n *. (0.5 -. (frac /. 2.0)))) in
+  let hi = t.n - lo in
   let vals = ref [] in
   for j = lo to hi - 1 do
     for i = lo to hi - 1 do

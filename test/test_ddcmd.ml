@@ -2,6 +2,7 @@
    terms, the integrator stack, and the GROMACS comparison model. *)
 
 open Ddcmd
+module Fbuf = Icoe_util.Fbuf
 
 let rng () = Icoe_util.Rng.create 71
 
@@ -20,8 +21,8 @@ let test_lattice_no_overlap () =
 
 let test_min_image () =
   let p = Particles.create ~n:2 ~box:10.0 in
-  p.Particles.x.(0) <- 0.5;
-  p.Particles.x.(1) <- 9.5;
+  Fbuf.set p.Particles.x 0 (0.5);
+  Fbuf.set p.Particles.x 1 (9.5);
   Alcotest.(check (float 1e-12)) "wraps across boundary" 1.0
     (sqrt (Particles.dist2 p 0 1))
 
@@ -41,31 +42,31 @@ let test_lj_minimum () =
   let pot = Potential.lennard_jones ~epsilon:1.0 ~sigma:1.0 ~cutoff:3.0 () in
   (* force zero at r = 2^(1/6) sigma *)
   let rmin = 2.0 ** (1.0 /. 6.0) in
-  let _, f = pot.Potential.eval ~si:0 ~sj:0 ~r2:(rmin *. rmin) in
+  let _, f = Potential.eval pot ~si:0 ~sj:0 ~r2:(rmin *. rmin) in
   Alcotest.(check (float 1e-9)) "zero force at minimum" 0.0 f;
-  let _, f_close = pot.Potential.eval ~si:0 ~sj:0 ~r2:(0.9 *. 0.9) in
-  let _, f_far = pot.Potential.eval ~si:0 ~sj:0 ~r2:(1.5 *. 1.5) in
+  let _, f_close = Potential.eval pot ~si:0 ~sj:0 ~r2:(0.9 *. 0.9) in
+  let _, f_far = Potential.eval pot ~si:0 ~sj:0 ~r2:(1.5 *. 1.5) in
   Alcotest.(check bool) "repulsive inside" true (f_close > 0.0);
   Alcotest.(check bool) "attractive outside" true (f_far < 0.0)
 
 let test_lj_cutoff_continuity () =
   let pot = Potential.lennard_jones ~cutoff:2.5 () in
-  let e_in, _ = pot.Potential.eval ~si:0 ~sj:0 ~r2:(2.499 *. 2.499) in
-  let e_out, _ = pot.Potential.eval ~si:0 ~sj:0 ~r2:(2.501 *. 2.501) in
+  let e_in, _ = Potential.eval pot ~si:0 ~sj:0 ~r2:(2.499 *. 2.499) in
+  let e_out, _ = Potential.eval pot ~si:0 ~sj:0 ~r2:(2.501 *. 2.501) in
   Alcotest.(check bool) "energy continuous at cutoff" true
     (Float.abs (e_in -. e_out) < 1e-3)
 
 let test_exp6_repulsive_core () =
   let pot = Potential.exp6 () in
-  let _, f = pot.Potential.eval ~si:0 ~sj:0 ~r2:(0.3 *. 0.3) in
+  let _, f = Potential.eval pot ~si:0 ~sj:0 ~r2:(0.3 *. 0.3) in
   Alcotest.(check bool) "repulsive at short range" true (f > 0.0)
 
 let test_martini_species_matrix () =
   let eps = [| [| 1.0; 0.5 |]; [| 0.5; 2.0 |] |] in
   let sg = [| [| 0.47; 0.47 |]; [| 0.47; 0.47 |] |] in
   let pot = Potential.martini ~epsilon:eps ~sigma:sg () in
-  let e00, _ = pot.Potential.eval ~si:0 ~sj:0 ~r2:(0.5 *. 0.5) in
-  let e11, _ = pot.Potential.eval ~si:1 ~sj:1 ~r2:(0.5 *. 0.5) in
+  let e00, _ = Potential.eval pot ~si:0 ~sj:0 ~r2:(0.5 *. 0.5) in
+  let e11, _ = Potential.eval pot ~si:1 ~sj:1 ~r2:(0.5 *. 0.5) in
   Alcotest.(check bool) "species-dependent wells" true
     (Float.abs (e11 /. e00 -. 2.0) < 1e-9)
 
@@ -78,9 +79,9 @@ let test_cells_match_all_pairs () =
   Particles.lattice_init p;
   (* jitter positions *)
   for i = 0 to 119 do
-    p.Particles.x.(i) <- Particles.wrap p (p.Particles.x.(i) +. Icoe_util.Rng.uniform r (-0.2) 0.2);
-    p.Particles.y.(i) <- Particles.wrap p (p.Particles.y.(i) +. Icoe_util.Rng.uniform r (-0.2) 0.2);
-    p.Particles.z.(i) <- Particles.wrap p (p.Particles.z.(i) +. Icoe_util.Rng.uniform r (-0.2) 0.2)
+    Fbuf.set p.Particles.x i (Particles.wrap p ((Fbuf.get p.Particles.x i) +. Icoe_util.Rng.uniform r (-0.2) 0.2));
+    Fbuf.set p.Particles.y i (Particles.wrap p ((Fbuf.get p.Particles.y i) +. Icoe_util.Rng.uniform r (-0.2) 0.2));
+    Fbuf.set p.Particles.z i (Particles.wrap p ((Fbuf.get p.Particles.z i) +. Icoe_util.Rng.uniform r (-0.2) 0.2))
   done;
   let cutoff = 1.5 in
   let cl = Cells.build p ~cutoff in
@@ -100,38 +101,74 @@ let test_cells_match_all_pairs () =
     (List.length (norm !pairs_cells));
   Alcotest.(check bool) "same pair set" true (norm !pairs_naive = norm !pairs_cells)
 
+let test_cells_negative_coordinate_clamped () =
+  (* regression: a slightly-negative unwrapped coordinate (floating-point
+     wrap residue like -1e-16, or integrator drift before rewrapping)
+     used to bin to cell -1 and index head out of bounds; cell_coord now
+     clamps both ends *)
+  Alcotest.(check int) "slightly negative binned to 0" 0
+    (Cells.cell_coord ~ncell:4 ~cell_size:1.0 (-1e-16));
+  Alcotest.(check int) "below box binned to 0" 0
+    (Cells.cell_coord ~ncell:4 ~cell_size:1.0 (-0.3));
+  Alcotest.(check int) "above box binned to last" 3
+    (Cells.cell_coord ~ncell:4 ~cell_size:1.0 4.2);
+  let p = Particles.create ~n:27 ~box:6.0 in
+  Particles.lattice_init p;
+  (* plant boundary offenders: exact 0.0, -0.0, a negative ulp, and a
+     coordinate just past the box edge *)
+  Fbuf.set p.Particles.x 0 (-1e-16);
+  Fbuf.set p.Particles.y 0 (-0.0);
+  Fbuf.set p.Particles.z 0 0.0;
+  Fbuf.set p.Particles.x 1 (6.0 +. 1e-12);
+  let cutoff = 1.5 in
+  let cl = Cells.build p ~cutoff in
+  (* enumeration must neither crash nor lose pairs vs O(N^2) *)
+  let pairs_cells = ref [] in
+  Cells.iter_pairs cl p ~cutoff (fun i j ->
+      pairs_cells := (min i j, max i j) :: !pairs_cells);
+  let pairs_naive = ref [] in
+  for i = 0 to 25 do
+    for j = i + 1 to 26 do
+      if Particles.dist2 p i j <= cutoff *. cutoff then
+        pairs_naive := (i, j) :: !pairs_naive
+    done
+  done;
+  let norm l = List.sort_uniq compare l in
+  Alcotest.(check bool) "same pair set with boundary offenders" true
+    (norm !pairs_naive = norm !pairs_cells)
+
 (* --- bonded --- *)
 
 let test_bond_force_direction () =
   let p = Particles.create ~n:2 ~box:10.0 in
-  p.Particles.x.(0) <- 4.0;
-  p.Particles.x.(1) <- 6.0;
-  p.Particles.y.(0) <- 5.0;
-  p.Particles.y.(1) <- 5.0;
-  p.Particles.z.(0) <- 5.0;
-  p.Particles.z.(1) <- 5.0;
+  Fbuf.set p.Particles.x 0 (4.0);
+  Fbuf.set p.Particles.x 1 (6.0);
+  Fbuf.set p.Particles.y 0 (5.0);
+  Fbuf.set p.Particles.y 1 (5.0);
+  Fbuf.set p.Particles.z 0 (5.0);
+  Fbuf.set p.Particles.z 1 (5.0);
   (* stretched bond (r=2, r0=1.5): force pulls them together *)
   let e = Bonded.bond_forces p [ { Bonded.bi = 0; bj = 1; k = 10.0; r0 = 1.5 } ] in
   Alcotest.(check bool) "positive energy" true (e > 0.0);
-  Alcotest.(check bool) "0 pulled toward 1" true (p.Particles.fx.(0) > 0.0);
-  Alcotest.(check bool) "1 pulled toward 0" true (p.Particles.fx.(1) < 0.0);
+  Alcotest.(check bool) "0 pulled toward 1" true ((Fbuf.get p.Particles.fx 0) > 0.0);
+  Alcotest.(check bool) "1 pulled toward 0" true ((Fbuf.get p.Particles.fx 1) < 0.0);
   Alcotest.(check (float 1e-12)) "newton's third law" 0.0
-    (p.Particles.fx.(0) +. p.Particles.fx.(1))
+    ((Fbuf.get p.Particles.fx 0) +. (Fbuf.get p.Particles.fx 1))
 
 let test_angle_force_restores () =
   let p = Particles.create ~n:3 ~box:10.0 in
   (* bent configuration: 90 degrees, equilibrium 180 *)
-  p.Particles.x.(0) <- 4.0; p.Particles.y.(0) <- 5.0; p.Particles.z.(0) <- 5.0;
-  p.Particles.x.(1) <- 5.0; p.Particles.y.(1) <- 5.0; p.Particles.z.(1) <- 5.0;
-  p.Particles.x.(2) <- 5.0; p.Particles.y.(2) <- 6.0; p.Particles.z.(2) <- 5.0;
+  Fbuf.set p.Particles.x 0 (4.0); Fbuf.set p.Particles.y 0 (5.0); Fbuf.set p.Particles.z 0 (5.0);
+  Fbuf.set p.Particles.x 1 (5.0); Fbuf.set p.Particles.y 1 (5.0); Fbuf.set p.Particles.z 1 (5.0);
+  Fbuf.set p.Particles.x 2 (5.0); Fbuf.set p.Particles.y 2 (6.0); Fbuf.set p.Particles.z 2 (5.0);
   let e =
     Bonded.angle_forces p
       [ { Bonded.ai = 0; aj = 1; ak = 2; ka = 5.0; theta0 = Float.pi } ]
   in
   Alcotest.(check bool) "positive energy away from equilibrium" true (e > 0.0);
   (* net force zero *)
-  let fx = p.Particles.fx.(0) +. p.Particles.fx.(1) +. p.Particles.fx.(2) in
-  let fy = p.Particles.fy.(0) +. p.Particles.fy.(1) +. p.Particles.fy.(2) in
+  let fx = (Fbuf.get p.Particles.fx 0) +. (Fbuf.get p.Particles.fx 1) +. (Fbuf.get p.Particles.fx 2) in
+  let fy = (Fbuf.get p.Particles.fy 0) +. (Fbuf.get p.Particles.fy 1) +. (Fbuf.get p.Particles.fy 2) in
   Alcotest.(check (float 1e-10)) "momentum conserved x" 0.0 fx;
   Alcotest.(check (float 1e-10)) "momentum conserved y" 0.0 fy
 
@@ -185,11 +222,11 @@ let test_berendsen_compresses () =
 
 let test_shake_maintains_distance () =
   let p = Particles.create ~n:2 ~box:10.0 in
-  p.Particles.x.(0) <- 5.0; p.Particles.y.(0) <- 5.0; p.Particles.z.(0) <- 5.0;
-  p.Particles.x.(1) <- 6.0; p.Particles.y.(1) <- 5.0; p.Particles.z.(1) <- 5.0;
+  Fbuf.set p.Particles.x 0 (5.0); Fbuf.set p.Particles.y 0 (5.0); Fbuf.set p.Particles.z 0 (5.0);
+  Fbuf.set p.Particles.x 1 (6.0); Fbuf.set p.Particles.y 1 (5.0); Fbuf.set p.Particles.z 1 (5.0);
   (* opposing velocities try to stretch the constrained pair *)
-  p.Particles.vx.(0) <- -1.0;
-  p.Particles.vx.(1) <- 1.0;
+  Fbuf.set p.Particles.vx 0 (-1.0);
+  Fbuf.set p.Particles.vx 1 (1.0);
   let e =
     Engine.create ~dt:0.004 ~constraints:[ (0, 1, 1.0) ]
       ~potential:(Potential.soft_sphere ~sigma:0.1 ()) p
@@ -221,7 +258,7 @@ let test_martini_membrane_patch_stable () =
   in
   Engine.run ~langevin:(2.0, 1.0, r) e ~steps:500;
   Alcotest.(check bool) "finite positions" true
-    (Array.for_all Float.is_finite p.Particles.x);
+    (Array.for_all Float.is_finite (Fbuf.to_array p.Particles.x));
   Alcotest.(check bool) "pairs evaluated" true (e.Engine.pair_count > 0)
 
 let test_rdf_structure () =
@@ -281,10 +318,10 @@ let test_verlet_rebuild_criterion () =
   let v = Verlet.build ~skin:0.5 p ~cutoff:2.5 in
   Alcotest.(check bool) "fresh list valid" false (Verlet.needs_rebuild v p);
   (* move one particle just under half the skin: still valid *)
-  p.Particles.x.(0) <- Particles.wrap p (p.Particles.x.(0) +. 0.24);
+  Fbuf.set p.Particles.x 0 (Particles.wrap p ((Fbuf.get p.Particles.x 0) +. 0.24));
   Alcotest.(check bool) "within skin" false (Verlet.needs_rebuild v p);
   (* beyond half the skin: must rebuild *)
-  p.Particles.x.(0) <- Particles.wrap p (p.Particles.x.(0) +. 0.05);
+  Fbuf.set p.Particles.x 0 (Particles.wrap p ((Fbuf.get p.Particles.x 0) +. 0.05));
   Alcotest.(check bool) "stale" true (Verlet.needs_rebuild v p);
   let v2 = Verlet.refresh v p in
   Alcotest.(check int) "rebuild counted" 2 v2.Verlet.rebuilds;
@@ -405,8 +442,42 @@ let prop_lj_forces_finite =
     QCheck.(float_range 0.5 10.0)
     (fun r2 ->
       let pot = Potential.lennard_jones () in
-      let e, f = pot.Potential.eval ~si:0 ~sj:0 ~r2 in
+      let e, f = Potential.eval pot ~si:0 ~sj:0 ~r2 in
       Float.is_finite e && Float.is_finite f)
+
+let prop_forces_par_bits_exact =
+  (* the pooled force kernel must match the serial reference to the last
+     bit — forces, potential energy and virial — for random thermal
+     states, under whatever ICOE_DOMAINS the suite runs with *)
+  QCheck.Test.make ~name:"pooled forces bit-identical to serial" ~count:15
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let mk () =
+        let r = Icoe_util.Rng.create seed in
+        let n = 64 + (8 * Icoe_util.Rng.int r 12) in
+        let p = Particles.create ~n ~box:(5.0 +. Icoe_util.Rng.float r) in
+        Particles.lattice_init p;
+        Particles.thermalize p ~rng:r ~temp:(0.3 +. Icoe_util.Rng.float r);
+        Engine.create ~dt:0.004 ~potential:(Potential.lennard_jones ()) p
+      in
+      let e_par = mk () and e_seq = mk () in
+      Engine.compute_forces e_par;
+      Engine.compute_forces_seq e_seq;
+      let bits_eq a b =
+        Array.for_all2
+          (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+          (Fbuf.to_array a) (Fbuf.to_array b)
+      in
+      bits_eq e_par.Engine.p.Particles.fx e_seq.Engine.p.Particles.fx
+      && bits_eq e_par.Engine.p.Particles.fy e_seq.Engine.p.Particles.fy
+      && bits_eq e_par.Engine.p.Particles.fz e_seq.Engine.p.Particles.fz
+      && Int64.equal
+           (Int64.bits_of_float e_par.Engine.pot_energy)
+           (Int64.bits_of_float e_seq.Engine.pot_energy)
+      && Int64.equal
+           (Int64.bits_of_float e_par.Engine.virial)
+           (Int64.bits_of_float e_seq.Engine.virial)
+      && e_par.Engine.pair_count = e_seq.Engine.pair_count)
 
 let () =
   Alcotest.run "ddcmd"
@@ -425,7 +496,12 @@ let () =
           Alcotest.test_case "martini matrix" `Quick test_martini_species_matrix;
           QCheck_alcotest.to_alcotest prop_lj_forces_finite;
         ] );
-      ("cells", [ Alcotest.test_case "matches all-pairs" `Quick test_cells_match_all_pairs ]);
+      ( "cells",
+        [
+          Alcotest.test_case "matches all-pairs" `Quick test_cells_match_all_pairs;
+          Alcotest.test_case "negative coordinate clamped" `Quick
+            test_cells_negative_coordinate_clamped;
+        ] );
       ( "bonded",
         [
           Alcotest.test_case "bond direction" `Quick test_bond_force_direction;
@@ -439,6 +515,7 @@ let () =
           Alcotest.test_case "berendsen" `Quick test_berendsen_compresses;
           Alcotest.test_case "shake" `Quick test_shake_maintains_distance;
           Alcotest.test_case "martini patch" `Quick test_martini_membrane_patch_stable;
+          QCheck_alcotest.to_alcotest prop_forces_par_bits_exact;
         ] );
       ("rdf", [ Alcotest.test_case "fluid structure" `Slow test_rdf_structure ]);
       ("vacf", [ Alcotest.test_case "decay + green-kubo" `Slow test_vacf_decays ]);

@@ -203,6 +203,39 @@ let test_checkpoint_failure_free () =
   check_float "only checkpoint overhead paid" 101.5 rep.Checkpoint.achieved_s;
   check_float "no lost work" 0.0 rep.Checkpoint.lost_work_s
 
+let test_checkpoint_tiny_mtbf_end_to_end () =
+  (* regression for the interval guard: a brutal fault rate drives the
+     Young/Daly period below one step; young_daly_steps must clamp to 1
+     (not 0 — interval 0 used to raise) and the driver must still carry
+     a real engine to the exact fault-free answer under a storm of
+     failures *)
+  let step_cost_s = 1.0 in
+  let interval =
+    Checkpoint.young_daly_steps ~mtbf_s:3.0 ~checkpoint_cost_s:0.01
+      ~step_cost_s
+  in
+  Alcotest.(check int) "brutal MTBF clamps to every-step" 1 interval;
+  let plan = Plan.for_run (Plan.spec ~intensity:12.0 7) ~ideal_s:40.0 ~nodes:64 in
+  let state = ref 0 in
+  let rep =
+    Checkpoint.run ~plan ~restart_cost_s:0.2 ~step_cost_s
+      ~checkpoint_cost_s:0.01 ~interval ~steps:40
+      ~snapshot:(fun () -> !state)
+      ~restore:(fun s -> state := s)
+      ~step:(fun i ->
+        Alcotest.(check int) "replay order preserved" i !state;
+        incr state)
+      ()
+  in
+  Alcotest.(check int) "engine reached the end" 40 !state;
+  Alcotest.(check bool) "storm struck" true (rep.Checkpoint.injected >= 1);
+  Alcotest.(check int) "every failure recovered" rep.Checkpoint.injected
+    rep.Checkpoint.recovered;
+  Alcotest.(check (float 1e-6)) "achieved = ideal + overhead + lost"
+    rep.Checkpoint.achieved_s
+    (rep.Checkpoint.ideal_s +. rep.Checkpoint.checkpoint_overhead_s
+    +. rep.Checkpoint.lost_work_s)
+
 let test_checkpoint_deterministic () =
   let run () =
     let plan = Plan.for_run (Plan.spec 9) ~ideal_s:64.0 ~nodes:8 in
@@ -250,14 +283,14 @@ let test_ddcmd_snapshot_replay () =
   Ddcmd.Engine.run e ~steps:5;
   let snap = Ddcmd.Engine.snapshot e in
   Ddcmd.Engine.run e ~steps:5;
-  let x_ref = Array.copy e.Ddcmd.Engine.p.Ddcmd.Particles.x in
+  let x_ref = Icoe_util.Fbuf.to_array e.Ddcmd.Engine.p.Ddcmd.Particles.x in
   let energy_ref = Ddcmd.Engine.total_energy e in
   let steps_ref = e.Ddcmd.Engine.steps in
   Ddcmd.Engine.restore e snap;
   Alcotest.(check int) "step counter restored" 5 e.Ddcmd.Engine.steps;
   Ddcmd.Engine.run e ~steps:5;
   Alcotest.(check bool) "positions replay bitwise" true
-    (Array.for_all2 Float.equal x_ref e.Ddcmd.Engine.p.Ddcmd.Particles.x);
+    (Array.for_all2 Float.equal x_ref (Icoe_util.Fbuf.to_array e.Ddcmd.Engine.p.Ddcmd.Particles.x));
   Alcotest.(check bool) "energy replays bitwise" true
     (Float.equal energy_ref (Ddcmd.Engine.total_energy e));
   Alcotest.(check int) "step counter replays" steps_ref e.Ddcmd.Engine.steps
@@ -396,6 +429,8 @@ let () =
           Alcotest.test_case "accounting invariant" `Quick
             test_checkpoint_accounting;
           Alcotest.test_case "failure-free" `Quick test_checkpoint_failure_free;
+          Alcotest.test_case "tiny-MTBF end to end" `Quick
+            test_checkpoint_tiny_mtbf_end_to_end;
           Alcotest.test_case "deterministic" `Quick test_checkpoint_deterministic;
         ] );
       ( "recovery",

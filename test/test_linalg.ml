@@ -99,8 +99,8 @@ let test_csr_triplets_column_order () =
   in
   Alcotest.(check (array int)) "columns sorted" [| 0; 1; 2; 3; 4 |] s.Csr.col_idx;
   Alcotest.(check bool) "NaN payload kept at its column" true
-    (Float.is_nan s.Csr.values.(3));
-  check_float "payload follows its column" 0.5 s.Csr.values.(2);
+    (Float.is_nan (Icoe_util.Fbuf.get s.Csr.values 3));
+  check_float "payload follows its column" 0.5 (Icoe_util.Fbuf.get s.Csr.values 2);
   (* duplicates on the same column still collapse into one summed entry *)
   let d =
     Csr.of_triplets ~m:1 ~n:3 [ (0, 2, 4.0); (0, 0, 1.0); (0, 2, -1.5) ]
@@ -269,6 +269,33 @@ let prop_csr_dense_roundtrip =
       let d2 = Csr.to_dense (Csr.of_dense d) in
       Icoe_util.Stats.max_abs_diff d2.Dense.a d.Dense.a < 1e-14)
 
+let bits_equal_arrays a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let prop_spmv_par_bits_exact =
+  (* the pooled SpMV must agree with the serial reference to the last
+     bit (Int64.bits_of_float), for any operator scaling and any
+     ICOE_DOMAINS the suite runs under *)
+  QCheck.Test.make ~name:"pooled SpMV bit-identical to serial" ~count:25
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Icoe_util.Rng.create seed in
+      let nx = 24 + Icoe_util.Rng.int rng 12 in
+      let ny = 24 + Icoe_util.Rng.int rng 12 in
+      let a = Csr.laplacian_2d nx ny in
+      let n = nx * ny in
+      assert (n >= Csr.spmv_par_threshold);
+      let d = Array.init n (fun _ -> Icoe_util.Rng.uniform rng 0.1 2.0) in
+      let a = Csr.scale_rows a d in
+      let x = Array.init n (fun _ -> Icoe_util.Rng.uniform rng (-5.0) 5.0) in
+      let y_par = Array.make n nan and y_seq = Array.make n nan in
+      Csr.spmv_into a x y_par;
+      Csr.spmv_seq_into a x y_seq;
+      bits_equal_arrays y_par y_seq)
+
 let () =
   Alcotest.run "linalg"
     [
@@ -297,6 +324,7 @@ let () =
           Alcotest.test_case "laplacian rows" `Quick test_laplacian_row_sums;
           Alcotest.test_case "diag" `Quick test_csr_diag;
           QCheck_alcotest.to_alcotest prop_csr_dense_roundtrip;
+          QCheck_alcotest.to_alcotest prop_spmv_par_bits_exact;
         ] );
       ( "krylov",
         [

@@ -175,30 +175,41 @@ let test_sw4_acceleration_agreement () =
   Sw4.Grid.homogeneous g ~rho:2500.0 ~vp:5000.0 ~vs:2500.0;
   let n = 48 * 40 in
   let rng = Icoe_util.Rng.create 23 in
-  let ux = Array.init n (fun _ -> Icoe_util.Rng.uniform rng (-1e-3) 1e-3) in
-  let uy = Array.init n (fun _ -> Icoe_util.Rng.uniform rng (-1e-3) 1e-3) in
-  let ax_p = Array.make n 0.0 and ay_p = Array.make n 0.0 in
-  let ax_s = Array.make n 0.0 and ay_s = Array.make n 0.0 in
+  let module Fbuf = Icoe_util.Fbuf in
+  let ux = Fbuf.init n (fun _ -> Icoe_util.Rng.uniform rng (-1e-3) 1e-3) in
+  let uy = Fbuf.init n (fun _ -> Icoe_util.Rng.uniform rng (-1e-3) 1e-3) in
+  let ax_p = Fbuf.create n and ay_p = Fbuf.create n in
+  let ax_s = Fbuf.create n and ay_s = Fbuf.create n in
   Sw4.Elastic.acceleration g (Sw4.Elastic.make_scratch g) ~ux ~uy ~ax:ax_p ~ay:ay_p;
   Sw4.Elastic.acceleration_seq g (Sw4.Elastic.make_scratch g) ~ux ~uy ~ax:ax_s ~ay:ay_s;
-  check_float_array "sw4 ax" ax_p ax_s;
-  check_float_array "sw4 ay" ay_p ay_s
+  check_float_array "sw4 ax" (Fbuf.to_array ax_p) (Fbuf.to_array ax_s);
+  check_float_array "sw4 ay" (Fbuf.to_array ay_p) (Fbuf.to_array ay_s)
 
 let test_cardioid_reaction_agreement () =
+  let module Fbuf = Icoe_util.Fbuf in
   let mk () =
     let m = Cardioid.Monodomain.create ~nx:20 ~ny:12 () in
     Cardioid.Monodomain.stimulate m ~ilo:0 ~ihi:2 ~jlo:0 ~jhi:11 ~amplitude:60.0;
     m
   in
-  let m_par = mk () and m_seq = mk () in
+  let m_par = mk () and m_seq = mk () and m_ref = mk () in
   for _ = 1 to 3 do
     Cardioid.Monodomain.reaction_step m_par;
-    Cardioid.Monodomain.reaction_step_seq m_seq
+    Cardioid.Monodomain.reaction_step_seq m_seq;
+    Cardioid.Monodomain.reaction_step_ref m_ref
   done;
-  check_float_array "cardioid v" m_par.Cardioid.Monodomain.v m_seq.Cardioid.Monodomain.v;
-  Array.iteri
-    (fun k s -> check_float_array (Fmt.str "cardioid state %d" k) s m_seq.Cardioid.Monodomain.state.(k))
-    m_par.Cardioid.Monodomain.state
+  check_float_array "cardioid v" (Fbuf.to_array m_par.Cardioid.Monodomain.v)
+    (Fbuf.to_array m_seq.Cardioid.Monodomain.v);
+  check_float_array "cardioid state"
+    (Fbuf.to_array m_par.Cardioid.Monodomain.state)
+    (Fbuf.to_array m_seq.Cardioid.Monodomain.state);
+  (* the stack-program kernel must also match the boxed closure tree *)
+  check_float_array "cardioid v vs ref"
+    (Fbuf.to_array m_par.Cardioid.Monodomain.v)
+    (Fbuf.to_array m_ref.Cardioid.Monodomain.v);
+  check_float_array "cardioid state vs ref"
+    (Fbuf.to_array m_par.Cardioid.Monodomain.state)
+    (Fbuf.to_array m_ref.Cardioid.Monodomain.state)
 
 let test_md_forces_agreement () =
   let mk () =
@@ -211,12 +222,13 @@ let test_md_forces_agreement () =
   let e_par = mk () and e_seq = mk () in
   Ddcmd.Engine.compute_forces e_par;
   Ddcmd.Engine.compute_forces_seq e_seq;
-  check_float_array "md fx" e_par.Ddcmd.Engine.p.Ddcmd.Particles.fx
-    e_seq.Ddcmd.Engine.p.Ddcmd.Particles.fx;
-  check_float_array "md fy" e_par.Ddcmd.Engine.p.Ddcmd.Particles.fy
-    e_seq.Ddcmd.Engine.p.Ddcmd.Particles.fy;
-  check_float_array "md fz" e_par.Ddcmd.Engine.p.Ddcmd.Particles.fz
-    e_seq.Ddcmd.Engine.p.Ddcmd.Particles.fz;
+  let fb = Icoe_util.Fbuf.to_array in
+  check_float_array "md fx" (fb e_par.Ddcmd.Engine.p.Ddcmd.Particles.fx)
+    (fb e_seq.Ddcmd.Engine.p.Ddcmd.Particles.fx);
+  check_float_array "md fy" (fb e_par.Ddcmd.Engine.p.Ddcmd.Particles.fy)
+    (fb e_seq.Ddcmd.Engine.p.Ddcmd.Particles.fy);
+  check_float_array "md fz" (fb e_par.Ddcmd.Engine.p.Ddcmd.Particles.fz)
+    (fb e_seq.Ddcmd.Engine.p.Ddcmd.Particles.fz);
   Alcotest.(check bool) "md epot equal" true
     (Float.equal e_par.Ddcmd.Engine.pot_energy e_seq.Ddcmd.Engine.pot_energy);
   Alcotest.(check bool) "md virial equal" true
@@ -230,14 +242,14 @@ let test_lda_estep_agreement () =
   let m = Lda.Vem.init ~rng ~k:corpus.Lda.Corpus.k_true ~vocab:corpus.Lda.Corpus.vocab () in
   let elogb = Lda.Vem.elog_beta m in
   let k = corpus.Lda.Corpus.k_true and vocab = corpus.Lda.Corpus.vocab in
-  let s_par = Array.make_matrix k vocab 0.0 in
-  let s_seq = Array.make_matrix k vocab 0.0 in
+  let s_par = Icoe_util.Fbuf.create (k * vocab) in
+  let s_seq = Icoe_util.Fbuf.create (k * vocab) in
   let ll_par = Lda.Vem.e_step_docs m elogb corpus.Lda.Corpus.docs s_par in
   let ll_seq = Lda.Vem.e_step_docs_seq m elogb corpus.Lda.Corpus.docs s_seq in
   Alcotest.(check bool) "lda loglik equal" true (Float.equal ll_par ll_seq);
-  Array.iteri
-    (fun t row -> check_float_array (Fmt.str "lda stats %d" t) row s_seq.(t))
-    s_par
+  check_float_array "lda stats"
+    (Icoe_util.Fbuf.to_array s_par)
+    (Icoe_util.Fbuf.to_array s_seq)
 
 (* --- the pool/metrics hazard guard --- *)
 

@@ -230,6 +230,35 @@ let test_corpus_generation () =
       Alcotest.(check (float 1e-9)) "topic row sums 1" 1.0 (Icoe_util.Stats.sum row))
     c.Lda.Corpus.topic_word
 
+let prop_lda_estep_par_bits_exact =
+  (* the pooled batch E-step must match the serial reference to the last
+     bit — statistics buffer and likelihood — for random corpora, under
+     whatever ICOE_DOMAINS the suite runs with *)
+  QCheck.Test.make ~name:"pooled E-step bit-identical to serial" ~count:10
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Icoe_util.Rng.create seed in
+      let ndocs = 1 + Icoe_util.Rng.int rng 30 in
+      let corpus = Lda.Corpus.generate ~ndocs ~rng () in
+      let m =
+        Lda.Vem.init ~rng ~k:corpus.Lda.Corpus.k_true
+          ~vocab:corpus.Lda.Corpus.vocab ()
+      in
+      let elogb = Lda.Vem.elog_beta m in
+      let kw = corpus.Lda.Corpus.k_true * corpus.Lda.Corpus.vocab in
+      let s_par = Icoe_util.Fbuf.create kw in
+      let s_seq = Icoe_util.Fbuf.create kw in
+      let ll_par = Lda.Vem.e_step_docs m elogb corpus.Lda.Corpus.docs s_par in
+      let ll_seq =
+        Lda.Vem.e_step_docs_seq m elogb corpus.Lda.Corpus.docs s_seq
+      in
+      Int64.equal (Int64.bits_of_float ll_par) (Int64.bits_of_float ll_seq)
+      && Array.for_all2
+           (fun x y ->
+             Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+           (Icoe_util.Fbuf.to_array s_par)
+           (Icoe_util.Fbuf.to_array s_seq))
+
 let test_lda_likelihood_increases () =
   let rng = Icoe_util.Rng.create 102 in
   let corpus = Lda.Corpus.generate ~ndocs:120 ~rng () in
@@ -327,6 +356,7 @@ let () =
         [
           Alcotest.test_case "digamma" `Quick test_digamma_recurrence;
           Alcotest.test_case "corpus" `Quick test_corpus_generation;
+          QCheck_alcotest.to_alcotest prop_lda_estep_par_bits_exact;
           Alcotest.test_case "likelihood increases" `Slow test_lda_likelihood_increases;
           Alcotest.test_case "topic recovery" `Slow test_lda_recovers_topics;
           Alcotest.test_case "fig2 shape" `Slow test_fig2_shape;

@@ -2,6 +2,8 @@
    physics (wave speeds, stability, damping), and the performance-variant
    model. *)
 
+module Fbuf = Icoe_util.Fbuf
+
 let check_float = Alcotest.(check (float 1e-9))
 
 let test_grid_material () =
@@ -16,7 +18,7 @@ let test_d1_exact_on_cubics () =
   (* the 4th-order stencil differentiates cubics exactly *)
   let g = Sw4.Grid.create ~nx:16 ~ny:16 ~h:0.5 in
   let f =
-    Array.init (16 * 16) (fun k ->
+    Fbuf.init (16 * 16) (fun k ->
         let i = k mod 16 and j = k / 16 in
         let x = float_of_int i *. 0.5 and y = float_of_int j *. 0.5 in
         (x ** 3.0) +. (2.0 *. (y ** 3.0)) +. (x *. y))
@@ -35,13 +37,13 @@ let test_acceleration_zero_on_linear_field () =
   let g = Sw4.Grid.create ~nx:24 ~ny:24 ~h:1.0 in
   Sw4.Grid.homogeneous g ~rho:1000.0 ~vp:2000.0 ~vs:1000.0;
   let n = 24 * 24 in
-  let ux = Array.init n (fun k -> 0.001 *. float_of_int (k mod 24)) in
-  let uy = Array.init n (fun k -> 0.002 *. float_of_int (k / 24)) in
-  let ax = Array.make n 0.0 and ay = Array.make n 0.0 in
+  let ux = Fbuf.init n (fun k -> 0.001 *. float_of_int (k mod 24)) in
+  let uy = Fbuf.init n (fun k -> 0.002 *. float_of_int (k / 24)) in
+  let ax = Fbuf.create n and ay = Fbuf.create n in
   let s = Sw4.Elastic.make_scratch g in
   Sw4.Elastic.acceleration g s ~ux ~uy ~ax ~ay;
-  Alcotest.(check bool) "ax ~ 0" true (Linalg.Vec.nrm_inf ax < 1e-8);
-  Alcotest.(check bool) "ay ~ 0" true (Linalg.Vec.nrm_inf ay < 1e-8)
+  Alcotest.(check bool) "ax ~ 0" true (Linalg.Vec.nrm_inf (Fbuf.to_array ax) < 1e-8);
+  Alcotest.(check bool) "ay ~ 0" true (Linalg.Vec.nrm_inf (Fbuf.to_array ay) < 1e-8)
 
 let test_p_wave_speed () =
   (* point source in homogeneous medium: first arrival at a receiver at
@@ -96,15 +98,16 @@ let test_stability_energy_bounded () =
   (* damping layers remove energy once the source is quiet *)
   Alcotest.(check bool) "energy decays after source" true (e_late < e_mid);
   Alcotest.(check bool) "fields finite" true
-    (Array.for_all Float.is_finite solver.Sw4.Solver.ux)
+    (Array.for_all Float.is_finite (Fbuf.to_array solver.Sw4.Solver.ux))
 
 let test_damping_profile_interior_unity () =
   let g = Sw4.Grid.create ~nx:64 ~ny:64 ~h:10.0 in
   Sw4.Grid.homogeneous g ~rho:2000.0 ~vp:3000.0 ~vs:1500.0;
   let s = Sw4.Solver.create g in
-  check_float "interior taper 1" 1.0 s.Sw4.Solver.damping.(Sw4.Grid.idx g 32 32);
+  check_float "interior taper 1" 1.0
+    (Fbuf.get s.Sw4.Solver.damping (Sw4.Grid.idx g 32 32));
   Alcotest.(check bool) "wall taper < 1" true
-    (s.Sw4.Solver.damping.(Sw4.Grid.idx g 0 32) < 1.0)
+    (Fbuf.get s.Sw4.Solver.damping (Sw4.Grid.idx g 0 32) < 1.0)
 
 let test_ricker_properties () =
   check_float "peak at t0" 1.0 (Sw4.Source.ricker ~f0:2.0 ~t0:1.0 1.0);
@@ -127,8 +130,8 @@ let test_temporal_convergence () =
         let x = float_of_int i /. float_of_int (nx - 1) in
         let y = float_of_int j /. float_of_int (nx - 1) in
         let v = 0.01 *. sin (Float.pi *. x) *. sin (Float.pi *. y) in
-        s.Sw4.Solver.ux.(k) <- v;
-        s.Sw4.Solver.ux_prev.(k) <- v
+        Fbuf.set s.Sw4.Solver.ux k v;
+        Fbuf.set s.Sw4.Solver.ux_prev k v
       done
     done;
     let tphys = 0.5 in
@@ -136,7 +139,7 @@ let test_temporal_convergence () =
     let steps = int_of_float (Float.round (tphys /. s.Sw4.Solver.dt)) in
     let s = { s with Sw4.Solver.dt = tphys /. float_of_int steps } in
     Sw4.Solver.run s ~steps;
-    s.Sw4.Solver.ux.(Sw4.Grid.idx g (nx / 2) (nx / 2))
+    Fbuf.get s.Sw4.Solver.ux (Sw4.Grid.idx g (nx / 2) (nx / 2))
   in
   let reference = solve 0.02 in
   let e_coarse = Float.abs (solve 0.4 -. reference) in
@@ -202,15 +205,15 @@ let test_3d_linear_field_zero_accel () =
     for j = 0 to 11 do
       for i = 0 to 11 do
         let p = Sw4.Elastic3d.idx g i j k in
-        st.Sw4.Elastic3d.u.(0).(p) <- 0.001 *. float_of_int i;
-        st.Sw4.Elastic3d.u.(1).(p) <- 0.002 *. float_of_int j;
-        st.Sw4.Elastic3d.u.(2).(p) <- 0.003 *. float_of_int k
+        Sw4.Elastic3d.set_u st ~c:0 ~p (0.001 *. float_of_int i);
+        Sw4.Elastic3d.set_u st ~c:1 ~p (0.002 *. float_of_int j);
+        Sw4.Elastic3d.set_u st ~c:2 ~p (0.003 *. float_of_int k)
       done
     done
   done;
   Sw4.Elastic3d.acceleration st;
   let m = ref 0.0 in
-  Array.iter (fun a -> Array.iter (fun v -> m := max !m (Float.abs v)) a) st.Sw4.Elastic3d.a;
+  Fbuf.iteri (fun _ v -> m := max !m (Float.abs v)) st.Sw4.Elastic3d.a;
   Alcotest.(check bool) "zero acceleration" true (!m < 1e-8)
 
 let test_3d_p_wave_speed () =
@@ -232,7 +235,7 @@ let test_3d_p_wave_speed () =
     let time = float_of_int (s - 1) *. st.Sw4.Elastic3d.dt in
     Sw4.Elastic3d.step ~force:(si, sj, sk, 1e9, 0.0, 0.0, stf) st ~time;
     let p = Sw4.Elastic3d.idx g ri rj rk in
-    let v = Float.abs st.Sw4.Elastic3d.u.(0).(p) in
+    let v = Float.abs (Sw4.Elastic3d.get_u st ~c:0 ~p) in
     if v > !peak then begin
       peak := v;
       tpeak := time
@@ -257,7 +260,10 @@ let test_3d_stability () =
   Alcotest.(check bool) "energy finite" true
     (Float.is_finite (Sw4.Elastic3d.energy_proxy st));
   Alcotest.(check bool) "fields finite" true
-    (Array.for_all Float.is_finite st.Sw4.Elastic3d.u.(0))
+    (let ok = ref true in
+     Fbuf.iteri (fun _ v -> if not (Float.is_finite v) then ok := false)
+       st.Sw4.Elastic3d.u;
+     !ok)
 
 let test_production_run_parity () =
   (* 26B-point Hayward campaign: ~10 h on 256 Sierra nodes; Cori needs a
@@ -381,6 +387,40 @@ let test_split_partial_co_executes () =
   Alcotest.(check bool) "inline halo can't overlap" true
     (inl.Sw4.Scenario.overlapped_s >= d.Sw4.Scenario.overlapped_s)
 
+let prop_acceleration_par_bits_exact =
+  (* the pooled stencil must agree with the serial reference to the last
+     bit, for random heterogeneous material and random displacement
+     fields, under whatever ICOE_DOMAINS the suite runs with *)
+  QCheck.Test.make ~name:"pooled acceleration bit-identical to serial"
+    ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Icoe_util.Rng.create seed in
+      let nx = 20 + Icoe_util.Rng.int rng 20 in
+      let ny = 20 + Icoe_util.Rng.int rng 20 in
+      let g = Sw4.Grid.create ~nx ~ny ~h:100.0 in
+      Sw4.Grid.homogeneous g ~rho:2500.0 ~vp:5000.0 ~vs:2500.0;
+      for k = 0 to (nx * ny) - 1 do
+        g.Sw4.Grid.rho.(k) <- g.Sw4.Grid.rho.(k) *. Icoe_util.Rng.uniform rng 0.8 1.2;
+        g.Sw4.Grid.mu.(k) <- g.Sw4.Grid.mu.(k) *. Icoe_util.Rng.uniform rng 0.8 1.2;
+        g.Sw4.Grid.lambda.(k) <- g.Sw4.Grid.lambda.(k) *. Icoe_util.Rng.uniform rng 0.8 1.2
+      done;
+      let n = nx * ny in
+      let ux = Fbuf.init n (fun _ -> Icoe_util.Rng.uniform rng (-1e-3) 1e-3) in
+      let uy = Fbuf.init n (fun _ -> Icoe_util.Rng.uniform rng (-1e-3) 1e-3) in
+      let ax_p = Fbuf.create n and ay_p = Fbuf.create n in
+      let ax_s = Fbuf.create n and ay_s = Fbuf.create n in
+      Sw4.Elastic.acceleration g (Sw4.Elastic.make_scratch g) ~ux ~uy
+        ~ax:ax_p ~ay:ay_p;
+      Sw4.Elastic.acceleration_seq g (Sw4.Elastic.make_scratch g) ~ux ~uy
+        ~ax:ax_s ~ay:ay_s;
+      let bits_eq a b =
+        Array.for_all2
+          (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+          (Fbuf.to_array a) (Fbuf.to_array b)
+      in
+      bits_eq ax_p ax_s && bits_eq ay_p ay_s)
+
 let () =
   Alcotest.run "sw4"
     [
@@ -392,6 +432,7 @@ let () =
       ( "elastic",
         [
           Alcotest.test_case "linear field" `Quick test_acceleration_zero_on_linear_field;
+          QCheck_alcotest.to_alcotest prop_acceleration_par_bits_exact;
         ] );
       ( "solver",
         [

@@ -135,6 +135,26 @@ let test_fig9_defect_ripples () =
     true
     (c_defect > (5.0 *. c_clean) && c_defect > 0.05)
 
+let test_center_contrast_window_symmetric () =
+  (* the ripple window must be symmetric about the grid centre: a fluence
+     feature and its mirror image produce the same contrast. The old
+     truncating window edges ([int_of_float] instead of rounding) dropped
+    the mirror row, so one side of the aperture was scored and the other
+    ignored. *)
+  let n = 16 in
+  let spike_at s =
+    let b = Vbl.Beam.create ~n ~width:1.0 () in
+    Vbl.Beam.set_field b (fun ~x:_ ~y:_ -> (1.0, 0.0));
+    b.Vbl.Beam.field.(2 * ((s * n) + s)) <- 3.0;
+    Vbl.Beam.center_contrast b
+  in
+  (* mirror of index i is n - 1 - i *)
+  Alcotest.(check (float 1e-12)) "edge pair 4/11 agree" (spike_at 4)
+    (spike_at 11);
+  Alcotest.(check (float 1e-12)) "interior pair 5/10 agree" (spike_at 5)
+    (spike_at 10);
+  Alcotest.(check bool) "interior spike scored" true (spike_at 5 > 0.0)
+
 let test_step_time_transpose_lever () =
   let t_naive =
     Vbl.Propagate.step_time ~n:2048 ~device:Hwsim.Device.v100
@@ -180,6 +200,8 @@ let () =
           Alcotest.test_case "gaussian spreads" `Quick test_gaussian_spreads;
           Alcotest.test_case "amplifier" `Quick test_amplifier_gains_and_saturates;
           Alcotest.test_case "fig9 ripples" `Quick test_fig9_defect_ripples;
+          Alcotest.test_case "contrast window symmetric" `Quick
+            test_center_contrast_window_symmetric;
           Alcotest.test_case "transpose lever" `Quick test_step_time_transpose_lever;
         ] );
     ]
